@@ -1,0 +1,71 @@
+//! Ablation benchmarks for the design-choice extensions: integerization,
+//! reconfiguration rate limits, and the flash-crowd guard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspp_bench::multi_dc_problem;
+use dspp_core::{integerize, Allocation, HorizonProblem, MpcController, MpcSettings};
+use dspp_predict::{GuardedPredictor, LastValue, Predictor, SeasonalNaive};
+use dspp_solver::IpmSettings;
+
+fn bench_integerize(c: &mut Criterion) {
+    let problem = multi_dc_problem(12, 8);
+    let demand: Vec<f64> = (0..12).map(|v| 1_500.0 + 100.0 * v as f64).collect();
+    let x0 = Allocation::zeros(&problem);
+    let horizon = HorizonProblem::build(
+        &problem,
+        &x0,
+        &demand.iter().map(|&d| vec![d; 2]).collect::<Vec<_>>(),
+        &(0..4).map(|l| vec![0.004 + 0.001 * l as f64; 2]).collect::<Vec<_>>(),
+    )
+    .expect("horizon");
+    let sol = horizon.solve(&IpmSettings::fast()).expect("solve");
+    let continuous = Allocation::from_arc_values(&problem, sol.xs[2].as_slice().to_vec());
+    c.bench_function("ablations/integerize_48_arcs", |b| {
+        b.iter(|| integerize(&problem, &continuous, &demand, 0).expect("integerize"))
+    });
+}
+
+fn bench_rate_limit_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/rate_limit");
+    group.sample_size(20);
+    for (name, limit) in [("off", None), ("on", Some(50.0))] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    MpcController::new(
+                        multi_dc_problem(6, 16),
+                        Box::new(LastValue),
+                        MpcSettings {
+                            horizon: 6,
+                            ipm: IpmSettings::fast(),
+                            max_reconfiguration: limit,
+                        },
+                    )
+                    .expect("controller")
+                },
+                |mut controller| controller.step(&[1_000.0; 6]).expect("step"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/predictor_guard");
+    let history: Vec<Vec<f64>> =
+        vec![(0..96).map(|k| 100.0 + (k % 24) as f64 * 5.0).collect(); 24];
+    let plain = SeasonalNaive::new(24);
+    let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(24)), 2.0);
+    group.bench_function("plain", |b| b.iter(|| plain.forecast_all(&history, 12)));
+    group.bench_function("guarded", |b| b.iter(|| guarded.forecast_all(&history, 12)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_integerize,
+    bench_rate_limit_overhead,
+    bench_guard_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! One benchmark per paper figure: the cost of regenerating each result.
+//! The cheap figures run end-to-end; the expensive sweeps (7–9) benchmark
+//! one representative cell of their parameter grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspp_experiments::{fig10, fig3, fig4, fig5, fig6, fig7, fig9};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3_full", |b| b.iter(|| fig3::run().expect("fig3")));
+    group.bench_function("fig4_full", |b| b.iter(|| fig4::run().expect("fig4")));
+    group.bench_function("fig5_full", |b| b.iter(|| fig5::run().expect("fig5")));
+    group.bench_function("fig6_full", |b| b.iter(|| fig6::run().expect("fig6")));
+    group.bench_function("fig7_cell_4players_cap200", |b| {
+        b.iter(|| fig7::iterations_for(4, 200.0, 3).expect("fig7 cell"))
+    });
+    group.bench_function("fig8_cell_w4", |b| {
+        b.iter(|| fig7::iterations_for(8, 130.0, 4).expect("fig8 cell"))
+    });
+    group.bench_function("fig9_cell_h4", |b| {
+        b.iter(|| fig9::cost_for_horizon(4, 11).expect("fig9 cell"))
+    });
+    group.bench_function("fig10_full", |b| b.iter(|| fig10::run().expect("fig10")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Game benchmarks: cost of one full Algorithm 2 run as the number of
+//! competing providers grows (the computational side of Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspp_game::{GameConfig, ResourceGame, SpSampler};
+use dspp_solver::IpmSettings;
+
+fn config() -> GameConfig {
+    GameConfig {
+        ipm: IpmSettings::fast(),
+        ..GameConfig::default()
+    }
+}
+
+fn bench_game_vs_players(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game/run_vs_players");
+    group.sample_size(10);
+    for &n in &[2usize, 4, 8] {
+        let providers = SpSampler::new(2, 2, 3).with_seed(1).sample(n).expect("sample");
+        let game = ResourceGame::new(providers, vec![40.0 * n as f64, 40.0 * n as f64])
+            .expect("game");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, g| {
+            b.iter(|| g.run(&config()).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_social_welfare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game/social_welfare");
+    group.sample_size(10);
+    for &n in &[2usize, 4, 8] {
+        let providers = SpSampler::new(2, 2, 3).with_seed(2).sample(n).expect("sample");
+        let caps = vec![40.0 * n as f64, 40.0 * n as f64];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(providers, caps),
+            |b, (p, c)| {
+                b.iter(|| {
+                    dspp_game::solve_social_welfare(p, c, &IpmSettings::fast()).expect("swp")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_game_vs_players, bench_social_welfare);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! MPC controller benchmarks: per-step latency as the prediction horizon
+//! (the paper's K) and the arc count grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspp_bench::{multi_dc_problem, single_dc_problem};
+use dspp_core::{MpcController, MpcSettings};
+use dspp_predict::LastValue;
+use dspp_solver::IpmSettings;
+
+fn bench_step_vs_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/step_vs_horizon");
+    group.sample_size(20);
+    for &horizon in &[1usize, 5, 10, 20, 30] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon),
+            &horizon,
+            |b, &h| {
+                b.iter_batched(
+                    || {
+                        MpcController::new(
+                            single_dc_problem(64),
+                            Box::new(LastValue),
+                            MpcSettings {
+                                horizon: h,
+                                ipm: IpmSettings::fast(),
+                                ..MpcSettings::default()
+                            },
+                        )
+                        .expect("controller")
+                    },
+                    |mut controller| controller.step(&[12_000.0]).expect("step"),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_step_vs_locations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/step_vs_locations");
+    group.sample_size(20);
+    for &v in &[2usize, 6, 12, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            let demand = vec![2_000.0; v];
+            b.iter_batched(
+                || {
+                    MpcController::new(
+                        multi_dc_problem(v, 64),
+                        Box::new(LastValue),
+                        MpcSettings {
+                            horizon: 6,
+                            ipm: IpmSettings::fast(),
+                            ..MpcSettings::default()
+                        },
+                    )
+                    .expect("controller")
+                },
+                |mut controller| controller.step(&demand).expect("step"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_vs_horizon, bench_step_vs_locations);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Simulation benchmarks: discrete-event throughput and closed-loop cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dspp_bench::single_dc_problem;
+use dspp_core::{MpcController, MpcSettings};
+use dspp_predict::LastValue;
+use dspp_sim::{run_des, ClosedLoopSim, DesConfig, PoolSpec};
+use dspp_solver::IpmSettings;
+
+fn bench_des_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/des_throughput");
+    group.sample_size(10);
+    for &servers in &[1usize, 10, 50] {
+        let rate = 6.0 * servers as f64;
+        let cfg = DesConfig {
+            pools: vec![PoolSpec {
+                servers,
+                arrival_rate: rate,
+                service_rate: 10.0,
+            }],
+            duration: 1_000.0,
+            warmup: 0.0,
+            seed: 1,
+        };
+        // Roughly `rate × duration` request completions per run.
+        group.throughput(Throughput::Elements((rate * 1_000.0) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &cfg, |b, cfg| {
+            b.iter(|| run_des(cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_loop_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/closed_loop_day");
+    group.sample_size(10);
+    let demand: Vec<Vec<f64>> = vec![(0..24)
+        .map(|h| if (8..17).contains(&h) { 18_000.0 } else { 4_000.0 })
+        .collect()];
+    group.bench_function("mpc_h6_24periods", |b| {
+        b.iter_batched(
+            || {
+                let controller = MpcController::new(
+                    single_dc_problem(24),
+                    Box::new(LastValue),
+                    MpcSettings {
+                        horizon: 6,
+                        ipm: IpmSettings::fast(),
+                        ..MpcSettings::default()
+                    },
+                )
+                .expect("controller");
+                ClosedLoopSim::new(Box::new(controller), demand.clone()).expect("sim")
+            },
+            |sim| sim.run().expect("run"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_throughput, bench_closed_loop_day);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Solver benchmarks: the structured (Riccati) interior point against the
+//! dense interior point on flattened problems — the `O(N·n³)` vs
+//! `O((N·n)³)` ablation that motivates the structured solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspp_bench::lq_fixture;
+use dspp_solver::{flatten_lq, solve_lq, solve_qp, IpmSettings};
+
+fn bench_structured_vs_dense(c: &mut Criterion) {
+    let settings = IpmSettings::fast();
+    let mut group = c.benchmark_group("solver/structured_vs_dense");
+    group.sample_size(10);
+    for &stages in &[2usize, 5, 10, 20] {
+        let problem = lq_fixture(4, stages, 25.0);
+        group.bench_with_input(
+            BenchmarkId::new("riccati", stages),
+            &problem,
+            |b, p| b.iter(|| solve_lq(p, &settings).expect("solve")),
+        );
+        let flat = flatten_lq(&problem).expect("flatten");
+        group.bench_with_input(BenchmarkId::new("dense", stages), &flat, |b, f| {
+            b.iter(|| solve_qp(&f.qp, &settings).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_horizon_scaling(c: &mut Criterion) {
+    // Per-solve cost of the structured path should grow ~linearly in the
+    // horizon (each stage contributes one Riccati step per IPM iteration).
+    let settings = IpmSettings::fast();
+    let mut group = c.benchmark_group("solver/riccati_horizon_scaling");
+    group.sample_size(10);
+    for &stages in &[5usize, 10, 20, 40, 80] {
+        let problem = lq_fixture(6, stages, 30.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &problem,
+            |b, p| b.iter(|| solve_lq(p, &settings).expect("solve")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_state_dimension_scaling(c: &mut Criterion) {
+    let settings = IpmSettings::fast();
+    let mut group = c.benchmark_group("solver/riccati_state_scaling");
+    group.sample_size(10);
+    for &n in &[2usize, 8, 16, 32] {
+        let problem = lq_fixture(n, 10, 25.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solve_lq(p, &settings).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_structured_vs_dense,
+    bench_horizon_scaling,
+    bench_state_dimension_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `solver` — dense vs Riccati-structured interior point across horizon
+//!   lengths (the ablation behind the solver design choice in DESIGN.md).
+//! * `mpc` — controller step latency vs prediction horizon and arc count.
+//! * `game` — best-response iteration cost vs number of players.
+//! * `sim` — discrete-event throughput and closed-loop step cost.
+//! * `figures` — end-to-end regeneration cost of each paper figure
+//!   (reduced parameterizations for the slow ones).
+
+use dspp_core::{Dspp, DsppBuilder};
+use dspp_linalg::{Matrix, Vector};
+use dspp_solver::{LqProblem, LqStage, LqTerminal};
+
+/// A DSPP-shaped LQ problem with `n` arcs and `stages` stages: demand
+/// floor, non-negativity, linear prices, PD reconfiguration cost.
+pub fn lq_fixture(n: usize, stages: usize, demand: f64) -> LqProblem {
+    let price: Vector = (0..n).map(|j| 1.0 + 0.3 * (j as f64)).collect();
+    let weights = Vector::filled(n, 0.2);
+    let mut floor = Matrix::zeros(1, n);
+    for j in 0..n {
+        floor[(0, j)] = -1.0;
+    }
+    let mut nonneg = Matrix::zeros(n, n);
+    for j in 0..n {
+        nonneg[(j, j)] = -1.0;
+    }
+    let free = LqStage::identity_dynamics(n)
+        .with_state_cost(price.clone())
+        .with_input_penalty(&weights);
+    let constrained = free
+        .clone()
+        .with_constraints(
+            floor.clone(),
+            Matrix::zeros(1, n),
+            Vector::from(vec![-demand]),
+        )
+        .with_constraints(nonneg, Matrix::zeros(n, n), Vector::zeros(n));
+    let mut all = vec![free];
+    for _ in 1..stages {
+        all.push(constrained.clone());
+    }
+    LqProblem::new(
+        Vector::zeros(n),
+        all,
+        LqTerminal::free(n)
+            .with_state_cost(price)
+            .with_constraints(floor, Vector::from(vec![-demand])),
+    )
+    .expect("valid fixture")
+}
+
+/// A single-DC problem for controller benchmarks.
+pub fn single_dc_problem(periods: usize) -> Dspp {
+    DsppBuilder::new(1, 1)
+        .service_rate(250.0)
+        .sla_latency(0.100)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weight(0, 0.001)
+        .price_trace(0, vec![0.004; periods])
+        .build()
+        .expect("valid problem")
+}
+
+/// A 4-DC × `v` locations problem with all-usable arcs.
+pub fn multi_dc_problem(v: usize, periods: usize) -> Dspp {
+    let latency: Vec<Vec<f64>> = (0..4)
+        .map(|l| {
+            (0..v)
+                .map(|j| 0.008 + 0.004 * (((l + j) % 5) as f64))
+                .collect()
+        })
+        .collect();
+    let mut builder = DsppBuilder::new(4, v)
+        .service_rate(250.0)
+        .sla_latency(0.060)
+        .latency_rows(latency);
+    for l in 0..4 {
+        builder = builder
+            .price_trace(l, vec![0.004 + 0.001 * l as f64; periods])
+            .reconfiguration_weight(l, 0.001);
+    }
+    builder.build().expect("valid problem")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspp_solver::{solve_lq, IpmSettings};
+
+    #[test]
+    fn fixtures_are_solvable() {
+        let p = lq_fixture(4, 6, 20.0);
+        assert!(solve_lq(&p, &IpmSettings::default()).is_ok());
+        assert_eq!(single_dc_problem(10).num_arcs(), 1);
+        assert_eq!(multi_dc_problem(6, 10).num_arcs(), 24);
+    }
+}

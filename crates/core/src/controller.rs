@@ -1,0 +1,627 @@
+use crate::{Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, RoutingPolicy};
+use dspp_predict::Predictor;
+use dspp_solver::IpmSettings;
+
+/// Tuning knobs of the MPC controller (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct MpcSettings {
+    /// Prediction horizon `W` (the paper's `K` in Figures 6, 8–10).
+    pub horizon: usize,
+    /// Interior-point solver settings for each per-period solve.
+    pub ipm: IpmSettings,
+    /// Optional hard reconfiguration rate limit `|u_e| ≤ u_max` per arc
+    /// and period (an operational change budget on top of the paper's
+    /// quadratic penalty).
+    pub max_reconfiguration: Option<f64>,
+}
+
+impl Default for MpcSettings {
+    fn default() -> Self {
+        MpcSettings {
+            horizon: 5,
+            ipm: IpmSettings::default(),
+            max_reconfiguration: None,
+        }
+    }
+}
+
+/// What a controller did in one control period.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The control period index `k` this step observed.
+    pub period: usize,
+    /// New allocation `x_{k+1} = x_k + u_k`.
+    pub allocation: Allocation,
+    /// Executed control `u_k`, per arc.
+    pub control: Vec<f64>,
+    /// Routing policy derived from the new allocation (eq. 13).
+    pub routing: RoutingPolicy,
+    /// Demand forecast the decision was based on, `[location][t]`.
+    pub predicted_demand: Vec<Vec<f64>>,
+    /// Planned cost of the whole horizon (the solver objective).
+    pub planned_objective: f64,
+    /// Cost of the executed step: hosting at `k+1` prices + reconfiguration.
+    pub step_cost: PeriodCost,
+    /// Interior-point iterations spent.
+    pub solver_iterations: usize,
+}
+
+/// Common interface of placement controllers (MPC and the baselines), so
+/// the simulator can drive any of them interchangeably.
+pub trait PlacementController {
+    /// Observes the demand realized in period `k` and decides the
+    /// allocation for period `k+1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on solver failures or malformed input.
+    fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError>;
+
+    /// The current allocation.
+    fn allocation(&self) -> &Allocation;
+
+    /// The problem being controlled.
+    fn problem(&self) -> &Dspp;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's Algorithm 1: Model Predictive Control for the DSPP.
+///
+/// At each period `k` the controller
+/// 1. records the observed demand `D_k`,
+/// 2. asks its [`Predictor`] for `D_{k+1|k} … D_{k+W|k}`,
+/// 3. solves the horizon problem from the current state `x_k`,
+/// 4. executes only the first control `u_{k|k}`, and
+/// 5. refreshes the request routers' proportional weights (eq. 13).
+///
+/// See the crate-level example.
+pub struct MpcController {
+    problem: Dspp,
+    predictor: Box<dyn Predictor>,
+    price_predictor: Option<Box<dyn Predictor>>,
+    settings: MpcSettings,
+    state: Allocation,
+    history: Vec<Vec<f64>>,
+    period: usize,
+    /// Previous horizon solution's inputs, shifted one stage — the warm
+    /// start for the next solve.
+    warm_us: Option<Vec<dspp_linalg::Vector>>,
+}
+
+impl std::fmt::Debug for MpcController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpcController")
+            .field("period", &self.period)
+            .field("horizon", &self.settings.horizon)
+            .field("predictor", &self.predictor.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MpcController {
+    /// Creates a controller starting from the all-zero allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] for a zero horizon or invalid IPM
+    /// settings.
+    pub fn new(
+        problem: Dspp,
+        predictor: Box<dyn Predictor>,
+        settings: MpcSettings,
+    ) -> Result<Self, CoreError> {
+        if settings.horizon == 0 {
+            return Err(CoreError::InvalidSpec("horizon must be positive".into()));
+        }
+        settings.ipm.validate().map_err(CoreError::InvalidSpec)?;
+        let state = Allocation::zeros(&problem);
+        let history = vec![Vec::new(); problem.num_locations()];
+        Ok(MpcController {
+            problem,
+            predictor,
+            price_predictor: None,
+            settings,
+            state,
+            history,
+            period: 0,
+            warm_us: None,
+        })
+    }
+
+    /// Forecasts future prices with the given predictor instead of reading
+    /// them from the problem's posted traces.
+    ///
+    /// By default the controller treats the problem's price traces as
+    /// *posted* (known in advance — the common cloud-billing situation).
+    /// With a price predictor, only prices up to the current period are
+    /// observed and the future is forecast, exactly as the paper's
+    /// analysis-and-prediction module does for spot-market prices. This is
+    /// what makes long horizons risky in the Figure 9 experiment.
+    pub fn with_price_predictor(mut self, predictor: Box<dyn Predictor>) -> Self {
+        self.price_predictor = Some(predictor);
+        self
+    }
+
+    /// Replaces the starting allocation (e.g. to resume a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the allocation does not match
+    /// the problem's arc count.
+    pub fn with_initial_allocation(mut self, x0: Allocation) -> Result<Self, CoreError> {
+        if x0.arc_values().len() != self.problem.num_arcs() {
+            return Err(CoreError::InvalidSpec(format!(
+                "allocation has {} arcs, problem has {}",
+                x0.arc_values().len(),
+                self.problem.num_arcs()
+            )));
+        }
+        self.state = x0;
+        Ok(self)
+    }
+
+    /// The current period index.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> usize {
+        self.settings.horizon
+    }
+
+    /// One MPC step. See [`PlacementController::step`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] if `observed_demand` has the wrong
+    ///   length or a negative/non-finite entry.
+    /// * [`CoreError::PredictorShape`] if the predictor misbehaves.
+    /// * [`CoreError::Solver`] if the horizon problem cannot be solved.
+    pub fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
+        let nv = self.problem.num_locations();
+        if observed_demand.len() != nv {
+            return Err(CoreError::InvalidSpec(format!(
+                "observed demand has {} locations, expected {nv}",
+                observed_demand.len()
+            )));
+        }
+        if observed_demand
+            .iter()
+            .any(|d| !(d.is_finite() && *d >= 0.0))
+        {
+            return Err(CoreError::InvalidSpec(
+                "observed demand must be non-negative and finite".into(),
+            ));
+        }
+        for (v, &d) in observed_demand.iter().enumerate() {
+            self.history[v].push(d);
+        }
+
+        let w = self.settings.horizon;
+        let forecast = self.predictor.forecast_all(&self.history, w);
+        if forecast.len() != nv || forecast.iter().any(|f| f.len() != w) {
+            return Err(CoreError::PredictorShape(format!(
+                "expected {nv} series of {w} steps"
+            )));
+        }
+        for (v, series) in forecast.iter().enumerate() {
+            if series.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
+                return Err(CoreError::PredictorShape(format!(
+                    "series {v} contains negative or non-finite forecasts"
+                )));
+            }
+        }
+
+        // Prices for periods k+1 .. k+W: posted traces by default, or a
+        // forecast from observed history when a price predictor is set.
+        let prices: Vec<Vec<f64>> = match &self.price_predictor {
+            None => (0..self.problem.num_dcs())
+                .map(|l| {
+                    (1..=w)
+                        .map(|t| self.problem.price(l, self.period + t))
+                        .collect()
+                })
+                .collect(),
+            Some(pp) => {
+                let price_history: Vec<Vec<f64>> = (0..self.problem.num_dcs())
+                    .map(|l| (0..=self.period).map(|t| self.problem.price(l, t)).collect())
+                    .collect();
+                let forecast = pp.forecast_all(&price_history, w);
+                if forecast.len() != self.problem.num_dcs()
+                    || forecast.iter().any(|f| f.len() != w)
+                {
+                    return Err(CoreError::PredictorShape(
+                        "price predictor returned wrong shape".into(),
+                    ));
+                }
+                forecast
+            }
+        };
+
+        let horizon = HorizonProblem::build_full(
+            &self.problem,
+            &self.state,
+            &forecast,
+            &prices,
+            None,
+            self.settings.max_reconfiguration,
+        )?;
+        let sol = horizon.solve_warm(&self.settings.ipm, self.warm_us.as_deref())?;
+        // Next period's warm start: this solution shifted by one stage.
+        let mut shifted: Vec<dspp_linalg::Vector> = sol.us[1..].to_vec();
+        shifted.push(dspp_linalg::Vector::zeros(self.problem.num_arcs()));
+        self.warm_us = Some(shifted);
+
+        let u: Vec<f64> = sol.us[0].as_slice().to_vec();
+        let mut new_values = self.state.arc_values().to_vec();
+        for (xv, du) in new_values.iter_mut().zip(&u) {
+            // Clamp the tiny negative values interior-point solutions carry.
+            *xv = (*xv + du).max(0.0);
+        }
+        let allocation = Allocation::from_arc_values(&self.problem, new_values);
+        let routing = RoutingPolicy::from_allocation(&self.problem, &allocation);
+        let step_cost = PeriodCost::compute(&self.problem, &allocation, &u, self.period + 1);
+
+        self.state = allocation.clone();
+        self.period += 1;
+
+        Ok(StepOutcome {
+            period: self.period - 1,
+            allocation,
+            control: u,
+            routing,
+            predicted_demand: forecast,
+            planned_objective: sol.objective,
+            step_cost,
+            solver_iterations: sol.iterations,
+        })
+    }
+}
+
+impl PlacementController for MpcController {
+    fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
+        MpcController::step(self, observed_demand)
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.state
+    }
+
+    fn problem(&self) -> &Dspp {
+        &self.problem
+    }
+
+    fn name(&self) -> &str {
+        "mpc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsppBuilder;
+    use dspp_predict::{LastValue, OraclePredictor};
+
+    fn problem() -> Dspp {
+        DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .reconfiguration_weights(vec![0.02])
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tracks_demand_with_oracle() {
+        let demand = vec![vec![40.0, 80.0, 120.0, 80.0, 40.0, 40.0]];
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 3,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let a = problem().arc_coeff(0);
+        let mut allocations = Vec::new();
+        for k in 0..5 {
+            let out = c.step(&[demand[0][k]]).unwrap();
+            allocations.push(out.allocation.total());
+            // Allocation must cover the next period's (oracle) demand.
+            assert!(
+                out.allocation.total() >= a * demand[0][k + 1] - 1e-4,
+                "period {k}: {} < {}",
+                out.allocation.total(),
+                a * demand[0][k + 1]
+            );
+        }
+        // Allocation rises into the peak and falls off it.
+        assert!(allocations[1] > allocations[0]);
+        assert!(allocations[4] < allocations[2]);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 1.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        // Demand requiring ≤ 1 server: fine.
+        let ok_demand = 0.9 / a;
+        let mut c = MpcController::new(
+            p.clone(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let out = c.step(&[ok_demand]).unwrap();
+        assert!(out.allocation.total() <= 1.0 + 1e-6);
+        // Demand requiring > 1 server: infeasible horizon.
+        let mut c = MpcController::new(
+            p,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let err = c.step(&[2.0 / a]).unwrap_err();
+        assert!(matches!(err, CoreError::Solver(_)), "got {err}");
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings::default(),
+        )
+        .unwrap();
+        assert!(c.step(&[1.0, 2.0]).is_err());
+        assert!(c.step(&[-1.0]).is_err());
+        assert!(c.step(&[f64::NAN]).is_err());
+        // Valid input still works afterwards.
+        assert!(c.step(&[10.0]).is_ok());
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let err = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 0,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn step_cost_accounts_hosting_and_reconfig() {
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let out = c.step(&[50.0]).unwrap();
+        let x = out.allocation.total();
+        let u = out.control[0];
+        assert!((out.step_cost.hosting - x).abs() < 1e-9); // price 1.0
+        assert!((out.step_cost.reconfiguration - 0.02 * u * u).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_solutions() {
+        // Two identical controllers — one freshly constructed each period
+        // (cold), one persistent (warm from period 1 on) — must produce the
+        // same closed-loop allocations.
+        let demand = vec![vec![30.0, 60.0, 90.0, 70.0, 40.0, 30.0, 30.0]];
+        let mut warm = MpcController::new(
+            problem(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 4,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let mut cold_state = Allocation::zeros(&problem());
+        for k in 0..5 {
+            let out_warm = warm.step(&[demand[0][k]]).unwrap();
+            // Cold reference: fresh controller seeded with the same state
+            // and history.
+            let mut cold = MpcController::new(
+                problem(),
+                Box::new(OraclePredictor::new(
+                    vec![demand[0][k..].to_vec()],
+                )),
+                MpcSettings {
+                    horizon: 4,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap()
+            .with_initial_allocation(cold_state.clone())
+            .unwrap();
+            let out_cold = cold.step(&[demand[0][k]]).unwrap();
+            let diff: f64 = out_warm
+                .allocation
+                .arc_values()
+                .iter()
+                .zip(out_cold.allocation.arc_values())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert!(diff < 1e-4, "period {k}: warm/cold diverged by {diff}");
+            cold_state = out_cold.allocation;
+        }
+    }
+
+    #[test]
+    fn rate_limit_caps_per_period_changes() {
+        // Start provisioned for D = 10 (x₀ = a·10 = 0.125 servers); demand
+        // then climbs to 50. The climb needs Δx = 0.5, which fits under
+        // |u| ≤ 0.2 only when spread over ≥ 3 periods.
+        let p = problem();
+        let a = p.arc_coeff(0);
+        let demand = vec![vec![10.0, 10.0, 25.0, 40.0, 50.0, 50.0]];
+        let mut c = MpcController::new(
+            p.clone(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 4,
+                max_reconfiguration: Some(0.2),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap()
+        .with_initial_allocation(Allocation::from_arc_values(&p, vec![10.0 * a]))
+        .unwrap();
+        let mut max_u: f64 = 0.0;
+        for k in 0..5 {
+            let out = c.step(&[demand[0][k]]).unwrap();
+            for &u in &out.control {
+                assert!(u.abs() <= 0.2 + 1e-6, "period {k}: |u| = {}", u.abs());
+                max_u = max_u.max(u.abs());
+            }
+        }
+        // The limit actually bound at some point (not vacuous).
+        assert!(max_u > 0.15, "limit never approached: max |u| = {max_u}");
+    }
+
+    #[test]
+    fn infeasible_rate_limit_is_reported() {
+        // The jump cannot be ramped within the horizon under the limit.
+        let demand = vec![vec![10.0, 1000.0, 1000.0]];
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 2,
+                max_reconfiguration: Some(0.05),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let err = c.step(&[10.0]).unwrap_err();
+        assert!(matches!(err, CoreError::Solver(_)), "got {err}");
+    }
+
+    #[test]
+    fn invalid_rate_limit_is_rejected() {
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                max_reconfiguration: Some(-1.0),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            c.step(&[1.0]),
+            Err(CoreError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn price_predictor_changes_planning() {
+        // A problem whose posted trace crashes to a price of 0.01 from
+        // period 3 on; a persistence price-forecast cannot see that, so the
+        // two controllers provision differently only through prices.
+        let mk = |with_pred: bool| {
+            let p = DsppBuilder::new(1, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010]])
+                .reconfiguration_weights(vec![0.02])
+                .price_trace(0, vec![5.0, 5.0, 5.0, 0.01, 0.01, 0.01])
+                .build()
+                .unwrap();
+            let c = MpcController::new(
+                p,
+                Box::new(OraclePredictor::new(vec![vec![50.0; 6]])),
+                MpcSettings {
+                    horizon: 4,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap();
+            if with_pred {
+                c.with_price_predictor(Box::new(LastValue))
+            } else {
+                c
+            }
+        };
+        // Both must run; the posted-trace controller sees the future crash.
+        let mut posted = mk(false);
+        let mut forecast = mk(true);
+        let a = posted.step(&[50.0]).unwrap();
+        let b = forecast.step(&[50.0]).unwrap();
+        // Identical demand, identical current state: allocations exist and
+        // are positive either way.
+        assert!(a.allocation.total() > 0.0);
+        assert!(b.allocation.total() > 0.0);
+    }
+
+    #[test]
+    fn longer_horizon_smooths_controls() {
+        // Spiky demand; compare max |u| for W=1 vs W=6 — the paper's
+        // Figure 6 effect.
+        let demand: Vec<f64> = (0..12)
+            .map(|k| if k % 4 == 2 { 120.0 } else { 20.0 })
+            .collect();
+        let truth = vec![demand.clone()];
+        let run = |w: usize| {
+            let mut c = MpcController::new(
+                DsppBuilder::new(1, 1)
+                    .service_rate(100.0)
+                    .sla_latency(0.060)
+                    .latency_rows(vec![vec![0.010]])
+                    .reconfiguration_weights(vec![1.0])
+                    .price_trace(0, vec![0.05])
+                    .build()
+                    .unwrap(),
+                Box::new(OraclePredictor::new(truth.clone())),
+                MpcSettings {
+                    horizon: w,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap();
+            let mut max_u: f64 = 0.0;
+            for k in 0..11 {
+                let out = c.step(&[demand[k]]).unwrap();
+                max_u = max_u.max(out.control.iter().fold(0.0f64, |m, &u| m.max(u.abs())));
+            }
+            max_u
+        };
+        let sharp = run(1);
+        let smooth = run(6);
+        assert!(
+            smooth < sharp,
+            "W=6 max|u| {smooth} should be below W=1 {sharp}"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+use crate::{Allocation, Dspp};
+use serde::{Deserialize, Serialize};
+
+/// Cost incurred in one control period: the paper's `H_k` (hosting) and
+/// `G_k` (reconfiguration) terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodCost {
+    /// Hosting cost `H_k = Σ p_k^l x_k^{lv}`.
+    pub hosting: f64,
+    /// Reconfiguration cost `G_k = Σ c^l (u_k^{lv})²`.
+    pub reconfiguration: f64,
+}
+
+impl PeriodCost {
+    /// Total cost of the period.
+    pub fn total(&self) -> f64 {
+        self.hosting + self.reconfiguration
+    }
+
+    /// Computes the cost of holding allocation `x` during period `k` after
+    /// applying the control `u` (per-arc deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len()` differs from the problem's arc count.
+    pub fn compute(problem: &Dspp, x: &Allocation, u: &[f64], k: usize) -> PeriodCost {
+        assert_eq!(u.len(), problem.num_arcs(), "control vector length");
+        let mut hosting = 0.0;
+        let mut reconfiguration = 0.0;
+        for (e, &(l, _)) in problem.arcs().iter().enumerate() {
+            hosting += problem.price(l, k) * x.arc_values()[e];
+            reconfiguration += problem.reconfig_weight(l) * u[e] * u[e];
+        }
+        PeriodCost {
+            hosting,
+            reconfiguration,
+        }
+    }
+}
+
+/// A running ledger of per-period costs — the objective `J` of the paper
+/// accumulated by the closed-loop simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    periods: Vec<PeriodCost>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records one period.
+    pub fn push(&mut self, cost: PeriodCost) {
+        self.periods.push(cost);
+    }
+
+    /// Number of recorded periods.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// The recorded periods.
+    pub fn periods(&self) -> &[PeriodCost] {
+        &self.periods
+    }
+
+    /// Total hosting cost so far.
+    pub fn total_hosting(&self) -> f64 {
+        self.periods.iter().map(|p| p.hosting).sum()
+    }
+
+    /// Total reconfiguration cost so far.
+    pub fn total_reconfiguration(&self) -> f64 {
+        self.periods.iter().map(|p| p.reconfiguration).sum()
+    }
+
+    /// The objective `J = Σ_k H_k + G_k`.
+    pub fn total(&self) -> f64 {
+        self.total_hosting() + self.total_reconfiguration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsppBuilder;
+
+    #[test]
+    fn period_cost_formula() {
+        let p = DsppBuilder::new(2, 1)
+            .price_trace(0, vec![2.0])
+            .price_trace(1, vec![3.0])
+            .reconfiguration_weights(vec![0.5, 1.0])
+            .build()
+            .unwrap();
+        let mut x = Allocation::zeros(&p);
+        x.set(&p, 0, 0, 4.0);
+        x.set(&p, 1, 0, 2.0);
+        let u = vec![1.0, -2.0];
+        let c = PeriodCost::compute(&p, &x, &u, 0);
+        // H = 2·4 + 3·2 = 14; G = 0.5·1 + 1.0·4 = 4.5.
+        assert!((c.hosting - 14.0).abs() < 1e-12);
+        assert!((c.reconfiguration - 4.5).abs() < 1e-12);
+        assert!((c.total() - 18.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut ledger = CostLedger::new();
+        assert!(ledger.is_empty());
+        ledger.push(PeriodCost {
+            hosting: 1.0,
+            reconfiguration: 0.5,
+        });
+        ledger.push(PeriodCost {
+            hosting: 2.0,
+            reconfiguration: 0.0,
+        });
+        assert_eq!(ledger.len(), 2);
+        assert!((ledger.total_hosting() - 3.0).abs() < 1e-12);
+        assert!((ledger.total_reconfiguration() - 0.5).abs() < 1e-12);
+        assert!((ledger.total() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+use dspp_solver::SolverError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSPP model and controllers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The problem specification is invalid (bad dimension, missing data,
+    /// non-finite parameter, ...).
+    InvalidSpec(String),
+    /// A client location cannot be served by any data center within the SLA:
+    /// every latency `d_{lv}` leaves no queueing budget under `d̄`.
+    UnservableLocation {
+        /// Index of the offending location.
+        location: usize,
+    },
+    /// The optimizer failed (infeasible horizon problem, iteration limit,
+    /// numerical trouble).
+    Solver(SolverError),
+    /// A predictor returned the wrong number of series or horizon steps.
+    PredictorShape(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec(msg) => write!(f, "invalid problem spec: {msg}"),
+            CoreError::UnservableLocation { location } => write!(
+                f,
+                "location {location} cannot be served within the SLA from any data center"
+            ),
+            CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+            CoreError::PredictorShape(msg) => write!(f, "predictor shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::InvalidSpec("x".into()).to_string().contains("x"));
+        assert!(CoreError::UnservableLocation { location: 3 }
+            .to_string()
+            .contains("3"));
+        let e: CoreError = SolverError::InvalidProblem("p".into()).into();
+        assert!(e.to_string().contains("solver"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<CoreError>();
+    }
+}

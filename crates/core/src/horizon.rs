@@ -1,0 +1,487 @@
+use crate::{Allocation, CoreError, Dspp};
+use dspp_linalg::{Matrix, Vector};
+use dspp_solver::{solve_lq_warm, IpmSettings, LqProblem, LqSolution, LqStage, LqTerminal};
+
+/// The horizon-truncated DSPP (Section IV-D) as a stage-structured LQ
+/// program, plus the bookkeeping to read duals back out.
+///
+/// Given the current allocation `x_k`, demand forecasts
+/// `D_{k+1|k}..D_{k+W|k}` and prices `p_{k+1}..p_{k+W}`, the problem is
+///
+/// ```text
+/// min Σ_{j=1..W} [ p_{k+j}ᵀ x_j + Σ_e c_e u_{j-1,e}² ]
+/// s.t. x_j = x_{j-1} + u_{j-1}
+///      Σ_e∈v  x_{j,e}/a_e ≥ D_{k+j}^v      (demand rows, per location)
+///      Σ_e∈l  s·x_{j,e}   ≤ C_l             (capacity rows, per DC)
+///      x_j ≥ 0
+/// ```
+///
+/// Constraint rows per stage are laid out demand-first, then capacity, then
+/// non-negativity; [`HorizonProblem::capacity_duals`] exploits that layout
+/// to extract the per-DC shadow prices the multi-provider game needs.
+#[derive(Debug, Clone)]
+pub struct HorizonProblem {
+    lq: LqProblem,
+    num_dcs: usize,
+    num_locations: usize,
+    horizon: usize,
+}
+
+impl HorizonProblem {
+    /// Assembles the horizon problem.
+    ///
+    /// `demand_forecast[v][t]` is the predicted demand of location `v` in
+    /// period `k+1+t`; `price_forecast[l][t]` the price of a server at data
+    /// center `l` in period `k+1+t`. Both must have `horizon` entries per
+    /// series.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] for shape mismatches or a zero horizon.
+    /// * [`CoreError::Solver`] if the LQ problem fails validation (should
+    ///   not happen for a compiled [`Dspp`]).
+    pub fn build(
+        problem: &Dspp,
+        x0: &Allocation,
+        demand_forecast: &[Vec<f64>],
+        price_forecast: &[Vec<f64>],
+    ) -> Result<Self, CoreError> {
+        Self::build_with_stage_capacities(problem, x0, demand_forecast, price_forecast, None)
+    }
+
+    /// Like [`HorizonProblem::build`], but with per-stage capacity vectors:
+    /// `capacities[t][l]` caps data center `l` during period `k+1+t`,
+    /// overriding the problem's static capacities.
+    ///
+    /// The multi-provider game uses this for unilateral-deviation checks,
+    /// where the capacity left for one provider is whatever the others'
+    /// (time-varying) allocations do not occupy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HorizonProblem::build`], plus mismatched
+    /// capacity shapes.
+    pub fn build_with_stage_capacities(
+        problem: &Dspp,
+        x0: &Allocation,
+        demand_forecast: &[Vec<f64>],
+        price_forecast: &[Vec<f64>],
+        stage_capacities: Option<&[Vec<f64>]>,
+    ) -> Result<Self, CoreError> {
+        Self::build_full(
+            problem,
+            x0,
+            demand_forecast,
+            price_forecast,
+            stage_capacities,
+            None,
+        )
+    }
+
+    /// The fully general builder: per-stage capacities plus an optional
+    /// reconfiguration rate limit `|u_e| ≤ u_max` per arc and period.
+    ///
+    /// Rate limits model operational change budgets (image distribution
+    /// bandwidth, change-window policies); they enter the LQ problem as
+    /// input rows appended after the state rows of each non-terminal stage.
+    ///
+    /// # Errors
+    ///
+    /// As [`HorizonProblem::build`], plus rejection of a non-positive
+    /// `max_reconfiguration`.
+    pub fn build_full(
+        problem: &Dspp,
+        x0: &Allocation,
+        demand_forecast: &[Vec<f64>],
+        price_forecast: &[Vec<f64>],
+        stage_capacities: Option<&[Vec<f64>]>,
+        max_reconfiguration: Option<f64>,
+    ) -> Result<Self, CoreError> {
+        if let Some(umax) = max_reconfiguration {
+            if !(umax.is_finite() && umax > 0.0) {
+                return Err(CoreError::InvalidSpec(format!(
+                    "max reconfiguration must be positive, got {umax}"
+                )));
+            }
+        }
+        let n = problem.num_arcs();
+        let nl = problem.num_dcs();
+        let nv = problem.num_locations();
+        if demand_forecast.len() != nv {
+            return Err(CoreError::InvalidSpec(format!(
+                "demand forecast has {} locations, expected {nv}",
+                demand_forecast.len()
+            )));
+        }
+        if price_forecast.len() != nl {
+            return Err(CoreError::InvalidSpec(format!(
+                "price forecast has {} data centers, expected {nl}",
+                price_forecast.len()
+            )));
+        }
+        let horizon = demand_forecast.first().map_or(0, Vec::len);
+        if horizon == 0 {
+            return Err(CoreError::InvalidSpec("horizon must be positive".into()));
+        }
+        if demand_forecast.iter().any(|d| d.len() != horizon)
+            || price_forecast.iter().any(|p| p.len() != horizon)
+        {
+            return Err(CoreError::InvalidSpec(
+                "forecast series have inconsistent horizons".into(),
+            ));
+        }
+        if x0.arc_values().len() != n {
+            return Err(CoreError::InvalidSpec(format!(
+                "initial allocation has {} arcs, expected {n}",
+                x0.arc_values().len()
+            )));
+        }
+        if let Some(caps) = stage_capacities {
+            if caps.len() != horizon || caps.iter().any(|c| c.len() != nl) {
+                return Err(CoreError::InvalidSpec(format!(
+                    "stage capacities must be {horizon} vectors of {nl} entries"
+                )));
+            }
+            for row in caps {
+                if row.iter().any(|c| !(c.is_finite() && *c >= 0.0)) {
+                    return Err(CoreError::InvalidSpec(
+                        "stage capacities must be non-negative and finite".into(),
+                    ));
+                }
+            }
+        }
+        let capacity_at = |t: usize, l: usize| -> f64 {
+            match stage_capacities {
+                Some(caps) => caps[t][l],
+                None => problem.capacity(l),
+            }
+        };
+
+        // Constraint matrix shared by all stages: demand, capacity, nonneg.
+        let m_rows = nv + nl + n;
+        let mut cx = Matrix::zeros(m_rows, n);
+        for (e, &(l, v)) in problem.arcs().iter().enumerate() {
+            cx[(v, e)] = -1.0 / problem.arc_coeff(e); // -Σ x/a ≤ -D
+            cx[(nv + l, e)] = problem.server_size(); // Σ s·x ≤ C
+            cx[(nv + nl + e, e)] = -1.0; // -x ≤ 0
+        }
+        let d_for_stage = |t: usize| {
+            // Forecast index t covers state x_{t+1}.
+            let mut d = Vector::zeros(m_rows);
+            for l in 0..nl {
+                d[nv + l] = capacity_at(t, l);
+            }
+            d
+        };
+
+        // Input penalty: R = 2·diag(c_l per arc) so ½uᵀRu = Σ c_e u_e².
+        let reconfig: Vector = problem
+            .arcs()
+            .iter()
+            .map(|&(l, _)| problem.reconfig_weight(l))
+            .collect();
+
+        // Optional |u| ≤ u_max rows, appended after the state rows.
+        let rate_rows = max_reconfiguration.map(|umax| {
+            let mut cu = Matrix::zeros(2 * n, n);
+            for e in 0..n {
+                cu[(e, e)] = 1.0;
+                cu[(n + e, e)] = -1.0;
+            }
+            (cu, Vector::filled(2 * n, umax))
+        });
+
+        let mut stages = Vec::with_capacity(horizon);
+        for j in 0..horizon {
+            let mut stage = LqStage::identity_dynamics(n).with_input_penalty(&reconfig);
+            if j >= 1 {
+                // Stage-j state cost and constraints act on x_j, which is
+                // the allocation during period k+j (forecast index j-1).
+                let q: Vector = problem
+                    .arcs()
+                    .iter()
+                    .map(|&(l, _)| price_forecast[l][j - 1])
+                    .collect();
+                let mut d = d_for_stage(j - 1);
+                for v in 0..nv {
+                    d[v] = -demand_forecast[v][j - 1];
+                }
+                stage = stage
+                    .with_state_cost(q)
+                    .with_constraints(cx.clone(), Matrix::zeros(m_rows, n), d);
+            }
+            if let Some((cu, d_rate)) = &rate_rows {
+                stage = stage.with_constraints(
+                    Matrix::zeros(2 * n, n),
+                    cu.clone(),
+                    d_rate.clone(),
+                );
+            }
+            stages.push(stage);
+        }
+        let q_term: Vector = problem
+            .arcs()
+            .iter()
+            .map(|&(l, _)| price_forecast[l][horizon - 1])
+            .collect();
+        let mut d_term = d_for_stage(horizon - 1);
+        for v in 0..nv {
+            d_term[v] = -demand_forecast[v][horizon - 1];
+        }
+        let terminal = LqTerminal::free(n)
+            .with_state_cost(q_term)
+            .with_constraints(cx, d_term);
+
+        let lq = LqProblem::new(Vector::from(x0.arc_values()), stages, terminal)?;
+        Ok(HorizonProblem {
+            lq,
+            num_dcs: nl,
+            num_locations: nv,
+            horizon,
+        })
+    }
+
+    /// The underlying stage-structured problem.
+    pub fn lq(&self) -> &LqProblem {
+        &self.lq
+    }
+
+    /// Horizon length `W`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Solves the horizon problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as [`CoreError::Solver`] — most commonly
+    /// an infeasible horizon (demand beyond capacity).
+    pub fn solve(&self, settings: &IpmSettings) -> Result<LqSolution, CoreError> {
+        self.solve_warm(settings, None)
+    }
+
+    /// Solves the horizon problem with an optional warm-start input guess
+    /// (the previous period's solution shifted by one stage).
+    ///
+    /// # Errors
+    ///
+    /// As [`HorizonProblem::solve`].
+    pub fn solve_warm(
+        &self,
+        settings: &IpmSettings,
+        warm_us: Option<&[dspp_linalg::Vector]>,
+    ) -> Result<LqSolution, CoreError> {
+        Ok(solve_lq_warm(&self.lq, settings, warm_us)?)
+    }
+
+    /// Extracts per-DC capacity shadow prices: the sum over horizon stages
+    /// of the capacity-row duals (the `λ^{il}` of the paper's Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sol` does not belong to this problem.
+    pub fn capacity_duals(&self, sol: &LqSolution) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_dcs];
+        // Stage 0 has no constraints; stages 1..W-1 and the terminal do.
+        for duals in sol.stage_duals.iter().skip(1) {
+            if duals.is_empty() {
+                continue;
+            }
+            assert!(
+                duals.len() >= self.num_locations + self.num_dcs + self.lq.state_dim(),
+                "solution does not match this horizon problem"
+            );
+            for l in 0..self.num_dcs {
+                out[l] += duals[self.num_locations + l];
+            }
+        }
+        out
+    }
+
+    /// Extracts per-location demand shadow prices (marginal cost of one
+    /// more unit of demand), summed over stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sol` does not belong to this problem.
+    pub fn demand_duals(&self, sol: &LqSolution) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_locations];
+        for duals in sol.stage_duals.iter().skip(1) {
+            if duals.is_empty() {
+                continue;
+            }
+            for v in 0..self.num_locations {
+                out[v] += duals[v];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsppBuilder;
+
+    fn problem() -> Dspp {
+        DsppBuilder::new(2, 2)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010, 0.030], vec![0.030, 0.010]])
+            .capacities(vec![100.0, 100.0])
+            .reconfiguration_weights(vec![0.05, 0.05])
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    fn flat(v: f64, h: usize) -> Vec<f64> {
+        vec![v; h]
+    }
+
+    #[test]
+    fn build_validates_shapes() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        // Wrong number of locations.
+        assert!(HorizonProblem::build(
+            &p,
+            &x0,
+            &[flat(1.0, 3)],
+            &[flat(1.0, 3), flat(1.0, 3)]
+        )
+        .is_err());
+        // Wrong number of DCs.
+        assert!(
+            HorizonProblem::build(&p, &x0, &[flat(1.0, 3), flat(1.0, 3)], &[flat(1.0, 3)])
+                .is_err()
+        );
+        // Ragged horizons.
+        assert!(HorizonProblem::build(
+            &p,
+            &x0,
+            &[flat(1.0, 3), flat(1.0, 2)],
+            &[flat(1.0, 3), flat(1.0, 3)]
+        )
+        .is_err());
+        // Zero horizon.
+        assert!(HorizonProblem::build(
+            &p,
+            &x0,
+            &[vec![], vec![]],
+            &[vec![], vec![]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn solution_meets_demand_and_nonnegativity() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        let demand = vec![flat(50.0, 4), flat(30.0, 4)];
+        let prices = vec![flat(1.0, 4), flat(1.0, 4)];
+        let h = HorizonProblem::build(&p, &x0, &demand, &prices).unwrap();
+        let sol = h.solve(&IpmSettings::default()).unwrap();
+        for j in 1..=4 {
+            let x = Allocation::from_arc_values(&p, sol.xs[j].as_slice().to_vec());
+            assert!(
+                x.satisfies_demand(&p, &[50.0, 30.0], 1e-5),
+                "stage {j} violates demand"
+            );
+            assert!(sol.xs[j].min() >= -1e-6, "stage {j} went negative");
+        }
+    }
+
+    #[test]
+    fn cheap_dc_attracts_load() {
+        let p = DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![5.0])
+            .reconfiguration_weights(vec![0.01, 0.01])
+            .build()
+            .unwrap();
+        let x0 = Allocation::zeros(&p);
+        let h = HorizonProblem::build(&p, &x0, &[flat(100.0, 5)], &[flat(1.0, 5), flat(5.0, 5)])
+            .unwrap();
+        let sol = h.solve(&IpmSettings::default()).unwrap();
+        let x_final = Allocation::from_arc_values(&p, sol.xs[5].as_slice().to_vec());
+        let per_dc = x_final.per_dc(&p);
+        assert!(
+            per_dc[0] > 5.0 * per_dc[1],
+            "cheap DC should dominate: {per_dc:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_duals_appear_when_capacity_binds() {
+        // DC 0 is cheap but tiny; demand overflows to DC 1.
+        let p = DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .capacities(vec![0.2, 100.0])
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![5.0])
+            .build()
+            .unwrap();
+        let x0 = Allocation::zeros(&p);
+        let h =
+            HorizonProblem::build(&p, &x0, &[flat(100.0, 4)], &[flat(1.0, 4), flat(5.0, 4)])
+                .unwrap();
+        let sol = h.solve(&IpmSettings::default()).unwrap();
+        let duals = h.capacity_duals(&sol);
+        assert!(duals[0] > 1e-3, "binding capacity must price: {duals:?}");
+        assert!(duals[1] < 1e-5, "slack capacity must not: {duals:?}");
+        // The final allocation saturates DC 0.
+        let x = Allocation::from_arc_values(&p, sol.xs[4].as_slice().to_vec());
+        assert!((x.per_dc(&p)[0] - 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn demand_duals_reflect_marginal_cost() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        let h = HorizonProblem::build(
+            &p,
+            &x0,
+            &[flat(50.0, 3), flat(0.0, 3)],
+            &[flat(1.0, 3), flat(1.0, 3)],
+        )
+        .unwrap();
+        let sol = h.solve(&IpmSettings::default()).unwrap();
+        let duals = h.demand_duals(&sol);
+        // Location 0 has positive demand: its constraint binds (cost scales
+        // with demand), so the dual is positive.
+        assert!(duals[0] > 1e-4, "duals {duals:?}");
+    }
+
+    #[test]
+    fn reconfiguration_penalty_smooths_spike() {
+        // Demand spikes at period 2 only; with a large c the optimizer
+        // spreads the ramp-up across periods.
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .reconfiguration_weights(vec![5.0])
+            .price_trace(0, vec![0.1])
+            .build()
+            .unwrap();
+        let x0 = Allocation::zeros(&p);
+        let demand = vec![vec![0.0, 100.0, 0.0, 0.0]];
+        let prices = vec![flat(0.1, 4)];
+        let h = HorizonProblem::build(&p, &x0, &demand, &prices).unwrap();
+        let sol = h.solve(&IpmSettings::default()).unwrap();
+        // x_2 must cover the spike...
+        let a = p.arc_coeff(0);
+        assert!(sol.xs[2][0] >= 100.0 * a - 1e-5);
+        // ...and the climb is split across u_0 and u_1 (both positive).
+        assert!(sol.us[0][0] > 1e-3, "u0 = {}", sol.us[0][0]);
+        assert!(sol.us[1][0] > 1e-3, "u1 = {}", sol.us[1][0]);
+    }
+}

@@ -1,0 +1,204 @@
+use crate::{Allocation, Dspp};
+use serde::{Deserialize, Serialize};
+
+/// The request-routing policy of eq. (13): each location's demand is split
+/// across data centers proportionally to `x^{lv} / a^{lv}`.
+///
+/// A router holds the per-location weights computed from one allocation;
+/// [`RoutingPolicy::assign`] turns realized demand into per-arc arrival
+/// rates `σ^{lv}`, and [`RoutingPolicy::fraction`] exposes the raw split
+/// for inspection.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_core::{Allocation, DsppBuilder, RoutingPolicy};
+///
+/// # fn main() -> Result<(), dspp_core::CoreError> {
+/// let p = DsppBuilder::new(2, 1)
+///     .price_trace(0, vec![1.0])
+///     .price_trace(1, vec![1.0])
+///     .build()?;
+/// let mut x = Allocation::zeros(&p);
+/// x.set(&p, 0, 0, 3.0);
+/// x.set(&p, 1, 0, 1.0);
+/// let router = RoutingPolicy::from_allocation(&p, &x);
+/// // Identical latencies ⇒ identical a ⇒ split 3:1.
+/// assert!((router.fraction(&p, 0, 0) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingPolicy {
+    /// `weights[v]` = list of `(arc index, fraction)` with fractions
+    /// summing to 1 (or empty when the location has zero weight).
+    weights: Vec<Vec<(usize, f64)>>,
+}
+
+impl RoutingPolicy {
+    /// Computes the proportional policy from an allocation.
+    ///
+    /// Locations whose total weight `Σ x/a` is zero get an empty weight
+    /// list — they can only be served if their demand is also zero.
+    pub fn from_allocation(problem: &Dspp, allocation: &Allocation) -> Self {
+        let mut weights = vec![Vec::new(); problem.num_locations()];
+        for v in 0..problem.num_locations() {
+            let arcs = problem.arcs_for_location(v);
+            let total: f64 = arcs
+                .iter()
+                .map(|&e| (allocation.arc_values()[e] / problem.arc_coeff(e)).max(0.0))
+                .sum();
+            if total <= 0.0 {
+                continue;
+            }
+            weights[v] = arcs
+                .into_iter()
+                .filter_map(|e| {
+                    let w = (allocation.arc_values()[e] / problem.arc_coeff(e)).max(0.0) / total;
+                    (w > 0.0).then_some((e, w))
+                })
+                .collect();
+        }
+        RoutingPolicy { weights }
+    }
+
+    /// Splits realized demand into per-arc arrival rates `σ` (indexed like
+    /// the problem's arcs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand.len()` differs from the number of locations.
+    pub fn assign(&self, problem: &Dspp, demand: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            demand.len(),
+            self.weights.len(),
+            "demand has {} locations, policy has {}",
+            demand.len(),
+            self.weights.len()
+        );
+        let mut sigma = vec![0.0; problem.num_arcs()];
+        for (v, &d) in demand.iter().enumerate() {
+            for &(e, w) in &self.weights[v] {
+                sigma[e] = d * w;
+            }
+        }
+        sigma
+    }
+
+    /// Returns the locations that have demandable weight (at least one
+    /// positive routing entry).
+    pub fn covered_locations(&self) -> Vec<usize> {
+        (0..self.weights.len())
+            .filter(|&v| !self.weights[v].is_empty())
+            .collect()
+    }
+}
+
+impl RoutingPolicy {
+    /// The fraction of location `v`'s demand routed to data center `l`
+    /// (0 if the pair is unused or unusable).
+    pub fn fraction(&self, problem: &Dspp, l: usize, v: usize) -> f64 {
+        self.weights
+            .get(v)
+            .map(|ws| {
+                ws.iter()
+                    .filter_map(|&(e, w)| (problem.arcs()[e].0 == l).then_some(w))
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsppBuilder;
+
+    fn problem() -> Dspp {
+        DsppBuilder::new(2, 2)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010, 0.030], vec![0.030, 0.010]])
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn proportional_split_matches_eq13() {
+        let p = problem();
+        let mut x = Allocation::zeros(&p);
+        x.set(&p, 0, 0, 4.0);
+        x.set(&p, 1, 0, 2.0);
+        let router = RoutingPolicy::from_allocation(&p, &x);
+        // Different a per arc: weight is x/a.
+        let a00 = p.arc_coeff(p.arc_index(0, 0).unwrap());
+        let a10 = p.arc_coeff(p.arc_index(1, 0).unwrap());
+        let w0 = 4.0 / a00;
+        let w1 = 2.0 / a10;
+        let expect = w0 / (w0 + w1);
+        assert!((router.fraction(&p, 0, 0) - expect).abs() < 1e-12);
+        assert!((router.fraction(&p, 1, 0) - (1.0 - expect)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_splits_demand() {
+        let p = problem();
+        let mut x = Allocation::zeros(&p);
+        x.set(&p, 0, 0, 4.0);
+        x.set(&p, 1, 0, 2.0);
+        x.set(&p, 1, 1, 1.0);
+        let router = RoutingPolicy::from_allocation(&p, &x);
+        let sigma = router.assign(&p, &[60.0, 10.0]);
+        // Conservation: per-location assignments sum to the demand.
+        let s0: f64 = p
+            .arcs_for_location(0)
+            .into_iter()
+            .map(|e| sigma[e])
+            .sum();
+        let s1: f64 = p
+            .arcs_for_location(1)
+            .into_iter()
+            .map(|e| sigma[e])
+            .sum();
+        assert!((s0 - 60.0).abs() < 1e-9);
+        assert!((s1 - 10.0).abs() < 1e-9);
+        // Location 1 is served only by DC 1.
+        assert_eq!(sigma[p.arc_index(0, 1).unwrap()], 0.0);
+    }
+
+    #[test]
+    fn sla_holds_when_demand_constraint_holds() {
+        // If Σ x/a ≥ D, the proportional split keeps every arc within SLA.
+        let p = problem();
+        let mut x = Allocation::zeros(&p);
+        let a00 = p.arc_coeff(p.arc_index(0, 0).unwrap());
+        let a10 = p.arc_coeff(p.arc_index(1, 0).unwrap());
+        x.set(&p, 0, 0, 30.0 * a00);
+        x.set(&p, 1, 0, 30.0 * a10);
+        // Capability = 60 ≥ demand 50.
+        let router = RoutingPolicy::from_allocation(&p, &x);
+        let sigma = router.assign(&p, &[50.0, 0.0]);
+        for &e in &p.arcs_for_location(0) {
+            let (l, v) = p.arcs()[e];
+            let delay = p
+                .sla()
+                .queueing_delay(x.arc_values()[e], sigma[e])
+                .expect("not overloaded");
+            assert!(
+                p.latency(l, v) + delay <= p.sla().max_latency + 1e-9,
+                "arc ({l},{v}) violates SLA"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_allocation_covers_nothing() {
+        let p = problem();
+        let router = RoutingPolicy::from_allocation(&p, &Allocation::zeros(&p));
+        assert!(router.covered_locations().is_empty());
+        let sigma = router.assign(&p, &[0.0, 0.0]);
+        assert!(sigma.iter().all(|&s| s == 0.0));
+    }
+}

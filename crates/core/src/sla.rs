@@ -1,0 +1,273 @@
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The SLA performance model of Section IV-B.
+///
+/// Each server is an M/M/1 queue with service rate `μ`; a request routed
+/// from location `v` to data center `l` experiences network latency
+/// `d_{lv}` plus queueing delay `1/(μ − λ)`. Requiring the total to stay
+/// below the target `d̄` yields the linear constraint `x ≥ a^{lv} σ` with
+///
+/// ```text
+/// a_{lv} = r / (μ − q / (d̄ − d_{lv}))        if d̄ − d_{lv} > q/μ
+///        = ∞ (arc unusable)                   otherwise
+/// ```
+///
+/// where `q = ln(1/(1−φ))` generalizes the bound from the mean delay
+/// (`q = 1`) to the φ-percentile delay (the paper's remark after eq. 11)
+/// and `r ≥ 1` is the over-provisioning "capacity cushion" ratio.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_core::SlaSpec;
+///
+/// // μ = 100 req/s per server, 55 ms end-to-end target, 5 ms network hop:
+/// // the queueing budget is 50 ms, so a = 1/(100 − 1/0.05) = 1/80.
+/// let sla = SlaSpec::mean_delay(100.0, 0.055)?;
+/// let a = sla.arc_coefficient(0.005).expect("arc is usable");
+/// assert!((a - 1.0 / 80.0).abs() < 1e-12);
+/// // A 60 ms hop can never meet a 55 ms target.
+/// assert!(sla.arc_coefficient(0.060).is_none());
+/// # Ok::<(), dspp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaSpec {
+    /// Per-server service rate `μ` (requests per unit time).
+    pub service_rate: f64,
+    /// Maximum tolerated total latency `d̄` (same time unit as latencies).
+    pub max_latency: f64,
+    /// Delay percentile `φ` in `(0, 1)`, or `None` for the mean-delay bound.
+    pub percentile: Option<f64>,
+    /// Over-provisioning ratio `r ≥ 1` (Section IV-B's capacity cushion).
+    pub reservation_ratio: f64,
+}
+
+impl SlaSpec {
+    /// Creates a mean-delay SLA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if `service_rate` or
+    /// `max_latency` is not strictly positive and finite.
+    pub fn mean_delay(service_rate: f64, max_latency: f64) -> Result<Self, CoreError> {
+        let spec = SlaSpec {
+            service_rate,
+            max_latency,
+            percentile: None,
+            reservation_ratio: 1.0,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Creates a φ-percentile-delay SLA (e.g. `phi = 0.95`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] for invalid rates, latencies, or
+    /// `phi` outside `(0, 1)`.
+    pub fn percentile_delay(
+        service_rate: f64,
+        max_latency: f64,
+        phi: f64,
+    ) -> Result<Self, CoreError> {
+        let spec = SlaSpec {
+            service_rate,
+            max_latency,
+            percentile: Some(phi),
+            reservation_ratio: 1.0,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Sets the over-provisioning ratio `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if `r < 1` or non-finite.
+    pub fn with_reservation_ratio(mut self, r: f64) -> Result<Self, CoreError> {
+        self.reservation_ratio = r;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.service_rate.is_finite() && self.service_rate > 0.0) {
+            return Err(CoreError::InvalidSpec(format!(
+                "service rate must be positive, got {}",
+                self.service_rate
+            )));
+        }
+        if !(self.max_latency.is_finite() && self.max_latency > 0.0) {
+            return Err(CoreError::InvalidSpec(format!(
+                "max latency must be positive, got {}",
+                self.max_latency
+            )));
+        }
+        if let Some(phi) = self.percentile {
+            if !(phi > 0.0 && phi < 1.0) {
+                return Err(CoreError::InvalidSpec(format!(
+                    "percentile must lie in (0,1), got {phi}"
+                )));
+            }
+        }
+        if !(self.reservation_ratio.is_finite() && self.reservation_ratio >= 1.0) {
+            return Err(CoreError::InvalidSpec(format!(
+                "reservation ratio must be >= 1, got {}",
+                self.reservation_ratio
+            )));
+        }
+        Ok(())
+    }
+
+    /// The queueing-budget multiplier `q`: 1 for the mean-delay bound,
+    /// `ln(1/(1−φ))` for the φ-percentile bound.
+    pub fn queue_factor(&self) -> f64 {
+        match self.percentile {
+            None => 1.0,
+            Some(phi) => (1.0 / (1.0 - phi)).ln(),
+        }
+    }
+
+    /// The arc coefficient `a_{lv}` for network latency `d_lv`, or `None`
+    /// if the arc cannot meet the SLA at any allocation.
+    pub fn arc_coefficient(&self, network_latency: f64) -> Option<f64> {
+        let budget = self.max_latency - network_latency;
+        if budget <= 0.0 {
+            return None;
+        }
+        let q = self.queue_factor();
+        let denom = self.service_rate - q / budget;
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(self.reservation_ratio / denom)
+    }
+
+    /// The queueing delay a pool of `x` servers inflicts on arrival rate
+    /// `sigma` split equally (the paper's eq. 7), or `None` when the pool is
+    /// overloaded (`λ ≥ μ`).
+    pub fn queueing_delay(&self, x: f64, sigma: f64) -> Option<f64> {
+        if x <= 0.0 {
+            return if sigma <= 0.0 { Some(0.0) } else { None };
+        }
+        let lambda = sigma / x;
+        if lambda >= self.service_rate {
+            None
+        } else {
+            Some(1.0 / (self.service_rate - lambda))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arc_coefficient_basic() {
+        // μ = 100 req/s, d̄ = 60 ms, d = 10 ms → budget 50 ms,
+        // a = 1/(100 − 20) = 0.0125.
+        let sla = SlaSpec::mean_delay(100.0, 0.060).unwrap();
+        let a = sla.arc_coefficient(0.010).unwrap();
+        assert!((a - 1.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unusable_arcs_are_none() {
+        let sla = SlaSpec::mean_delay(100.0, 0.060).unwrap();
+        // Latency exceeds the SLA outright.
+        assert!(sla.arc_coefficient(0.070).is_none());
+        // Latency equal to the SLA: zero queueing budget.
+        assert!(sla.arc_coefficient(0.060).is_none());
+        // Budget so small that even an empty server misses it (1/budget > μ).
+        assert!(sla.arc_coefficient(0.055).is_none());
+    }
+
+    #[test]
+    fn percentile_needs_more_servers() {
+        let mean = SlaSpec::mean_delay(100.0, 0.060).unwrap();
+        let p95 = SlaSpec::percentile_delay(100.0, 0.060, 0.95).unwrap();
+        let am = mean.arc_coefficient(0.010).unwrap();
+        let ap = p95.arc_coefficient(0.010).unwrap();
+        assert!(ap > am, "p95 coefficient {ap} must exceed mean {am}");
+        // q factor for 95 % is ln 20 ≈ 3.0.
+        assert!((p95.queue_factor() - 20.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservation_ratio_scales_linearly() {
+        let base = SlaSpec::mean_delay(100.0, 0.060).unwrap();
+        let cushioned = base.with_reservation_ratio(1.3).unwrap();
+        let a0 = base.arc_coefficient(0.010).unwrap();
+        let a1 = cushioned.arc_coefficient(0.010).unwrap();
+        assert!((a1 - 1.3 * a0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queueing_delay_matches_mm1() {
+        let sla = SlaSpec::mean_delay(10.0, 1.0).unwrap();
+        // 5 servers, σ = 25 → λ = 5 per server → delay 1/(10−5) = 0.2.
+        assert!((sla.queueing_delay(5.0, 25.0).unwrap() - 0.2).abs() < 1e-12);
+        // Overload.
+        assert!(sla.queueing_delay(1.0, 20.0).is_none());
+        // Empty pool with no demand is fine.
+        assert_eq!(sla.queueing_delay(0.0, 0.0), Some(0.0));
+        assert!(sla.queueing_delay(0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert!(SlaSpec::mean_delay(0.0, 1.0).is_err());
+        assert!(SlaSpec::mean_delay(1.0, -1.0).is_err());
+        assert!(SlaSpec::percentile_delay(1.0, 1.0, 1.0).is_err());
+        assert!(SlaSpec::percentile_delay(1.0, 1.0, 0.0).is_err());
+        assert!(SlaSpec::mean_delay(10.0, 1.0)
+            .unwrap()
+            .with_reservation_ratio(0.5)
+            .is_err());
+    }
+
+    proptest! {
+        /// The SLA coefficient is exactly calibrated: allocating x = a·σ
+        /// servers makes network + queueing delay equal d̄ (mean-delay SLA).
+        #[test]
+        fn prop_coefficient_is_tight(
+            mu in 50.0f64..500.0,
+            d in 0.001f64..0.04,
+            sigma in 1.0f64..1e4,
+        ) {
+            let sla = SlaSpec::mean_delay(mu, 0.050).unwrap();
+            if let Some(a) = sla.arc_coefficient(d) {
+                let x = a * sigma;
+                let delay = sla.queueing_delay(x, sigma).unwrap();
+                prop_assert!((d + delay - 0.050).abs() < 1e-9,
+                    "total delay {} vs target 0.050", d + delay);
+            }
+        }
+
+        /// More servers than required ⇒ SLA met with slack.
+        #[test]
+        fn prop_overallocation_meets_sla(
+            mu in 50.0f64..500.0,
+            d in 0.001f64..0.04,
+            sigma in 1.0f64..1e4,
+            extra in 1.01f64..3.0,
+        ) {
+            let sla = SlaSpec::mean_delay(mu, 0.050).unwrap();
+            if let Some(a) = sla.arc_coefficient(d) {
+                let x = a * sigma * extra;
+                let delay = sla.queueing_delay(x, sigma).unwrap();
+                prop_assert!(d + delay <= 0.050 + 1e-9);
+            }
+        }
+    }
+}

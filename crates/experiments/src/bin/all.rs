@@ -1,0 +1,42 @@
+//! Regenerates every figure of the evaluation, running independent
+//! experiments on parallel scoped threads (crossbeam).
+
+use dspp_experiments::{emit, ExpResult, Figure};
+
+fn main() {
+    type Job = (&'static str, fn() -> ExpResult<Figure>);
+    let jobs: Vec<Job> = vec![
+        ("fig3", dspp_experiments::fig3::run),
+        ("fig4", dspp_experiments::fig4::run),
+        ("fig5", dspp_experiments::fig5::run),
+        ("fig6", dspp_experiments::fig6::run),
+        ("fig7", dspp_experiments::fig7::run),
+        ("fig8", dspp_experiments::fig8::run),
+        ("fig9", dspp_experiments::fig9::run),
+        ("fig10", dspp_experiments::fig10::run),
+        ("extras", dspp_experiments::extras::run),
+    ];
+    let mut results: Vec<(usize, ExpResult<Figure>)> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, f))| s.spawn(move |_| (i, f())))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    results.sort_by_key(|(i, _)| *i);
+    let mut failed = false;
+    for (i, r) in results {
+        if let Err(e) = emit(r) {
+            eprintln!("{} failed: {e}", jobs[i].0);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

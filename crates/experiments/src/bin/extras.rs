@@ -1,0 +1,8 @@
+//! Extension ablations beyond the paper; see `dspp_experiments::extras`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::extras::run()) {
+        eprintln!("extras failed: {e}");
+        std::process::exit(1);
+    }
+}

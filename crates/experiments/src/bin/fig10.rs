@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 of the paper; see `dspp_experiments::fig10`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig10::run()) {
+        eprintln!("fig10 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3 of the paper; see `dspp_experiments::fig3`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig3::run()) {
+        eprintln!("fig3 failed: {e}");
+        std::process::exit(1);
+    }
+}

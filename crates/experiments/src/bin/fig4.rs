@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 of the paper; see `dspp_experiments::fig4`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig4::run()) {
+        eprintln!("fig4 failed: {e}");
+        std::process::exit(1);
+    }
+}

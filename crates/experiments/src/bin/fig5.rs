@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 of the paper; see `dspp_experiments::fig5`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig5::run()) {
+        eprintln!("fig5 failed: {e}");
+        std::process::exit(1);
+    }
+}

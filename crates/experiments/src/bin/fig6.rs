@@ -1,0 +1,8 @@
+//! Regenerates Figure 6 of the paper; see `dspp_experiments::fig6`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig6::run()) {
+        eprintln!("fig6 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 of the paper; see `dspp_experiments::fig7`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig7::run()) {
+        eprintln!("fig7 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 of the paper; see `dspp_experiments::fig8`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig8::run()) {
+        eprintln!("fig8 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 9 of the paper; see `dspp_experiments::fig9`.
+
+fn main() {
+    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig9::run()) {
+        eprintln!("fig9 failed: {e}");
+        std::process::exit(1);
+    }
+}

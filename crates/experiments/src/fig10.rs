@@ -1,0 +1,91 @@
+//! Figure 10: "Impact of prediction horizon length when price and demand
+//! are both constant" — with perfectly predictable traces, longer horizons
+//! only help: the controller amortizes the provisioning ramp, and the cost
+//! decreases monotonically toward a floor.
+
+use crate::{ExpResult, Figure};
+use dspp_core::{DsppBuilder, MpcController, MpcSettings};
+use dspp_predict::OraclePredictor;
+use dspp_sim::ClosedLoopSim;
+
+/// One run: demand is zero for a warm-up prefix and then constant forever
+/// (the "constant demand" regime with a predictable onset); prices are
+/// constant. Longer lookahead spreads the onset ramp across more periods,
+/// paying less quadratic reconfiguration cost.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn cost_for_horizon(horizon: usize) -> ExpResult<f64> {
+    let periods = 24;
+    let onset = 10;
+    let level = 10_000.0;
+    let problem = DsppBuilder::new(1, 1)
+        .service_rate(250.0)
+        .sla_latency(0.100)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weight(0, 0.2)
+        .price_trace(0, vec![0.004; periods])
+        .build()?;
+    let demand: Vec<Vec<f64>> = vec![(0..periods)
+        .map(|k| if k < onset { 0.0 } else { level })
+        .collect()];
+    let controller = MpcController::new(
+        problem,
+        Box::new(OraclePredictor::new(demand.clone())),
+        MpcSettings {
+            horizon,
+            ..MpcSettings::default()
+        },
+    )?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+    Ok(report.ledger.total())
+}
+
+/// Regenerates Figure 10.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn run() -> ExpResult<Figure> {
+    let mut rows = Vec::new();
+    for w in 1..=10usize {
+        rows.push(vec![w as f64, cost_for_horizon(w)?]);
+    }
+    let first = rows[0][1];
+    let last = rows[9][1];
+    let notes = vec![
+        format!(
+            "cost decreases monotonically with the horizon: {first:.2} at K=1 down to \
+             {last:.2} at K=10 (paper: 'solution quality improves with the length of \
+             prediction horizon' when traces are constant/predictable)"
+        ),
+        "mechanism: lookahead amortizes the provisioning ramp's quadratic \
+         reconfiguration cost over more periods"
+            .into(),
+    ];
+    Ok(Figure {
+        id: "fig10",
+        title: "Impact of prediction horizon length when price and demand are both constant"
+            .into(),
+        header: vec!["horizon".into(), "cost".into()],
+        rows,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_monotone_nonincreasing_in_horizon() {
+        let c1 = cost_for_horizon(1).unwrap();
+        let c3 = cost_for_horizon(3).unwrap();
+        let c8 = cost_for_horizon(8).unwrap();
+        assert!(c3 <= c1 + 1e-6, "K=3 ({c3}) vs K=1 ({c1})");
+        assert!(c8 <= c3 + 1e-6, "K=8 ({c8}) vs K=3 ({c3})");
+        // And the improvement is substantial, as in the paper's plot.
+        assert!(c8 < 0.8 * c1, "K=8 ({c8}) should be well below K=1 ({c1})");
+    }
+}

@@ -1,0 +1,480 @@
+//! Algorithm 2: iterative best-response with dual-driven capacity quotas.
+
+use crate::ServiceProvider;
+use dspp_core::{CoreError, HorizonProblem};
+use dspp_solver::{IpmSettings, LqSolution};
+
+/// Tuning knobs of the best-response iteration (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct GameConfig {
+    /// Quota adjustment step `α` applied to the capacity duals.
+    pub alpha: f64,
+    /// Relative-cost convergence threshold `ε` (the paper uses 0.05).
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Solver settings for each provider's DSPP.
+    pub ipm: IpmSettings,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            alpha: 1.0,
+            epsilon: 0.05,
+            max_iterations: 500,
+            ipm: IpmSettings::default(),
+        }
+    }
+}
+
+/// Result of running the best-response iteration.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// Iterations executed (the quantity Figures 7–8 report).
+    pub iterations: usize,
+    /// Whether the relative-cost test fired before the iteration cap.
+    pub converged: bool,
+    /// Total cost `Σ_i J^i` at the final iterate.
+    pub total_cost: f64,
+    /// Per-provider costs `J^i`.
+    pub provider_costs: Vec<f64>,
+    /// Final capacity quotas, `[provider][dc]`.
+    pub quotas: Vec<Vec<f64>>,
+    /// Final per-provider horizon solutions.
+    pub solutions: Vec<LqSolution>,
+}
+
+/// The resource-competition game: providers plus the true total capacity.
+#[derive(Debug, Clone)]
+pub struct ResourceGame {
+    providers: Vec<ServiceProvider>,
+    total_capacity: Vec<f64>,
+    horizon: usize,
+    /// Per-provider minimum viable quota per DC: resource demand from
+    /// locations only that DC can serve within the provider's SLA.
+    floors: Vec<Vec<f64>>,
+}
+
+/// Lower bound on the quota provider `sp` needs at each data center:
+/// captive locations (single usable arc) require `s·a·max_t D` resources
+/// there no matter what the rest of the allocation does.
+fn quota_floors(sp: &ServiceProvider, nl: usize) -> Vec<f64> {
+    let mut f = vec![0.0; nl];
+    for v in 0..sp.problem.num_locations() {
+        let arcs = sp.problem.arcs_for_location(v);
+        if arcs.len() == 1 {
+            let e = arcs[0];
+            let (l, _) = sp.problem.arcs()[e];
+            let dmax = sp.demand[v].iter().fold(0.0f64, |m, &d| m.max(d));
+            f[l] += sp.problem.arc_coeff(e) * dmax * sp.problem.server_size();
+        }
+    }
+    f
+}
+
+impl ResourceGame {
+    /// Creates a game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if there are no providers, the
+    /// capacity vector does not match the providers' data-center count,
+    /// the providers disagree on the number of data centers, or their
+    /// demand windows have different lengths.
+    pub fn new(
+        providers: Vec<ServiceProvider>,
+        total_capacity: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        if providers.is_empty() {
+            return Err(CoreError::InvalidSpec("no providers".into()));
+        }
+        let nl = providers[0].problem.num_dcs();
+        let horizon = providers[0].horizon();
+        for (i, sp) in providers.iter().enumerate() {
+            if sp.problem.num_dcs() != nl {
+                return Err(CoreError::InvalidSpec(format!(
+                    "provider {i} has {} data centers, expected {nl}",
+                    sp.problem.num_dcs()
+                )));
+            }
+            if sp.horizon() != horizon {
+                return Err(CoreError::InvalidSpec(format!(
+                    "provider {i} has a {}-period window, expected {horizon}",
+                    sp.horizon()
+                )));
+            }
+        }
+        if total_capacity.len() != nl {
+            return Err(CoreError::InvalidSpec(format!(
+                "capacity vector has {} entries, expected {nl}",
+                total_capacity.len()
+            )));
+        }
+        if total_capacity
+            .iter()
+            .any(|c| !(c.is_finite() && *c > 0.0))
+        {
+            return Err(CoreError::InvalidSpec(
+                "total capacities must be positive and finite".into(),
+            ));
+        }
+        let floors: Vec<Vec<f64>> = providers
+            .iter()
+            .map(|sp| quota_floors(sp, nl))
+            .collect();
+        for l in 0..nl {
+            let need: f64 = floors.iter().map(|f| f[l]).sum();
+            if need > total_capacity[l] {
+                return Err(CoreError::InvalidSpec(format!(
+                    "data center {l}: captive demand needs {need:.1} resource units \
+                     but capacity is {:.1} — the game is infeasible",
+                    total_capacity[l]
+                )));
+            }
+        }
+        Ok(ResourceGame {
+            providers,
+            total_capacity,
+            horizon,
+            floors,
+        })
+    }
+
+    /// Enforces the per-provider quota floors while keeping the quotas a
+    /// partition of the capacity: the slack above the floors is rescaled.
+    fn apply_floors(&self, quotas: &mut [Vec<f64>]) {
+        let nl = self.total_capacity.len();
+        let n = quotas.len();
+        for l in 0..nl {
+            // A little headroom above the bare minimum keeps the starved
+            // provider's subproblem comfortably feasible.
+            let margin = 1.05;
+            let floor_sum: f64 = self.floors.iter().map(|f| margin * f[l]).sum();
+            if floor_sum <= 0.0 {
+                continue;
+            }
+            let cap = self.total_capacity[l];
+            if floor_sum >= cap {
+                // Degenerate: hand out the floors proportionally.
+                for i in 0..n {
+                    quotas[i][l] = self.floors[i][l] / floor_sum * cap;
+                }
+                continue;
+            }
+            let excess: f64 = quotas
+                .iter()
+                .zip(&self.floors)
+                .map(|(q, f)| (q[l] - margin * f[l]).max(0.0))
+                .sum();
+            let remaining = cap - floor_sum;
+            if excess > 0.0 {
+                let gamma = remaining / excess;
+                for i in 0..n {
+                    let above = (quotas[i][l] - margin * self.floors[i][l]).max(0.0);
+                    quotas[i][l] = margin * self.floors[i][l] + above * gamma;
+                }
+            } else {
+                for (i, q) in quotas.iter_mut().enumerate() {
+                    q[l] = margin * self.floors[i][l] + remaining / n as f64;
+                }
+            }
+        }
+    }
+
+    /// The players.
+    pub fn providers(&self) -> &[ServiceProvider] {
+        &self.providers
+    }
+
+    /// The shared capacity vector `C`.
+    pub fn total_capacity(&self) -> &[f64] {
+        &self.total_capacity
+    }
+
+    /// The game window length.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Solves one provider's DSPP under a capacity quota, returning its
+    /// cost, capacity duals, and solution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build errors; solver infeasibility is returned as
+    /// [`CoreError::Solver`] for the caller to handle.
+    pub fn best_response(
+        &self,
+        i: usize,
+        quota: &[f64],
+        ipm: &IpmSettings,
+    ) -> Result<(f64, Vec<f64>, LqSolution), CoreError> {
+        let sp = &self.providers[i];
+        let problem = sp.problem.with_capacities(quota.to_vec())?;
+        let horizon = HorizonProblem::build(
+            &problem,
+            &sp.initial,
+            &sp.demand,
+            &sp.price_rows(),
+        )?;
+        let sol = horizon.solve(ipm)?;
+        let duals = horizon.capacity_duals(&sol);
+        Ok((sol.objective, duals, sol))
+    }
+
+    /// Runs Algorithm 2 from the equal-split initial quota.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if a provider's subproblem stays infeasible
+    /// even with its quota boosted to the full capacity — i.e. the game
+    /// itself is infeasible.
+    pub fn run(&self, config: &GameConfig) -> Result<GameOutcome, CoreError> {
+        let n = self.providers.len();
+        let quotas: Vec<Vec<f64>> = vec![
+            self.total_capacity.iter().map(|c| c / n as f64).collect();
+            n
+        ];
+        self.run_from(quotas, config)
+    }
+
+    /// Runs Algorithm 2 from explicit initial quotas (used to probe
+    /// different equilibria for the price-of-anarchy estimate).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResourceGame::run`]. Also rejects malformed quota vectors.
+    pub fn run_from(
+        &self,
+        mut quotas: Vec<Vec<f64>>,
+        config: &GameConfig,
+    ) -> Result<GameOutcome, CoreError> {
+        let n = self.providers.len();
+        let nl = self.total_capacity.len();
+        if quotas.len() != n || quotas.iter().any(|q| q.len() != nl) {
+            return Err(CoreError::InvalidSpec(
+                "initial quotas must be one vector per provider".into(),
+            ));
+        }
+        self.apply_floors(&mut quotas);
+        let mut prev_cost = f64::INFINITY;
+        let mut outcome: Option<GameOutcome> = None;
+        for iter in 1..=config.max_iterations {
+            // Every provider best-responds to its quota.
+            let mut costs = vec![0.0; n];
+            let mut duals = vec![vec![0.0; nl]; n];
+            let mut sols: Vec<Option<LqSolution>> = (0..n).map(|_| None).collect();
+            let mut any_infeasible = false;
+            for i in 0..n {
+                match self.best_response(i, &quotas[i], &config.ipm) {
+                    Ok((cost, d, sol)) => {
+                        costs[i] = cost;
+                        duals[i] = d;
+                        sols[i] = Some(sol);
+                    }
+                    Err(CoreError::Solver(_)) => {
+                        // The quota starves this provider: emulate a strong
+                        // (but bounded) shadow price so the next division
+                        // hands it a larger share without collapsing
+                        // everyone else's quota in one step.
+                        any_infeasible = true;
+                        costs[i] = f64::INFINITY;
+                        duals[i] = self
+                            .total_capacity
+                            .iter()
+                            .map(|c| c / n as f64)
+                            .collect();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let total: f64 = costs.iter().sum();
+
+            // Paper's convergence test: |J − J̄| ≤ ε·J̄. Only meaningful
+            // once a previous (finite) total exists.
+            if !any_infeasible
+                && prev_cost.is_finite()
+                && (total - prev_cost).abs() <= config.epsilon * prev_cost
+            {
+                return Ok(GameOutcome {
+                    iterations: iter,
+                    converged: true,
+                    total_cost: total,
+                    provider_costs: costs,
+                    quotas,
+                    solutions: sols.into_iter().map(|s| s.expect("feasible")).collect(),
+                });
+            }
+            prev_cost = if any_infeasible { f64::INFINITY } else { total };
+            if !any_infeasible {
+                outcome = Some(GameOutcome {
+                    iterations: iter,
+                    converged: false,
+                    total_cost: total,
+                    provider_costs: costs.clone(),
+                    quotas: quotas.clone(),
+                    solutions: sols
+                        .iter()
+                        .map(|s| s.clone().expect("feasible"))
+                        .collect(),
+                });
+            }
+
+            // Quota update: C̄ᵢ = Cᵢ + α·λᵢ, then renormalize per DC so the
+            // quotas partition the true capacity. The duals are averaged
+            // per stage: a quota applies to every stage of the window, so
+            // its shadow price is the mean stage multiplier — without this,
+            // longer prediction windows would mechanically inflate the
+            // update step (and the convergence behaviour would depend on W
+            // for the wrong reason).
+            let per_stage = 1.0 / self.horizon as f64;
+            let mut bars = quotas.clone();
+            for i in 0..n {
+                for l in 0..nl {
+                    bars[i][l] += config.alpha * duals[i][l] * per_stage;
+                }
+            }
+            for l in 0..nl {
+                let sum: f64 = bars.iter().map(|b| b[l]).sum();
+                let floor = 1e-6 * self.total_capacity[l];
+                if sum <= 0.0 {
+                    for q in &mut quotas {
+                        q[l] = self.total_capacity[l] / n as f64;
+                    }
+                } else {
+                    for (q, b) in quotas.iter_mut().zip(&bars) {
+                        q[l] = (b[l] / sum * self.total_capacity[l]).max(floor);
+                    }
+                }
+            }
+            self.apply_floors(&mut quotas);
+        }
+
+        // Out of iterations: return the last feasible iterate if any.
+        match outcome {
+            Some(mut o) => {
+                o.iterations = config.max_iterations;
+                Ok(o)
+            }
+            None => Err(CoreError::Solver(dspp_solver::SolverError::MaxIterations {
+                limit: config.max_iterations,
+                gap: f64::INFINITY,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpSampler;
+    use dspp_core::Allocation;
+
+    fn quick_config() -> GameConfig {
+        GameConfig {
+            ipm: IpmSettings::fast(),
+            ..GameConfig::default()
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ResourceGame::new(vec![], vec![1.0]).is_err());
+        let sps = SpSampler::new(2, 1, 3).with_seed(1).sample(2).unwrap();
+        assert!(ResourceGame::new(sps.clone(), vec![1.0]).is_err());
+        assert!(ResourceGame::new(sps.clone(), vec![-1.0, 1.0]).is_err());
+        assert!(ResourceGame::new(sps, vec![100.0, 100.0]).is_ok());
+    }
+
+    #[test]
+    fn single_provider_converges_immediately() {
+        // With one player and ample capacity there is no competition: the
+        // cost is stable from the first repeat solve.
+        let sps = SpSampler::new(2, 2, 3).with_seed(2).sample(1).unwrap();
+        let game = ResourceGame::new(sps, vec![1000.0, 1000.0]).unwrap();
+        let out = game.run(&quick_config()).unwrap();
+        assert!(out.converged);
+        assert!(out.iterations <= 3, "iterations {}", out.iterations);
+        assert!(out.total_cost > 0.0);
+    }
+
+    #[test]
+    fn quotas_partition_capacity() {
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(3).unwrap();
+        let game = ResourceGame::new(sps, vec![60.0, 80.0]).unwrap();
+        let out = game.run(&quick_config()).unwrap();
+        for l in 0..2 {
+            let sum: f64 = out.quotas.iter().map(|q| q[l]).sum();
+            assert!(
+                (sum - game.total_capacity()[l]).abs() < 1e-6,
+                "dc {l}: quota sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocations_respect_shared_capacity() {
+        let sps = SpSampler::new(2, 2, 4).with_seed(4).sample(3).unwrap();
+        let caps = vec![45.0, 45.0];
+        let game = ResourceGame::new(sps, caps.clone()).unwrap();
+        let out = game.run(&quick_config()).unwrap();
+        assert!(out.converged, "game did not converge");
+        // At every stage the combined resource usage fits the capacity.
+        for t in 1..=game.horizon() {
+            for l in 0..2 {
+                let mut used = 0.0;
+                for (i, sol) in out.solutions.iter().enumerate() {
+                    let sp = &game.providers()[i];
+                    let x =
+                        Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
+                    used += x.per_dc(&sp.problem)[l] * sp.problem.server_size();
+                }
+                assert!(
+                    used <= caps[l] + 1e-4,
+                    "stage {t} dc {l}: used {used} > {}",
+                    caps[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_capacity_takes_more_iterations() {
+        // The Figure 7 effect: a tighter bottleneck converges slower.
+        let sample = |seed| SpSampler::new(2, 2, 3).with_seed(seed).sample(6).unwrap();
+        let demanding = |caps: Vec<f64>| {
+            let game = ResourceGame::new(sample(5), caps).unwrap();
+            game.run(&quick_config()).unwrap().iterations
+        };
+        let tight = demanding(vec![25.0, 400.0]);
+        let loose = demanding(vec![400.0, 400.0]);
+        assert!(
+            tight >= loose,
+            "tight {tight} should need at least as many iterations as loose {loose}"
+        );
+    }
+
+    #[test]
+    fn infeasible_game_is_reported() {
+        // Total demand cannot fit the capacity at all. With a single data
+        // center every location is captive, so the quota-floor check
+        // rejects the game at construction.
+        let sps = SpSampler::new(1, 2, 3)
+            .with_seed(6)
+            .with_demand_scale(100.0)
+            .sample(3)
+            .unwrap();
+        let err = ResourceGame::new(sps, vec![0.5]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpec(_)), "got {err}");
+    }
+
+    #[test]
+    fn run_from_rejects_malformed_quotas() {
+        let sps = SpSampler::new(2, 1, 2).with_seed(7).sample(2).unwrap();
+        let game = ResourceGame::new(sps, vec![10.0, 10.0]).unwrap();
+        assert!(game
+            .run_from(vec![vec![5.0, 5.0]], &quick_config())
+            .is_err());
+    }
+}

@@ -1,0 +1,239 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of the input is read, so callers may pass a matrix
+/// whose upper triangle is stale.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_linalg::{Cholesky, Matrix, Vector};
+///
+/// # fn main() -> Result<(), dspp_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let f = Cholesky::factor(&a)?;
+/// let x = f.solve(&Vector::from(vec![3.0, 3.0]));
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    ///   positive (within a small relative tolerance).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::factor_regularized(a, 0.0)
+    }
+
+    /// Factors `a + reg * I`.
+    ///
+    /// Interior-point solvers use a small static regularization to keep the
+    /// Newton system factorizable near the boundary of the feasible set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`].
+    pub fn factor_regularized(a: &Matrix, reg: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky: matrix is {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Scale-aware tolerance for pivot positivity.
+        let scale = a.norm_inf().max(reg).max(1.0);
+        let tol = scale * 1e-14;
+        for j in 0..n {
+            let mut d = a[(j, j)] + reg;
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        let mut x = b.clone();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A x = b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut Vector) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length {}", b.len());
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut s = b[i];
+            let row = self.l.row(i);
+            for (k, lik) in row.iter().enumerate().take(i) {
+                s -= lik * b[k];
+            }
+            b[i] = s / row[i];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Log-determinant of `A` (sum of `2 ln L_jj`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|j| 2.0 * self.l[(j, j)].ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // Build a random SPD matrix as BᵀB + n·I with a cheap LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = next();
+            }
+        }
+        let mut a = b.gram();
+        a.add_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_and_solve_small_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let f = Cholesky::factor(&a).unwrap();
+        let b = Vector::from(vec![10.0, 8.0]);
+        let x = f.solve(&b);
+        let r = &a.matvec(&x) - &b;
+        assert!(r.norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn regularization_rescues_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+        assert!(Cholesky::factor_regularized(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn reads_only_lower_triangle() {
+        let mut a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let f_clean = Cholesky::factor(&a).unwrap();
+        a[(0, 1)] = 999.0; // poison upper triangle
+        let f_poisoned = Cholesky::factor(&a).unwrap();
+        assert_eq!(f_clean.l(), f_poisoned.l());
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        let a = Matrix::from_diag(&Vector::from(vec![2.0, 3.0]));
+        let f = Cholesky::factor(&a).unwrap();
+        assert!((f.log_det() - 6.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_moderate_random_spd_systems() {
+        for n in [1usize, 3, 8, 25] {
+            let a = spd(n, n as u64 + 7);
+            let f = Cholesky::factor(&a).unwrap();
+            let xtrue: Vector = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let b = a.matvec(&xtrue);
+            let x = f.solve(&b);
+            assert!(
+                (&x - &xtrue).norm_inf() < 1e-8,
+                "n={n}: residual {}",
+                (&x - &xtrue).norm_inf()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_inverts_matvec(seed in 0u64..500, n in 1usize..12) {
+            let a = spd(n, seed);
+            let f = Cholesky::factor(&a).unwrap();
+            let x: Vector = (0..n).map(|i| (i as f64 * 0.7) - 2.0).collect();
+            let b = a.matvec(&x);
+            let got = f.solve(&b);
+            prop_assert!((&got - &x).norm_inf() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense linear-algebra substrate for the `dspp` workspace.
+//!
+//! This crate provides exactly the numerical kernels the rest of the
+//! reproduction needs — no more, no less:
+//!
+//! * [`Vector`] and [`Matrix`]: dense, row-major, `f64` containers with the
+//!   arithmetic used by interior-point solvers (`axpy`, dot products,
+//!   matrix–vector and matrix–matrix products, norms).
+//! * [`Cholesky`]: factorization of symmetric positive-definite matrices,
+//!   used for the Newton systems of the QP solvers.
+//! * [`Ldlt`]: an `LDLᵀ` factorization for symmetric *quasi-definite*
+//!   matrices (with static regularization), used for augmented KKT systems.
+//! * [`Lu`]: LU with partial pivoting for general square systems.
+//! * [`Qr`]: Householder QR for least-squares problems (AR model fitting).
+//!
+//! # Examples
+//!
+//! ```
+//! use dspp_linalg::{Matrix, Vector, Cholesky};
+//!
+//! # fn main() -> Result<(), dspp_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = Cholesky::factor(&a)?;
+//! let x = chol.solve(&Vector::from(vec![1.0, 2.0]));
+//! let r = &a.matvec(&x) - &Vector::from(vec![1.0, 2.0]);
+//! assert!(r.norm_inf() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod ldlt;
+mod lu;
+mod matrix;
+mod qr;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use ldlt::Ldlt;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use vector::Vector;

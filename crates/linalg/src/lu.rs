@@ -1,0 +1,194 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// Used for general (non-symmetric) square systems, e.g. the Yule–Walker
+/// equations in the prediction crate when the autocorrelation matrix is
+/// poorly conditioned.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_linalg::{Lu, Matrix, Vector};
+///
+/// # fn main() -> Result<(), dspp_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]])?; // needs pivoting
+/// let f = Lu::factor(&a)?;
+/// let x = f.solve(&Vector::from(vec![2.0, 4.0]));
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: strictly-lower = L (unit diagonal), upper = U.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a general square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if no acceptable pivot exists in a column.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "lu: matrix is {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = a.norm_inf().max(1.0) * 1e-14;
+        for j in 0..n {
+            // Find pivot.
+            let mut pmax = lu[(j, j)].abs();
+            let mut prow = j;
+            for i in (j + 1)..n {
+                let v = lu[(i, j)].abs();
+                if v > pmax {
+                    pmax = v;
+                    prow = i;
+                }
+            }
+            if pmax <= tol {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            if prow != j {
+                for k in 0..n {
+                    let t = lu[(j, k)];
+                    lu[(j, k)] = lu[(prow, k)];
+                    lu[(prow, k)] = t;
+                }
+                perm.swap(j, prow);
+                sign = -sign;
+            }
+            let piv = lu[(j, j)];
+            for i in (j + 1)..n {
+                let m = lu[(i, j)] / piv;
+                lu[(i, j)] = m;
+                if m != 0.0 {
+                    for k in (j + 1)..n {
+                        let ujk = lu[(j, k)];
+                        lu[(i, k)] -= m * ujk;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for j in 0..self.dim() {
+            d *= self.lu[(j, j)];
+        }
+        d
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "lu solve: rhs length {}", b.len());
+        // Apply permutation.
+        let mut x: Vector = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward: L y = P b (unit diagonal).
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let f = Lu::factor(&a).unwrap();
+        let x = f.solve(&Vector::from(vec![5.0, 7.0]));
+        assert_eq!(x.as_slice(), &[7.0, 5.0]);
+        assert!((f.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let f = Lu::factor(&a).unwrap();
+        assert!((f.det() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Lu::factor(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 4.0, -2.0],
+            &[3.0, -1.0, 5.0],
+            &[0.5, 2.0, 1.0],
+        ])
+        .unwrap();
+        let xtrue = Vector::from(vec![1.0, -2.0, 0.5]);
+        let b = a.matvec(&xtrue);
+        let f = Lu::factor(&a).unwrap();
+        assert!((&f.solve(&b) - &xtrue).norm_inf() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_then_multiply_roundtrips(
+            entries in prop::collection::vec(-5.0f64..5.0, 9),
+            rhs in prop::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            let mut a = Matrix::from_vec(3, 3, entries).unwrap();
+            a.add_diag(10.0); // keep it comfortably nonsingular
+            let b = Vector::from(rhs);
+            let f = Lu::factor(&a).unwrap();
+            let x = f.solve(&b);
+            prop_assert!((&a.matvec(&x) - &b).norm_inf() < 1e-8);
+        }
+    }
+}

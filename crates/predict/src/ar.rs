@@ -1,0 +1,263 @@
+use crate::Predictor;
+use dspp_linalg::{Matrix, Qr, Vector};
+
+/// An autoregressive AR(p) forecaster with intercept, fitted by least
+/// squares over a sliding window — the prediction model used by the paper's
+/// evaluation ("a simple prediction scheme (AR in our case)", Section VII).
+///
+/// Fitting solves `y_t = c + Σ_{i=1..p} a_i y_{t−i} + e_t` with Householder
+/// QR; forecasting iterates the fitted recurrence. When the history is too
+/// short (< `2p + 2` samples) or the regression is rank deficient (e.g. a
+/// constant history), the forecaster degrades gracefully to persistence.
+/// Forecasts are clamped at zero: demands and prices are non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_predict::{ArPredictor, Predictor};
+///
+/// // AR(1) on a geometric decay: forecasts continue the decay.
+/// let h: Vec<f64> = (0..30).map(|k| 100.0 * 0.9f64.powi(k)).collect();
+/// let f = ArPredictor::new(1).forecast_all(&[h.clone()], 1);
+/// let expect = h[29] * 0.9;
+/// assert!((f[0][0] - expect).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArPredictor {
+    order: usize,
+    window: Option<usize>,
+    clamp_factor: Option<f64>,
+}
+
+impl ArPredictor {
+    /// Creates an AR(p) predictor using the full history for fitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: usize) -> Self {
+        assert!(order > 0, "AR order must be positive");
+        ArPredictor {
+            order,
+            window: None,
+            clamp_factor: None,
+        }
+    }
+
+    /// Clamps every forecast to `[0, factor · max(history)]`.
+    ///
+    /// An AR model fitted on a noisy window can have roots outside the unit
+    /// circle; iterating such a model over a long horizon diverges
+    /// exponentially, which in an MPC loop means provisioning for phantom
+    /// demand. Clamping to a multiple of the observed maximum is the
+    /// standard operational safeguard (forecasts far above anything ever
+    /// seen are never actionable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn with_stability_clamp(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "clamp factor must be positive"
+        );
+        self.clamp_factor = Some(factor);
+        self
+    }
+
+    /// Restricts fitting to the most recent `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is smaller than `2·order + 2` (not enough rows to
+    /// fit).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(
+            window >= 2 * self.order + 2,
+            "window {window} too small for AR({})",
+            self.order
+        );
+        self.window = Some(window);
+        self
+    }
+
+    /// The model order `p`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Fits coefficients `(intercept, a_1..a_p)` on a history, or `None`
+    /// when fitting is impossible.
+    fn fit(&self, history: &[f64]) -> Option<(f64, Vec<f64>)> {
+        let p = self.order;
+        let data = match self.window {
+            Some(w) if history.len() > w => &history[history.len() - w..],
+            _ => history,
+        };
+        let n = data.len();
+        if n < 2 * p + 2 {
+            return None;
+        }
+        let rows = n - p;
+        let mut design = Matrix::zeros(rows, p + 1);
+        let mut target = Vector::zeros(rows);
+        for t in 0..rows {
+            design[(t, 0)] = 1.0;
+            for i in 0..p {
+                design[(t, 1 + i)] = data[t + p - 1 - i];
+            }
+            target[t] = data[t + p];
+        }
+        let beta = Qr::factor(&design).ok()?.least_squares(&target).ok()?;
+        let intercept = beta[0];
+        let coeffs = (0..p).map(|i| beta[1 + i]).collect();
+        Some((intercept, coeffs))
+    }
+}
+
+impl Predictor for ArPredictor {
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+        histories
+            .iter()
+            .map(|h| {
+                assert!(!h.is_empty(), "history must be non-empty");
+                match self.fit(h) {
+                    Some((c, a)) => {
+                        // Iterate the recurrence, feeding forecasts back in.
+                        let p = self.order;
+                        let cap = self.clamp_factor.map(|f| {
+                            f * h.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+                        });
+                        let mut buf: Vec<f64> = h[h.len().saturating_sub(p)..].to_vec();
+                        let mut out = Vec::with_capacity(horizon);
+                        for _ in 0..horizon {
+                            let mut y = c;
+                            for (i, &ai) in a.iter().enumerate() {
+                                y += ai * buf[buf.len() - 1 - i];
+                            }
+                            let mut y = y.max(0.0);
+                            if let Some(cap) = cap {
+                                y = y.min(cap);
+                            }
+                            out.push(y);
+                            buf.push(y);
+                        }
+                        out
+                    }
+                    None => vec![*h.last().expect("non-empty"); horizon],
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "ar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_ar1_coefficients() {
+        // y_t = 5 + 0.8 y_{t-1}, fixed point 25.
+        let mut h = vec![1.0];
+        for _ in 0..60 {
+            let last = *h.last().unwrap();
+            h.push(5.0 + 0.8 * last);
+        }
+        let (c, a) = ArPredictor::new(1).fit(&h).unwrap();
+        assert!((c - 5.0).abs() < 1e-6, "intercept {c}");
+        assert!((a[0] - 0.8).abs() < 1e-6, "coefficient {}", a[0]);
+    }
+
+    #[test]
+    fn recovers_ar2_dynamics() {
+        // y_t = 0.5 y_{t-1} + 0.3 y_{t-2} + 1.
+        let mut h = vec![2.0, 3.0];
+        for t in 2..80 {
+            h.push(0.5 * h[t - 1] + 0.3 * h[t - 2] + 1.0);
+        }
+        let (c, a) = ArPredictor::new(2).fit(&h).unwrap();
+        assert!((c - 1.0).abs() < 1e-5);
+        assert!((a[0] - 0.5).abs() < 1e-5);
+        assert!((a[1] - 0.3).abs() < 1e-5);
+        // Multi-step forecast continues the recurrence.
+        let f = ArPredictor::new(2).forecast_all(&[h.clone()], 3);
+        let n = h.len();
+        let y1 = 0.5 * h[n - 1] + 0.3 * h[n - 2] + 1.0;
+        let y2 = 0.5 * y1 + 0.3 * h[n - 1] + 1.0;
+        assert!((f[0][0] - y1).abs() < 1e-4);
+        assert!((f[0][1] - y2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn short_history_falls_back_to_persistence() {
+        let f = ArPredictor::new(3).forecast_all(&[vec![4.0, 5.0]], 2);
+        assert_eq!(f[0], vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn constant_history_degrades_gracefully() {
+        // Constant series make the design matrix rank deficient (column 1
+        // collinear with the intercept); the fallback must kick in.
+        let f = ArPredictor::new(1).forecast_all(&[vec![7.0; 40]], 3);
+        assert_eq!(f[0], vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn forecasts_are_nonnegative() {
+        // A steeply decaying series would extrapolate below zero.
+        let h: Vec<f64> = (0..20).map(|k| (20 - k) as f64 * 2.0 - 20.0).collect();
+        let f = ArPredictor::new(1).forecast_all(&[h], 10);
+        assert!(f[0].iter().all(|&y| y >= 0.0));
+    }
+
+    #[test]
+    fn window_limits_fit_data() {
+        // First half is garbage; window sees only the clean AR(1) tail.
+        let mut h: Vec<f64> = (0..30).map(|k| ((k * 7919) % 13) as f64).collect();
+        let mut y = 10.0;
+        for _ in 0..40 {
+            y = 2.0 + 0.5 * y;
+            h.push(y);
+        }
+        let windowed = ArPredictor::new(1).with_window(20);
+        let (c, a) = windowed.fit(&h).unwrap();
+        assert!((c - 2.0).abs() < 1e-6);
+        assert!((a[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stability_clamp_bounds_divergent_forecasts() {
+        // An explosive series fits an AR(1) with coefficient > 1; long
+        // unclamped forecasts blow up, clamped ones stay bounded.
+        let h: Vec<f64> = (0..20).map(|k| 1.1f64.powi(k)).collect();
+        let wild = ArPredictor::new(1).forecast_all(&[h.clone()], 50);
+        let max_hist = h.iter().cloned().fold(0.0f64, f64::max);
+        assert!(wild[0].last().unwrap() > &(10.0 * max_hist));
+        let tame = ArPredictor::new(1)
+            .with_stability_clamp(2.0)
+            .forecast_all(&[h], 50);
+        assert!(tame[0].iter().all(|&y| y <= 2.0 * max_hist + 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp factor")]
+    fn bad_clamp_rejected() {
+        ArPredictor::new(1).with_stability_clamp(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "AR order")]
+    fn zero_order_rejected() {
+        ArPredictor::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_window_rejected() {
+        ArPredictor::new(3).with_window(4);
+    }
+}

@@ -1,0 +1,151 @@
+use crate::Predictor;
+
+/// An anomaly guard around any base predictor.
+///
+/// History-based forecasters are blind to flash crowds (Section III of the
+/// paper singles them out as the case where prediction fails). The guard
+/// watches the most recent observation: when it exceeds
+/// `threshold ×` the trailing average, the series is in an anomaly, and the
+/// guard raises every base forecast to at least the observed level — a
+/// conservative "believe the spike while it lasts" policy. During normal
+/// operation the base predictor passes through untouched.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_predict::{GuardedPredictor, Predictor, SeasonalNaive};
+///
+/// let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(24)), 2.0);
+/// // A flat history ending in a 5× spike: the guard lifts the forecast.
+/// let mut history = vec![100.0; 30];
+/// history.push(500.0);
+/// let f = guarded.forecast_all(&[history], 3);
+/// assert!(f[0].iter().all(|&y| y >= 500.0));
+/// ```
+pub struct GuardedPredictor {
+    inner: Box<dyn Predictor>,
+    threshold: f64,
+    /// Trailing-average window used as the anomaly baseline.
+    window: usize,
+}
+
+impl GuardedPredictor {
+    /// Wraps `inner`, triggering when the last observation exceeds
+    /// `threshold ×` the trailing average (default window 12 periods).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold <= 1`.
+    pub fn new(inner: Box<dyn Predictor>, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 1.0,
+            "threshold must exceed 1"
+        );
+        GuardedPredictor {
+            inner,
+            threshold,
+            window: 12,
+        }
+    }
+
+    /// Changes the trailing-average window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.window = window;
+        self
+    }
+
+    fn baseline(&self, history: &[f64]) -> f64 {
+        // Trailing average excluding the most recent observation, so a
+        // spike does not raise its own baseline.
+        let end = history.len().saturating_sub(1);
+        let start = end.saturating_sub(self.window);
+        if end == start {
+            return history[0];
+        }
+        history[start..end].iter().sum::<f64>() / (end - start) as f64
+    }
+}
+
+impl Predictor for GuardedPredictor {
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+        let mut forecasts = self.inner.forecast_all(histories, horizon);
+        for (h, f) in histories.iter().zip(forecasts.iter_mut()) {
+            let last = *h.last().expect("history must be non-empty");
+            let base = self.baseline(h);
+            if base > 0.0 && last > self.threshold * base {
+                for y in f.iter_mut() {
+                    *y = y.max(last);
+                }
+            }
+        }
+        forecasts
+    }
+
+    fn name(&self) -> &str {
+        "guarded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LastValue, SeasonalNaive};
+
+    #[test]
+    fn passes_through_when_calm() {
+        let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(4)), 2.0);
+        let h: Vec<f64> = (0..16).map(|k| 100.0 + (k % 4) as f64).collect();
+        let plain = SeasonalNaive::new(4).forecast_all(&[h.clone()], 4);
+        let wrapped = guarded.forecast_all(&[h], 4);
+        assert_eq!(plain, wrapped);
+    }
+
+    #[test]
+    fn lifts_forecasts_during_spike() {
+        let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(24)), 2.0);
+        let mut h = vec![100.0; 48];
+        h.push(450.0);
+        let f = guarded.forecast_all(&[h], 6);
+        assert!(f[0].iter().all(|&y| y >= 450.0), "{:?}", f[0]);
+    }
+
+    #[test]
+    fn per_series_independence() {
+        let guarded = GuardedPredictor::new(Box::new(LastValue), 3.0);
+        let calm = vec![50.0; 20];
+        let mut spiked = vec![50.0; 20];
+        spiked.push(400.0);
+        let f = guarded.forecast_all(&[calm, spiked], 2);
+        assert_eq!(f[0], vec![50.0, 50.0]);
+        assert_eq!(f[1], vec![400.0, 400.0]);
+    }
+
+    #[test]
+    fn spike_does_not_raise_its_own_baseline() {
+        // One huge value at the end must still be detected even though it
+        // would dominate a naive mean that included it.
+        let guarded = GuardedPredictor::new(Box::new(LastValue), 2.0).with_window(4);
+        let mut h = vec![10.0; 10];
+        h.push(1000.0);
+        let f = guarded.forecast_all(&[h], 1);
+        assert_eq!(f[0][0], 1000.0);
+    }
+
+    #[test]
+    fn short_history_is_safe() {
+        let guarded = GuardedPredictor::new(Box::new(LastValue), 2.0);
+        let f = guarded.forecast_all(&[vec![5.0]], 2);
+        assert_eq!(f[0], vec![5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_sub_unit_threshold() {
+        GuardedPredictor::new(Box::new(LastValue), 0.9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Demand and price forecasting for the `dspp` MPC controller.
+//!
+//! The paper's analysis-and-prediction module (Section III) "models the
+//! dynamics of demand and price fluctuations, and forecasts the future
+//! values of both"; the evaluation uses an autoregressive (AR) model and
+//! notes that the framework "can work with any demand prediction
+//! techniques". This crate provides that pluggable surface:
+//!
+//! * [`Predictor`] — the object-safe multi-series forecasting trait the
+//!   controller consumes.
+//! * [`ArPredictor`] — AR(p) with intercept, fitted by least squares
+//!   (Householder QR from `dspp-linalg`) over a sliding window; the paper's
+//!   choice.
+//! * [`SeasonalNaive`] — repeats the value from one season (e.g. 24 h) ago;
+//!   strong on clean diurnal traces.
+//! * [`SeasonalAr`] — seasonal decomposition with an AR residual model;
+//!   the right tool for diurnal-plus-correlated-noise traces.
+//! * [`LastValue`] — the naive persistence forecast.
+//! * [`OraclePredictor`] — perfect foresight, for isolating controller
+//!   behaviour from prediction error (Figures 4–6, 10).
+//! * [`GuardedPredictor`] — an anomaly guard that lifts forecasts during
+//!   flash crowds (where pure history models fail).
+//! * [`PredictionError`] — MAE / RMSE / MAPE scoring of a predictor against
+//!   a realized trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use dspp_predict::{ArPredictor, Predictor};
+//!
+//! let history = vec![(0..48).map(|k| (k as f64 * 0.3).sin() + 2.0).collect::<Vec<_>>()];
+//! let ar = ArPredictor::new(2);
+//! let f = ar.forecast_all(&history, 4);
+//! assert_eq!(f.len(), 1);
+//! assert_eq!(f[0].len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ar;
+mod error_metrics;
+mod guard;
+mod naive;
+mod oracle;
+mod seasonal_ar;
+mod traits;
+
+pub use ar::ArPredictor;
+pub use error_metrics::PredictionError;
+pub use guard::GuardedPredictor;
+pub use naive::{LastValue, SeasonalNaive};
+pub use oracle::OraclePredictor;
+pub use seasonal_ar::SeasonalAr;
+pub use traits::Predictor;

@@ -1,0 +1,139 @@
+use crate::Predictor;
+
+/// Persistence forecast: every future value equals the last observed one.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_predict::{LastValue, Predictor};
+///
+/// let f = LastValue.forecast_all(&[vec![1.0, 5.0]], 3);
+/// assert_eq!(f, vec![vec![5.0, 5.0, 5.0]]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LastValue;
+
+impl Predictor for LastValue {
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+        histories
+            .iter()
+            .map(|h| {
+                let last = *h.last().expect("history must be non-empty");
+                vec![last; horizon]
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "last-value"
+    }
+}
+
+/// Seasonal-naive forecast: the value one season ago (e.g. 24 periods for
+/// hourly data with a daily cycle). Falls back to the last value while the
+/// history is shorter than one season.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_predict::{Predictor, SeasonalNaive};
+///
+/// let day: Vec<f64> = (0..24).map(|h| h as f64).collect();
+/// let f = SeasonalNaive::new(24).forecast_all(&[day], 3);
+/// assert_eq!(f[0], vec![0.0, 1.0, 2.0]); // repeats yesterday's values
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive predictor with the given season length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "season length must be positive");
+        SeasonalNaive { period }
+    }
+
+    /// The season length.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Predictor for SeasonalNaive {
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+        histories
+            .iter()
+            .map(|h| {
+                let n = h.len();
+                assert!(n > 0, "history must be non-empty");
+                (1..=horizon)
+                    .map(|t| {
+                        // Forecast target is absolute index n-1+t; walk back
+                        // whole seasons until we land inside the history, or
+                        // fall back to the last value when the history is
+                        // shorter than one season.
+                        let mut idx = n - 1 + t;
+                        while idx >= n {
+                            match idx.checked_sub(self.period) {
+                                Some(j) => idx = j,
+                                None => {
+                                    idx = n - 1;
+                                    break;
+                                }
+                            }
+                        }
+                        h[idx]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "seasonal-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_repeats() {
+        let f = LastValue.forecast_all(&[vec![3.0], vec![1.0, 2.0]], 2);
+        assert_eq!(f, vec![vec![3.0, 3.0], vec![2.0, 2.0]]);
+    }
+
+    #[test]
+    fn seasonal_repeats_one_period_back() {
+        let h: Vec<f64> = (0..48).map(|k| (k % 24) as f64).collect();
+        let f = SeasonalNaive::new(24).forecast_all(&[h], 5);
+        assert_eq!(f[0], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn seasonal_falls_back_on_short_history() {
+        let f = SeasonalNaive::new(24).forecast_all(&[vec![7.0, 8.0]], 3);
+        assert_eq!(f[0], vec![8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn seasonal_mid_season_history() {
+        // 30 observations, season 24: forecasting t=1..3 looks at indices
+        // 6, 7, 8 of the history.
+        let h: Vec<f64> = (0..30).map(|k| k as f64).collect();
+        let f = SeasonalNaive::new(24).forecast_all(&[h], 3);
+        assert_eq!(f[0], vec![6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "season length")]
+    fn zero_period_rejected() {
+        SeasonalNaive::new(0);
+    }
+}

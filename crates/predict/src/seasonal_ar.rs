@@ -1,0 +1,168 @@
+use crate::{ArPredictor, Predictor, SeasonalNaive};
+
+/// Seasonal decomposition + AR residual model.
+///
+/// Cloud demand is dominated by a daily cycle with correlated deviations on
+/// top (Section III: "demand and price in production data centers generally
+/// show daily fluctuation patterns"). This forecaster subtracts the
+/// seasonal-naive baseline (same hour yesterday), fits an AR(p) to the
+/// *residual* series, and adds the two forecasts back together — the
+/// classical decomposition approach, strictly stronger than either
+/// component on diurnal-plus-noise traces.
+///
+/// Falls back to plain seasonal-naive while the history is shorter than
+/// one season plus the AR fitting minimum.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_predict::{Predictor, SeasonalAr};
+///
+/// let p = SeasonalAr::new(24, 2);
+/// let history: Vec<f64> = (0..72).map(|k| 100.0 + 30.0 * ((k % 24) as f64)).collect();
+/// let f = p.forecast_all(&[history], 4);
+/// assert_eq!(f[0].len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalAr {
+    seasonal: SeasonalNaive,
+    residual_ar: ArPredictor,
+}
+
+impl SeasonalAr {
+    /// Creates a hybrid with season length `period` and residual order `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `order == 0`.
+    pub fn new(period: usize, order: usize) -> Self {
+        SeasonalAr {
+            seasonal: SeasonalNaive::new(period),
+            residual_ar: ArPredictor::new(order).with_stability_clamp(3.0),
+        }
+    }
+
+    /// The season length.
+    pub fn period(&self) -> usize {
+        self.seasonal.period()
+    }
+}
+
+impl Predictor for SeasonalAr {
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+        let period = self.seasonal.period();
+        histories
+            .iter()
+            .map(|h| {
+                let n = h.len();
+                if n < 2 * period {
+                    // Not enough data to form a residual series; fall back.
+                    return self.seasonal.forecast_all(&[h.clone()], horizon).remove(0);
+                }
+                // Residuals r_t = y_t − y_{t−period}, defined for t ≥ period.
+                let residuals: Vec<f64> = (period..n).map(|t| h[t] - h[t - period]).collect();
+                // AR forecast on residuals — lift into the non-negative
+                // domain the AR clamp expects by offsetting.
+                let offset = residuals
+                    .iter()
+                    .fold(0.0f64, |m, &r| m.min(r))
+                    .min(0.0)
+                    .abs()
+                    + 1.0;
+                let lifted: Vec<f64> = residuals.iter().map(|r| r + offset).collect();
+                let r_forecast = self
+                    .residual_ar
+                    .forecast_all(&[lifted], horizon)
+                    .remove(0);
+                let s_forecast = self.seasonal.forecast_all(&[h.clone()], horizon).remove(0);
+                s_forecast
+                    .into_iter()
+                    .zip(r_forecast)
+                    .map(|(s, r)| (s + (r - offset)).max(0.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "seasonal-ar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LastValue, PredictionError};
+
+    /// Diurnal base plus an AR(1)-correlated deviation: the hybrid's target
+    /// regime.
+    fn diurnal_with_ar_noise(n: usize) -> Vec<f64> {
+        let mut dev = 0.0f64;
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..n)
+            .map(|k| {
+                dev = 0.8 * dev + 6.0 * next();
+                let base = 100.0 + 40.0 * ((k % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+                (base + dev).max(0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn beats_both_components_on_target_regime() {
+        let trace = vec![diurnal_with_ar_noise(240)];
+        let hybrid = PredictionError::evaluate(&SeasonalAr::new(24, 1), &trace, 4, 72);
+        let seasonal = PredictionError::evaluate(&SeasonalNaive::new(24), &trace, 4, 72);
+        let persistence = PredictionError::evaluate(&LastValue, &trace, 4, 72);
+        assert!(
+            hybrid.mae < seasonal.mae,
+            "hybrid {:.2} should beat seasonal {:.2}",
+            hybrid.mae,
+            seasonal.mae
+        );
+        assert!(
+            hybrid.mae < persistence.mae,
+            "hybrid {:.2} should beat persistence {:.2}",
+            hybrid.mae,
+            persistence.mae
+        );
+    }
+
+    #[test]
+    fn short_history_falls_back_to_seasonal() {
+        let h: Vec<f64> = (0..30).map(|k| k as f64).collect();
+        let hybrid = SeasonalAr::new(24, 2).forecast_all(&[h.clone()], 3);
+        let seasonal = SeasonalNaive::new(24).forecast_all(&[h], 3);
+        assert_eq!(hybrid, seasonal);
+    }
+
+    #[test]
+    fn forecasts_are_nonnegative() {
+        // Steeply falling residuals could push the sum negative.
+        let mut h: Vec<f64> = (0..96).map(|k| 50.0 + (k % 24) as f64).collect();
+        for v in h.iter_mut().skip(72) {
+            *v = 1.0;
+        }
+        let f = SeasonalAr::new(24, 1).forecast_all(&[h], 12);
+        assert!(f[0].iter().all(|&y| y >= 0.0), "{:?}", f[0]);
+    }
+
+    #[test]
+    fn exact_on_pure_seasonal_series() {
+        let h: Vec<f64> = (0..96).map(|k| 10.0 + (k % 24) as f64).collect();
+        let f = SeasonalAr::new(24, 1).forecast_all(&[h.clone()], 5);
+        for (i, &y) in f[0].iter().enumerate() {
+            let expect = 10.0 + ((96 + i) % 24) as f64;
+            assert!(
+                (y - expect).abs() < 0.5,
+                "step {i}: {y} vs {expect}"
+            );
+        }
+    }
+}

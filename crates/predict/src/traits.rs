@@ -1,0 +1,44 @@
+/// A multi-series forecaster.
+///
+/// `histories[v]` holds the realized values of series `v` up to and
+/// including the current period; implementations return one vector of
+/// `horizon` forecasts per series. The trait is object-safe so the MPC
+/// controller can hold a `Box<dyn Predictor>` chosen at run time.
+///
+/// Implementations must return exactly `histories.len()` series of exactly
+/// `horizon` values each; the controller relies on it.
+pub trait Predictor: Send {
+    /// Forecasts the next `horizon` values of every series.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `histories` is empty or a history is
+    /// empty — the controller never passes either.
+    fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>>;
+
+    /// A short human-readable name for reports and experiment tables.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Zero;
+    impl Predictor for Zero {
+        fn forecast_all(&self, histories: &[Vec<f64>], horizon: usize) -> Vec<Vec<f64>> {
+            vec![vec![0.0; horizon]; histories.len()]
+        }
+        fn name(&self) -> &str {
+            "zero"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn Predictor> = Box::new(Zero);
+        let f = b.forecast_all(&[vec![1.0]], 3);
+        assert_eq!(f, vec![vec![0.0, 0.0, 0.0]]);
+        assert_eq!(b.name(), "zero");
+    }
+}

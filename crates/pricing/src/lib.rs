@@ -1,0 +1,47 @@
+//! Regional electricity pricing substrate for the `dspp` workspace.
+//!
+//! In the paper, "the price of resources in each data center is set to the
+//! electricity price of each VM" (Section VII): each data center buys power
+//! on its Regional Transmission Organization's wholesale market, prices
+//! fluctuate hourly and independently per region (Figure 3), and a VM's
+//! hourly cost is its wattage times the regional $/MWh price. The real RTO
+//! traces are not redistributable, so [`RegionalPriceModel`] synthesizes
+//! diurnal curves calibrated to Figure 3's levels and shapes: California is
+//! the most expensive region with a late-afternoon (~5 pm) peak, Texas the
+//! cheapest — which is exactly the structure Figure 5's load-shifting result
+//! depends on.
+//!
+//! * [`RegionalPriceModel`] — per-region diurnal $/MWh curve with optional
+//!   volatility.
+//! * [`ElectricityMarket`] — the four paper regions, plus custom markets.
+//! * [`SpotMarket`] — an EC2-spot-style spiky price process (the paper's
+//!   dynamic-pricing motivation, reference 5 of the paper).
+//! * [`VmClass`] — the paper's three VM sizes (30 W / 70 W / 140 W).
+//! * [`PriceTrace`] — `[data-center][period]` server prices `p_k^l`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dspp_pricing::{ElectricityMarket, VmClass};
+//!
+//! let market = ElectricityMarket::us_default();
+//! let trace = market.server_price_trace(VmClass::Medium, 24, 1.0, 0);
+//! assert_eq!(trace.num_data_centers(), 4);
+//! // California's 5 pm price beats Texas's.
+//! assert!(trace.get(0, 17) > trace.get(1, 17));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod market;
+mod region;
+mod spot;
+mod trace;
+mod vm;
+
+pub use market::ElectricityMarket;
+pub use region::RegionalPriceModel;
+pub use spot::SpotMarket;
+pub use trace::PriceTrace;
+pub use vm::VmClass;

@@ -1,0 +1,222 @@
+use crate::{PriceTrace, RegionalPriceModel, VmClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A set of regional electricity markets, one per data center.
+///
+/// [`ElectricityMarket::us_default`] reproduces the four regions of the
+/// paper's Figure 3 with levels read off the figure: California most
+/// expensive with a pronounced ~5 pm peak, Texas cheapest, Georgia and
+/// Illinois in between with morning-to-afternoon humps.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_pricing::{ElectricityMarket, VmClass};
+///
+/// let m = ElectricityMarket::us_default();
+/// assert_eq!(m.num_regions(), 4);
+/// let p = m.server_price_trace(VmClass::Small, 24, 1.0, 0);
+/// assert_eq!(p.num_periods(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectricityMarket {
+    regions: Vec<RegionalPriceModel>,
+    /// Relative std-dev of multiplicative hourly noise (0 = deterministic).
+    volatility: f64,
+}
+
+impl ElectricityMarket {
+    /// Creates a market from explicit region models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty.
+    pub fn new(regions: Vec<RegionalPriceModel>) -> Self {
+        assert!(!regions.is_empty(), "need at least one region");
+        ElectricityMarket {
+            regions,
+            volatility: 0.0,
+        }
+    }
+
+    /// The paper's four regions (Figure 3), calibrated by eye:
+    /// CA ≈ 48–105 $/MWh peaking ~5 pm; TX ≈ 35–55; GA ≈ 42–68; IL ≈ 40–75.
+    pub fn us_default() -> Self {
+        ElectricityMarket::new(vec![
+            RegionalPriceModel::new("CA", 48.0, 57.0, 17.0, 7.0),
+            RegionalPriceModel::new("TX", 35.0, 20.0, 15.0, 6.0),
+            RegionalPriceModel::new("GA", 42.0, 26.0, 14.0, 6.5),
+            RegionalPriceModel::new("IL", 40.0, 35.0, 16.0, 6.0),
+        ])
+    }
+
+    /// A market where every region charges the same constant price
+    /// (Figure 10's easy-to-predict regime).
+    pub fn constant(num_regions: usize, price: f64) -> Self {
+        assert!(num_regions > 0, "need at least one region");
+        ElectricityMarket::new(
+            (0..num_regions)
+                .map(|i| RegionalPriceModel::constant(format!("R{i}"), price))
+                .collect(),
+        )
+    }
+
+    /// Adds multiplicative hourly noise with the given relative std-dev
+    /// (the "highly volatile" regime of Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volatility` is negative or non-finite.
+    pub fn with_volatility(mut self, volatility: f64) -> Self {
+        assert!(
+            volatility.is_finite() && volatility >= 0.0,
+            "volatility must be >= 0"
+        );
+        self.volatility = volatility;
+        self
+    }
+
+    /// Number of regions / data centers.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Borrows the region models.
+    pub fn regions(&self) -> &[RegionalPriceModel] {
+        &self.regions
+    }
+
+    /// Noiseless $/MWh price of region `l` at time `t_hours`.
+    pub fn wholesale_price(&self, l: usize, t_hours: f64) -> f64 {
+        self.regions[l].price_at(t_hours)
+    }
+
+    /// Generates the raw $/MWh trace, `[region][period]`, evaluating at
+    /// period midpoints and applying volatility noise if configured.
+    pub fn wholesale_trace(&self, periods: usize, period_hours: f64, seed: u64) -> PriceTrace {
+        assert!(periods > 0, "need at least one period");
+        assert!(period_hours > 0.0, "period_hours must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..self.regions.len())
+            .map(|l| {
+                (0..periods)
+                    .map(|k| {
+                        let t = (k as f64 + 0.5) * period_hours;
+                        let mut p = self.wholesale_price(l, t);
+                        if self.volatility > 0.0 {
+                            let z = dspp_workload_free_normal(&mut rng);
+                            p *= (1.0 + self.volatility * z).max(0.0);
+                        }
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        PriceTrace::from_rows(rows).expect("generated trace is structurally valid")
+    }
+
+    /// Generates the per-*server* price trace `p_k^l` for servers of the
+    /// given VM class: wholesale price × VM wattage (the paper's cost model).
+    pub fn server_price_trace(
+        &self,
+        vm: VmClass,
+        periods: usize,
+        period_hours: f64,
+        seed: u64,
+    ) -> PriceTrace {
+        let wholesale = self.wholesale_trace(periods, period_hours, seed);
+        let rows = (0..wholesale.num_data_centers())
+            .map(|l| {
+                wholesale
+                    .data_center(l)
+                    .iter()
+                    .map(|&p| vm.hourly_cost(p))
+                    .collect()
+            })
+            .collect();
+        PriceTrace::from_rows(rows).expect("scaled trace is structurally valid")
+    }
+}
+
+/// Local Box–Muller (kept here so `dspp-pricing` does not depend on
+/// `dspp-workload` just for one sampler).
+fn dspp_workload_free_normal(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_market_matches_figure3_structure() {
+        let m = ElectricityMarket::us_default();
+        assert_eq!(m.num_regions(), 4);
+        // CA (0) peaks ~5 pm and is the most expensive then.
+        let five_pm: Vec<f64> = (0..4).map(|l| m.wholesale_price(l, 17.0)).collect();
+        assert!(five_pm[0] > five_pm[1]);
+        assert!(five_pm[0] > five_pm[2]);
+        assert!(five_pm[0] > five_pm[3]);
+        // TX (1) is the cheapest region at its own peak hour.
+        let tx_peak = m.wholesale_price(1, 15.0);
+        assert!(tx_peak < m.wholesale_price(0, 17.0));
+        // Night prices are in the Figure 3 band (~30–60 $/MWh).
+        for l in 0..4 {
+            let night = m.wholesale_price(l, 3.0);
+            assert!((30.0..60.0).contains(&night), "region {l} night {night}");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let m = ElectricityMarket::us_default().with_volatility(0.2);
+        let a = m.wholesale_trace(24, 1.0, 7);
+        let b = m.wholesale_trace(24, 1.0, 7);
+        let c = m.wholesale_trace(24, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn server_prices_scale_with_vm_class() {
+        let m = ElectricityMarket::us_default();
+        let small = m.server_price_trace(VmClass::Small, 24, 1.0, 0);
+        let large = m.server_price_trace(VmClass::Large, 24, 1.0, 0);
+        for k in 0..24 {
+            let ratio = large.get(0, k) / small.get(0, k);
+            assert!((ratio - 140.0 / 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_market_is_flat_everywhere() {
+        let m = ElectricityMarket::constant(3, 50.0);
+        let t = m.wholesale_trace(48, 0.5, 0);
+        for l in 0..3 {
+            for k in 0..48 {
+                assert!((t.get(l, k) - 50.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ca_afternoon_premium_over_tx_maximal_near_5pm() {
+        // The paper: "The difference reaches its maximum around 5pm".
+        let m = ElectricityMarket::us_default();
+        let diff =
+            |h: f64| m.wholesale_price(0, h) - m.wholesale_price(1, h);
+        let at5 = diff(17.0);
+        for h in [0.0, 4.0, 8.0, 12.0, 21.0] {
+            assert!(at5 >= diff(h), "difference at {h} exceeds 5 pm");
+        }
+    }
+}

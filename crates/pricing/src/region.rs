@@ -1,0 +1,135 @@
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A synthetic diurnal wholesale-electricity price curve for one region,
+/// in $/MWh.
+///
+/// The shape is `base + amplitude · bump(t − peak_hour)` where `bump` is a
+/// cosine lobe of configurable width — the canonical single-peak daily
+/// profile of US wholesale markets (cf. the paper's Figure 3). Optional
+/// volatility adds deterministic-seeded Gaussian perturbations, used by the
+/// Figure 9 "hard to predict" regime.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_pricing::RegionalPriceModel;
+///
+/// let ca = RegionalPriceModel::new("CA", 60.0, 45.0, 17.0, 8.0);
+/// assert!(ca.price_at(17.0) > ca.price_at(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalPriceModel {
+    /// Region key, e.g. `"CA"`.
+    pub name: String,
+    /// Off-peak price level, $/MWh.
+    pub base: f64,
+    /// Peak-over-base amplitude, $/MWh.
+    pub amplitude: f64,
+    /// Hour of day at which the price peaks.
+    pub peak_hour: f64,
+    /// Half-width of the peak lobe, hours.
+    pub peak_width: f64,
+}
+
+impl RegionalPriceModel {
+    /// Creates a region model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `amplitude` is negative, or `peak_width` is not
+    /// strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        base: f64,
+        amplitude: f64,
+        peak_hour: f64,
+        peak_width: f64,
+    ) -> Self {
+        assert!(base >= 0.0, "base must be >= 0");
+        assert!(amplitude >= 0.0, "amplitude must be >= 0");
+        assert!(peak_width > 0.0, "peak_width must be > 0");
+        RegionalPriceModel {
+            name: name.into(),
+            base,
+            amplitude,
+            peak_hour,
+            peak_width,
+        }
+    }
+
+    /// A constant-price region (the paper's Figure 10 regime).
+    pub fn constant(name: impl Into<String>, price: f64) -> Self {
+        RegionalPriceModel::new(name, price, 0.0, 12.0, 6.0)
+    }
+
+    /// The $/MWh price at absolute time `t_hours` (repeats daily).
+    pub fn price_at(&self, t_hours: f64) -> f64 {
+        let h = t_hours.rem_euclid(24.0);
+        // Circular distance to the peak hour.
+        let mut dh = (h - self.peak_hour).abs();
+        if dh > 12.0 {
+            dh = 24.0 - dh;
+        }
+        let bump = if dh >= self.peak_width {
+            0.0
+        } else {
+            0.5 * (1.0 + (PI * dh / self.peak_width).cos())
+        };
+        self.base + self.amplitude * bump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn peak_is_at_peak_hour() {
+        let m = RegionalPriceModel::new("X", 40.0, 30.0, 17.0, 6.0);
+        assert!((m.price_at(17.0) - 70.0).abs() < 1e-9);
+        assert!((m.price_at(5.0) - 40.0).abs() < 1e-9);
+        // Monotone decline moving away from the peak within the lobe.
+        assert!(m.price_at(17.0) > m.price_at(19.0));
+        assert!(m.price_at(19.0) > m.price_at(22.0));
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        let m = RegionalPriceModel::new("X", 40.0, 30.0, 23.0, 4.0);
+        // 1 am is 2 hours past the 11 pm peak — inside the lobe.
+        assert!(m.price_at(1.0) > 40.0 + 1.0);
+        assert!((m.price_at(23.0) - m.price_at(47.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_region_is_flat() {
+        let m = RegionalPriceModel::constant("FLAT", 55.0);
+        for h in 0..24 {
+            assert!((m.price_at(h as f64) - 55.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peak_width")]
+    fn rejects_zero_width() {
+        RegionalPriceModel::new("X", 1.0, 1.0, 12.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_price_bounded(
+            t in 0.0f64..96.0,
+            base in 0.0f64..200.0,
+            amp in 0.0f64..200.0,
+            peak in 0.0f64..24.0,
+            width in 0.5f64..12.0,
+        ) {
+            let m = RegionalPriceModel::new("P", base, amp, peak, width);
+            let p = m.price_at(t);
+            prop_assert!(p >= base - 1e-9);
+            prop_assert!(p <= base + amp + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+use serde::{Deserialize, Serialize};
+
+/// A server-price trace: the matrix `p_k^l` of per-server hourly prices,
+/// indexed by `[data-center][period]`.
+///
+/// Mirrors [`dspp_workload`-style](https://docs.rs) trace semantics: the
+/// market model produces one, the controller consumes its history and the
+/// predictor forecasts it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    rows: Vec<Vec<f64>>,
+}
+
+impl PriceTrace {
+    /// Builds a trace from per-data-center rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for empty, ragged, negative or
+    /// non-finite input.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, String> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err("price trace must be non-empty".into());
+        }
+        let k = rows[0].len();
+        for (l, row) in rows.iter().enumerate() {
+            if row.len() != k {
+                return Err(format!(
+                    "data center {l} has {} periods, expected {k}",
+                    row.len()
+                ));
+            }
+            for (t, &p) in row.iter().enumerate() {
+                if !(p.is_finite() && p >= 0.0) {
+                    return Err(format!("price ({l},{t}) = {p} is invalid"));
+                }
+            }
+        }
+        Ok(PriceTrace { rows })
+    }
+
+    /// Number of data centers.
+    pub fn num_data_centers(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of periods.
+    pub fn num_periods(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Price of a server at data center `l` during period `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, l: usize, k: usize) -> f64 {
+        self.rows[l][k]
+    }
+
+    /// Borrows the series of data center `l`.
+    pub fn data_center(&self, l: usize) -> &[f64] {
+        &self.rows[l]
+    }
+
+    /// The price vector across data centers at period `k`.
+    pub fn period(&self, k: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[k]).collect()
+    }
+
+    /// Per-data-center histories truncated to periods `0..=k`.
+    pub fn history_until(&self, k: usize) -> Vec<Vec<f64>> {
+        self.rows
+            .iter()
+            .map(|r| r[..=k.min(r.len() - 1)].to_vec())
+            .collect()
+    }
+
+    /// Consumes the trace, returning the raw rows.
+    pub fn into_rows(self) -> Vec<Vec<f64>> {
+        self.rows
+    }
+
+    /// Serializes the trace as CSV (one data center per line, no header).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|x| format!("{x}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV produced by
+    /// [`PriceTrace::to_csv_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed cell or structural
+    /// problem.
+    pub fn from_csv_str(text: &str) -> Result<Self, String> {
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, String> = line
+                .split(',')
+                .map(|cell| {
+                    cell.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("line {}: {e}", i + 1))
+                })
+                .collect();
+            rows.push(row?);
+        }
+        PriceTrace::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PriceTrace::from_rows(vec![]).is_err());
+        assert!(PriceTrace::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(PriceTrace::from_rows(vec![vec![-1.0]]).is_err());
+        assert!(PriceTrace::from_rows(vec![vec![1.0, 2.0]]).is_ok());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = PriceTrace::from_rows(vec![vec![0.004, 0.0052], vec![1.25, 3.5]]).unwrap();
+        let back = PriceTrace::from_csv_str(&t.to_csv_string()).unwrap();
+        assert_eq!(t, back);
+        assert!(PriceTrace::from_csv_str("1,oops").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = PriceTrace::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(t.num_data_centers(), 2);
+        assert_eq!(t.num_periods(), 2);
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.period(1), vec![2.0, 4.0]);
+        assert_eq!(t.data_center(0), &[1.0, 2.0]);
+        assert_eq!(t.history_until(0), vec![vec![1.0], vec![3.0]]);
+    }
+}

@@ -1,0 +1,76 @@
+use serde::{Deserialize, Serialize};
+
+/// The paper's three VM classes and their electricity draw (Section VII:
+/// "The electricity consumption of each VM type is set to 30 watts, 70 watts
+/// and 140 watts, respectively").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmClass {
+    /// 30 W VM.
+    Small,
+    /// 70 W VM.
+    Medium,
+    /// 140 W VM.
+    Large,
+}
+
+impl VmClass {
+    /// Electricity draw in watts.
+    pub fn watts(self) -> f64 {
+        match self {
+            VmClass::Small => 30.0,
+            VmClass::Medium => 70.0,
+            VmClass::Large => 140.0,
+        }
+    }
+
+    /// Hourly cost of running one VM at the given wholesale price ($/MWh).
+    ///
+    /// `$/h = W · 1e-6 MW/W · $/MWh`.
+    pub fn hourly_cost(self, price_per_mwh: f64) -> f64 {
+        self.watts() * 1e-6 * price_per_mwh
+    }
+
+    /// All classes, smallest first.
+    pub fn all() -> [VmClass; 3] {
+        [VmClass::Small, VmClass::Medium, VmClass::Large]
+    }
+}
+
+impl std::fmt::Display for VmClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VmClass::Small => "small",
+            VmClass::Medium => "medium",
+            VmClass::Large => "large",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wattage_doubles_per_class() {
+        // The paper notes GoGrid-style sizing where each class doubles; the
+        // stated wattages follow roughly the same ladder.
+        assert_eq!(VmClass::Small.watts(), 30.0);
+        assert_eq!(VmClass::Medium.watts(), 70.0);
+        assert_eq!(VmClass::Large.watts(), 140.0);
+        assert_eq!(VmClass::Large.watts(), 2.0 * VmClass::Medium.watts());
+    }
+
+    #[test]
+    fn hourly_cost_unit_conversion() {
+        // 70 W at $50/MWh → 70e-6 MW × 50 $/MWh = $0.0035/h.
+        let c = VmClass::Medium.hourly_cost(50.0);
+        assert!((c - 0.0035).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(VmClass::Small.to_string(), "small");
+        assert_eq!(VmClass::all().len(), 3);
+    }
+}

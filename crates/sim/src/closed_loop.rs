@@ -1,0 +1,307 @@
+use crate::{evaluate_sla, SlaReport};
+use dspp_core::{CoreError, CostLedger, PlacementController};
+
+/// One period of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct SimPeriod {
+    /// Period index `k` (the allocation recorded here served period `k+1`).
+    pub period: usize,
+    /// Demand the controller observed at `k`.
+    pub observed_demand: Vec<f64>,
+    /// Demand realized in period `k+1` (what the new allocation faced).
+    pub realized_demand: Vec<f64>,
+    /// Servers per data center after the step.
+    pub per_dc: Vec<f64>,
+    /// Total servers after the step.
+    pub total_servers: f64,
+    /// Executed reconfiguration magnitude `‖u‖₁`.
+    pub reconfig_magnitude: f64,
+    /// Hosting + reconfiguration cost of the step.
+    pub cost: dspp_core::PeriodCost,
+    /// Analytic SLA evaluation against the realized demand.
+    pub sla: SlaReport,
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-period records (length `K − 1` for a `K`-period trace).
+    pub periods: Vec<SimPeriod>,
+    /// Accumulated cost ledger (the objective `J`).
+    pub ledger: CostLedger,
+    /// Name of the controller that produced the run.
+    pub controller: String,
+}
+
+impl SimReport {
+    /// Periods in which some loaded arc violated the SLA.
+    pub fn violation_periods(&self) -> usize {
+        self.periods
+            .iter()
+            .filter(|p| p.sla.violated_arcs > 0)
+            .count()
+    }
+
+    /// The per-DC server series, `[dc][period]` — what Figures 4–6 plot.
+    pub fn per_dc_series(&self) -> Vec<Vec<f64>> {
+        if self.periods.is_empty() {
+            return Vec::new();
+        }
+        let nl = self.periods[0].per_dc.len();
+        (0..nl)
+            .map(|l| self.periods.iter().map(|p| p.per_dc[l]).collect())
+            .collect()
+    }
+
+    /// Total servers per period.
+    pub fn total_series(&self) -> Vec<f64> {
+        self.periods.iter().map(|p| p.total_servers).collect()
+    }
+
+    /// Largest single-period reconfiguration seen.
+    pub fn max_reconfig(&self) -> f64 {
+        self.periods
+            .iter()
+            .map(|p| p.reconfig_magnitude)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The closed-loop (fluid) simulator: controller vs. realized demand trace.
+///
+/// At period `k` the controller observes `demand[·][k]`, decides the
+/// allocation for `k+1`, and the simulator scores that allocation against
+/// the demand *actually realized* at `k+1` — so prediction errors show up
+/// as SLA violations and excess cost, exactly as in the paper's
+/// experiments.
+pub struct ClosedLoopSim {
+    controller: Box<dyn PlacementController>,
+    demand: Vec<Vec<f64>>,
+    realized_prices: Option<Vec<Vec<f64>>>,
+}
+
+impl ClosedLoopSim {
+    /// Creates a simulation over the `[location][period]` demand trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the trace shape does not match
+    /// the controller's problem or has fewer than two periods.
+    pub fn new(
+        controller: Box<dyn PlacementController>,
+        demand: Vec<Vec<f64>>,
+    ) -> Result<Self, CoreError> {
+        let nv = controller.problem().num_locations();
+        if demand.len() != nv {
+            return Err(CoreError::InvalidSpec(format!(
+                "demand has {} locations, problem has {nv}",
+                demand.len()
+            )));
+        }
+        let periods = demand.first().map_or(0, Vec::len);
+        if periods < 2 {
+            return Err(CoreError::InvalidSpec(
+                "need at least two demand periods".into(),
+            ));
+        }
+        if demand.iter().any(|d| d.len() != periods) {
+            return Err(CoreError::InvalidSpec("ragged demand trace".into()));
+        }
+        Ok(ClosedLoopSim {
+            controller,
+            demand,
+            realized_prices: None,
+        })
+    }
+
+    /// Charges the run against *realized* prices (`[dc][period]`) instead
+    /// of the controller's posted price traces.
+    ///
+    /// Use this when the controller plans against an expected price curve
+    /// but the market bills a different realized one — e.g. to score a
+    /// deliberately price-blind baseline. (The Figure 9 experiment instead
+    /// gives the controller the realized trace plus a price *predictor*,
+    /// which models the same uncertainty inside the controller.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the shape does not cover the
+    /// demand trace.
+    pub fn with_realized_prices(mut self, prices: Vec<Vec<f64>>) -> Result<Self, CoreError> {
+        let nl = self.controller.problem().num_dcs();
+        let periods = self.demand[0].len();
+        if prices.len() != nl || prices.iter().any(|p| p.len() < periods) {
+            return Err(CoreError::InvalidSpec(format!(
+                "realized prices must be {nl} series of at least {periods} periods"
+            )));
+        }
+        self.realized_prices = Some(prices);
+        Ok(self)
+    }
+
+    /// Runs the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first controller failure.
+    pub fn run(mut self) -> Result<SimReport, CoreError> {
+        let periods = self.demand[0].len();
+        let mut out = Vec::with_capacity(periods - 1);
+        let mut ledger = CostLedger::new();
+        for k in 0..periods - 1 {
+            let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
+            let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
+            let outcome = self.controller.step(&observed)?;
+            let problem = self.controller.problem();
+            let sla = evaluate_sla(problem, &outcome.allocation, &outcome.routing, &realized);
+            let per_dc = outcome.allocation.per_dc(problem);
+            let step_cost = match &self.realized_prices {
+                None => outcome.step_cost,
+                Some(prices) => {
+                    // Re-bill hosting at the realized price of period k+1.
+                    let mut hosting = 0.0;
+                    for (e, &(l, _)) in problem.arcs().iter().enumerate() {
+                        hosting += prices[l][k + 1] * outcome.allocation.arc_values()[e];
+                    }
+                    dspp_core::PeriodCost {
+                        hosting,
+                        reconfiguration: outcome.step_cost.reconfiguration,
+                    }
+                }
+            };
+            ledger.push(step_cost);
+            out.push(SimPeriod {
+                period: k,
+                observed_demand: observed,
+                realized_demand: realized,
+                per_dc: per_dc.clone(),
+                total_servers: outcome.allocation.total(),
+                reconfig_magnitude: outcome.control.iter().map(|u| u.abs()).sum(),
+                cost: step_cost,
+                sla,
+            });
+        }
+        Ok(SimReport {
+            periods: out,
+            ledger,
+            controller: self.controller.name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspp_core::{DsppBuilder, MpcController, MpcSettings};
+    use dspp_predict::{LastValue, OraclePredictor};
+
+    fn problem() -> dspp_core::Dspp {
+        DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .reconfiguration_weights(vec![0.02])
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    fn mpc(horizon: usize, truth: Vec<Vec<f64>>) -> Box<MpcController> {
+        Box::new(
+            MpcController::new(
+                problem(),
+                Box::new(OraclePredictor::new(truth)),
+                MpcSettings {
+                    horizon,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn oracle_run_is_sla_compliant() {
+        let demand = vec![vec![40.0, 60.0, 90.0, 120.0, 90.0, 60.0, 40.0]];
+        let sim = ClosedLoopSim::new(mpc(3, demand.clone()), demand).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.periods.len(), 6);
+        assert_eq!(report.violation_periods(), 0, "oracle MPC must meet SLA");
+        assert!(report.ledger.total() > 0.0);
+        assert_eq!(report.controller, "mpc");
+    }
+
+    #[test]
+    fn persistence_prediction_violates_on_surge() {
+        // Demand doubles instantly; a last-value predictor under-provisions
+        // the surge period.
+        let demand = vec![vec![50.0, 50.0, 140.0, 140.0, 140.0]];
+        let c = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let report = ClosedLoopSim::new(Box::new(c), demand).unwrap().run().unwrap();
+        assert!(
+            report.violation_periods() >= 1,
+            "surge must catch persistence out"
+        );
+    }
+
+    #[test]
+    fn report_series_shapes() {
+        let demand = vec![vec![40.0, 60.0, 80.0, 60.0]];
+        let report = ClosedLoopSim::new(mpc(2, demand.clone()), demand)
+            .unwrap()
+            .run()
+            .unwrap();
+        let series = report.per_dc_series();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].len(), 3);
+        assert_eq!(report.total_series().len(), 3);
+        assert!(report.max_reconfig() > 0.0);
+    }
+
+    #[test]
+    fn realized_prices_rebill_hosting_only() {
+        let demand = vec![vec![40.0, 60.0, 80.0]];
+        // Posted price is 1.0; realized price doubles it.
+        let base = ClosedLoopSim::new(mpc(2, demand.clone()), demand.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let rebilled = ClosedLoopSim::new(mpc(2, demand.clone()), demand.clone())
+            .unwrap()
+            .with_realized_prices(vec![vec![2.0; 3]])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            (rebilled.ledger.total_hosting() - 2.0 * base.ledger.total_hosting()).abs() < 1e-9
+        );
+        assert!(
+            (rebilled.ledger.total_reconfiguration() - base.ledger.total_reconfiguration())
+                .abs()
+                < 1e-9
+        );
+        // Shape validation.
+        assert!(ClosedLoopSim::new(mpc(2, demand.clone()), demand)
+            .unwrap()
+            .with_realized_prices(vec![vec![2.0; 2]])
+            .is_err());
+    }
+
+    #[test]
+    fn validation_of_trace_shape() {
+        let demand_bad = vec![vec![1.0, 2.0], vec![1.0, 2.0]];
+        assert!(ClosedLoopSim::new(mpc(2, vec![vec![1.0, 2.0]]), demand_bad).is_err());
+        assert!(ClosedLoopSim::new(mpc(2, vec![vec![1.0]]), vec![vec![1.0]]).is_err());
+        assert!(
+            ClosedLoopSim::new(mpc(2, vec![vec![1.0, 2.0]]), vec![vec![1.0, 2.0]]).is_ok()
+        );
+    }
+}

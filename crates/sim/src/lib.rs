@@ -1,0 +1,62 @@
+//! Closed-loop and discrete-event simulation for the `dspp` workspace.
+//!
+//! Two levels of fidelity:
+//!
+//! * [`ClosedLoopSim`] — the *fluid* simulator behind every figure of the
+//!   paper's evaluation: it feeds a realized demand trace into any
+//!   [`dspp_core::PlacementController`] period by period, applies the
+//!   returned allocation and routing, evaluates the M/M/1 SLA model
+//!   analytically, and accounts costs (`H_k`, `G_k`).
+//! * [`DesConfig`] / [`run_des`] — a request-level discrete-event
+//!   simulator of server pools (Poisson arrivals, exponential service,
+//!   FCFS queues). It exists to *validate* the analytic model the SLA
+//!   constraint is derived from: a pool provisioned at `x = a·σ` should
+//!   empirically meet the latency target. The integration tests and one
+//!   experiment ablation do exactly that check.
+//!
+//! [`Monitor`] is the paper's monitoring module (architecture Figure 2):
+//! online EWMA statistics and flash-crowd/price-spike anomaly flags.
+//! [`SharedRecorder`] collects time series from concurrently running
+//! simulations (the experiments crate sweeps parameters across threads).
+//!
+//! # Examples
+//!
+//! ```
+//! use dspp_core::{DsppBuilder, MpcController, MpcSettings};
+//! use dspp_predict::LastValue;
+//! use dspp_sim::ClosedLoopSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = DsppBuilder::new(1, 1)
+//!     .service_rate(100.0)
+//!     .sla_latency(0.060)
+//!     .latency_rows(vec![vec![0.010]])
+//!     .price_trace(0, vec![1.0])
+//!     .build()?;
+//! let controller = MpcController::new(
+//!     problem,
+//!     Box::new(LastValue),
+//!     MpcSettings { horizon: 3, ..MpcSettings::default() },
+//! )?;
+//! let demand = vec![vec![40.0, 50.0, 60.0, 50.0, 40.0]];
+//! let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+//! assert_eq!(report.periods.len(), 4);
+//! assert!(report.ledger.total() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closed_loop;
+mod des;
+mod fluid;
+mod monitor;
+mod recorder;
+
+pub use closed_loop::{ClosedLoopSim, SimPeriod, SimReport};
+pub use des::{run_des, DesConfig, PoolSpec, PoolStats};
+pub use fluid::{evaluate_sla, SlaReport};
+pub use monitor::{EwmaStat, Monitor};
+pub use recorder::SharedRecorder;

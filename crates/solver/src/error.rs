@@ -1,0 +1,73 @@
+use dspp_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the QP solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// The problem description is structurally invalid (shape mismatch,
+    /// non-finite data, empty horizon, ...).
+    InvalidProblem(String),
+    /// The interior-point iteration hit its iteration limit before reaching
+    /// the requested tolerances. Carries the best duality-gap measure seen.
+    MaxIterations {
+        /// Configured iteration limit.
+        limit: usize,
+        /// Complementarity measure `sᵀz/m` at the final iterate.
+        gap: f64,
+    },
+    /// The iteration stalled or produced non-finite values; the problem is
+    /// likely primal or dual infeasible, or catastrophically ill-conditioned.
+    NumericalFailure(String),
+    /// A linear-algebra kernel failed irrecoverably.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            SolverError::MaxIterations { limit, gap } => {
+                write!(f, "no convergence within {limit} iterations (gap {gap:.3e})")
+            }
+            SolverError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SolverError {
+    fn from(e: LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SolverError::MaxIterations { limit: 50, gap: 1e-3 };
+        assert!(e.to_string().contains("50"));
+        let e = SolverError::from(LinalgError::Singular { pivot: 2 });
+        assert!(e.to_string().contains("singular"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+}

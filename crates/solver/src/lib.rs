@@ -1,0 +1,71 @@
+//! Convex quadratic-programming solvers for the `dspp` workspace.
+//!
+//! The ICDCS'12 dynamic service placement problem (DSPP) is a
+//! linear-quadratic program solved repeatedly inside a model-predictive
+//! control loop, and its multi-provider extension needs the *dual variables*
+//! of the data-center capacity constraints (Algorithm 2 of the paper). The
+//! Rust ecosystem has no mature QP solver that exposes all of this, so this
+//! crate implements two from scratch:
+//!
+//! * [`QpProblem`] / [`solve_qp`] — a dense primal–dual interior-point
+//!   method (Mehrotra predictor–corrector) for
+//!   `min ½xᵀPx + qᵀx  s.t.  Ax = b, Gx ≤ h`.
+//!   Newton systems are solved by Cholesky (no equalities) or by a
+//!   regularized quasi-definite LDLᵀ (with equalities).
+//! * [`LqProblem`] / [`solve_lq`] — the same interior-point method
+//!   specialized to *stage-structured* problems
+//!   `x_{k+1} = A_k x_k + B_k u_k + c_k` with stage costs and stage
+//!   constraints. Each Newton step is solved exactly by a Riccati backward
+//!   recursion, so the per-iteration cost is `O(N·n³)` instead of
+//!   `O((N·n)³)` — the difference between milliseconds and minutes for the
+//!   horizon-30 MPC problems in the paper's Figure 6.
+//!
+//! Both solvers return full primal *and* dual solutions; the game crate
+//! reads the capacity-row multipliers out of [`LqSolution::stage_duals`].
+//!
+//! [`flatten_lq`] converts a stage-structured problem into the equivalent
+//! dense QP; the test suites solve every LQ problem both ways and require
+//! the answers to agree, so the two independent implementations
+//! cross-validate each other.
+//!
+//! # Examples
+//!
+//! Minimize `(x₀−1)² + (x₁−2)²` subject to `x₀ + x₁ ≤ 2`:
+//!
+//! ```
+//! use dspp_linalg::{Matrix, Vector};
+//! use dspp_solver::{solve_qp, IpmSettings, QpProblem};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Matrix::from_diag(&Vector::from(vec![2.0, 2.0]));
+//! let q = Vector::from(vec![-2.0, -4.0]);
+//! let g = Matrix::from_rows(&[&[1.0, 1.0]])?;
+//! let h = Vector::from(vec![2.0]);
+//! let problem = QpProblem::new(p, q)?.with_inequalities(g, h)?;
+//! let sol = solve_qp(&problem, &IpmSettings::default())?;
+//! assert!((sol.x[0] - 0.5).abs() < 1e-6);
+//! assert!((sol.x[1] - 1.5).abs() < 1e-6);
+//! assert!(sol.z[0] > 0.0); // the constraint is active
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flatten;
+mod ipm;
+mod lq;
+mod lq_ipm;
+mod qp;
+mod riccati;
+mod settings;
+
+pub use error::SolverError;
+pub use flatten::flatten_lq;
+pub use ipm::solve_qp;
+pub use lq::{LqProblem, LqSolution, LqStage, LqTerminal};
+pub use lq_ipm::{solve_lq, solve_lq_warm};
+pub use qp::{QpProblem, QpSolution, SolveStatus};
+pub use settings::IpmSettings;

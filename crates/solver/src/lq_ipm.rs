@@ -1,0 +1,678 @@
+//! Interior-point outer loop for stage-structured LQ problems.
+
+use crate::riccati::RiccatiFactor;
+use crate::{IpmSettings, LqProblem, LqSolution, SolveStatus, SolverError};
+use dspp_linalg::{Matrix, Vector};
+
+/// Solves a stage-structured LQ problem with a primal–dual interior-point
+/// method whose Newton steps are computed by a Riccati recursion.
+///
+/// This is the solver behind the paper's MPC controller (Algorithm 1): the
+/// horizon-truncated DSPP is an [`LqProblem`], and each control period calls
+/// this function once. Per-iteration work is linear in the horizon length,
+/// so long prediction horizons (the paper's Figure 6 sweeps `K` up to 30)
+/// stay cheap.
+///
+/// The returned [`LqSolution`] carries the inequality multipliers per stage;
+/// the multi-provider game (Algorithm 2) reads the data-center capacity rows
+/// out of them.
+///
+/// # Errors
+///
+/// * [`SolverError::InvalidProblem`] for invalid settings.
+/// * [`SolverError::MaxIterations`] when tolerances are not met (usually an
+///   infeasible problem — e.g. demand exceeding total data-center capacity).
+/// * [`SolverError::NumericalFailure`] for non-PD stage input costs or
+///   non-finite iterates.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_linalg::{Matrix, Vector};
+/// use dspp_solver::{solve_lq, IpmSettings, LqProblem, LqStage, LqTerminal};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // One server pool: track a demand floor of 5 servers with reconfiguration
+/// // penalty; start from 0 servers. Stage-k constraints apply to x_k, and
+/// // x_0 is fixed, so the floor starts at stage 1.
+/// let floor = Matrix::from_rows(&[&[-1.0]])?; // -x ≤ -5  ⇔  x ≥ 5
+/// let first = LqStage::identity_dynamics(1)
+///     .with_state_cost(Vector::from(vec![1.0]))
+///     .with_input_penalty(&Vector::from(vec![0.1]));
+/// let stage = first.clone()
+///     .with_constraints(floor.clone(), Matrix::zeros(1, 1), Vector::from(vec![-5.0]));
+/// let problem = LqProblem::new(
+///     Vector::zeros(1),
+///     vec![first, stage.clone(), stage],
+///     LqTerminal::free(1).with_constraints(floor, Vector::from(vec![-5.0])),
+/// )?;
+/// let sol = solve_lq(&problem, &IpmSettings::default())?;
+/// // Stage-1 onward states must sit at (or above) the floor.
+/// assert!(sol.xs[1][0] >= 5.0 - 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_lq(problem: &LqProblem, settings: &IpmSettings) -> Result<LqSolution, SolverError> {
+    solve_lq_warm(problem, settings, None)
+}
+
+/// Like [`solve_lq`], but primal-warm-started from an input-sequence guess.
+///
+/// MPC solves a nearly identical problem every period; passing the previous
+/// solution shifted by one stage typically saves a few interior-point
+/// iterations. The guess only seeds the primal trajectory (slacks and duals
+/// are re-centred), so a poor guess degrades gracefully to roughly
+/// cold-start behaviour.
+///
+/// # Errors
+///
+/// As [`solve_lq`], plus [`SolverError::InvalidProblem`] when the guess has
+/// the wrong shape.
+pub fn solve_lq_warm(
+    problem: &LqProblem,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+) -> Result<LqSolution, SolverError> {
+    settings.validate().map_err(SolverError::InvalidProblem)?;
+    let nstages = problem.horizon();
+    let n = problem.state_dim();
+
+    // Iterates: inputs, states (always exactly dynamics-feasible), costates,
+    // and per-stage slack/dual pairs.
+    let mut us: Vec<Vector> = match warm_us {
+        None => problem
+            .stages
+            .iter()
+            .map(|st| Vector::zeros(st.input_dim()))
+            .collect(),
+        Some(guess) => {
+            if guess.len() != nstages
+                || guess
+                    .iter()
+                    .zip(&problem.stages)
+                    .any(|(g, st)| g.len() != st.input_dim())
+            {
+                return Err(SolverError::InvalidProblem(
+                    "warm-start guess does not match the problem's input dimensions".into(),
+                ));
+            }
+            if guess.iter().any(|g| !g.is_finite()) {
+                return Err(SolverError::InvalidProblem(
+                    "warm-start guess contains non-finite values".into(),
+                ));
+            }
+            guess.to_vec()
+        }
+    };
+    let mut xs = problem.rollout(&us);
+    let mut lams: Vec<Vector> = vec![Vector::zeros(n); nstages];
+
+    // Constraint layout per "slot" k = 0..=nstages: stage k for k < nstages,
+    // terminal at k = nstages.
+    let mcs: Vec<usize> = (0..=nstages)
+        .map(|k| {
+            if k < nstages {
+                problem.stages[k].num_constraints()
+            } else {
+                problem.terminal.d.len()
+            }
+        })
+        .collect();
+    let m_total: usize = mcs.iter().sum();
+
+    let margin = settings.init_margin;
+    let mut ss: Vec<Vector> = Vec::with_capacity(nstages + 1);
+    let mut zs: Vec<Vector> = Vec::with_capacity(nstages + 1);
+    for k in 0..=nstages {
+        if mcs[k] == 0 {
+            ss.push(Vector::zeros(0));
+            zs.push(Vector::zeros(0));
+            continue;
+        }
+        let lhs = if k < nstages {
+            let st = &problem.stages[k];
+            &st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k])
+        } else {
+            problem.terminal.cx.matvec(&xs[nstages])
+        };
+        let d = if k < nstages {
+            &problem.stages[k].d
+        } else {
+            &problem.terminal.d
+        };
+        ss.push((d - &lhs).map(|v| v.max(margin)));
+        zs.push(Vector::filled(mcs[k], margin));
+    }
+
+    // Problem scale for the stopping test.
+    let mut scale: f64 = 1.0;
+    for st in &problem.stages {
+        scale = scale
+            .max(st.q_vec.norm_inf())
+            .max(st.r_vec.norm_inf())
+            .max(st.d.norm_inf());
+    }
+    scale = scale
+        .max(problem.terminal.q_vec.norm_inf())
+        .max(problem.terminal.d.norm_inf());
+
+    let mut best_gap = f64::INFINITY;
+    for iter in 0..settings.max_iterations {
+        // ------- residuals -------
+        // r_ineq per slot.
+        let mut r_ineqs: Vec<Vector> = Vec::with_capacity(nstages + 1);
+        for k in 0..=nstages {
+            if mcs[k] == 0 {
+                r_ineqs.push(Vector::zeros(0));
+                continue;
+            }
+            let (lhs, d) = if k < nstages {
+                let st = &problem.stages[k];
+                (&st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k]), &st.d)
+            } else {
+                (problem.terminal.cx.matvec(&xs[nstages]), &problem.terminal.d)
+            };
+            r_ineqs.push(&(&lhs + &ss[k]) - d);
+        }
+        // Stationarity residuals.
+        let mut r_xs: Vec<Vector> = vec![Vector::zeros(n); nstages + 1];
+        for k in 1..nstages {
+            let st = &problem.stages[k];
+            let mut r = st.q_mat.matvec(&xs[k]);
+            r += &st.q_vec;
+            if mcs[k] > 0 {
+                r += &st.cx.matvec_t(&zs[k]);
+            }
+            r += &st.a.matvec_t(&lams[k]);
+            r -= &lams[k - 1];
+            r_xs[k] = r;
+        }
+        {
+            let mut r = problem.terminal.q_mat.matvec(&xs[nstages]);
+            r += &problem.terminal.q_vec;
+            if mcs[nstages] > 0 {
+                r += &problem.terminal.cx.matvec_t(&zs[nstages]);
+            }
+            r -= &lams[nstages - 1];
+            r_xs[nstages] = r;
+        }
+        let mut r_us: Vec<Vector> = Vec::with_capacity(nstages);
+        for k in 0..nstages {
+            let st = &problem.stages[k];
+            let mut r = st.r_mat.matvec(&us[k]);
+            r += &st.r_vec;
+            if mcs[k] > 0 {
+                r += &st.cu.matvec_t(&zs[k]);
+            }
+            r += &st.b.matvec_t(&lams[k]);
+            r_us.push(r);
+        }
+
+        let mut gap = 0.0;
+        for k in 0..=nstages {
+            gap += ss[k].dot(&zs[k]);
+        }
+        let mu = if m_total > 0 { gap / m_total as f64 } else { 0.0 };
+        best_gap = best_gap.min(mu);
+
+        let mut stat_norm: f64 = 0.0;
+        for r in r_xs.iter().skip(1) {
+            stat_norm = stat_norm.max(r.norm_inf());
+        }
+        for r in &r_us {
+            stat_norm = stat_norm.max(r.norm_inf());
+        }
+        let mut ineq_norm: f64 = 0.0;
+        for r in &r_ineqs {
+            ineq_norm = ineq_norm.max(r.norm_inf());
+        }
+        let objective = problem.objective(&xs, &us);
+        let feas_ok = stat_norm <= settings.tol_feasibility * scale
+            && ineq_norm <= settings.tol_feasibility * scale;
+        let gap_ok = mu <= settings.tol_gap * (1.0 + objective.abs());
+        if feas_ok && gap_ok {
+            return Ok(LqSolution {
+                xs,
+                us,
+                stage_duals: zs,
+                objective,
+                iterations: iter,
+                status: SolveStatus::Optimal,
+            });
+        }
+
+        // ------- barrier-modified Hessians and factorization -------
+        let mut ws: Vec<Vector> = Vec::with_capacity(nstages + 1);
+        for k in 0..=nstages {
+            let mut w = Vector::zeros(mcs[k]);
+            for i in 0..mcs[k] {
+                w[i] = zs[k][i] / ss[k][i];
+            }
+            ws.push(w);
+        }
+        let mut q_mods: Vec<Matrix> = Vec::with_capacity(nstages + 1);
+        let mut r_mods: Vec<Matrix> = Vec::with_capacity(nstages);
+        let mut m_mods: Vec<Matrix> = Vec::with_capacity(nstages);
+        for k in 0..=nstages {
+            if k == 0 {
+                // x_0 is fixed; its Hessian never enters the step.
+                q_mods.push(Matrix::zeros(n, n));
+            } else if k < nstages {
+                let st = &problem.stages[k];
+                let mut q = st.q_mat.clone();
+                if mcs[k] > 0 {
+                    q.add_scaled(1.0, &st.cx.weighted_gram(&ws[k]));
+                }
+                q_mods.push(q);
+            } else {
+                let mut q = problem.terminal.q_mat.clone();
+                if mcs[nstages] > 0 {
+                    q.add_scaled(1.0, &problem.terminal.cx.weighted_gram(&ws[nstages]));
+                }
+                q_mods.push(q);
+            }
+        }
+        for k in 0..nstages {
+            let st = &problem.stages[k];
+            let mut r = st.r_mat.clone();
+            let m = if mcs[k] > 0 {
+                r.add_scaled(1.0, &st.cu.weighted_gram(&ws[k]));
+                st.cx.weighted_product(&ws[k], &st.cu)
+            } else {
+                Matrix::zeros(n, st.input_dim())
+            };
+            r_mods.push(r);
+            m_mods.push(m);
+        }
+        let factor =
+            RiccatiFactor::factor(problem, &q_mods, &r_mods, &m_mods, settings.regularization)?;
+
+        // Helper building modified gradients for a given complementarity
+        // residual r_c and solving the Newton system.
+        let solve_step = |r_cs: &[Vector]| {
+            // t_k = S⁻¹(Z r_ineq − r_c) per slot.
+            let mut ts: Vec<Vector> = Vec::with_capacity(nstages + 1);
+            for k in 0..=nstages {
+                let mut t = Vector::zeros(mcs[k]);
+                for i in 0..mcs[k] {
+                    t[i] = (zs[k][i] * r_ineqs[k][i] - r_cs[k][i]) / ss[k][i];
+                }
+                ts.push(t);
+            }
+            let mut q_hats: Vec<Vector> = Vec::with_capacity(nstages + 1);
+            for k in 0..=nstages {
+                if k == 0 {
+                    q_hats.push(Vector::zeros(n));
+                } else if k < nstages {
+                    let mut qh = r_xs[k].clone();
+                    if mcs[k] > 0 {
+                        qh += &problem.stages[k].cx.matvec_t(&ts[k]);
+                    }
+                    q_hats.push(qh);
+                } else {
+                    let mut qh = r_xs[nstages].clone();
+                    if mcs[nstages] > 0 {
+                        qh += &problem.terminal.cx.matvec_t(&ts[nstages]);
+                    }
+                    q_hats.push(qh);
+                }
+            }
+            let mut r_hats: Vec<Vector> = Vec::with_capacity(nstages);
+            for k in 0..nstages {
+                let mut rh = r_us[k].clone();
+                if mcs[k] > 0 {
+                    rh += &problem.stages[k].cu.matvec_t(&ts[k]);
+                }
+                r_hats.push(rh);
+            }
+            let step = factor.solve(problem, &q_hats, &r_hats);
+            // Recover Δs, Δz per slot.
+            let mut dss: Vec<Vector> = Vec::with_capacity(nstages + 1);
+            let mut dzs: Vec<Vector> = Vec::with_capacity(nstages + 1);
+            for k in 0..=nstages {
+                if mcs[k] == 0 {
+                    dss.push(Vector::zeros(0));
+                    dzs.push(Vector::zeros(0));
+                    continue;
+                }
+                let cdx = if k < nstages {
+                    let st = &problem.stages[k];
+                    &st.cx.matvec(&step.dxs[k]) + &st.cu.matvec(&step.dus[k])
+                } else {
+                    problem.terminal.cx.matvec(&step.dxs[nstages])
+                };
+                let mut ds = Vector::zeros(mcs[k]);
+                let mut dz = Vector::zeros(mcs[k]);
+                for i in 0..mcs[k] {
+                    ds[i] = -r_ineqs[k][i] - cdx[i];
+                    dz[i] = (-r_cs[k][i] - zs[k][i] * ds[i]) / ss[k][i];
+                }
+                dss.push(ds);
+                dzs.push(dz);
+            }
+            (step, dss, dzs)
+        };
+
+        // ------- predictor -------
+        let r_cs_aff: Vec<Vector> = (0..=nstages).map(|k| ss[k].hadamard(&zs[k])).collect();
+        let (step_aff, dss_aff, dzs_aff) = solve_step(&r_cs_aff);
+        let alpha_p_aff = max_step_multi(&ss, &dss_aff);
+        let alpha_d_aff = max_step_multi(&zs, &dzs_aff);
+        let sigma = if m_total > 0 && mu > 0.0 {
+            let mut mu_aff = 0.0;
+            for k in 0..=nstages {
+                for i in 0..mcs[k] {
+                    mu_aff += (ss[k][i] + alpha_p_aff * dss_aff[k][i])
+                        * (zs[k][i] + alpha_d_aff * dzs_aff[k][i]);
+                }
+            }
+            mu_aff /= m_total as f64;
+            ((mu_aff / mu).max(0.0)).powi(3).min(1.0)
+        } else {
+            0.0
+        };
+
+        // ------- corrector -------
+        let (step, dss, dzs) = if m_total > 0 {
+            let mut r_cs: Vec<Vector> = Vec::with_capacity(nstages + 1);
+            for k in 0..=nstages {
+                let mut rc = Vector::zeros(mcs[k]);
+                for i in 0..mcs[k] {
+                    rc[i] = ss[k][i] * zs[k][i] + dss_aff[k][i] * dzs_aff[k][i] - sigma * mu;
+                }
+                r_cs.push(rc);
+            }
+            solve_step(&r_cs)
+        } else {
+            (step_aff, dss_aff, dzs_aff)
+        };
+
+        let tau = settings.step_fraction;
+        let alpha_p = (tau * max_step_multi(&ss, &dss)).min(1.0);
+        let alpha_d = (tau * max_step_multi(&zs, &dzs)).min(1.0);
+
+        for k in 0..=nstages {
+            xs[k].axpy(alpha_p, &step.dxs[k]);
+            ss[k].axpy(alpha_p, &dss[k]);
+            zs[k].axpy(alpha_d, &dzs[k]);
+            if k < nstages {
+                us[k].axpy(alpha_p, &step.dus[k]);
+                lams[k].axpy(alpha_d, &step.dlams[k]);
+            }
+        }
+
+        let finite = xs.iter().all(Vector::is_finite)
+            && us.iter().all(Vector::is_finite)
+            && ss.iter().all(Vector::is_finite)
+            && zs.iter().all(Vector::is_finite)
+            && lams.iter().all(Vector::is_finite);
+        if !finite {
+            return Err(SolverError::NumericalFailure(
+                "iterates became non-finite".into(),
+            ));
+        }
+        if m_total > 0 && alpha_p < 1e-13 && alpha_d < 1e-13 {
+            return Err(SolverError::NumericalFailure(format!(
+                "step length collapsed at iteration {iter} (gap {mu:.3e}); problem is likely infeasible"
+            )));
+        }
+    }
+
+    // Degraded acceptance, mirroring the dense solver.
+    let objective = problem.objective(&xs, &us);
+    let mut gap = 0.0;
+    for k in 0..=nstages {
+        gap += ss[k].dot(&zs[k]);
+    }
+    let mu = if m_total > 0 { gap / m_total as f64 } else { 0.0 };
+    let loose = 1e4;
+    if problem.max_violation(&xs, &us) <= loose * settings.tol_feasibility * scale
+        && mu <= loose * settings.tol_gap * (1.0 + objective.abs())
+    {
+        return Ok(LqSolution {
+            xs,
+            us,
+            stage_duals: zs,
+            objective,
+            iterations: settings.max_iterations,
+            status: SolveStatus::AlmostOptimal,
+        });
+    }
+    Err(SolverError::MaxIterations {
+        limit: settings.max_iterations,
+        gap: best_gap,
+    })
+}
+
+fn max_step_multi(vs: &[Vector], dvs: &[Vector]) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for (v, dv) in vs.iter().zip(dvs) {
+        for i in 0..v.len() {
+            if dv[i] < 0.0 {
+                alpha = alpha.min(-v[i] / dv[i]);
+            }
+        }
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LqStage, LqTerminal};
+
+    fn settings() -> IpmSettings {
+        IpmSettings::default()
+    }
+
+    #[test]
+    fn unconstrained_matches_analytic_optimum() {
+        // Same problem as the Riccati unit test; optimum u = (-1, -0.5).
+        let stage = LqStage::identity_dynamics(1)
+            .with_state_cost(Vector::ones(1))
+            .with_input_penalty(&Vector::ones(1));
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![stage.clone(), stage],
+            LqTerminal::free(1).with_state_cost(Vector::ones(1)),
+        )
+        .unwrap();
+        let sol = solve_lq(&problem, &settings()).unwrap();
+        assert!((sol.us[0][0] + 1.0).abs() < 1e-7, "u0 = {}", sol.us[0][0]);
+        assert!((sol.us[1][0] + 0.5).abs() < 1e-7, "u1 = {}", sol.us[1][0]);
+        assert!((sol.objective + 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_floor_is_respected_with_smoothing() {
+        // x ≥ 5 from stage 1 on; price 1; reconfig penalty 0.1 u².
+        // (x_0 is fixed at 0, so stage 0 carries no state constraint.)
+        let floor = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let free_stage = LqStage::identity_dynamics(1)
+            .with_state_cost(Vector::ones(1))
+            .with_input_penalty(&Vector::from(vec![0.1]));
+        let make_stage = || {
+            free_stage.clone().with_constraints(
+                floor.clone(),
+                Matrix::zeros(1, 1),
+                Vector::from(vec![-5.0]),
+            )
+        };
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![free_stage.clone(), make_stage(), make_stage()],
+            LqTerminal::free(1)
+                .with_constraints(floor.clone(), Vector::from(vec![-5.0])),
+        )
+        .unwrap();
+        let sol = solve_lq(&problem, &settings()).unwrap();
+        for k in 1..=3 {
+            assert!(sol.xs[k][0] >= 5.0 - 1e-6, "x[{k}] = {}", sol.xs[k][0]);
+        }
+        // The active floor must carry a positive multiplier somewhere.
+        let max_dual = sol
+            .stage_duals
+            .iter()
+            .map(Vector::norm_inf)
+            .fold(0.0f64, f64::max);
+        assert!(max_dual > 1e-6);
+    }
+
+    #[test]
+    fn capacity_cap_binds_from_above() {
+        // Strongly negative price pushes x up; capacity x ≤ 2 must hold.
+        let cap = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let make_stage = || {
+            LqStage::identity_dynamics(1)
+                .with_state_cost(Vector::from(vec![-10.0]))
+                .with_input_penalty(&Vector::from(vec![0.5]))
+                .with_constraints(cap.clone(), Matrix::zeros(1, 1), Vector::from(vec![2.0]))
+        };
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![make_stage(), make_stage(), make_stage(), make_stage()],
+            LqTerminal::free(1),
+        )
+        .unwrap();
+        let sol = solve_lq(&problem, &settings()).unwrap();
+        for k in 1..=4 {
+            assert!(sol.xs[k][0] <= 2.0 + 1e-6, "x[{k}] = {}", sol.xs[k][0]);
+        }
+        // With such a strong incentive the cap should be (nearly) reached at
+        // some stage.
+        assert!(sol.xs[3][0] > 1.9);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_optimum() {
+        let floor = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(1)
+            .with_state_cost(Vector::ones(1))
+            .with_input_penalty(&Vector::from(vec![0.1]));
+        let stage = free.clone().with_constraints(
+            floor.clone(),
+            Matrix::zeros(1, 1),
+            Vector::from(vec![-5.0]),
+        );
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![free, stage.clone(), stage],
+            LqTerminal::free(1).with_constraints(floor, Vector::from(vec![-5.0])),
+        )
+        .unwrap();
+        let cold = solve_lq(&problem, &settings()).unwrap();
+        let warm = solve_lq_warm(&problem, &settings(), Some(&cold.us)).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        for (a, b) in warm.us.iter().zip(&cold.us) {
+            assert!((a - b).norm_inf() < 1e-5);
+        }
+        // A wrong-shaped guess is rejected, not silently accepted.
+        let bad = vec![Vector::zeros(2); 3];
+        assert!(matches!(
+            solve_lq_warm(&problem, &settings(), Some(&bad)),
+            Err(SolverError::InvalidProblem(_))
+        ));
+        let nan = vec![Vector::from(vec![f64::NAN]); 3];
+        assert!(solve_lq_warm(&problem, &settings(), Some(&nan)).is_err());
+    }
+
+    #[test]
+    fn infeasible_constraints_error_out() {
+        // x ≥ 5 and x ≤ 1 simultaneously.
+        let rows = Matrix::from_rows(&[&[-1.0], &[1.0]]).unwrap();
+        let stage = LqStage::identity_dynamics(1)
+            .with_input_penalty(&Vector::ones(1))
+            .with_constraints(
+                rows,
+                Matrix::zeros(2, 1),
+                Vector::from(vec![-5.0, 1.0]),
+            );
+        let problem =
+            LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+        let err = solve_lq(&problem, &settings()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolverError::MaxIterations { .. } | SolverError::NumericalFailure(_)
+            ),
+            "unexpected: {err}"
+        );
+    }
+
+    #[test]
+    fn input_constraints_limit_ramp_rate() {
+        // Reach x ≥ 9 eventually but |u| ≤ 2 per stage: need at least 5 stages.
+        let ramp = Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap();
+        let floor = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let mk = |with_floor: bool| {
+            let mut st = LqStage::identity_dynamics(1)
+                .with_state_cost(Vector::from(vec![0.01]))
+                .with_input_penalty(&Vector::from(vec![0.01]))
+                .with_constraints(
+                    Matrix::zeros(2, 1),
+                    ramp.clone(),
+                    Vector::from(vec![2.0, 2.0]),
+                );
+            if with_floor {
+                st = st.with_constraints(
+                    floor.clone(),
+                    Matrix::zeros(1, 1),
+                    Vector::from(vec![-9.0]),
+                );
+            }
+            st
+        };
+        // Floor applies from stage 5 (so it is reachable under the rate cap).
+        let stages = vec![mk(false), mk(false), mk(false), mk(false), mk(false), mk(true)];
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            stages,
+            LqTerminal::free(1)
+                .with_constraints(floor.clone(), Vector::from(vec![-9.0])),
+        )
+        .unwrap();
+        let sol = solve_lq(&problem, &settings()).unwrap();
+        for u in &sol.us {
+            assert!(u[0].abs() <= 2.0 + 1e-6, "u = {}", u[0]);
+        }
+        assert!(sol.xs[6][0] >= 9.0 - 1e-6, "x6 = {}", sol.xs[6][0]);
+    }
+
+    #[test]
+    fn two_pools_split_by_price() {
+        // Two locations, shared demand floor x1 + x2 ≥ 10, prices 1 vs 3:
+        // everything should go to the cheap location.
+        let demand = Matrix::from_rows(&[&[-1.0, -1.0]]).unwrap();
+        let nonneg = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(2)
+            .with_state_cost(Vector::from(vec![1.0, 3.0]))
+            .with_input_penalty(&Vector::from(vec![0.01, 0.01]));
+        let mk = || {
+            free.clone()
+                .with_constraints(
+                    demand.clone(),
+                    Matrix::zeros(1, 2),
+                    Vector::from(vec![-10.0]),
+                )
+                .with_constraints(
+                    nonneg.clone(),
+                    Matrix::zeros(2, 2),
+                    Vector::zeros(2),
+                )
+        };
+        // Stage 0 is unconstrained: its state constraint would bind the
+        // fixed x_0 = 0, which can never satisfy the demand floor.
+        let problem = LqProblem::new(
+            Vector::zeros(2),
+            vec![free.clone(), mk(), mk(), mk(), mk()],
+            LqTerminal::free(2),
+        )
+        .unwrap();
+        let sol = solve_lq(&problem, &settings()).unwrap();
+        // At the last constrained stage the cheap pool dominates.
+        let x = &sol.xs[4];
+        assert!(x[0] + x[1] >= 10.0 - 1e-5);
+        assert!(x[0] > 8.0, "cheap pool got {}", x[0]);
+        assert!(x[1] < 2.0, "expensive pool got {}", x[1]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Riccati backward recursion for equality-constrained LQ Newton steps.
+//!
+//! Every interior-point iteration on an [`crate::LqProblem`] must solve an
+//! equality-constrained LQ subproblem in the increments `(Δx, Δu, Δλ)` whose
+//! stage Hessians are the barrier-modified `Q̃, R̃, M̃`. This module factors
+//! that subproblem once per iteration ([`RiccatiFactor::factor`]) and then
+//! solves it for any number of right-hand sides ([`RiccatiFactor::solve`]) —
+//! Mehrotra's predictor–corrector needs two solves per factorization.
+//!
+//! The recursion (for `x⁺ = A x + B u`, increments satisfy the homogeneous
+//! dynamics because the outer loop keeps iterates exactly
+//! dynamics-feasible):
+//!
+//! ```text
+//! P_N = Q̃_N
+//! F_k = R̃_k + BᵀP_{k+1}B          (Cholesky-factored, must be PD)
+//! H_k = M̃_kᵀ + BᵀP_{k+1}A
+//! P_k = Q̃_k + AᵀP_{k+1}A − H_kᵀF_k⁻¹H_k
+//! ```
+//!
+//! and per right-hand side `(q̂, r̂)`:
+//!
+//! ```text
+//! p_N = q̂_N
+//! g_k = r̂_k + Bᵀp_{k+1},   κ_k = F_k⁻¹g_k
+//! p_k = q̂_k + Aᵀp_{k+1} − H_kᵀκ_k
+//! Δu_k = −K_kΔx_k − κ_k,   Δx_{k+1} = AΔx_k + BΔu_k,   Δx_0 = 0
+//! Δλ_k = P_{k+1}Δx_{k+1} + p_{k+1}
+//! ```
+
+use crate::{LqProblem, SolverError};
+use dspp_linalg::{Cholesky, Matrix, Vector};
+
+/// A factored Newton/LQ subproblem; see the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct RiccatiFactor {
+    /// Cholesky factors of `F_k`, one per stage.
+    f_chols: Vec<Cholesky>,
+    /// Feedback gains `K_k = F_k⁻¹H_k`.
+    ks: Vec<Matrix>,
+    /// `H_k` matrices (needed in the gradient backward pass).
+    hs: Vec<Matrix>,
+    /// Value-function Hessians `P_0..P_N` (`P_0` present but unused).
+    ps: Vec<Matrix>,
+    /// Cached transposes `A_kᵀ`, `B_kᵀ`.
+    ats: Vec<Matrix>,
+    bts: Vec<Matrix>,
+}
+
+/// Solution of one Newton subproblem right-hand side.
+#[derive(Debug, Clone)]
+pub(crate) struct RiccatiStep {
+    /// State increments `Δx_0..Δx_N` (`Δx_0 = 0`).
+    pub dxs: Vec<Vector>,
+    /// Input increments `Δu_0..Δu_{N-1}`.
+    pub dus: Vec<Vector>,
+    /// Costate increments `Δλ_0..Δλ_{N-1}`.
+    pub dlams: Vec<Vector>,
+}
+
+impl RiccatiFactor {
+    /// Factors the subproblem with barrier-modified Hessians.
+    ///
+    /// `q_mods[k]` (`k = 0..=N`) are the effective state Hessians `Q̃_k`
+    /// (index 0 is ignored; index `N` is the terminal), `r_mods[k]` the
+    /// effective input Hessians `R̃_k`, and `m_mods[k]` the cross terms
+    /// `M̃_k` (`n × m_u`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NumericalFailure`] if some `F_k` is not
+    /// positive definite — in practice this means a stage `R` is not PD.
+    pub fn factor(
+        problem: &LqProblem,
+        q_mods: &[Matrix],
+        r_mods: &[Matrix],
+        m_mods: &[Matrix],
+        regularization: f64,
+    ) -> Result<Self, SolverError> {
+        let nstages = problem.horizon();
+        debug_assert_eq!(q_mods.len(), nstages + 1);
+        debug_assert_eq!(r_mods.len(), nstages);
+        debug_assert_eq!(m_mods.len(), nstages);
+
+        let mut ps = vec![Matrix::default(); nstages + 1];
+        ps[nstages] = q_mods[nstages].clone();
+        let mut f_chols = Vec::with_capacity(nstages);
+        let mut ks = vec![Matrix::default(); nstages];
+        let mut hs = vec![Matrix::default(); nstages];
+        let mut ats = Vec::with_capacity(nstages);
+        let mut bts = Vec::with_capacity(nstages);
+        for st in &problem.stages {
+            ats.push(st.a.transpose());
+            bts.push(st.b.transpose());
+        }
+
+        // Backward in k; collect F factors in forward order afterwards.
+        let mut f_list = vec![None; nstages];
+        for k in (0..nstages).rev() {
+            let st = &problem.stages[k];
+            let bt = &bts[k];
+            let at = &ats[k];
+            let pb = ps[k + 1].matmul(&st.b); // n x mu
+            let pa = ps[k + 1].matmul(&st.a); // n x n
+            let mut f = r_mods[k].clone();
+            f.add_scaled(1.0, &bt.matmul(&pb));
+            f.symmetrize();
+            let f_chol = Cholesky::factor_regularized(&f, regularization).map_err(|e| {
+                SolverError::NumericalFailure(format!(
+                    "stage {k}: F = R + B'PB is not positive definite ({e}); \
+                     every stage needs a positive-definite input cost"
+                ))
+            })?;
+            let mut h = m_mods[k].transpose(); // mu x n
+            h.add_scaled(1.0, &bt.matmul(&pa));
+            // K = F⁻¹ H, column by column.
+            let mut kmat = Matrix::zeros(h.rows(), h.cols());
+            for j in 0..h.cols() {
+                let col = f_chol.solve(&h.col(j));
+                for i in 0..h.rows() {
+                    kmat[(i, j)] = col[i];
+                }
+            }
+            let mut p = q_mods[k].clone();
+            p.add_scaled(1.0, &at.matmul(&pa));
+            let htk = h.transpose().matmul(&kmat);
+            p.add_scaled(-1.0, &htk);
+            p.symmetrize();
+            ps[k] = p;
+            ks[k] = kmat;
+            hs[k] = h;
+            f_list[k] = Some(f_chol);
+        }
+        for f in f_list {
+            f_chols.push(f.expect("all stages factored"));
+        }
+        Ok(RiccatiFactor {
+            f_chols,
+            ks,
+            hs,
+            ps,
+            ats,
+            bts,
+        })
+    }
+
+    /// Solves the factored subproblem for gradients `(q̂, r̂)`.
+    ///
+    /// `q_hats[k]` (`k = 0..=N`, index 0 ignored) and `r_hats[k]`
+    /// (`k = 0..N-1`) are the modified stationarity residuals; see the
+    /// module docs for the recursion.
+    pub fn solve(&self, problem: &LqProblem, q_hats: &[Vector], r_hats: &[Vector]) -> RiccatiStep {
+        let nstages = problem.horizon();
+        debug_assert_eq!(q_hats.len(), nstages + 1);
+        debug_assert_eq!(r_hats.len(), nstages);
+
+        // Backward pass for the affine terms.
+        let mut p_vecs = vec![Vector::default(); nstages + 1];
+        let mut kappas = vec![Vector::default(); nstages];
+        p_vecs[nstages] = q_hats[nstages].clone();
+        for k in (0..nstages).rev() {
+            let bt = &self.bts[k];
+            let at = &self.ats[k];
+            let mut g = r_hats[k].clone();
+            g += &bt.matvec(&p_vecs[k + 1]);
+            let kappa = self.f_chols[k].solve(&g);
+            let mut p = q_hats[k].clone();
+            p += &at.matvec(&p_vecs[k + 1]);
+            p -= &self.hs[k].matvec_t(&kappa);
+            p_vecs[k] = p;
+            kappas[k] = kappa;
+        }
+
+        // Forward rollout of the increments.
+        let n = problem.state_dim();
+        let mut dxs = Vec::with_capacity(nstages + 1);
+        let mut dus = Vec::with_capacity(nstages);
+        let mut dlams = Vec::with_capacity(nstages);
+        dxs.push(Vector::zeros(n));
+        for k in 0..nstages {
+            let st = &problem.stages[k];
+            let dx = &dxs[k];
+            let mut du = -&self.ks[k].matvec(dx);
+            du -= &kappas[k];
+            let mut dxn = st.a.matvec(dx);
+            dxn += &st.b.matvec(&du);
+            let mut dlam = self.ps[k + 1].matvec(&dxn);
+            dlam += &p_vecs[k + 1];
+            dxs.push(dxn);
+            dus.push(du);
+            dlams.push(dlam);
+        }
+        RiccatiStep { dxs, dus, dlams }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LqStage, LqTerminal};
+
+    /// Unconstrained LQ with Q=0: the Newton step from a dynamics-feasible
+    /// iterate must land exactly on the analytic optimum.
+    #[test]
+    fn newton_step_solves_unconstrained_lq_exactly() {
+        // min Σ_{k=0..1} [x_k + u_k²] + x_2, scalar, x0 = 0, x⁺ = x + u.
+        // Flatten: x1 = u0, x2 = u0+u1.
+        // J = u0² + u1² + x1 + x2 = u0² + u1² + 2 u0 + u1.
+        // ∂/∂u0 = 2u0 + 2 = 0 → u0 = -1; ∂/∂u1 = 2u1 + 1 = 0 → u1 = -0.5.
+        let stage = |q: f64| {
+            LqStage::identity_dynamics(1)
+                .with_state_cost(Vector::from(vec![q]))
+                .with_input_penalty(&Vector::ones(1))
+        };
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![stage(1.0), stage(1.0)],
+            LqTerminal::free(1).with_state_cost(Vector::ones(1)),
+        )
+        .unwrap();
+
+        // Hessians: Q̃ = 0, R̃ = 2 (from ½ uᵀRu with R = 2), M̃ = 0.
+        let q_mods = vec![Matrix::zeros(1, 1); 3];
+        let r_mods = vec![Matrix::from_diag(&Vector::from(vec![2.0])); 2];
+        let m_mods = vec![Matrix::zeros(1, 1); 2];
+        let factor = RiccatiFactor::factor(&problem, &q_mods, &r_mods, &m_mods, 0.0).unwrap();
+
+        // Start at us = 0, xs = 0, λ = 0. Residuals:
+        // r_x_1 = q_1 + A'λ_1 − λ_0 = 1 (λ=0), r_x_2 (terminal) = 1,
+        // r_u_k = R u + r + B'λ = 0.
+        let q_hats = vec![
+            Vector::zeros(1),
+            Vector::from(vec![1.0]),
+            Vector::from(vec![1.0]),
+        ];
+        let r_hats = vec![Vector::zeros(1), Vector::zeros(1)];
+        let step = factor.solve(&problem, &q_hats, &r_hats);
+        assert!((step.dus[0][0] + 1.0).abs() < 1e-12, "du0 = {}", step.dus[0][0]);
+        assert!((step.dus[1][0] + 0.5).abs() < 1e-12, "du1 = {}", step.dus[1][0]);
+        assert!((step.dxs[1][0] + 1.0).abs() < 1e-12);
+        assert!((step.dxs[2][0] + 1.5).abs() < 1e-12);
+        // Costates: λ_k = ∂J/∂x_{k+1} along optimal tail: λ_1 = 1 (terminal),
+        // λ_0 = q_1 + λ_1 = 2.
+        assert!((step.dlams[1][0] - 1.0).abs() < 1e-12);
+        assert!((step.dlams[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_pd_input_cost_is_reported() {
+        let stage = LqStage::identity_dynamics(1); // R = 0
+        let problem =
+            LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+        let q_mods = vec![Matrix::zeros(1, 1); 2];
+        let r_mods = vec![Matrix::zeros(1, 1)];
+        let m_mods = vec![Matrix::zeros(1, 1)];
+        let err = RiccatiFactor::factor(&problem, &q_mods, &r_mods, &m_mods, 0.0).unwrap_err();
+        assert!(matches!(err, SolverError::NumericalFailure(_)));
+    }
+
+    /// With nontrivial A, B the Newton step must satisfy the linearized
+    /// stationarity equations exactly (verified by substitution).
+    #[test]
+    fn step_satisfies_kkt_equations() {
+        let n = 2;
+        let mut stage = LqStage::identity_dynamics(n)
+            .with_state_cost(Vector::from(vec![0.3, -0.2]))
+            .with_input_penalty(&Vector::from(vec![1.0, 2.0]));
+        stage.a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.9]]).unwrap();
+        stage.b = Matrix::from_rows(&[&[1.0, 0.0], &[0.2, 1.0]]).unwrap();
+        let problem = LqProblem::new(
+            Vector::from(vec![1.0, -1.0]),
+            vec![stage.clone(), stage.clone(), stage],
+            LqTerminal::free(n).with_state_cost(Vector::from(vec![0.5, 0.5])),
+        )
+        .unwrap();
+
+        let nst = problem.horizon();
+        let q_mods = vec![Matrix::zeros(n, n); nst + 1];
+        let r_mods: Vec<Matrix> = problem.stages.iter().map(|s| s.r_mat.clone()).collect();
+        let m_mods = vec![Matrix::zeros(n, n); nst];
+        let factor = RiccatiFactor::factor(&problem, &q_mods, &r_mods, &m_mods, 0.0).unwrap();
+
+        let q_hats: Vec<Vector> = (0..=nst)
+            .map(|k| {
+                if k == 0 {
+                    Vector::zeros(n)
+                } else if k == nst {
+                    problem.terminal.q_vec.clone()
+                } else {
+                    problem.stages[k].q_vec.clone()
+                }
+            })
+            .collect();
+        let r_hats: Vec<Vector> = problem.stages.iter().map(|s| s.r_vec.clone()).collect();
+        let step = factor.solve(&problem, &q_hats, &r_hats);
+
+        // Verify stationarity rows: Q̃Δx + M̃Δu + q̂ + AᵀΔλ_k − Δλ_{k-1} = 0
+        // for k = 1..nst-1 and the terminal row.
+        for k in 1..nst {
+            let mut lhs = q_hats[k].clone();
+            lhs += &problem.stages[k].a.matvec_t(&step.dlams[k]);
+            lhs -= &step.dlams[k - 1];
+            assert!(lhs.norm_inf() < 1e-10, "x-row {k}: {lhs}");
+        }
+        let mut term = q_hats[nst].clone();
+        term -= &step.dlams[nst - 1];
+        assert!(term.norm_inf() < 1e-10, "terminal row: {term}");
+        // u rows: R̃Δu + r̂ + BᵀΔλ_k = 0.
+        for k in 0..nst {
+            let mut lhs = r_mods[k].matvec(&step.dus[k]);
+            lhs += &r_hats[k];
+            lhs += &problem.stages[k].b.matvec_t(&step.dlams[k]);
+            assert!(lhs.norm_inf() < 1e-10, "u-row {k}: {lhs}");
+        }
+        // Dynamics of increments are homogeneous.
+        for k in 0..nst {
+            let mut rhs = problem.stages[k].a.matvec(&step.dxs[k]);
+            rhs += &problem.stages[k].b.matvec(&step.dus[k]);
+            assert!((&step.dxs[k + 1] - &rhs).norm_inf() < 1e-12);
+        }
+        assert!(step.dxs[0].norm_inf() == 0.0);
+    }
+}

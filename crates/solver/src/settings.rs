@@ -1,0 +1,105 @@
+/// Tuning knobs shared by both interior-point solvers.
+///
+/// The defaults solve every problem in this workspace; they are exposed so
+/// the benchmarks can trade accuracy for speed and the tests can stress the
+/// failure paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpmSettings {
+    /// Maximum interior-point iterations before giving up.
+    pub max_iterations: usize,
+    /// Tolerance on the scaled primal and dual residual infinity norms.
+    pub tol_feasibility: f64,
+    /// Tolerance on the average complementarity `sᵀz/m`, relative to
+    /// `1 + |objective|`.
+    pub tol_gap: f64,
+    /// Static regularization added to the Newton system diagonal.
+    pub regularization: f64,
+    /// Fraction-to-boundary factor for the step length (`< 1`).
+    pub step_fraction: f64,
+    /// Initial slack/dual magnitude used when cold-starting.
+    pub init_margin: f64,
+}
+
+impl Default for IpmSettings {
+    fn default() -> Self {
+        IpmSettings {
+            max_iterations: 100,
+            tol_feasibility: 1e-8,
+            tol_gap: 1e-9,
+            regularization: 1e-9,
+            step_fraction: 0.99,
+            init_margin: 1.0,
+        }
+    }
+}
+
+impl IpmSettings {
+    /// A looser profile for benchmarks and large parameter sweeps
+    /// (1e-6 feasibility / gap tolerances).
+    pub fn fast() -> Self {
+        IpmSettings {
+            tol_feasibility: 1e-6,
+            tol_gap: 1e-7,
+            ..IpmSettings::default()
+        }
+    }
+
+    /// Validates that the settings are usable.
+    ///
+    /// Returns a human-readable complaint for nonsensical values; the
+    /// solvers call this before starting.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        if !(self.tol_feasibility > 0.0 && self.tol_feasibility.is_finite()) {
+            return Err("tol_feasibility must be positive and finite".into());
+        }
+        if !(self.tol_gap > 0.0 && self.tol_gap.is_finite()) {
+            return Err("tol_gap must be positive and finite".into());
+        }
+        if !(self.regularization >= 0.0 && self.regularization.is_finite()) {
+            return Err("regularization must be non-negative and finite".into());
+        }
+        if !(self.step_fraction > 0.0 && self.step_fraction < 1.0) {
+            return Err("step_fraction must lie in (0, 1)".into());
+        }
+        if !(self.init_margin > 0.0 && self.init_margin.is_finite()) {
+            return Err("init_margin must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_settings_validate() {
+        assert!(IpmSettings::default().validate().is_ok());
+        assert!(IpmSettings::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_settings_are_rejected() {
+        let mut s = IpmSettings::default();
+        s.max_iterations = 0;
+        assert!(s.validate().is_err());
+        let mut s = IpmSettings::default();
+        s.tol_gap = -1.0;
+        assert!(s.validate().is_err());
+        let mut s = IpmSettings::default();
+        s.step_fraction = 1.0;
+        assert!(s.validate().is_err());
+        let mut s = IpmSettings::default();
+        s.regularization = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = IpmSettings::default();
+        s.init_margin = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = IpmSettings::default();
+        s.tol_feasibility = f64::INFINITY;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+
+/// A US city that hosts an access network in the experiments.
+///
+/// The paper places 24 access networks "in major cities across the U.S."
+/// with request volume weighted by population (Section VII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// City name, e.g. `"New York, NY"`.
+    pub name: &'static str,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Metro population (approximate, millions not required — only the
+    /// *relative* weights matter for demand generation).
+    pub population: f64,
+}
+
+impl City {
+    /// Great-circle distance to another city, in kilometers (haversine).
+    pub fn distance_km(&self, other: &City) -> f64 {
+        const R_EARTH_KM: f64 = 6371.0;
+        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dla = la2 - la1;
+        let dlo = lo2 - lo1;
+        let a = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+        2.0 * R_EARTH_KM * a.sqrt().asin()
+    }
+}
+
+/// A data-center site: a location plus the electricity-market region it
+/// buys power from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenterSite {
+    /// Site location.
+    pub city: City,
+    /// Electricity-market region key (matches `dspp-pricing` region names).
+    pub region: &'static str,
+}
+
+/// The 24 major-US-city access networks used by the experiments.
+///
+/// Populations are 2010-era metro estimates in millions; only their relative
+/// magnitudes matter.
+pub fn us_cities() -> Vec<City> {
+    vec![
+        City { name: "New York, NY", lat: 40.71, lon: -74.01, population: 19.57 },
+        City { name: "Los Angeles, CA", lat: 34.05, lon: -118.24, population: 12.83 },
+        City { name: "Chicago, IL", lat: 41.88, lon: -87.63, population: 9.46 },
+        City { name: "Dallas, TX", lat: 32.78, lon: -96.80, population: 6.43 },
+        City { name: "Houston, TX", lat: 29.76, lon: -95.37, population: 5.92 },
+        City { name: "Philadelphia, PA", lat: 39.95, lon: -75.17, population: 5.97 },
+        City { name: "Washington, DC", lat: 38.91, lon: -77.04, population: 5.58 },
+        City { name: "Miami, FL", lat: 25.76, lon: -80.19, population: 5.56 },
+        City { name: "Atlanta, GA", lat: 33.75, lon: -84.39, population: 5.29 },
+        City { name: "Boston, MA", lat: 42.36, lon: -71.06, population: 4.55 },
+        City { name: "San Francisco, CA", lat: 37.77, lon: -122.42, population: 4.34 },
+        City { name: "Detroit, MI", lat: 42.33, lon: -83.05, population: 4.30 },
+        City { name: "Phoenix, AZ", lat: 33.45, lon: -112.07, population: 4.19 },
+        City { name: "Seattle, WA", lat: 47.61, lon: -122.33, population: 3.44 },
+        City { name: "Minneapolis, MN", lat: 44.98, lon: -93.27, population: 3.28 },
+        City { name: "San Diego, CA", lat: 32.72, lon: -117.16, population: 3.10 },
+        City { name: "St. Louis, MO", lat: 38.63, lon: -90.20, population: 2.79 },
+        City { name: "Tampa, FL", lat: 27.95, lon: -82.46, population: 2.78 },
+        City { name: "Denver, CO", lat: 39.74, lon: -104.99, population: 2.54 },
+        City { name: "Baltimore, MD", lat: 39.29, lon: -76.61, population: 2.71 },
+        City { name: "Pittsburgh, PA", lat: 40.44, lon: -79.99, population: 2.36 },
+        City { name: "Portland, OR", lat: 45.52, lon: -122.68, population: 2.23 },
+        City { name: "Charlotte, NC", lat: 35.23, lon: -80.84, population: 1.76 },
+        City { name: "Salt Lake City, UT", lat: 40.76, lon: -111.89, population: 1.09 },
+    ]
+}
+
+/// The 4 data-center regions of the paper's evaluation.
+///
+/// Section VII names San Jose CA, Houston TX, Atlanta GA and Chicago IL;
+/// Figure 3 labels the corresponding electricity hubs San Jose / Dallas /
+/// Atlanta / Chicago and Figure 5 uses Mountain View / Houston / Atlanta —
+/// the paper treats each pair as the same market region, and so do we.
+pub fn default_data_centers() -> Vec<DataCenterSite> {
+    vec![
+        DataCenterSite {
+            city: City { name: "San Jose, CA", lat: 37.34, lon: -121.89, population: 1.84 },
+            region: "CA",
+        },
+        DataCenterSite {
+            city: City { name: "Houston, TX", lat: 29.76, lon: -95.37, population: 5.92 },
+            region: "TX",
+        },
+        DataCenterSite {
+            city: City { name: "Atlanta, GA", lat: 33.75, lon: -84.39, population: 5.29 },
+            region: "GA",
+        },
+        DataCenterSite {
+            city: City { name: "Chicago, IL", lat: 41.88, lon: -87.63, population: 9.46 },
+            region: "IL",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_24_access_networks() {
+        assert_eq!(us_cities().len(), 24);
+    }
+
+    #[test]
+    fn four_dc_regions_match_the_paper() {
+        let dcs = default_data_centers();
+        assert_eq!(dcs.len(), 4);
+        let regions: Vec<_> = dcs.iter().map(|d| d.region).collect();
+        assert_eq!(regions, vec!["CA", "TX", "GA", "IL"]);
+    }
+
+    #[test]
+    fn haversine_sanity() {
+        let cities = us_cities();
+        let ny = &cities[0];
+        let la = &cities[1];
+        let d = ny.distance_km(la);
+        // NYC–LA is ~3940 km.
+        assert!((3800.0..4100.0).contains(&d), "NY–LA = {d} km");
+        assert!(ny.distance_km(ny) < 1e-9);
+        // Symmetry.
+        assert!((d - la.distance_km(ny)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn populations_are_positive_and_descending_ish() {
+        let cities = us_cities();
+        assert!(cities.iter().all(|c| c.population > 0.0));
+        // New York is the largest metro.
+        let max = cities
+            .iter()
+            .map(|c| c.population)
+            .fold(0.0f64, f64::max);
+        assert_eq!(max, cities[0].population);
+    }
+}

@@ -1,0 +1,143 @@
+use crate::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the minimum.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest-path distances (Dijkstra's algorithm).
+///
+/// Returns one distance per node; unreachable nodes get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_topology::{dijkstra, Graph};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// g.add_edge(0, 2, 10.0);
+/// let d = dijkstra(&g, 0);
+/// assert_eq!(d[2], 3.0); // via node 1, not the direct 10.0 edge
+/// ```
+pub fn dijkstra(graph: &Graph, source: NodeId) -> Vec<f64> {
+    assert!(source < graph.num_nodes(), "source {source} out of range");
+    let mut dist = vec![f64::INFINITY; graph.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let g = line_graph(5);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let d = dijkstra(&g, 2);
+        assert_eq!(d, vec![2.0, 1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn prefers_lighter_path() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 0.5);
+        g.add_edge(2, 3, 3.0);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[3], 2.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn parallel_edges_use_lightest() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(dijkstra(&g, 0)[1], 2.0);
+    }
+
+    proptest! {
+        /// Triangle inequality: d(s,v) ≤ d(s,u) + w(u,v) for every edge.
+        #[test]
+        fn prop_relaxed_edges(edges in prop::collection::vec((0usize..10, 0usize..10, 0.1f64..5.0), 5..40)) {
+            let mut g = Graph::with_nodes(10);
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge(a, b, w);
+                }
+            }
+            let d = dijkstra(&g, 0);
+            for u in 0..10 {
+                if d[u].is_infinite() { continue; }
+                for (v, w) in g.neighbors(u) {
+                    prop_assert!(d[v] <= d[u] + w + 1e-12);
+                }
+            }
+        }
+    }
+}

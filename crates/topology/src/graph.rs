@@ -1,0 +1,150 @@
+/// Identifier of a node in a [`Graph`] (a dense index).
+pub type NodeId = usize;
+
+/// A weighted undirected graph stored as adjacency lists.
+///
+/// Edge weights are link latencies in seconds throughout this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_topology::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b, 0.020);
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.neighbors(a).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds an undirected edge with the given weight (latency in seconds).
+    ///
+    /// Parallel edges are permitted; shortest-path queries simply use the
+    /// lightest one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, the endpoints coincide, or
+    /// the weight is not finite and positive.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        assert!(a < self.adj.len(), "node {a} out of range");
+        assert!(b < self.adj.len(), "node {b} out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be finite and positive, got {weight}"
+        );
+        self.adj[a].push((b, weight));
+        self.adj[b].push((a, weight));
+        self.num_edges += 1;
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adj[node].iter().copied()
+    }
+
+    /// Returns `true` if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let n: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert!(!g.is_connected());
+        g.add_edge(1, 2, 1.0);
+        assert!(g.is_connected());
+        assert!(Graph::new().is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(0, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge weight")]
+    fn rejects_bad_weight() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1, -1.0);
+    }
+}

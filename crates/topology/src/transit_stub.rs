@@ -1,0 +1,279 @@
+use crate::{dijkstra, Graph, LatencyMatrix, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper latency constants (Section VII): intra-transit 20 ms,
+/// transit–stub 5 ms, intra-stub 2 ms.
+const INTRA_TRANSIT_S: f64 = 0.020;
+const TRANSIT_STUB_S: f64 = 0.005;
+const INTRA_STUB_S: f64 = 0.002;
+
+/// Configuration of the GT-ITM-style transit–stub topology generator.
+///
+/// The generated structure mirrors what the paper builds on top of
+/// Rocketfuel: a small number of transit (tier-1 backbone) domains whose
+/// routers carry 20 ms links, stub domains (regional ISPs / access networks)
+/// hanging off transit routers via 5 ms links, and 2 ms links inside each
+/// stub.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_topology::TransitStubConfig;
+///
+/// let topo = TransitStubConfig::default().with_seed(42).generate();
+/// assert!(topo.graph().is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit domains.
+    pub transit_domains: usize,
+    /// Routers per transit domain.
+    pub transit_nodes: usize,
+    /// Stub domains attached to each transit router.
+    pub stubs_per_transit_node: usize,
+    /// Routers per stub domain.
+    pub stub_nodes: usize,
+    /// Extra random chord edges added inside each transit domain (beyond the
+    /// connecting ring).
+    pub extra_transit_edges: usize,
+    /// RNG seed (the generator is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 2,
+            transit_nodes: 8,
+            stubs_per_transit_node: 2,
+            stub_nodes: 3,
+            extra_transit_edges: 4,
+            seed: 1,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn generate(&self) -> TransitStubTopology {
+        assert!(self.transit_domains > 0, "need at least one transit domain");
+        assert!(self.transit_nodes > 0, "need at least one transit node");
+        assert!(self.stubs_per_transit_node > 0, "need at least one stub");
+        assert!(self.stub_nodes > 0, "need at least one stub node");
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut graph = Graph::new();
+        let mut transit_routers: Vec<NodeId> = Vec::new();
+        let mut stub_gateways: Vec<NodeId> = Vec::new();
+
+        // Transit domains: ring + random chords, rings joined pairwise.
+        let mut domain_first: Vec<NodeId> = Vec::new();
+        for _dom in 0..self.transit_domains {
+            let nodes: Vec<NodeId> = (0..self.transit_nodes).map(|_| graph.add_node()).collect();
+            domain_first.push(nodes[0]);
+            for i in 0..nodes.len() {
+                let j = (i + 1) % nodes.len();
+                if nodes.len() > 1 && (i < j || nodes.len() > 2) {
+                    graph.add_edge(nodes[i], nodes[j], INTRA_TRANSIT_S);
+                }
+            }
+            for _ in 0..self.extra_transit_edges {
+                if nodes.len() < 3 {
+                    break;
+                }
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                if a != b {
+                    graph.add_edge(a, b, INTRA_TRANSIT_S);
+                }
+            }
+            transit_routers.extend(&nodes);
+        }
+        // Join consecutive transit domains.
+        for w in domain_first.windows(2) {
+            graph.add_edge(w[0], w[1], INTRA_TRANSIT_S);
+        }
+
+        // Stub domains: a small ring per stub, gateway linked to its transit
+        // router with a 5 ms edge.
+        for &tr in &transit_routers {
+            for _ in 0..self.stubs_per_transit_node {
+                let nodes: Vec<NodeId> = (0..self.stub_nodes).map(|_| graph.add_node()).collect();
+                for i in 0..nodes.len() {
+                    let j = (i + 1) % nodes.len();
+                    if nodes.len() > 1 && (i < j || nodes.len() > 2) {
+                        graph.add_edge(nodes[i], nodes[j], INTRA_STUB_S);
+                    }
+                }
+                graph.add_edge(tr, nodes[0], TRANSIT_STUB_S);
+                stub_gateways.push(nodes[0]);
+            }
+        }
+
+        TransitStubTopology {
+            graph,
+            transit_routers,
+            stub_gateways,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A generated transit–stub topology.
+///
+/// Data centers and access networks are attached to stub domains (the paper
+/// attaches both to the augmented Rocketfuel graph the same way); the
+/// [`TransitStubTopology::latency_matrix`] method assigns them to stub
+/// gateways round-robin with a deterministic shuffle and returns the
+/// all-pairs `d_lv` matrix via Dijkstra.
+#[derive(Debug, Clone)]
+pub struct TransitStubTopology {
+    graph: Graph,
+    transit_routers: Vec<NodeId>,
+    stub_gateways: Vec<NodeId>,
+    seed: u64,
+}
+
+impl TransitStubTopology {
+    /// Borrows the underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The transit (backbone) routers.
+    pub fn transit_routers(&self) -> &[NodeId] {
+        &self.transit_routers
+    }
+
+    /// The gateway router of every stub domain.
+    pub fn stub_gateways(&self) -> &[NodeId] {
+        &self.stub_gateways
+    }
+
+    /// Computes the `d_lv` latency matrix for `num_dcs` data centers and
+    /// `num_locations` access networks attached to (deterministically
+    /// shuffled) stub gateways.
+    ///
+    /// Data centers take the first `num_dcs` shuffled gateways, access
+    /// networks the next `num_locations` (wrapping around if the topology
+    /// has fewer stubs than attachment points — several access networks then
+    /// share a stub, which is harmless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dcs` or `num_locations` is zero.
+    pub fn latency_matrix(&self, num_dcs: usize, num_locations: usize) -> LatencyMatrix {
+        assert!(num_dcs > 0 && num_locations > 0, "need at least one of each");
+        let mut order: Vec<usize> = (0..self.stub_gateways.len()).collect();
+        // Deterministic Fisher–Yates driven by the topology seed.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15));
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let gateway = |slot: usize| self.stub_gateways[order[slot % order.len()]];
+
+        let dc_nodes: Vec<NodeId> = (0..num_dcs).map(gateway).collect();
+        let loc_nodes: Vec<NodeId> = (num_dcs..num_dcs + num_locations).map(gateway).collect();
+
+        let rows = dc_nodes
+            .iter()
+            .map(|&dc| {
+                let dist = dijkstra(&self.graph, dc);
+                loc_nodes.iter().map(|&v| dist[v]).collect()
+            })
+            .collect();
+        LatencyMatrix::from_rows(rows).expect("generated matrix is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in 0..5 {
+            let topo = TransitStubConfig::default().with_seed(seed).generate();
+            assert!(topo.graph().is_connected(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn node_counts_match_config() {
+        let cfg = TransitStubConfig {
+            transit_domains: 2,
+            transit_nodes: 4,
+            stubs_per_transit_node: 3,
+            stub_nodes: 2,
+            extra_transit_edges: 0,
+            seed: 9,
+        };
+        let topo = cfg.generate();
+        assert_eq!(topo.transit_routers().len(), 8);
+        assert_eq!(topo.stub_gateways().len(), 24);
+        assert_eq!(topo.graph().num_nodes(), 8 + 24 * 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TransitStubConfig::default().with_seed(11).generate();
+        let b = TransitStubConfig::default().with_seed(11).generate();
+        assert_eq!(a.graph(), b.graph());
+        let ma = a.latency_matrix(4, 24);
+        let mb = b.latency_matrix(4, 24);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn latencies_are_in_realistic_ranges() {
+        let topo = TransitStubConfig::default().with_seed(3).generate();
+        let m = topo.latency_matrix(4, 24);
+        for l in 0..4 {
+            for v in 0..24 {
+                let d = m.get(l, v);
+                // Minimum path: 2×5ms transit-stub hops; generous upper bound
+                // for a couple of 20 ms backbone hops plus stub hops.
+                assert!(
+                    (0.0..0.5).contains(&d),
+                    "latency ({l},{v}) = {d}s out of range"
+                );
+            }
+        }
+        // Some pairs must actually traverse the backbone.
+        let max = (0..4)
+            .flat_map(|l| (0..24).map(move |v| (l, v)))
+            .map(|(l, v)| m.get(l, v))
+            .fold(0.0f64, f64::max);
+        assert!(max >= INTRA_TRANSIT_S, "no backbone hop observed (max {max})");
+    }
+
+    #[test]
+    fn single_stub_per_everything_still_works() {
+        let cfg = TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes: 1,
+            stubs_per_transit_node: 1,
+            stub_nodes: 1,
+            extra_transit_edges: 0,
+            seed: 5,
+        };
+        let topo = cfg.generate();
+        assert!(topo.graph().is_connected());
+        // One gateway shared by everything: latencies collapse to zero
+        // (same node), which from_rows accepts.
+        let m = topo.latency_matrix(2, 3);
+        assert_eq!(m.num_data_centers(), 2);
+    }
+}

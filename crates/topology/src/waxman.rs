@@ -1,0 +1,180 @@
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Waxman random-graph model used inside GT-ITM's transit domains.
+///
+/// Nodes are placed uniformly in the unit square; an edge between nodes at
+/// Euclidean distance `d` exists with probability
+/// `α · exp(−d / (β · L))` where `L = √2` is the maximum distance. A random
+/// spanning tree is added first so the result is always connected (the
+/// GT-ITM convention). Edge latency is proportional to distance.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_topology::WaxmanConfig;
+///
+/// let g = WaxmanConfig::new(20).with_seed(3).generate();
+/// assert_eq!(g.graph().num_nodes(), 20);
+/// assert!(g.graph().is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Edge-probability scale `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Distance decay `β ∈ (0, 1]` (larger ⇒ more long edges).
+    pub beta: f64,
+    /// Latency of a unit-distance edge, in seconds.
+    pub latency_per_unit: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WaxmanConfig {
+    /// Creates a configuration with GT-ITM-ish defaults
+    /// (`α = 0.4`, `β = 0.2`, 20 ms across the unit square).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        WaxmanConfig {
+            nodes,
+            alpha: 0.4,
+            beta: 0.2,
+            latency_per_unit: 0.020,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Waxman parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is outside `(0, 1]`.
+    pub fn with_parameters(mut self, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> WaxmanTopology {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let points: Vec<(f64, f64)> = (0..self.nodes)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let dist = |a: (f64, f64), b: (f64, f64)| -> f64 {
+            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+        };
+        let mut graph = Graph::with_nodes(self.nodes);
+        // Random spanning tree: connect each node to a random earlier one.
+        for i in 1..self.nodes {
+            let j = rng.gen_range(0..i);
+            let d = dist(points[i], points[j]).max(1e-6);
+            graph.add_edge(i, j, d * self.latency_per_unit);
+        }
+        // Waxman edges on the remaining pairs.
+        let l_max = 2.0f64.sqrt();
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                let d = dist(points[i], points[j]);
+                let p = self.alpha * (-d / (self.beta * l_max)).exp();
+                if rng.gen::<f64>() < p {
+                    graph.add_edge(i, j, d.max(1e-6) * self.latency_per_unit);
+                }
+            }
+        }
+        WaxmanTopology { graph, points }
+    }
+}
+
+/// A generated Waxman graph with its node coordinates.
+#[derive(Debug, Clone)]
+pub struct WaxmanTopology {
+    graph: Graph,
+    points: Vec<(f64, f64)>,
+}
+
+impl WaxmanTopology {
+    /// Borrows the graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node coordinates in the unit square.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..8 {
+            let g = WaxmanConfig::new(30).with_seed(seed).generate();
+            assert!(g.graph().is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WaxmanConfig::new(25).with_seed(4).generate();
+        let b = WaxmanConfig::new(25).with_seed(4).generate();
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn denser_parameters_give_more_edges() {
+        let sparse = WaxmanConfig::new(40)
+            .with_parameters(0.1, 0.1)
+            .with_seed(7)
+            .generate();
+        let dense = WaxmanConfig::new(40)
+            .with_parameters(0.9, 0.9)
+            .with_seed(7)
+            .generate();
+        assert!(
+            dense.graph().num_edges() > sparse.graph().num_edges(),
+            "dense {} vs sparse {}",
+            dense.graph().num_edges(),
+            sparse.graph().num_edges()
+        );
+    }
+
+    #[test]
+    fn latencies_scale_with_distance() {
+        let topo = WaxmanConfig::new(30).with_seed(2).generate();
+        // Any shortest path is bounded by (hops ≤ n) × max edge latency and
+        // is strictly positive between distinct nodes.
+        let d = dijkstra(topo.graph(), 0);
+        for (i, &di) in d.iter().enumerate().skip(1) {
+            assert!(di > 0.0, "node {i} at zero distance");
+            assert!(di < 30.0 * 0.020 * 1.5, "node {i} unreasonably far: {di}");
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = WaxmanConfig::new(1).with_seed(0).generate();
+        assert_eq!(g.graph().num_nodes(), 1);
+        assert!(g.graph().is_connected());
+    }
+}

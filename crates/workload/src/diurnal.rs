@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A smooth daily on–off demand shape.
+///
+/// The paper: "requests from the same location follow an on-off stochastic
+/// process that has high arrival rate during working hours (8am-5pm) and low
+/// arrival rate at night". A hard on–off square wave would make the MPC
+/// trajectories jumpy in an unrealistic way, so the transitions are ramped
+/// over [`DiurnalProfile::ramp_hours`] with a raised-cosine edge — the same
+/// smoothing used by trace-driven workload studies.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_workload::DiurnalProfile;
+///
+/// let p = DiurnalProfile::working_hours(100.0, 20.0);
+/// assert!(p.rate_at(12.0) > 95.0);  // midday: near peak
+/// assert!(p.rate_at(3.0) < 25.0);   // night: near off-level
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Arrival rate at the top of the plateau.
+    pub peak_rate: f64,
+    /// Arrival rate at night.
+    pub off_rate: f64,
+    /// Hour the busy period starts (plateau begins `ramp_hours` later).
+    pub on_hour: f64,
+    /// Hour the busy period ends.
+    pub off_hour: f64,
+    /// Width of each raised-cosine transition, in hours.
+    pub ramp_hours: f64,
+}
+
+impl DiurnalProfile {
+    /// The paper's 8 am–5 pm working-hours profile with 1.5 h ramps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_rate < off_rate` or either is negative.
+    pub fn working_hours(peak_rate: f64, off_rate: f64) -> Self {
+        assert!(off_rate >= 0.0, "off_rate must be non-negative");
+        assert!(peak_rate >= off_rate, "peak_rate must be >= off_rate");
+        DiurnalProfile {
+            peak_rate,
+            off_rate,
+            on_hour: 8.0,
+            off_hour: 17.0,
+            ramp_hours: 1.5,
+        }
+    }
+
+    /// A flat profile (constant rate) — used by the paper's Figure 5 and
+    /// Figure 10 experiments where demand is held constant.
+    pub fn constant(rate: f64) -> Self {
+        assert!(rate >= 0.0, "rate must be non-negative");
+        DiurnalProfile {
+            peak_rate: rate,
+            off_rate: rate,
+            on_hour: 0.0,
+            off_hour: 24.0,
+            ramp_hours: 1e-6,
+        }
+    }
+
+    /// The normalized shape in `[0, 1]` at hour-of-day `h` (wraps mod 24).
+    fn shape(&self, h: f64) -> f64 {
+        let h = h.rem_euclid(24.0);
+        let rise = smooth_step((h - self.on_hour) / self.ramp_hours);
+        let fall = smooth_step((h - self.off_hour) / self.ramp_hours);
+        rise - fall
+    }
+
+    /// Arrival rate at absolute time `t_hours` (any non-negative number of
+    /// hours; the profile repeats daily).
+    pub fn rate_at(&self, t_hours: f64) -> f64 {
+        self.off_rate + (self.peak_rate - self.off_rate) * self.shape(t_hours)
+    }
+}
+
+/// Raised-cosine step: 0 for `x ≤ 0`, 1 for `x ≥ 1`, smooth in between.
+fn smooth_step(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else if x >= 1.0 {
+        1.0
+    } else {
+        0.5 * (1.0 - (PI * x).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plateau_and_night_levels() {
+        let p = DiurnalProfile::working_hours(200.0, 40.0);
+        assert!((p.rate_at(12.0) - 200.0).abs() < 1.0);
+        assert!((p.rate_at(2.0) - 40.0).abs() < 1.0);
+        assert!((p.rate_at(23.0) - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ramps_are_monotone() {
+        let p = DiurnalProfile::working_hours(100.0, 10.0);
+        let mut prev = p.rate_at(7.9);
+        for i in 0..20 {
+            let h = 8.0 + 1.5 * (i as f64) / 19.0;
+            let r = p.rate_at(h);
+            assert!(r >= prev - 1e-9, "ramp not monotone at {h}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn repeats_daily() {
+        let p = DiurnalProfile::working_hours(100.0, 10.0);
+        for h in [0.0, 6.5, 12.0, 18.25] {
+            assert!((p.rate_at(h) - p.rate_at(h + 24.0)).abs() < 1e-9);
+            assert!((p.rate_at(h) - p.rate_at(h + 48.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_profile_is_flat() {
+        let p = DiurnalProfile::constant(55.0);
+        for h in 0..48 {
+            assert!((p.rate_at(h as f64 * 0.5) - 55.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peak_rate")]
+    fn rejects_inverted_levels() {
+        DiurnalProfile::working_hours(5.0, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rate_within_bounds(t in 0.0f64..240.0, peak in 1.0f64..1e4, frac in 0.0f64..1.0) {
+            let off = peak * frac;
+            let p = DiurnalProfile::working_hours(peak, off);
+            let r = p.rate_at(t);
+            prop_assert!(r >= off - 1e-9);
+            prop_assert!(r <= peak + 1e-9);
+        }
+    }
+}

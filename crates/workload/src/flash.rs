@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// A flash-crowd event: a multiplicative demand surge over a time window.
+///
+/// The paper motivates these as the situations where "demand and resource
+/// price can behave in an unexpectedly manner, e.g., flash-crowd effect"
+/// (Section III) — precisely the regime where long prediction horizons hurt
+/// (Figure 9). The surge ramps linearly in and out over a quarter of its
+/// duration so the discrete-time trace does not jump instantaneously.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_workload::FlashCrowd;
+///
+/// let f = FlashCrowd::new(10.0, 2.0, 5.0); // 10:00–12:00, 5× demand
+/// assert_eq!(f.multiplier_at(9.0), 1.0);
+/// assert!(f.multiplier_at(11.0) > 4.0);
+/// assert_eq!(f.multiplier_at(13.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Event start, in hours from the trace origin.
+    pub start_hour: f64,
+    /// Event duration in hours.
+    pub duration_hours: f64,
+    /// Peak demand multiplier (≥ 1).
+    pub magnitude: f64,
+    /// Which location the event hits; `None` hits every location.
+    pub location: Option<usize>,
+}
+
+impl FlashCrowd {
+    /// Creates a global flash crowd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_hours <= 0` or `magnitude < 1`.
+    pub fn new(start_hour: f64, duration_hours: f64, magnitude: f64) -> Self {
+        assert!(duration_hours > 0.0, "duration must be positive");
+        assert!(magnitude >= 1.0, "magnitude must be >= 1");
+        FlashCrowd {
+            start_hour,
+            duration_hours,
+            magnitude,
+            location: None,
+        }
+    }
+
+    /// Restricts the event to one location.
+    pub fn at_location(mut self, v: usize) -> Self {
+        self.location = Some(v);
+        self
+    }
+
+    /// The demand multiplier this event applies to location `v` at time `t`
+    /// (hours). Returns `1.0` outside the window or for other locations.
+    pub fn multiplier_for(&self, v: usize, t_hours: f64) -> f64 {
+        match self.location {
+            Some(loc) if loc != v => 1.0,
+            _ => self.multiplier_at(t_hours),
+        }
+    }
+
+    /// The raw multiplier at time `t` (hours), ignoring the location filter.
+    pub fn multiplier_at(&self, t_hours: f64) -> f64 {
+        let x = (t_hours - self.start_hour) / self.duration_hours;
+        if !(0.0..=1.0).contains(&x) {
+            return 1.0;
+        }
+        // Trapezoid: ramp up over the first quarter, down over the last.
+        let ramp = 0.25;
+        let level = if x < ramp {
+            x / ramp
+        } else if x > 1.0 - ramp {
+            (1.0 - x) / ramp
+        } else {
+            1.0
+        };
+        1.0 + (self.magnitude - 1.0) * level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_boundaries() {
+        let f = FlashCrowd::new(10.0, 4.0, 3.0);
+        assert_eq!(f.multiplier_at(9.99), 1.0);
+        assert_eq!(f.multiplier_at(14.01), 1.0);
+        assert!((f.multiplier_at(12.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramps_in_and_out() {
+        let f = FlashCrowd::new(0.0, 4.0, 5.0);
+        // Mid-ramp-in at t = 0.5 (ramp spans one hour): halfway up.
+        assert!((f.multiplier_at(0.5) - 3.0).abs() < 1e-9);
+        assert!((f.multiplier_at(3.5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_filter() {
+        let f = FlashCrowd::new(0.0, 4.0, 5.0).at_location(3);
+        assert_eq!(f.multiplier_for(2, 2.0), 1.0);
+        assert!(f.multiplier_for(3, 2.0) > 1.0);
+        let g = FlashCrowd::new(0.0, 4.0, 5.0);
+        assert!(g.multiplier_for(2, 2.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitude")]
+    fn rejects_attenuating_event() {
+        FlashCrowd::new(0.0, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Poisson sampling on top of `rand`, implemented here because the
+//! pre-approved dependency set has no `rand_distr`.
+
+use rand::Rng;
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's inversion method for small means and the (rounded,
+/// non-negative) normal approximation for `mean > 64`, where the relative
+/// error of the approximation is far below the stochastic noise of the
+/// simulations using it.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n = dspp_workload::poisson::sample(&mut rng, 10.0);
+/// assert!(n < 100);
+/// ```
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "mean must be >= 0, got {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean <= 64.0 {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation N(mean, mean).
+        let z = standard_normal(rng);
+        let v = mean + mean.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// Draws a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Draws an exponential with the given rate (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be > 0, got {rate}");
+    loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            return -u.ln() / rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn small_mean_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = 3.5;
+        let draws: Vec<u64> = (0..n).map(|_| sample(&mut rng, mean)).collect();
+        let m: f64 = draws.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            draws.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((m - mean).abs() < 0.08, "mean {m}");
+        assert!((var - mean).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn large_mean_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = 500.0;
+        let draws: Vec<u64> = (0..n).map(|_| sample(&mut rng, mean)).collect();
+        let m: f64 = draws.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 1.5, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let rate = 4.0;
+        let m: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let m: f64 = draws.iter().sum::<f64>() / n as f64;
+        let var: f64 = draws.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be")]
+    fn rejects_negative_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+/// A demand trace: the matrix `D_k^v` of average arrival rates, indexed by
+/// `[location][period]`.
+///
+/// This is the boundary object between the workload generator and the
+/// controller/simulator: the generator produces one, the MPC controller
+/// consumes its history prefix, the oracle predictor reads its future.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_workload::DemandTrace;
+///
+/// let t = DemandTrace::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(t.num_locations(), 2);
+/// assert_eq!(t.num_periods(), 2);
+/// assert_eq!(t.period(1), vec![2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandTrace {
+    rows: Vec<Vec<f64>>,
+}
+
+impl DemandTrace {
+    /// Builds a trace from per-location rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for empty, ragged, negative or
+    /// non-finite input.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, String> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err("demand trace must be non-empty".into());
+        }
+        let k = rows[0].len();
+        for (v, row) in rows.iter().enumerate() {
+            if row.len() != k {
+                return Err(format!(
+                    "location {v} has {} periods, expected {k}",
+                    row.len()
+                ));
+            }
+            for (t, &d) in row.iter().enumerate() {
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(format!("demand ({v},{t}) = {d} is invalid"));
+                }
+            }
+        }
+        Ok(DemandTrace { rows })
+    }
+
+    /// Number of locations.
+    pub fn num_locations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of periods.
+    pub fn num_periods(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Demand of location `v` at period `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, v: usize, k: usize) -> f64 {
+        self.rows[v][k]
+    }
+
+    /// Borrows the full series of location `v`.
+    pub fn location(&self, v: usize) -> &[f64] {
+        &self.rows[v]
+    }
+
+    /// The demand vector of all locations at period `k`.
+    pub fn period(&self, k: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[k]).collect()
+    }
+
+    /// Per-location histories truncated to periods `0..=k` (what a
+    /// controller is allowed to see at time `k`).
+    pub fn history_until(&self, k: usize) -> Vec<Vec<f64>> {
+        self.rows.iter().map(|r| r[..=k.min(r.len() - 1)].to_vec()).collect()
+    }
+
+    /// Total demand summed over locations, per period.
+    pub fn totals(&self) -> Vec<f64> {
+        (0..self.num_periods())
+            .map(|k| self.rows.iter().map(|r| r[k]).sum())
+            .collect()
+    }
+
+    /// Consumes the trace, returning the raw rows.
+    pub fn into_rows(self) -> Vec<Vec<f64>> {
+        self.rows
+    }
+
+    /// Serializes the trace as CSV (one location per line, no header).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|x| format!("{x}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV produced by
+    /// [`DemandTrace::to_csv_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed cell, or of structural
+    /// problems (ragged rows, negative demand).
+    pub fn from_csv_str(text: &str) -> Result<Self, String> {
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, String> = line
+                .split(',')
+                .map(|cell| {
+                    cell.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("line {}: {e}", i + 1))
+                })
+                .collect();
+            rows.push(row?);
+        }
+        DemandTrace::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DemandTrace::from_rows(vec![]).is_err());
+        assert!(DemandTrace::from_rows(vec![vec![]]).is_err());
+        assert!(DemandTrace::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(DemandTrace::from_rows(vec![vec![-0.1]]).is_err());
+        assert!(DemandTrace::from_rows(vec![vec![f64::INFINITY]]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = DemandTrace::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.location(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.period(0), vec![1.0, 4.0]);
+        assert_eq!(t.totals(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t =
+            DemandTrace::from_rows(vec![vec![1.5, 2.25, 0.0], vec![4.0, 5.5, 6.125]]).unwrap();
+        let back = DemandTrace::from_csv_str(&t.to_csv_string()).unwrap();
+        assert_eq!(t, back);
+        // Blank lines are tolerated; garbage is not.
+        assert!(DemandTrace::from_csv_str("1,2\n\n3,4\n").is_ok());
+        assert!(DemandTrace::from_csv_str("1,x").is_err());
+        assert!(DemandTrace::from_csv_str("1,2\n3").is_err());
+    }
+
+    #[test]
+    fn history_respects_causality() {
+        let t = DemandTrace::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(t.history_until(0), vec![vec![1.0]]);
+        assert_eq!(t.history_until(1), vec![vec![1.0, 2.0]]);
+        // Clamped at the end of the trace.
+        assert_eq!(t.history_until(99), vec![vec![1.0, 2.0, 3.0]]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Flash crowd: an unpredictable 4× demand surge hits one location.
+//! Compare predictors — the oracle sails through, seasonal-naive and
+//! persistence under-provision the surge and violate the SLA.
+//!
+//! ```text
+//! cargo run --example flash_crowd
+//! ```
+
+use dspp::core::{Dspp, DsppBuilder, MpcController, MpcSettings};
+use dspp::predict::{LastValue, OraclePredictor, Predictor, SeasonalNaive};
+use dspp::sim::ClosedLoopSim;
+use dspp::workload::{DemandModel, DiurnalProfile, FlashCrowd};
+
+fn problem(periods: usize) -> Result<Dspp, dspp::core::CoreError> {
+    DsppBuilder::new(2, 2)
+        .service_rate(250.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010, 0.025], vec![0.025, 0.010]])
+        .reconfiguration_weights(vec![0.001, 0.001])
+        .price_trace(0, vec![0.004; periods])
+        .price_trace(1, vec![0.005; periods])
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let periods = 72; // three days; the flash crowd hits on day 3
+    let demand = DemandModel::new(DiurnalProfile::working_hours(8_000.0, 2_000.0))
+        .with_population_weights(vec![1.0, 0.7])
+        .with_flash_crowd(FlashCrowd::new(58.0, 4.0, 4.0).at_location(0))
+        .with_seed(9)
+        .generate(periods, 1.0)
+        .into_rows();
+
+    let predictors: Vec<(&str, Box<dyn Predictor>)> = vec![
+        ("oracle", Box::new(OraclePredictor::new(demand.clone()))),
+        ("seasonal-24h", Box::new(SeasonalNaive::new(24))),
+        ("last-value", Box::new(LastValue)),
+    ];
+
+    println!("predictor     total-cost  SLA-violation-periods  max-servers");
+    for (name, predictor) in predictors {
+        let controller = MpcController::new(
+            problem(periods)?,
+            predictor,
+            MpcSettings {
+                horizon: 4,
+                ..MpcSettings::default()
+            },
+        )?;
+        let report = ClosedLoopSim::new(Box::new(controller), demand.clone())?.run()?;
+        let max_servers = report
+            .total_series()
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x));
+        println!(
+            "{:<12}  {:>10.3}  {:>21}  {:>11.1}",
+            name,
+            report.ledger.total(),
+            report.violation_periods(),
+            max_servers
+        );
+    }
+    println!(
+        "\nThe surge at hours 58–62 is invisible to history-based predictors; \
+         the controller catches up one period late, which shows up as SLA violations."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: one data center, one client location, a bursty day of
+//! demand — watch the MPC controller track it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dspp::core::{DsppBuilder, MpcController, MpcSettings};
+use dspp::predict::OraclePredictor;
+use dspp::sim::ClosedLoopSim;
+use dspp::workload::{DemandModel, DiurnalProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A day of diurnal demand: 4 000 req/s at night, 22 000 at midday.
+    let demand = DemandModel::new(DiurnalProfile::working_hours(22_000.0, 4_000.0))
+        .with_seed(1)
+        .generate(24, 1.0)
+        .into_rows();
+
+    // One data center: μ = 250 req/s per server, a 100 ms SLA over a 10 ms
+    // network hop, $0.004 per server-hour, quadratic reconfiguration cost.
+    let problem = DsppBuilder::new(1, 1)
+        .service_rate(250.0)
+        .sla_latency(0.100)
+        .network_latency(0, 0, 0.010)
+        .reconfiguration_weight(0, 0.001)
+        .price_trace(0, vec![0.004; 24])
+        .build()?;
+
+    let controller = MpcController::new(
+        problem,
+        Box::new(OraclePredictor::new(demand.clone())),
+        MpcSettings {
+            horizon: 5,
+            ..MpcSettings::default()
+        },
+    )?;
+
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+
+    println!("hour  demand(req/s)  servers  Δservers  cost($)");
+    for p in &report.periods {
+        println!(
+            "{:>4}  {:>13.0}  {:>7.1}  {:>8.1}  {:>7.4}",
+            p.period + 1,
+            p.realized_demand[0],
+            p.total_servers,
+            p.reconfig_magnitude,
+            p.cost.total()
+        );
+    }
+    println!(
+        "\ntotal cost ${:.3} (hosting ${:.3} + reconfiguration ${:.3}), \
+         SLA violations in {} of {} periods",
+        report.ledger.total(),
+        report.ledger.total_hosting(),
+        report.ledger.total_reconfiguration(),
+        report.violation_periods(),
+        report.periods.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the core invariants: routing conservation,
+//! integerization feasibility, and SLA-coefficient monotonicity.
+
+use dspp::core::{integerize, Allocation, Dspp, DsppBuilder, RoutingPolicy, SlaSpec};
+use proptest::prelude::*;
+
+fn two_dc_problem(capacity: f64) -> Dspp {
+    DsppBuilder::new(2, 2)
+        .service_rate(100.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010, 0.030], vec![0.030, 0.010]])
+        .capacities(vec![capacity, capacity])
+        .price_trace(0, vec![1.0])
+        .price_trace(1, vec![2.0])
+        .build()
+        .expect("valid spec")
+}
+
+proptest! {
+    /// Routing conserves demand: whatever the allocation, the per-arc
+    /// assignments of each location sum to its demand as long as the
+    /// location has positive weight.
+    #[test]
+    fn prop_routing_conserves_demand(
+        xs in prop::collection::vec(0.01f64..50.0, 4),
+        d0 in 0.0f64..500.0,
+        d1 in 0.0f64..500.0,
+    ) {
+        let p = two_dc_problem(1e9);
+        let alloc = Allocation::from_arc_values(&p, xs);
+        let router = RoutingPolicy::from_allocation(&p, &alloc);
+        let sigma = router.assign(&p, &[d0, d1]);
+        for (v, &d) in [d0, d1].iter().enumerate() {
+            let served: f64 = p.arcs_for_location(v).into_iter().map(|e| sigma[e]).sum();
+            prop_assert!((served - d).abs() < 1e-9 * (1.0 + d));
+        }
+        // Fractions per location sum to 1.
+        for v in 0..2 {
+            let total: f64 = (0..2).map(|l| router.fraction(&p, l, v)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Integerization always yields integral, feasible allocations when
+    /// capacity is plentiful, and never undershoots the continuous start by
+    /// more than the repair logic allows.
+    #[test]
+    fn prop_integerize_feasible(
+        xs in prop::collection::vec(0.0f64..40.0, 4),
+        d0 in 0.0f64..2000.0,
+        d1 in 0.0f64..2000.0,
+    ) {
+        let p = two_dc_problem(1e6);
+        let start = Allocation::from_arc_values(&p, xs);
+        let demand = [d0, d1];
+        let int = integerize(&p, &start, &demand, 0).expect("repairable");
+        for &x in int.arc_values() {
+            prop_assert_eq!(x, x.round());
+            prop_assert!(x >= 0.0);
+        }
+        prop_assert!(int.satisfies_demand(&p, &demand, 1e-6));
+        prop_assert!(int.satisfies_capacity(&p, 1e-9));
+    }
+
+    /// The SLA coefficient decreases as the latency budget grows and
+    /// increases with the queue factor — more slack never needs more
+    /// servers.
+    #[test]
+    fn prop_sla_coefficient_monotone(
+        mu in 50.0f64..400.0,
+        d_near in 0.001f64..0.02,
+        extra in 0.001f64..0.02,
+    ) {
+        let sla = SlaSpec::mean_delay(mu, 0.060).expect("valid");
+        let d_far = d_near + extra;
+        match (sla.arc_coefficient(d_near), sla.arc_coefficient(d_far)) {
+            (Some(a_near), Some(a_far)) => prop_assert!(a_far >= a_near - 1e-12),
+            (None, Some(_)) => prop_assert!(false, "nearer arc invalid but farther valid"),
+            _ => {} // far arc (or both) out of reach: nothing to compare
+        }
+        if let (Some(mean_a), Ok(p95)) = (
+            sla.arc_coefficient(d_near),
+            SlaSpec::percentile_delay(mu, 0.060, 0.95),
+        ) {
+            if let Some(p95_a) = p95.arc_coefficient(d_near) {
+                prop_assert!(p95_a >= mean_a);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The discrete-event simulator validates the analytic M/M/1 model the SLA
+//! constraint is derived from: a pool provisioned at `x = a·σ` servers must
+//! empirically meet the latency target.
+
+use dspp::core::SlaSpec;
+use dspp::sim::{run_des, DesConfig, PoolSpec};
+
+#[test]
+fn sla_coefficient_is_empirically_calibrated() {
+    // μ = 10 req/s per server, 500 ms total budget over a 100 ms hop.
+    let sla = SlaSpec::mean_delay(10.0, 0.500).unwrap();
+    let network = 0.100;
+    let a = sla.arc_coefficient(network).expect("usable arc");
+    let sigma = 120.0;
+    // Provision exactly at the constraint boundary, rounded up as the
+    // paper prescribes for deployment.
+    let servers = (a * sigma).ceil() as usize;
+    let stats = run_des(&DesConfig {
+        pools: vec![PoolSpec {
+            servers,
+            arrival_rate: sigma,
+            service_rate: 10.0,
+        }],
+        duration: 30_000.0,
+        warmup: 2_000.0,
+        seed: 17,
+    });
+    let total = network + stats[0].mean_delay;
+    assert!(
+        total <= sla.max_latency * 1.03,
+        "empirical latency {total:.3}s exceeds the {:.3}s SLA",
+        sla.max_latency
+    );
+    // And the provisioning is not wasteful: one server less would overshoot.
+    let starved = run_des(&DesConfig {
+        pools: vec![PoolSpec {
+            servers: servers.saturating_sub(2).max(1),
+            arrival_rate: sigma,
+            service_rate: 10.0,
+        }],
+        duration: 30_000.0,
+        warmup: 2_000.0,
+        seed: 17,
+    });
+    assert!(
+        network + starved[0].mean_delay > total,
+        "removing servers should increase delay"
+    );
+}
+
+#[test]
+fn percentile_sla_holds_empirically() {
+    // 95th-percentile SLA: the queue factor ln(20) demands more servers,
+    // and the DES p95 must then meet the target.
+    let sla = SlaSpec::percentile_delay(10.0, 0.500, 0.95).unwrap();
+    let network = 0.100;
+    let a = sla.arc_coefficient(network).expect("usable arc");
+    let sigma = 120.0;
+    let servers = (a * sigma).ceil() as usize;
+    let stats = run_des(&DesConfig {
+        pools: vec![PoolSpec {
+            servers,
+            arrival_rate: sigma,
+            service_rate: 10.0,
+        }],
+        duration: 30_000.0,
+        warmup: 2_000.0,
+        seed: 29,
+    });
+    let total_p95 = network + stats[0].p95_delay;
+    assert!(
+        total_p95 <= sla.max_latency * 1.05,
+        "empirical p95 {total_p95:.3}s exceeds the {:.3}s SLA",
+        sla.max_latency
+    );
+}
+
+#[test]
+fn reservation_ratio_provides_headroom() {
+    // With a 30 % cushion, the pool runs under the SLA even when demand
+    // comes in 15 % above the planning estimate.
+    let base = SlaSpec::mean_delay(10.0, 0.500).unwrap();
+    let cushioned = base.with_reservation_ratio(1.3).unwrap();
+    let network = 0.100;
+    let a = cushioned.arc_coefficient(network).expect("usable arc");
+    let planned_sigma = 100.0;
+    let actual_sigma = 115.0;
+    let servers = (a * planned_sigma).ceil() as usize;
+    let stats = run_des(&DesConfig {
+        pools: vec![PoolSpec {
+            servers,
+            arrival_rate: actual_sigma,
+            service_rate: 10.0,
+        }],
+        duration: 30_000.0,
+        warmup: 2_000.0,
+        seed: 31,
+    });
+    assert!(
+        network + stats[0].mean_delay <= base.max_latency,
+        "cushioned pool still violated under 15% overload: {:.3}s",
+        network + stats[0].mean_delay
+    );
+}

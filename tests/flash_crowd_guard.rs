@@ -1,0 +1,87 @@
+//! Integration: the monitoring-plus-guard path through a flash crowd.
+//!
+//! The paper's architecture routes observations through a monitoring
+//! module into the prediction module; flash crowds are its motivating
+//! failure case. Here the [`dspp::sim::Monitor`] must flag the surge, and
+//! an MPC controller whose predictor is wrapped in a
+//! [`dspp::predict::GuardedPredictor`] must violate the SLA in fewer
+//! periods than the unguarded one.
+
+use dspp::core::{Dspp, DsppBuilder, MpcController, MpcSettings};
+use dspp::predict::{GuardedPredictor, Predictor, SeasonalNaive};
+use dspp::sim::{ClosedLoopSim, Monitor};
+use dspp::workload::{DemandModel, DiurnalProfile, FlashCrowd};
+
+fn problem(periods: usize) -> Dspp {
+    DsppBuilder::new(1, 1)
+        .service_rate(250.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weights(vec![0.0005])
+        .price_trace(0, vec![0.004; periods])
+        .build()
+        .expect("valid spec")
+}
+
+/// Three days of steady diurnal demand, a 4-hour 5× flash crowd on day 3.
+fn surge_demand(periods: usize) -> Vec<Vec<f64>> {
+    DemandModel::new(DiurnalProfile::working_hours(8_000.0, 2_000.0))
+        .with_flash_crowd(FlashCrowd::new(58.0, 4.0, 5.0))
+        .with_seed(21)
+        .generate(periods, 1.0)
+        .into_rows()
+}
+
+fn violations_with(predictor: Box<dyn Predictor>) -> usize {
+    let periods = 72;
+    let controller = MpcController::new(
+        problem(periods),
+        predictor,
+        MpcSettings {
+            horizon: 4,
+            ..MpcSettings::default()
+        },
+    )
+    .expect("controller");
+    ClosedLoopSim::new(Box::new(controller), surge_demand(periods))
+        .expect("sim")
+        .run()
+        .expect("run")
+        .violation_periods()
+}
+
+#[test]
+fn guard_reduces_flash_crowd_violations() {
+    let plain = violations_with(Box::new(SeasonalNaive::new(24)));
+    let guarded = violations_with(Box::new(GuardedPredictor::new(
+        Box::new(SeasonalNaive::new(24)),
+        1.8,
+    )));
+    assert!(plain >= 2, "surge should trip the seasonal predictor: {plain}");
+    assert!(
+        guarded < plain,
+        "guard should reduce violations: {guarded} vs {plain}"
+    );
+}
+
+#[test]
+fn monitor_flags_the_surge_periods() {
+    let demand = surge_demand(72);
+    let mut monitor = Monitor::new(1, 0.25, 4.0);
+    let mut flagged = Vec::new();
+    for k in 0..72 {
+        if !monitor.observe(&[demand[0][k]]).is_empty() {
+            flagged.push(k);
+        }
+    }
+    // The surge spans hours 58–62; at least its onset must be flagged, and
+    // nothing before day 2 (diurnal ramps are not anomalies after warmup).
+    assert!(
+        flagged.iter().any(|&k| (58..=62).contains(&k)),
+        "surge not flagged: {flagged:?}"
+    );
+    assert!(
+        flagged.iter().all(|&k| k >= 24),
+        "false alarms on day 1: {flagged:?}"
+    );
+}

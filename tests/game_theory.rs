@@ -1,0 +1,88 @@
+//! Integration tests of the Section VI claims: existence of a socially
+//! optimal equilibrium (Theorem 1), ε-Nash property of the converged
+//! outcome, and capacity discipline under competition.
+
+use dspp::game::{
+    equilibrium_gaps, price_of_anarchy_bounds, solve_social_welfare, GameConfig, ResourceGame,
+    SpSampler,
+};
+use dspp::solver::IpmSettings;
+
+fn config() -> GameConfig {
+    GameConfig {
+        epsilon: 0.01,
+        ipm: IpmSettings::fast(),
+        ..GameConfig::default()
+    }
+}
+
+#[test]
+fn theorem1_price_of_stability_close_to_one_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let providers = SpSampler::new(2, 2, 3).with_seed(seed).sample(3).unwrap();
+        let caps = vec![70.0, 70.0];
+        let swp = solve_social_welfare(&providers, &caps, &IpmSettings::fast()).unwrap();
+        let game = ResourceGame::new(providers, caps).unwrap();
+        let out = game.run(&config()).unwrap();
+        assert!(out.converged, "seed {seed}: no convergence");
+        let pos = out.total_cost / swp.objective;
+        assert!(
+            (0.98..1.20).contains(&pos),
+            "seed {seed}: PoS estimate {pos}"
+        );
+    }
+}
+
+#[test]
+fn converged_outcomes_are_epsilon_nash() {
+    let providers = SpSampler::new(3, 2, 3).with_seed(5).sample(4).unwrap();
+    let caps = vec![60.0, 60.0, 60.0];
+    let game = ResourceGame::new(providers, caps).unwrap();
+    let out = game.run(&config()).unwrap();
+    assert!(out.converged);
+    let gaps = equilibrium_gaps(&game, &out, &config()).unwrap();
+    for (i, g) in gaps.iter().enumerate() {
+        assert!(*g <= 0.12, "provider {i} gap {:.1}%", g * 100.0);
+    }
+}
+
+#[test]
+fn poa_bounds_are_ordered_and_near_one() {
+    let providers = SpSampler::new(2, 2, 3).with_seed(8).sample(3).unwrap();
+    let caps = vec![80.0, 80.0];
+    let swp = solve_social_welfare(&providers, &caps, &IpmSettings::fast()).unwrap();
+    let game = ResourceGame::new(providers, caps).unwrap();
+    let bounds = price_of_anarchy_bounds(&game, &swp, &config(), 4, 99).unwrap();
+    assert!(bounds.best <= bounds.worst + 1e-12);
+    assert!(bounds.best < 1.15, "best {}", bounds.best);
+    assert!(bounds.samples >= 2);
+}
+
+#[test]
+fn capacity_is_never_oversubscribed_at_equilibrium() {
+    use dspp::core::Allocation;
+    let providers = SpSampler::new(2, 2, 4).with_seed(12).sample(5).unwrap();
+    let caps = vec![50.0, 50.0];
+    let game = ResourceGame::new(providers, caps.clone()).unwrap();
+    let out = game.run(&config()).unwrap();
+    for t in 1..=game.horizon() {
+        for l in 0..2 {
+            let used: f64 = out
+                .solutions
+                .iter()
+                .enumerate()
+                .map(|(i, sol)| {
+                    let sp = &game.providers()[i];
+                    let x =
+                        Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
+                    x.per_dc(&sp.problem)[l] * sp.problem.server_size()
+                })
+                .sum();
+            assert!(
+                used <= caps[l] * 1.001,
+                "stage {t} dc {l}: {used} > {}",
+                caps[l]
+            );
+        }
+    }
+}
