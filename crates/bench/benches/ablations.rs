@@ -15,7 +15,9 @@ fn bench_integerize(c: &mut Criterion) {
         &problem,
         &x0,
         &demand.iter().map(|&d| vec![d; 2]).collect::<Vec<_>>(),
-        &(0..4).map(|l| vec![0.004 + 0.001 * l as f64; 2]).collect::<Vec<_>>(),
+        &(0..4)
+            .map(|l| vec![0.004 + 0.001 * l as f64; 2])
+            .collect::<Vec<_>>(),
     )
     .expect("horizon");
     let sol = horizon.solve(&IpmSettings::fast()).expect("solve");
@@ -39,6 +41,7 @@ fn bench_rate_limit_overhead(c: &mut Criterion) {
                             horizon: 6,
                             ipm: IpmSettings::fast(),
                             max_reconfiguration: limit,
+                            ..MpcSettings::default()
                         },
                     )
                     .expect("controller")
@@ -53,8 +56,7 @@ fn bench_rate_limit_overhead(c: &mut Criterion) {
 
 fn bench_guard_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/predictor_guard");
-    let history: Vec<Vec<f64>> =
-        vec![(0..96).map(|k| 100.0 + (k % 24) as f64 * 5.0).collect(); 24];
+    let history: Vec<Vec<f64>> = vec![(0..96).map(|k| 100.0 + (k % 24) as f64 * 5.0).collect(); 24];
     let plain = SeasonalNaive::new(24);
     let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(24)), 2.0);
     group.bench_function("plain", |b| b.iter(|| plain.forecast_all(&history, 12)));

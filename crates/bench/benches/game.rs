@@ -16,9 +16,12 @@ fn bench_game_vs_players(c: &mut Criterion) {
     let mut group = c.benchmark_group("game/run_vs_players");
     group.sample_size(10);
     for &n in &[2usize, 4, 8] {
-        let providers = SpSampler::new(2, 2, 3).with_seed(1).sample(n).expect("sample");
-        let game = ResourceGame::new(providers, vec![40.0 * n as f64, 40.0 * n as f64])
-            .expect("game");
+        let providers = SpSampler::new(2, 2, 3)
+            .with_seed(1)
+            .sample(n)
+            .expect("sample");
+        let game =
+            ResourceGame::new(providers, vec![40.0 * n as f64, 40.0 * n as f64]).expect("game");
         group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, g| {
             b.iter(|| g.run(&config()).expect("run"))
         });
@@ -30,15 +33,16 @@ fn bench_social_welfare(c: &mut Criterion) {
     let mut group = c.benchmark_group("game/social_welfare");
     group.sample_size(10);
     for &n in &[2usize, 4, 8] {
-        let providers = SpSampler::new(2, 2, 3).with_seed(2).sample(n).expect("sample");
+        let providers = SpSampler::new(2, 2, 3)
+            .with_seed(2)
+            .sample(n)
+            .expect("sample");
         let caps = vec![40.0 * n as f64, 40.0 * n as f64];
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(providers, caps),
             |b, (p, c)| {
-                b.iter(|| {
-                    dspp_game::solve_social_welfare(p, c, &IpmSettings::fast()).expect("swp")
-                })
+                b.iter(|| dspp_game::solve_social_welfare(p, c, &IpmSettings::fast()).expect("swp"))
             },
         );
     }

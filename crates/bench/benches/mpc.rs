@@ -11,28 +11,24 @@ fn bench_step_vs_horizon(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpc/step_vs_horizon");
     group.sample_size(20);
     for &horizon in &[1usize, 5, 10, 20, 30] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(horizon),
-            &horizon,
-            |b, &h| {
-                b.iter_batched(
-                    || {
-                        MpcController::new(
-                            single_dc_problem(64),
-                            Box::new(LastValue),
-                            MpcSettings {
-                                horizon: h,
-                                ipm: IpmSettings::fast(),
-                                ..MpcSettings::default()
-                            },
-                        )
-                        .expect("controller")
-                    },
-                    |mut controller| controller.step(&[12_000.0]).expect("step"),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            b.iter_batched(
+                || {
+                    MpcController::new(
+                        single_dc_problem(64),
+                        Box::new(LastValue),
+                        MpcSettings {
+                            horizon: h,
+                            ipm: IpmSettings::fast(),
+                            ..MpcSettings::default()
+                        },
+                    )
+                    .expect("controller")
+                },
+                |mut controller| controller.step(&[12_000.0]).expect("step"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

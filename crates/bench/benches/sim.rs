@@ -35,7 +35,13 @@ fn bench_closed_loop_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/closed_loop_day");
     group.sample_size(10);
     let demand: Vec<Vec<f64>> = vec![(0..24)
-        .map(|h| if (8..17).contains(&h) { 18_000.0 } else { 4_000.0 })
+        .map(|h| {
+            if (8..17).contains(&h) {
+                18_000.0
+            } else {
+                4_000.0
+            }
+        })
         .collect()];
     group.bench_function("mpc_h6_24periods", |b| {
         b.iter_batched(

@@ -12,11 +12,9 @@ fn bench_structured_vs_dense(c: &mut Criterion) {
     group.sample_size(10);
     for &stages in &[2usize, 5, 10, 20] {
         let problem = lq_fixture(4, stages, 25.0);
-        group.bench_with_input(
-            BenchmarkId::new("riccati", stages),
-            &problem,
-            |b, p| b.iter(|| solve_lq(p, &settings).expect("solve")),
-        );
+        group.bench_with_input(BenchmarkId::new("riccati", stages), &problem, |b, p| {
+            b.iter(|| solve_lq(p, &settings).expect("solve"))
+        });
         let flat = flatten_lq(&problem).expect("flatten");
         group.bench_with_input(BenchmarkId::new("dense", stages), &flat, |b, f| {
             b.iter(|| solve_qp(&f.qp, &settings).expect("solve"))
@@ -33,11 +31,9 @@ fn bench_horizon_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for &stages in &[5usize, 10, 20, 40, 80] {
         let problem = lq_fixture(6, stages, 30.0);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stages),
-            &problem,
-            |b, p| b.iter(|| solve_lq(p, &settings).expect("solve")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &problem, |b, p| {
+            b.iter(|| solve_lq(p, &settings).expect("solve"))
+        });
     }
     group.finish();
 }

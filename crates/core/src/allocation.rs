@@ -66,9 +66,7 @@ impl Allocation {
 
     /// Servers on arc `(l, v)`, or `0.0` when the arc is unusable.
     pub fn get(&self, problem: &Dspp, l: usize, v: usize) -> f64 {
-        problem
-            .arc_index(l, v)
-            .map_or(0.0, |e| self.values[e])
+        problem.arc_index(l, v).map_or(0.0, |e| self.values[e])
     }
 
     /// Sets the servers on arc `(l, v)`.

@@ -159,13 +159,11 @@ impl PlacementController for StaticController {
             let avg_prices: Vec<Vec<f64>> = (0..self.problem.num_dcs())
                 .map(|l| {
                     let n = self.problem.price_periods();
-                    let avg =
-                        (0..n).map(|k| self.problem.price(l, k)).sum::<f64>() / n as f64;
+                    let avg = (0..n).map(|k| self.problem.price(l, k)).sum::<f64>() / n as f64;
                     vec![avg]
                 })
                 .collect();
-            let forecast: Vec<Vec<f64>> =
-                self.peak_demand.iter().map(|&d| vec![d]).collect();
+            let forecast: Vec<Vec<f64>> = self.peak_demand.iter().map(|&d| vec![d]).collect();
             let horizon =
                 HorizonProblem::build(&self.problem, &self.state, &forecast, &avg_prices)?;
             let sol = horizon.solve(&self.settings)?;
@@ -227,13 +225,7 @@ mod tests {
 
     fn diurnal_demand() -> Vec<f64> {
         (0..24)
-            .map(|h| {
-                if (8..17).contains(&h) {
-                    100.0
-                } else {
-                    20.0
-                }
-            })
+            .map(|h| if (8..17).contains(&h) { 100.0 } else { 20.0 })
             .collect()
     }
 
@@ -253,8 +245,7 @@ mod tests {
     fn static_provisions_once_and_holds() {
         let p = problem();
         let a = p.arc_coeff(0);
-        let mut c =
-            StaticController::new(p, IpmSettings::default(), vec![100.0]).unwrap();
+        let mut c = StaticController::new(p, IpmSettings::default(), vec![100.0]).unwrap();
         let out1 = c.step(&[20.0]).unwrap();
         assert!((out1.allocation.total() - 100.0 * a).abs() < 1e-4);
         assert!(out1.step_cost.reconfiguration > 0.0);

@@ -1,6 +1,8 @@
 use crate::{Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, RoutingPolicy};
 use dspp_predict::Predictor;
 use dspp_solver::IpmSettings;
+use dspp_telemetry::Recorder;
+use std::time::Instant;
 
 /// Tuning knobs of the MPC controller (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -13,6 +15,10 @@ pub struct MpcSettings {
     /// and period (an operational change budget on top of the paper's
     /// quadratic penalty).
     pub max_reconfiguration: Option<f64>,
+    /// Where the controller emits its metrics (`controller.*` and, through
+    /// the traced solver calls, `solver.lq.*`). Disabled by default, which
+    /// keeps every instrumented path a no-op; see `docs/OBSERVABILITY.md`.
+    pub telemetry: Recorder,
 }
 
 impl Default for MpcSettings {
@@ -21,6 +27,7 @@ impl Default for MpcSettings {
             horizon: 5,
             ipm: IpmSettings::default(),
             max_reconfiguration: None,
+            telemetry: Recorder::disabled(),
         }
     }
 }
@@ -181,6 +188,8 @@ impl MpcController {
     /// * [`CoreError::PredictorShape`] if the predictor misbehaves.
     /// * [`CoreError::Solver`] if the horizon problem cannot be solved.
     pub fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
+        let telemetry = self.settings.telemetry.clone();
+        let t_step = telemetry.is_enabled().then(Instant::now);
         let nv = self.problem.num_locations();
         if observed_demand.len() != nv {
             return Err(CoreError::InvalidSpec(format!(
@@ -227,11 +236,14 @@ impl MpcController {
                 .collect(),
             Some(pp) => {
                 let price_history: Vec<Vec<f64>> = (0..self.problem.num_dcs())
-                    .map(|l| (0..=self.period).map(|t| self.problem.price(l, t)).collect())
+                    .map(|l| {
+                        (0..=self.period)
+                            .map(|t| self.problem.price(l, t))
+                            .collect()
+                    })
                     .collect();
                 let forecast = pp.forecast_all(&price_history, w);
-                if forecast.len() != self.problem.num_dcs()
-                    || forecast.iter().any(|f| f.len() != w)
+                if forecast.len() != self.problem.num_dcs() || forecast.iter().any(|f| f.len() != w)
                 {
                     return Err(CoreError::PredictorShape(
                         "price predictor returned wrong shape".into(),
@@ -249,7 +261,20 @@ impl MpcController {
             None,
             self.settings.max_reconfiguration,
         )?;
-        let sol = horizon.solve_warm(&self.settings.ipm, self.warm_us.as_deref())?;
+        telemetry.incr(
+            if self.warm_us.is_some() {
+                "controller.warm_start.hit"
+            } else {
+                "controller.warm_start.miss"
+            },
+            1,
+        );
+        let t_solve = telemetry.is_enabled().then(Instant::now);
+        let sol =
+            horizon.solve_warm_traced(&self.settings.ipm, self.warm_us.as_deref(), &telemetry)?;
+        if let Some(t) = t_solve {
+            telemetry.observe_duration("controller.solve_seconds", t.elapsed());
+        }
         // Next period's warm start: this solution shifted by one stage.
         let mut shifted: Vec<dspp_linalg::Vector> = sol.us[1..].to_vec();
         shifted.push(dspp_linalg::Vector::zeros(self.problem.num_arcs()));
@@ -267,6 +292,18 @@ impl MpcController {
 
         self.state = allocation.clone();
         self.period += 1;
+
+        if telemetry.is_enabled() {
+            telemetry.incr("controller.steps", 1);
+            telemetry.gauge("controller.horizon", w as f64);
+            telemetry.observe(
+                "controller.applied_u_l1",
+                u.iter().map(|v| v.abs()).sum::<f64>(),
+            );
+            if let Some(t) = t_step {
+                telemetry.observe_duration("controller.step_seconds", t.elapsed());
+            }
+        }
 
         Ok(StepOutcome {
             period: self.period - 1,
@@ -330,8 +367,8 @@ mod tests {
         .unwrap();
         let a = problem().arc_coeff(0);
         let mut allocations = Vec::new();
-        for k in 0..5 {
-            let out = c.step(&[demand[0][k]]).unwrap();
+        for (k, &d) in demand[0].iter().enumerate().take(5) {
+            let out = c.step(&[d]).unwrap();
             allocations.push(out.allocation.total());
             // Allocation must cover the next period's (oracle) demand.
             assert!(
@@ -386,12 +423,8 @@ mod tests {
 
     #[test]
     fn input_validation() {
-        let mut c = MpcController::new(
-            problem(),
-            Box::new(LastValue),
-            MpcSettings::default(),
-        )
-        .unwrap();
+        let mut c =
+            MpcController::new(problem(), Box::new(LastValue), MpcSettings::default()).unwrap();
         assert!(c.step(&[1.0, 2.0]).is_err());
         assert!(c.step(&[-1.0]).is_err());
         assert!(c.step(&[f64::NAN]).is_err());
@@ -411,6 +444,37 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn telemetry_counts_steps_and_warm_starts() {
+        let telemetry = Recorder::enabled();
+        let demand = vec![vec![40.0, 80.0, 120.0, 80.0, 40.0, 40.0]];
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 3,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        for &d in demand[0].iter().take(4) {
+            c.step(&[d]).unwrap();
+        }
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("controller.steps"), 4);
+        // First period has no previous solution to shift; the rest do.
+        assert_eq!(snap.counter("controller.warm_start.miss"), 1);
+        assert_eq!(snap.counter("controller.warm_start.hit"), 3);
+        assert_eq!(snap.gauge("controller.horizon"), Some(3.0));
+        assert_eq!(snap.histogram("controller.step_seconds").unwrap().count, 4);
+        assert_eq!(snap.histogram("controller.solve_seconds").unwrap().count, 4);
+        assert_eq!(snap.histogram("controller.applied_u_l1").unwrap().count, 4);
+        // The traced solver path reports through the same recorder.
+        assert_eq!(snap.counter("solver.lq.solves"), 4);
+        assert!(snap.histogram("solver.lq.iterations").unwrap().sum > 0.0);
     }
 
     #[test]
@@ -453,9 +517,7 @@ mod tests {
             // and history.
             let mut cold = MpcController::new(
                 problem(),
-                Box::new(OraclePredictor::new(
-                    vec![demand[0][k..].to_vec()],
-                )),
+                Box::new(OraclePredictor::new(vec![demand[0][k..].to_vec()])),
                 MpcSettings {
                     horizon: 4,
                     ..MpcSettings::default()
@@ -498,8 +560,8 @@ mod tests {
         .with_initial_allocation(Allocation::from_arc_values(&p, vec![10.0 * a]))
         .unwrap();
         let mut max_u: f64 = 0.0;
-        for k in 0..5 {
-            let out = c.step(&[demand[0][k]]).unwrap();
+        for (k, &d) in demand[0].iter().enumerate().take(5) {
+            let out = c.step(&[d]).unwrap();
             for &u in &out.control {
                 assert!(u.abs() <= 0.2 + 1e-6, "period {k}: |u| = {}", u.abs());
                 max_u = max_u.max(u.abs());
@@ -539,10 +601,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(
-            c.step(&[1.0]),
-            Err(CoreError::InvalidSpec(_))
-        ));
+        assert!(matches!(c.step(&[1.0]), Err(CoreError::InvalidSpec(_))));
     }
 
     #[test]
@@ -611,8 +670,8 @@ mod tests {
             )
             .unwrap();
             let mut max_u: f64 = 0.0;
-            for k in 0..11 {
-                let out = c.step(&[demand[k]]).unwrap();
+            for &d in demand.iter().take(11) {
+                let out = c.step(&[d]).unwrap();
                 max_u = max_u.max(out.control.iter().fold(0.0f64, |m, &u| m.max(u.abs())));
             }
             max_u

@@ -206,16 +206,14 @@ impl HorizonProblem {
                 for v in 0..nv {
                     d[v] = -demand_forecast[v][j - 1];
                 }
-                stage = stage
-                    .with_state_cost(q)
-                    .with_constraints(cx.clone(), Matrix::zeros(m_rows, n), d);
+                stage = stage.with_state_cost(q).with_constraints(
+                    cx.clone(),
+                    Matrix::zeros(m_rows, n),
+                    d,
+                );
             }
             if let Some((cu, d_rate)) = &rate_rows {
-                stage = stage.with_constraints(
-                    Matrix::zeros(2 * n, n),
-                    cu.clone(),
-                    d_rate.clone(),
-                );
+                stage = stage.with_constraints(Matrix::zeros(2 * n, n), cu.clone(), d_rate.clone());
             }
             stages.push(stage);
         }
@@ -273,6 +271,23 @@ impl HorizonProblem {
         warm_us: Option<&[dspp_linalg::Vector]>,
     ) -> Result<LqSolution, CoreError> {
         Ok(solve_lq_warm(&self.lq, settings, warm_us)?)
+    }
+
+    /// [`HorizonProblem::solve_warm`] with solver metrics (`solver.lq.*`)
+    /// emitted to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As [`HorizonProblem::solve`].
+    pub fn solve_warm_traced(
+        &self,
+        settings: &IpmSettings,
+        warm_us: Option<&[dspp_linalg::Vector]>,
+        telemetry: &dspp_telemetry::Recorder,
+    ) -> Result<LqSolution, CoreError> {
+        Ok(dspp_solver::solve_lq_warm_traced(
+            &self.lq, settings, warm_us, telemetry,
+        )?)
     }
 
     /// Extracts per-DC capacity shadow prices: the sum over horizon stages
@@ -346,17 +361,12 @@ mod tests {
         let p = problem();
         let x0 = Allocation::zeros(&p);
         // Wrong number of locations.
-        assert!(HorizonProblem::build(
-            &p,
-            &x0,
-            &[flat(1.0, 3)],
-            &[flat(1.0, 3), flat(1.0, 3)]
-        )
-        .is_err());
+        assert!(
+            HorizonProblem::build(&p, &x0, &[flat(1.0, 3)], &[flat(1.0, 3), flat(1.0, 3)]).is_err()
+        );
         // Wrong number of DCs.
         assert!(
-            HorizonProblem::build(&p, &x0, &[flat(1.0, 3), flat(1.0, 3)], &[flat(1.0, 3)])
-                .is_err()
+            HorizonProblem::build(&p, &x0, &[flat(1.0, 3), flat(1.0, 3)], &[flat(1.0, 3)]).is_err()
         );
         // Ragged horizons.
         assert!(HorizonProblem::build(
@@ -367,13 +377,7 @@ mod tests {
         )
         .is_err());
         // Zero horizon.
-        assert!(HorizonProblem::build(
-            &p,
-            &x0,
-            &[vec![], vec![]],
-            &[vec![], vec![]]
-        )
-        .is_err());
+        assert!(HorizonProblem::build(&p, &x0, &[vec![], vec![]], &[vec![], vec![]]).is_err());
     }
 
     #[test]
@@ -430,9 +434,8 @@ mod tests {
             .build()
             .unwrap();
         let x0 = Allocation::zeros(&p);
-        let h =
-            HorizonProblem::build(&p, &x0, &[flat(100.0, 4)], &[flat(1.0, 4), flat(5.0, 4)])
-                .unwrap();
+        let h = HorizonProblem::build(&p, &x0, &[flat(100.0, 4)], &[flat(1.0, 4), flat(5.0, 4)])
+            .unwrap();
         let sol = h.solve(&IpmSettings::default()).unwrap();
         let duals = h.capacity_duals(&sol);
         assert!(duals[0] > 1e-3, "binding capacity must price: {duals:?}");

@@ -70,8 +70,8 @@ pub fn integerize(
     };
 
     let mut used = per_dc(&x);
-    for l in 0..problem.num_dcs() {
-        while used[l] > problem.capacity(l) + 1e-9 {
+    for (l, used_l) in used.iter_mut().enumerate() {
+        while *used_l > problem.capacity(l) + 1e-9 {
             // Shave the arc of this DC whose location has the most
             // capability slack; ties broken by highest price (cheapest to
             // lose).
@@ -84,14 +84,14 @@ pub fn integerize(
                 let (_, v) = problem.arcs()[e];
                 let slack = caps[v] - demand[v];
                 let score = slack; // more slack = safer to shave
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((e, score));
                 }
             }
             match best {
                 Some((e, _)) => {
                     x[e] -= 1.0;
-                    used[l] -= problem.server_size();
+                    *used_l -= problem.server_size();
                 }
                 None => {
                     return Err(CoreError::InvalidSpec(format!(
@@ -103,14 +103,14 @@ pub fn integerize(
     }
 
     // --- demand repair ---
-    for v in 0..problem.num_locations() {
+    for (v, &demand_v) in demand.iter().enumerate().take(problem.num_locations()) {
         loop {
             let cap_v: f64 = problem
                 .arcs_for_location(v)
                 .into_iter()
                 .map(|e| x[e] / problem.arc_coeff(e))
                 .sum();
-            if cap_v >= demand[v] - 1e-9 {
+            if cap_v >= demand_v - 1e-9 {
                 break;
             }
             // Bump the cheapest arc (price × a = cost per unit capability)
@@ -123,7 +123,7 @@ pub fn integerize(
                     continue;
                 }
                 let marginal = problem.price(l, k) * problem.arc_coeff(e);
-                if best.map_or(true, |(_, m)| marginal < m) {
+                if best.is_none_or(|(_, m)| marginal < m) {
                     best = Some((e, marginal));
                 }
             }

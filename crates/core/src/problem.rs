@@ -316,7 +316,10 @@ impl DsppBuilder {
             }
         }
         if self.capacities.len() != self.num_dcs
-            || self.capacities.iter().any(|c| !(c.is_finite() && *c >= 0.0))
+            || self
+                .capacities
+                .iter()
+                .any(|c| !(c.is_finite() && *c >= 0.0))
         {
             return Err(CoreError::InvalidSpec(
                 "capacities must be one non-negative value per data center".into(),

@@ -42,7 +42,7 @@ impl RoutingPolicy {
     /// list — they can only be served if their demand is also zero.
     pub fn from_allocation(problem: &Dspp, allocation: &Allocation) -> Self {
         let mut weights = vec![Vec::new(); problem.num_locations()];
-        for v in 0..problem.num_locations() {
+        for (v, weights_v) in weights.iter_mut().enumerate() {
             let arcs = problem.arcs_for_location(v);
             let total: f64 = arcs
                 .iter()
@@ -51,7 +51,7 @@ impl RoutingPolicy {
             if total <= 0.0 {
                 continue;
             }
-            weights[v] = arcs
+            *weights_v = arcs
                 .into_iter()
                 .filter_map(|e| {
                     let w = (allocation.arc_values()[e] / problem.arc_coeff(e)).max(0.0) / total;
@@ -152,16 +152,8 @@ mod tests {
         let router = RoutingPolicy::from_allocation(&p, &x);
         let sigma = router.assign(&p, &[60.0, 10.0]);
         // Conservation: per-location assignments sum to the demand.
-        let s0: f64 = p
-            .arcs_for_location(0)
-            .into_iter()
-            .map(|e| sigma[e])
-            .sum();
-        let s1: f64 = p
-            .arcs_for_location(1)
-            .into_iter()
-            .map(|e| sigma[e])
-            .sum();
+        let s0: f64 = p.arcs_for_location(0).into_iter().map(|e| sigma[e]).sum();
+        let s1: f64 = p.arcs_for_location(1).into_iter().map(|e| sigma[e]).sum();
         assert!((s0 - 60.0).abs() < 1e-9);
         assert!((s1 - 10.0).abs() < 1e-9);
         // Location 1 is served only by DC 1.

@@ -1,39 +1,60 @@
 //! Regenerates every figure of the evaluation, running independent
-//! experiments on parallel scoped threads (crossbeam).
+//! experiments on parallel scoped threads (crossbeam). Each experiment
+//! records into its own telemetry [`Recorder`], and its metric snapshot
+//! (solver iterations, controller latencies, game rounds, SLA counters —
+//! see `docs/OBSERVABILITY.md`) is printed after the figure's table.
 
 use dspp_experiments::{emit, ExpResult, Figure};
+use dspp_telemetry::{Recorder, Snapshot};
+
+/// Figure 3 is pure market calibration — no solver runs, nothing to record.
+fn fig3_with(_: &Recorder) -> ExpResult<Figure> {
+    dspp_experiments::fig3::run()
+}
 
 fn main() {
-    type Job = (&'static str, fn() -> ExpResult<Figure>);
+    type Job = (&'static str, fn(&Recorder) -> ExpResult<Figure>);
     let jobs: Vec<Job> = vec![
-        ("fig3", dspp_experiments::fig3::run),
-        ("fig4", dspp_experiments::fig4::run),
-        ("fig5", dspp_experiments::fig5::run),
-        ("fig6", dspp_experiments::fig6::run),
-        ("fig7", dspp_experiments::fig7::run),
-        ("fig8", dspp_experiments::fig8::run),
-        ("fig9", dspp_experiments::fig9::run),
-        ("fig10", dspp_experiments::fig10::run),
-        ("extras", dspp_experiments::extras::run),
+        ("fig3", fig3_with),
+        ("fig4", dspp_experiments::fig4::run_with),
+        ("fig5", dspp_experiments::fig5::run_with),
+        ("fig6", dspp_experiments::fig6::run_with),
+        ("fig7", dspp_experiments::fig7::run_with),
+        ("fig8", dspp_experiments::fig8::run_with),
+        ("fig9", dspp_experiments::fig9::run_with),
+        ("fig10", dspp_experiments::fig10::run_with),
+        ("extras", dspp_experiments::extras::run_with),
     ];
-    let mut results: Vec<(usize, ExpResult<Figure>)> = Vec::new();
+    type Outcome = (usize, ExpResult<Figure>, Option<Snapshot>);
+    let mut results: Vec<Outcome> = Vec::new();
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
             .enumerate()
-            .map(|(i, (_, f))| s.spawn(move |_| (i, f())))
+            .map(|(i, (_, f))| {
+                s.spawn(move |_| {
+                    let telemetry = Recorder::enabled();
+                    let result = f(&telemetry);
+                    (i, result, telemetry.snapshot())
+                })
+            })
             .collect();
         for h in handles {
             results.push(h.join().expect("experiment thread panicked"));
         }
     })
     .expect("scope");
-    results.sort_by_key(|(i, _)| *i);
+    results.sort_by_key(|(i, _, _)| *i);
     let mut failed = false;
-    for (i, r) in results {
+    for (i, r, snapshot) in results {
         if let Err(e) = emit(r) {
             eprintln!("{} failed: {e}", jobs[i].0);
             failed = true;
+        }
+        if let Some(snap) = snapshot {
+            if !snap.is_empty() {
+                println!("-- telemetry: {} --\n{snap}", jobs[i].0);
+            }
         }
     }
     if failed {

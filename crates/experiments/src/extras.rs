@@ -15,6 +15,7 @@ use dspp_core::{
 };
 use dspp_predict::{ArPredictor, LastValue, OraclePredictor, Predictor, SeasonalAr, SeasonalNaive};
 use dspp_sim::ClosedLoopSim;
+use dspp_telemetry::Recorder;
 use dspp_workload::{DemandModel, DiurnalProfile};
 
 fn demand(periods: usize, noise: f64) -> Vec<Vec<f64>> {
@@ -41,8 +42,11 @@ fn problem(periods: usize, percentile: Option<f64>) -> ExpResult<Dspp> {
 fn run_loop(
     controller: Box<dyn PlacementController>,
     demand: Vec<Vec<f64>>,
+    telemetry: &Recorder,
 ) -> ExpResult<(f64, usize)> {
-    let report = ClosedLoopSim::new(controller, demand)?.run()?;
+    let report = ClosedLoopSim::new(controller, demand)?
+        .with_telemetry(telemetry.clone())
+        .run()?;
     Ok((report.ledger.total(), report.violation_periods()))
 }
 
@@ -53,6 +57,15 @@ fn run_loop(
 ///
 /// Propagates build/solver failures.
 pub fn integer_ablation() -> ExpResult<(f64, f64)> {
+    integer_ablation_traced(&Recorder::disabled())
+}
+
+/// [`integer_ablation`] recording metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn integer_ablation_traced(telemetry: &Recorder) -> ExpResult<(f64, f64)> {
     let periods = 48;
     let d = demand(periods, 0.0);
     let mk = || -> ExpResult<MpcController> {
@@ -61,12 +74,13 @@ pub fn integer_ablation() -> ExpResult<(f64, f64)> {
             Box::new(OraclePredictor::new(d.clone())),
             MpcSettings {
                 horizon: 5,
+                telemetry: telemetry.clone(),
                 ..MpcSettings::default()
             },
         )?)
     };
-    let (continuous, _) = run_loop(Box::new(mk()?), d.clone())?;
-    let (integral, _) = run_loop(Box::new(IntegerizingController::new(mk()?)), d)?;
+    let (continuous, _) = run_loop(Box::new(mk()?), d.clone(), telemetry)?;
+    let (integral, _) = run_loop(Box::new(IntegerizingController::new(mk()?)), d, telemetry)?;
     Ok((continuous, integral))
 }
 
@@ -76,6 +90,15 @@ pub fn integer_ablation() -> ExpResult<(f64, f64)> {
 ///
 /// Propagates build/solver failures.
 pub fn percentile_ablation() -> ExpResult<(f64, f64)> {
+    percentile_ablation_traced(&Recorder::disabled())
+}
+
+/// [`percentile_ablation`] recording metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn percentile_ablation_traced(telemetry: &Recorder) -> ExpResult<(f64, f64)> {
     let periods = 48;
     let d = demand(periods, 0.0);
     let mut out = Vec::new();
@@ -85,10 +108,11 @@ pub fn percentile_ablation() -> ExpResult<(f64, f64)> {
             Box::new(OraclePredictor::new(d.clone())),
             MpcSettings {
                 horizon: 5,
+                telemetry: telemetry.clone(),
                 ..MpcSettings::default()
             },
         )?;
-        out.push(run_loop(Box::new(c), d.clone())?.0);
+        out.push(run_loop(Box::new(c), d.clone(), telemetry)?.0);
     }
     Ok((out[0], out[1]))
 }
@@ -103,11 +127,24 @@ pub fn percentile_ablation() -> ExpResult<(f64, f64)> {
 ///
 /// Propagates build/solver failures.
 pub fn predictor_ladder() -> ExpResult<Vec<(String, f64, usize)>> {
+    predictor_ladder_traced(&Recorder::disabled())
+}
+
+/// [`predictor_ladder`] recording metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn predictor_ladder_traced(telemetry: &Recorder) -> ExpResult<Vec<(String, f64, usize)>> {
     let periods = 96;
     let d = demand(periods, 0.15);
     let predictors: Vec<Box<dyn Predictor>> = vec![
         Box::new(LastValue),
-        Box::new(ArPredictor::new(2).with_window(24).with_stability_clamp(3.0)),
+        Box::new(
+            ArPredictor::new(2)
+                .with_window(24)
+                .with_stability_clamp(3.0),
+        ),
         Box::new(SeasonalNaive::new(24)),
         Box::new(SeasonalAr::new(24, 1)),
         Box::new(OraclePredictor::new(d.clone())),
@@ -128,10 +165,11 @@ pub fn predictor_ladder() -> ExpResult<Vec<(String, f64, usize)>> {
             p,
             MpcSettings {
                 horizon: 5,
+                telemetry: telemetry.clone(),
                 ..MpcSettings::default()
             },
         )?;
-        let (cost, violations) = run_loop(Box::new(c), d.clone())?;
+        let (cost, violations) = run_loop(Box::new(c), d.clone(), telemetry)?;
         rows.push((name, cost, violations));
     }
     Ok(rows)
@@ -143,9 +181,18 @@ pub fn predictor_ladder() -> ExpResult<Vec<(String, f64, usize)>> {
 ///
 /// Propagates ablation failures.
 pub fn run() -> ExpResult<Figure> {
-    let (cont, int) = integer_ablation()?;
-    let (mean_sla, p95_sla) = percentile_ablation()?;
-    let ladder = predictor_ladder()?;
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates ablation failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
+    let (cont, int) = integer_ablation_traced(telemetry)?;
+    let (mean_sla, p95_sla) = percentile_ablation_traced(telemetry)?;
+    let ladder = predictor_ladder_traced(telemetry)?;
 
     let mut notes = vec![
         format!(

@@ -7,6 +7,7 @@ use crate::{ExpResult, Figure};
 use dspp_core::{DsppBuilder, MpcController, MpcSettings};
 use dspp_predict::OraclePredictor;
 use dspp_sim::ClosedLoopSim;
+use dspp_telemetry::Recorder;
 
 /// One run: demand is zero for a warm-up prefix and then constant forever
 /// (the "constant demand" regime with a predictable onset); prices are
@@ -17,6 +18,16 @@ use dspp_sim::ClosedLoopSim;
 ///
 /// Propagates build/solver failures.
 pub fn cost_for_horizon(horizon: usize) -> ExpResult<f64> {
+    cost_for_horizon_traced(horizon, &Recorder::disabled())
+}
+
+/// [`cost_for_horizon`] recording controller/solver/sim metrics into
+/// `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn cost_for_horizon_traced(horizon: usize, telemetry: &Recorder) -> ExpResult<f64> {
     let periods = 24;
     let onset = 10;
     let level = 10_000.0;
@@ -35,10 +46,13 @@ pub fn cost_for_horizon(horizon: usize) -> ExpResult<f64> {
         Box::new(OraclePredictor::new(demand.clone())),
         MpcSettings {
             horizon,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?;
-    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?
+        .with_telemetry(telemetry.clone())
+        .run()?;
     Ok(report.ledger.total())
 }
 
@@ -48,9 +62,18 @@ pub fn cost_for_horizon(horizon: usize) -> ExpResult<f64> {
 ///
 /// Propagates run failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let mut rows = Vec::new();
     for w in 1..=10usize {
-        rows.push(vec![w as f64, cost_for_horizon(w)?]);
+        rows.push(vec![w as f64, cost_for_horizon_traced(w, telemetry)?]);
     }
     let first = rows[0][1];
     let last = rows[9][1];
@@ -66,8 +89,7 @@ pub fn run() -> ExpResult<Figure> {
     ];
     Ok(Figure {
         id: "fig10",
-        title: "Impact of prediction horizon length when price and demand are both constant"
-            .into(),
+        title: "Impact of prediction horizon length when price and demand are both constant".into(),
         header: vec!["horizon".into(), "cost".into()],
         rows,
         notes,

@@ -11,7 +11,12 @@ use crate::{scenario, ExpResult, Figure};
 pub fn run() -> ExpResult<Figure> {
     let market = scenario::market();
     let trace = market.wholesale_trace(24, 1.0, 0);
-    let names = ["San Jose, CA", "Dallas/Houston, TX", "Atlanta, GA", "Chicago, IL"];
+    let names = [
+        "San Jose, CA",
+        "Dallas/Houston, TX",
+        "Atlanta, GA",
+        "Chicago, IL",
+    ];
     let mut rows = Vec::with_capacity(24);
     for k in 0..24 {
         let mut row = vec![k as f64];
@@ -84,7 +89,9 @@ mod tests {
         }
         // The CA peak is in the late afternoon.
         let note = &fig.notes[0];
-        assert!(note.contains("hour 16") || note.contains("hour 17") || note.contains("hour 18"),
-            "unexpected peak note: {note}");
+        assert!(
+            note.contains("hour 16") || note.contains("hour 17") || note.contains("hour 18"),
+            "unexpected peak note: {note}"
+        );
     }
 }

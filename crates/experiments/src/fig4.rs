@@ -6,6 +6,7 @@ use crate::{ExpResult, Figure};
 use dspp_core::{DsppBuilder, MpcController, MpcSettings};
 use dspp_predict::OraclePredictor;
 use dspp_sim::ClosedLoopSim;
+use dspp_telemetry::Recorder;
 use dspp_workload::{DemandModel, DiurnalProfile};
 
 /// Peak and off-peak demand (requests/second), mirroring Figure 4's
@@ -40,6 +41,15 @@ pub fn demand_trace(periods: usize) -> Vec<Vec<f64>> {
 ///
 /// Propagates controller/solver failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates controller/solver failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let periods = 48;
     let demand = demand_trace(periods);
     let problem = problem(periods, 0.0005)?;
@@ -49,10 +59,13 @@ pub fn run() -> ExpResult<Figure> {
         Box::new(OraclePredictor::new(demand.clone())),
         MpcSettings {
             horizon: 5,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?;
-    let report = ClosedLoopSim::new(Box::new(controller), demand.clone())?.run()?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand.clone())?
+        .with_telemetry(telemetry.clone())
+        .run()?;
 
     // Report the second simulated day (hours 24–47), like the paper's
     // single-day axis.
@@ -88,11 +101,7 @@ pub fn run() -> ExpResult<Figure> {
     Ok(Figure {
         id: "fig4",
         title: "Impact of demand change on resource allocation".into(),
-        header: vec![
-            "hour".into(),
-            "demand_req_per_s".into(),
-            "servers".into(),
-        ],
+        header: vec!["hour".into(), "demand_req_per_s".into(), "servers".into()],
         rows,
         notes,
     })

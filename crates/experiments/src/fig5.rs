@@ -7,6 +7,7 @@ use crate::{scenario, ExpResult, Figure};
 use dspp_core::{MpcController, MpcSettings};
 use dspp_predict::OraclePredictor;
 use dspp_sim::ClosedLoopSim;
+use dspp_telemetry::Recorder;
 
 /// Access networks used: LA, San Francisco, Salt Lake City, Phoenix,
 /// Dallas, Houston (indices into [`dspp_topology::us_cities`]).
@@ -31,6 +32,15 @@ const DEMAND: f64 = 2_400.0;
 ///
 /// Propagates build/solver failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let periods = 48;
     // Reconfiguration weight matched to the literal electricity-price
     // scale (~$0.003 per server-hour): migrations must pay for themselves
@@ -42,12 +52,20 @@ pub fn run() -> ExpResult<Figure> {
         Box::new(OraclePredictor::new(demand.clone())),
         MpcSettings {
             horizon: 6,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?;
-    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?
+        .with_telemetry(telemetry.clone())
+        .run()?;
 
-    let names = ["CA (San Jose)", "TX (Houston)", "GA (Atlanta)", "IL (Chicago)"];
+    let names = [
+        "CA (San Jose)",
+        "TX (Houston)",
+        "GA (Atlanta)",
+        "IL (Chicago)",
+    ];
     let mut rows = Vec::new();
     for p in &report.periods {
         if p.period + 1 < 24 {
@@ -60,7 +78,10 @@ pub fn run() -> ExpResult<Figure> {
 
     // Shape: CA's share at its price peak (hour 17) vs at night (hour 4).
     let at = |hour: f64, col: usize| -> f64 {
-        rows.iter().find(|r| r[0] == hour).map(|r| r[col]).unwrap_or(0.0)
+        rows.iter()
+            .find(|r| r[0] == hour)
+            .map(|r| r[col])
+            .unwrap_or(0.0)
     };
     let ca_peak = at(17.0, 1);
     let ca_night = at(4.0, 1);
@@ -93,9 +114,8 @@ mod tests {
     fn ca_sheds_load_at_its_price_peak() {
         let fig = run().unwrap();
         assert_eq!(fig.rows.len(), 24);
-        let at = |hour: f64, col: usize| -> f64 {
-            fig.rows.iter().find(|r| r[0] == hour).unwrap()[col]
-        };
+        let at =
+            |hour: f64, col: usize| -> f64 { fig.rows.iter().find(|r| r[0] == hour).unwrap()[col] };
         // CA (column 1) holds fewer servers at 5 pm than at 4 am.
         let ca_peak = at(17.0, 1);
         let ca_night = at(4.0, 1);

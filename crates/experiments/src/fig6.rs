@@ -6,11 +6,12 @@ use crate::{fig4, ExpResult, Figure};
 use dspp_core::{DsppBuilder, MpcController, MpcSettings};
 use dspp_predict::OraclePredictor;
 use dspp_sim::{ClosedLoopSim, SimReport};
+use dspp_telemetry::Recorder;
 
 /// The horizons the paper sweeps.
 pub const HORIZONS: [usize; 4] = [1, 10, 20, 30];
 
-fn run_horizon(demand: &[Vec<f64>], horizon: usize) -> ExpResult<SimReport> {
+fn run_horizon(demand: &[Vec<f64>], horizon: usize, telemetry: &Recorder) -> ExpResult<SimReport> {
     let periods = demand[0].len();
     let problem = DsppBuilder::new(1, 1)
         .service_rate(250.0)
@@ -26,10 +27,13 @@ fn run_horizon(demand: &[Vec<f64>], horizon: usize) -> ExpResult<SimReport> {
         Box::new(OraclePredictor::new(demand.to_vec())),
         MpcSettings {
             horizon,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?;
-    Ok(ClosedLoopSim::new(Box::new(controller), demand.to_vec())?.run()?)
+    Ok(ClosedLoopSim::new(Box::new(controller), demand.to_vec())?
+        .with_telemetry(telemetry.clone())
+        .run()?)
 }
 
 /// Regenerates Figure 6.
@@ -38,10 +42,19 @@ fn run_horizon(demand: &[Vec<f64>], horizon: usize) -> ExpResult<SimReport> {
 ///
 /// Propagates solver failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let demand = fig4::demand_trace(48);
     let mut reports = Vec::new();
     for &k in &HORIZONS {
-        reports.push(run_horizon(&demand, k)?);
+        reports.push(run_horizon(&demand, k, telemetry)?);
     }
 
     let mut rows = Vec::new();
@@ -99,8 +112,9 @@ mod tests {
     #[test]
     fn longer_horizon_is_smoother() {
         let demand = fig4::demand_trace(30);
-        let short = run_horizon(&demand, 1).unwrap();
-        let long = run_horizon(&demand, 10).unwrap();
+        let telemetry = Recorder::disabled();
+        let short = run_horizon(&demand, 1, &telemetry).unwrap();
+        let long = run_horizon(&demand, 10, &telemetry).unwrap();
         let max_short = short.max_reconfig();
         let max_long = long.max_reconfig();
         assert!(

@@ -6,6 +6,7 @@ use crate::{ExpResult, Figure};
 use dspp_core::DsppBuilder;
 use dspp_game::{GameConfig, ResourceGame, ServiceProvider};
 use dspp_solver::IpmSettings;
+use dspp_telemetry::Recorder;
 
 /// Bottleneck capacities the paper sweeps on the cheapest (Dallas, TX)
 /// data center.
@@ -37,7 +38,11 @@ pub fn providers(n: usize, window: usize) -> ExpResult<Vec<ServiceProvider>> {
                 (0..num_locations)
                     .map(|v| {
                         if v == 0 {
-                            if l == 1 { 0.006 } else { 0.120 }
+                            if l == 1 {
+                                0.006
+                            } else {
+                                0.120
+                            }
                         } else {
                             0.008 + 0.004 * (((l + 2 * v + i) % 5) as f64)
                         }
@@ -99,6 +104,7 @@ pub fn game_config() -> GameConfig {
         epsilon: 0.002,
         max_iterations: 200,
         ipm: IpmSettings::fast(),
+        telemetry: Recorder::disabled(),
     }
 }
 
@@ -108,10 +114,28 @@ pub fn game_config() -> GameConfig {
 ///
 /// Propagates game failures.
 pub fn iterations_for(n_players: usize, bottleneck: f64, window: usize) -> ExpResult<usize> {
+    iterations_for_traced(n_players, bottleneck, window, &Recorder::disabled())
+}
+
+/// [`iterations_for`] recording `game.*` metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn iterations_for_traced(
+    n_players: usize,
+    bottleneck: f64,
+    window: usize,
+    telemetry: &Recorder,
+) -> ExpResult<usize> {
     let sps = providers(n_players, window)?;
     let caps = vec![2000.0, bottleneck, 2000.0, 2000.0];
     let game = ResourceGame::new(sps, caps)?;
-    let out = game.run(&game_config())?;
+    let config = GameConfig {
+        telemetry: telemetry.clone(),
+        ..game_config()
+    };
+    let out = game.run(&config)?;
     Ok(out.iterations)
 }
 
@@ -121,12 +145,21 @@ pub fn iterations_for(n_players: usize, bottleneck: f64, window: usize) -> ExpRe
 ///
 /// Propagates game failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording game/solver metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let window = 3;
     let mut rows = Vec::new();
     for n in 1..=10usize {
         let mut row = vec![n as f64];
         for &cap in &BOTTLENECKS {
-            row.push(iterations_for(n, cap, window)? as f64);
+            row.push(iterations_for_traced(n, cap, window, telemetry)? as f64);
         }
         rows.push(row);
     }

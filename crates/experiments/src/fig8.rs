@@ -2,6 +2,7 @@
 //! convergence" — the best-response game re-run with windows W = 1..10.
 
 use crate::{fig7, ExpResult, Figure};
+use dspp_telemetry::Recorder;
 
 /// Regenerates Figure 8.
 ///
@@ -9,11 +10,20 @@ use crate::{fig7, ExpResult, Figure};
 ///
 /// Propagates game failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording game/solver metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let players = 8;
     let bottleneck = 130.0;
     let mut rows = Vec::new();
     for w in 1..=10usize {
-        let iters = fig7::iterations_for(players, bottleneck, w)?;
+        let iters = fig7::iterations_for_traced(players, bottleneck, w, telemetry)?;
         rows.push(vec![w as f64, iters as f64]);
     }
     let first = rows[0][1];

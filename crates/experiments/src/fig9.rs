@@ -8,6 +8,7 @@ use dspp_core::{DsppBuilder, MpcController, MpcSettings};
 use dspp_predict::ArPredictor;
 use dspp_pricing::VmClass;
 use dspp_sim::ClosedLoopSim;
+use dspp_telemetry::Recorder;
 use dspp_workload::{DemandModel, DiurnalProfile};
 
 /// Horizons swept.
@@ -20,6 +21,16 @@ pub const HORIZONS: std::ops::RangeInclusive<usize> = 1..=12;
 ///
 /// Propagates build/solver failures.
 pub fn cost_for_horizon(horizon: usize, seed: u64) -> ExpResult<f64> {
+    cost_for_horizon_traced(horizon, seed, &Recorder::disabled())
+}
+
+/// [`cost_for_horizon`] recording controller/solver/sim metrics into
+/// `telemetry`.
+///
+/// # Errors
+///
+/// Propagates build/solver failures.
+pub fn cost_for_horizon_traced(horizon: usize, seed: u64, telemetry: &Recorder) -> ExpResult<f64> {
     let periods = 72;
     let locations = 4usize;
     // Volatile realized demand.
@@ -34,9 +45,12 @@ pub fn cost_for_horizon(horizon: usize, seed: u64) -> ExpResult<f64> {
     // but the controller only observes prices up to the current period and
     // forecasts the rest with AR(2) — both demand and price prediction can
     // fail, as in the paper's volatile regime.
-    let realized = scenario::market()
-        .with_volatility(0.60)
-        .server_price_trace(VmClass::Medium, periods, 1.0, seed + 1);
+    let realized = scenario::market().with_volatility(0.60).server_price_trace(
+        VmClass::Medium,
+        periods,
+        1.0,
+        seed + 1,
+    );
 
     let mut builder = DsppBuilder::new(4, locations)
         .service_rate(scenario::SERVICE_RATE)
@@ -56,16 +70,25 @@ pub fn cost_for_horizon(horizon: usize, seed: u64) -> ExpResult<f64> {
     let problem = builder.build()?;
     let controller = MpcController::new(
         problem,
-        Box::new(ArPredictor::new(2).with_window(10).with_stability_clamp(3.0)),
+        Box::new(
+            ArPredictor::new(2)
+                .with_window(10)
+                .with_stability_clamp(3.0),
+        ),
         MpcSettings {
             horizon,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?
     .with_price_predictor(Box::new(
-        ArPredictor::new(2).with_window(10).with_stability_clamp(3.0),
+        ArPredictor::new(2)
+            .with_window(10)
+            .with_stability_clamp(3.0),
     ));
-    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?
+        .with_telemetry(telemetry.clone())
+        .run()?;
     Ok(report.ledger.total())
 }
 
@@ -75,12 +98,21 @@ pub fn cost_for_horizon(horizon: usize, seed: u64) -> ExpResult<f64> {
 ///
 /// Propagates run failures.
 pub fn run() -> ExpResult<Figure> {
+    run_with(dspp_telemetry::global())
+}
+
+/// [`run`] recording controller/solver/sim metrics into `telemetry`.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
     let seeds = [11u64, 23, 37];
     let mut rows = Vec::new();
     for w in HORIZONS {
         let mut total = 0.0;
         for &s in &seeds {
-            total += cost_for_horizon(w, s)?;
+            total += cost_for_horizon_traced(w, s, telemetry)?;
         }
         rows.push(vec![w as f64, total / seeds.len() as f64]);
     }

@@ -3,6 +3,7 @@
 use crate::ServiceProvider;
 use dspp_core::{CoreError, HorizonProblem};
 use dspp_solver::{IpmSettings, LqSolution};
+use dspp_telemetry::Recorder;
 
 /// Tuning knobs of the best-response iteration (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -15,6 +16,9 @@ pub struct GameConfig {
     pub max_iterations: usize,
     /// Solver settings for each provider's DSPP.
     pub ipm: IpmSettings,
+    /// Metric recorder for `game.*` (and nested `solver.lq.*`) metrics.
+    /// Disabled by default; see `docs/OBSERVABILITY.md`.
+    pub telemetry: Recorder,
 }
 
 impl Default for GameConfig {
@@ -24,6 +28,7 @@ impl Default for GameConfig {
             epsilon: 0.05,
             max_iterations: 500,
             ipm: IpmSettings::default(),
+            telemetry: Recorder::disabled(),
         }
     }
 }
@@ -111,18 +116,12 @@ impl ResourceGame {
                 total_capacity.len()
             )));
         }
-        if total_capacity
-            .iter()
-            .any(|c| !(c.is_finite() && *c > 0.0))
-        {
+        if total_capacity.iter().any(|c| !(c.is_finite() && *c > 0.0)) {
             return Err(CoreError::InvalidSpec(
                 "total capacities must be positive and finite".into(),
             ));
         }
-        let floors: Vec<Vec<f64>> = providers
-            .iter()
-            .map(|sp| quota_floors(sp, nl))
-            .collect();
+        let floors: Vec<Vec<f64>> = providers.iter().map(|sp| quota_floors(sp, nl)).collect();
         for l in 0..nl {
             let need: f64 = floors.iter().map(|f| f[l]).sum();
             if need > total_capacity[l] {
@@ -157,8 +156,8 @@ impl ResourceGame {
             let cap = self.total_capacity[l];
             if floor_sum >= cap {
                 // Degenerate: hand out the floors proportionally.
-                for i in 0..n {
-                    quotas[i][l] = self.floors[i][l] / floor_sum * cap;
+                for (q, f) in quotas.iter_mut().zip(&self.floors) {
+                    q[l] = f[l] / floor_sum * cap;
                 }
                 continue;
             }
@@ -170,9 +169,9 @@ impl ResourceGame {
             let remaining = cap - floor_sum;
             if excess > 0.0 {
                 let gamma = remaining / excess;
-                for i in 0..n {
-                    let above = (quotas[i][l] - margin * self.floors[i][l]).max(0.0);
-                    quotas[i][l] = margin * self.floors[i][l] + above * gamma;
+                for (q, f) in quotas.iter_mut().zip(&self.floors) {
+                    let above = (q[l] - margin * f[l]).max(0.0);
+                    q[l] = margin * f[l] + above * gamma;
                 }
             } else {
                 for (i, q) in quotas.iter_mut().enumerate() {
@@ -210,16 +209,36 @@ impl ResourceGame {
         quota: &[f64],
         ipm: &IpmSettings,
     ) -> Result<(f64, Vec<f64>, LqSolution), CoreError> {
+        self.best_response_traced(i, quota, ipm, &Recorder::disabled())
+    }
+
+    /// [`ResourceGame::best_response`] with solver metrics (`solver.lq.*`)
+    /// and the provider's capacity shadow prices (`game.capacity_dual`)
+    /// emitted to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceGame::best_response`].
+    pub fn best_response_traced(
+        &self,
+        i: usize,
+        quota: &[f64],
+        ipm: &IpmSettings,
+        telemetry: &Recorder,
+    ) -> Result<(f64, Vec<f64>, LqSolution), CoreError> {
         let sp = &self.providers[i];
         let problem = sp.problem.with_capacities(quota.to_vec())?;
-        let horizon = HorizonProblem::build(
-            &problem,
-            &sp.initial,
-            &sp.demand,
-            &sp.price_rows(),
-        )?;
-        let sol = horizon.solve(ipm)?;
+        let horizon = HorizonProblem::build(&problem, &sp.initial, &sp.demand, &sp.price_rows())?;
+        let sol = horizon.solve_warm_traced(ipm, None, telemetry)?;
         let duals = horizon.capacity_duals(&sol);
+        if telemetry.is_enabled() {
+            // Per-stage average shadow price: capacity_duals sums the
+            // per-stage multipliers over the window.
+            let per_stage = 1.0 / self.horizon as f64;
+            for d in &duals {
+                telemetry.observe("game.capacity_dual", d * per_stage);
+            }
+        }
         Ok((sol.objective, duals, sol))
     }
 
@@ -232,10 +251,8 @@ impl ResourceGame {
     /// itself is infeasible.
     pub fn run(&self, config: &GameConfig) -> Result<GameOutcome, CoreError> {
         let n = self.providers.len();
-        let quotas: Vec<Vec<f64>> = vec![
-            self.total_capacity.iter().map(|c| c / n as f64).collect();
-            n
-        ];
+        let quotas: Vec<Vec<f64>> =
+            vec![self.total_capacity.iter().map(|c| c / n as f64).collect(); n];
         self.run_from(quotas, config)
     }
 
@@ -258,6 +275,8 @@ impl ResourceGame {
             ));
         }
         self.apply_floors(&mut quotas);
+        let telemetry = &config.telemetry;
+        telemetry.incr("game.runs", 1);
         let mut prev_cost = f64::INFINITY;
         let mut outcome: Option<GameOutcome> = None;
         for iter in 1..=config.max_iterations {
@@ -267,7 +286,7 @@ impl ResourceGame {
             let mut sols: Vec<Option<LqSolution>> = (0..n).map(|_| None).collect();
             let mut any_infeasible = false;
             for i in 0..n {
-                match self.best_response(i, &quotas[i], &config.ipm) {
+                match self.best_response_traced(i, &quotas[i], &config.ipm, telemetry) {
                     Ok((cost, d, sol)) => {
                         costs[i] = cost;
                         duals[i] = d;
@@ -278,13 +297,10 @@ impl ResourceGame {
                         // (but bounded) shadow price so the next division
                         // hands it a larger share without collapsing
                         // everyone else's quota in one step.
+                        telemetry.incr("game.infeasible_responses", 1);
                         any_infeasible = true;
                         costs[i] = f64::INFINITY;
-                        duals[i] = self
-                            .total_capacity
-                            .iter()
-                            .map(|c| c / n as f64)
-                            .collect();
+                        duals[i] = self.total_capacity.iter().map(|c| c / n as f64).collect();
                     }
                     Err(e) => return Err(e),
                 }
@@ -297,6 +313,8 @@ impl ResourceGame {
                 && prev_cost.is_finite()
                 && (total - prev_cost).abs() <= config.epsilon * prev_cost
             {
+                telemetry.incr("game.converged", 1);
+                telemetry.observe("game.rounds", iter as f64);
                 return Ok(GameOutcome {
                     iterations: iter,
                     converged: true,
@@ -314,10 +332,7 @@ impl ResourceGame {
                     total_cost: total,
                     provider_costs: costs.clone(),
                     quotas: quotas.clone(),
-                    solutions: sols
-                        .iter()
-                        .map(|s| s.clone().expect("feasible"))
-                        .collect(),
+                    solutions: sols.iter().map(|s| s.clone().expect("feasible")).collect(),
                 });
             }
 
@@ -329,6 +344,7 @@ impl ResourceGame {
             // update step (and the convergence behaviour would depend on W
             // for the wrong reason).
             let per_stage = 1.0 / self.horizon as f64;
+            let old_quotas = telemetry.is_enabled().then(|| quotas.clone());
             let mut bars = quotas.clone();
             for i in 0..n {
                 for l in 0..nl {
@@ -349,12 +365,21 @@ impl ResourceGame {
                 }
             }
             self.apply_floors(&mut quotas);
+            if let Some(old) = old_quotas {
+                let l1: f64 = old
+                    .iter()
+                    .zip(&quotas)
+                    .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
+                    .sum();
+                telemetry.observe("game.quota_adjustment_l1", l1);
+            }
         }
 
         // Out of iterations: return the last feasible iterate if any.
         match outcome {
             Some(mut o) => {
                 o.iterations = config.max_iterations;
+                telemetry.observe("game.rounds", config.max_iterations as f64);
                 Ok(o)
             }
             None => Err(CoreError::Solver(dspp_solver::SolverError::MaxIterations {
@@ -422,19 +447,14 @@ mod tests {
         assert!(out.converged, "game did not converge");
         // At every stage the combined resource usage fits the capacity.
         for t in 1..=game.horizon() {
-            for l in 0..2 {
+            for (l, &cap) in caps.iter().enumerate() {
                 let mut used = 0.0;
                 for (i, sol) in out.solutions.iter().enumerate() {
                     let sp = &game.providers()[i];
-                    let x =
-                        Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
+                    let x = Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
                     used += x.per_dc(&sp.problem)[l] * sp.problem.server_size();
                 }
-                assert!(
-                    used <= caps[l] + 1e-4,
-                    "stage {t} dc {l}: used {used} > {}",
-                    caps[l]
-                );
+                assert!(used <= cap + 1e-4, "stage {t} dc {l}: used {used} > {cap}");
             }
         }
     }
@@ -467,6 +487,41 @@ mod tests {
             .unwrap();
         let err = ResourceGame::new(sps, vec![0.5]).unwrap_err();
         assert!(matches!(err, CoreError::InvalidSpec(_)), "got {err}");
+    }
+
+    #[test]
+    fn telemetry_counts_rounds_and_duals() {
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(3).unwrap();
+        let game = ResourceGame::new(sps, vec![60.0, 80.0]).unwrap();
+        let config = GameConfig {
+            telemetry: dspp_telemetry::Recorder::enabled(),
+            ..quick_config()
+        };
+        let out = game.run(&config).unwrap();
+        let snap = config.telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("game.runs"), 1);
+        let rounds = snap.histogram("game.rounds").unwrap();
+        assert_eq!(rounds.count, 1);
+        assert_eq!(rounds.sum as usize, out.iterations);
+        if out.converged {
+            assert_eq!(snap.counter("game.converged"), 1);
+        }
+        // 3 providers × 2 DCs of duals per round, minus rounds lost to
+        // infeasible responses: at least one round's worth was observed.
+        let duals = snap.histogram("game.capacity_dual").unwrap();
+        assert!(duals.count >= 6, "dual observations: {}", duals.count);
+        // The nested solver metrics flow into the same recorder.
+        assert!(snap.counter("solver.lq.solves") > 0);
+        // Quota updates happen on every round that does not converge.
+        let expected_adjustments = if out.converged {
+            out.iterations - 1
+        } else {
+            out.iterations
+        };
+        if expected_adjustments > 0 {
+            let adj = snap.histogram("game.quota_adjustment_l1").unwrap();
+            assert_eq!(adj.count as usize, expected_adjustments);
+        }
     }
 
     #[test]

@@ -52,10 +52,7 @@ pub fn equilibrium_gaps(
             .map(|t| {
                 (0..nl)
                     .map(|l| {
-                        let others: f64 = (0..n)
-                            .filter(|&j| j != i)
-                            .map(|j| usage[j][t][l])
-                            .sum();
+                        let others: f64 = (0..n).filter(|&j| j != i).map(|j| usage[j][t][l]).sum();
                         (game.total_capacity()[l] - others).max(0.0)
                     })
                     .collect()
@@ -123,18 +120,15 @@ pub fn price_of_anarchy_bounds(
     for s in 0..num_starts {
         let quotas: Vec<Vec<f64>> = if s == 0 {
             // Deterministic equal split first.
-            vec![
-                game.total_capacity().iter().map(|c| c / n as f64).collect();
-                n
-            ]
+            vec![game.total_capacity().iter().map(|c| c / n as f64).collect(); n]
         } else {
             // Random positive split per DC, normalized to the capacity.
             let mut q = vec![vec![0.0; nl]; n];
-            for l in 0..nl {
+            for (l, &cap) in game.total_capacity().iter().enumerate().take(nl) {
                 let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..1.0)).collect();
                 let sum: f64 = weights.iter().sum();
-                for i in 0..n {
-                    q[i][l] = weights[i] / sum * game.total_capacity()[l];
+                for (qi, w) in q.iter_mut().zip(&weights) {
+                    qi[l] = w / sum * cap;
                 }
             }
             q

@@ -216,10 +216,7 @@ mod tests {
             .unwrap();
         let sp = ServiceProvider::new(p, vec![vec![1.0, 2.0, 3.0]]).unwrap();
         assert_eq!(sp.clone().with_horizon(2).demand[0], vec![1.0, 2.0]);
-        assert_eq!(
-            sp.with_horizon(5).demand[0],
-            vec![1.0, 2.0, 3.0, 3.0, 3.0]
-        );
+        assert_eq!(sp.with_horizon(5).demand[0], vec![1.0, 2.0, 3.0, 3.0, 3.0]);
     }
 
     #[test]

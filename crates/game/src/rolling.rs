@@ -116,7 +116,11 @@ pub fn run_rolling_game(
                 // `price(l, k + t)`, so that window stage 1 pays the
                 // realized period k+1 price.
                 let shifted: Vec<Vec<f64>> = (0..sp.problem.num_dcs())
-                    .map(|l| (0..=window + 1).map(|t| sp.problem.price(l, k + t)).collect())
+                    .map(|l| {
+                        (0..=window + 1)
+                            .map(|t| sp.problem.price(l, k + t))
+                            .collect()
+                    })
                     .collect();
                 let problem = rebuild_with_prices(&sp.problem, &shifted);
                 let mut provider =
@@ -139,14 +143,12 @@ pub fn run_rolling_game(
         for i in 0..n {
             let sp = &providers[i];
             let sol = &outcome.solutions[i];
-            let new_state =
-                Allocation::from_arc_values(&sp.problem, sol.xs[1].as_slice().to_vec());
+            let new_state = Allocation::from_arc_values(&sp.problem, sol.xs[1].as_slice().to_vec());
             let mut cost = 0.0;
             for (e, &(l, _)) in sp.problem.arcs().iter().enumerate() {
                 let x = new_state.arc_values()[e];
                 let u = x - states[i].arc_values()[e];
-                cost += sp.problem.price(l, k + 1) * x
-                    + sp.problem.reconfig_weight(l) * u * u;
+                cost += sp.problem.price(l, k + 1) * x + sp.problem.reconfig_weight(l) * u * u;
             }
             costs[i] = cost;
             report.totals[i] += cost;
@@ -183,9 +185,9 @@ fn rebuild_with_prices(problem: &dspp_core::Dspp, prices: &[Vec<f64>]) -> dspp_c
         builder = builder.percentile(phi);
     }
     builder = builder.reservation_ratio(problem.sla().reservation_ratio);
-    for l in 0..nl {
+    for (l, price) in prices.iter().enumerate().take(nl) {
         builder = builder
-            .price_trace(l, prices[l].clone())
+            .price_trace(l, price.clone())
             .reconfiguration_weight(l, problem.reconfig_weight(l));
     }
     builder.build().expect("same problem, shifted prices")
@@ -243,8 +245,7 @@ mod tests {
     #[test]
     fn costs_accumulate_per_provider() {
         let providers = SpSampler::new(2, 1, 8).with_seed(34).sample(2).unwrap();
-        let report =
-            run_rolling_game(&providers, &[100.0, 100.0], 2, 4, &config()).unwrap();
+        let report = run_rolling_game(&providers, &[100.0, 100.0], 2, 4, &config()).unwrap();
         for (i, &t) in report.totals.iter().enumerate() {
             let sum: f64 = report.periods.iter().map(|p| p.provider_costs[i]).sum();
             assert!((t - sum).abs() < 1e-9, "provider {i} ledger mismatch");

@@ -129,9 +129,11 @@ pub fn solve_social_welfare(
     for j in 0..w {
         let mut stage = LqStage::identity_dynamics(n).with_input_penalty(&reconfig);
         if j >= 1 {
-            stage = stage
-                .with_state_cost(stage_cost(j - 1))
-                .with_constraints(cx.clone(), Matrix::zeros(m_rows, n), stage_rhs(j - 1));
+            stage = stage.with_state_cost(stage_cost(j - 1)).with_constraints(
+                cx.clone(),
+                Matrix::zeros(m_rows, n),
+                stage_rhs(j - 1),
+            );
         }
         stages.push(stage);
     }
@@ -203,7 +205,7 @@ mod tests {
         let caps = [30.0, 30.0];
         let swp = solve_social_welfare(&sps, &caps, &IpmSettings::default()).unwrap();
         for t in 1..=3 {
-            for l in 0..2 {
+            for (l, &cap) in caps.iter().enumerate() {
                 let mut used = 0.0;
                 for (i, sp) in sps.iter().enumerate() {
                     for (e, &(le, _)) in sp.problem.arcs().iter().enumerate() {
@@ -212,7 +214,7 @@ mod tests {
                         }
                     }
                 }
-                assert!(used <= caps[l] + 1e-4, "stage {t} dc {l} used {used}");
+                assert!(used <= cap + 1e-4, "stage {t} dc {l} used {used}");
             }
         }
     }

@@ -39,7 +39,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is numerically singular (pivot {pivot})")
             }
             LinalgError::RankDeficient { column } => {
-                write!(f, "least-squares system is rank deficient (column {column})")
+                write!(
+                    f,
+                    "least-squares system is rank deficient (column {column})"
+                )
             }
         }
     }

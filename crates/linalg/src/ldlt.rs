@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn agrees_with_cholesky_on_spd_input() {
-        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap();
         let ld = Ldlt::factor(&a).unwrap();
         assert_eq!(ld.negative_pivots(), 0);
         let ch = crate::Cholesky::factor(&a).unwrap();

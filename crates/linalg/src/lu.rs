@@ -165,12 +165,8 @@ mod tests {
 
     #[test]
     fn solves_nonsymmetric_system() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 4.0, -2.0],
-            &[3.0, -1.0, 5.0],
-            &[0.5, 2.0, 1.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 4.0, -2.0], &[3.0, -1.0, 5.0], &[0.5, 2.0, 1.0]]).unwrap();
         let xtrue = Vector::from(vec![1.0, -2.0, 0.5]);
         let b = a.matvec(&xtrue);
         let f = Lu::factor(&a).unwrap();

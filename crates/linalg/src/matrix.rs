@@ -306,8 +306,8 @@ impl Matrix {
             }
             let arow = self.row(k);
             let brow = other.row(k);
-            for i in 0..self.cols {
-                let s = wk * arow[i];
+            for (i, &a) in arow.iter().enumerate() {
+                let s = wk * a;
                 if s == 0.0 {
                     continue;
                 }
@@ -545,10 +545,7 @@ mod tests {
         let b = mat(&[&[1.0], &[2.0]]);
         let w = Vector::from(vec![0.5, 2.0]);
         let p = a.weighted_product(&w, &b);
-        let explicit = a
-            .transpose()
-            .matmul(&Matrix::from_diag(&w))
-            .matmul(&b);
+        let explicit = a.transpose().matmul(&Matrix::from_diag(&w)).matmul(&b);
         assert!((&p - &explicit).norm_inf() < 1e-12);
     }
 

@@ -125,9 +125,9 @@ impl Predictor for ArPredictor {
                     Some((c, a)) => {
                         // Iterate the recurrence, feeding forecasts back in.
                         let p = self.order;
-                        let cap = self.clamp_factor.map(|f| {
-                            f * h.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
-                        });
+                        let cap = self
+                            .clamp_factor
+                            .map(|f| f * h.iter().fold(0.0f64, |m, &x| m.max(x.abs())));
                         let mut buf: Vec<f64> = h[h.len().saturating_sub(p)..].to_vec();
                         let mut out = Vec::with_capacity(horizon);
                         for _ in 0..horizon {
@@ -234,7 +234,7 @@ mod tests {
         // An explosive series fits an AR(1) with coefficient > 1; long
         // unclamped forecasts blow up, clamped ones stay bounded.
         let h: Vec<f64> = (0..20).map(|k| 1.1f64.powi(k)).collect();
-        let wild = ArPredictor::new(1).forecast_all(&[h.clone()], 50);
+        let wild = ArPredictor::new(1).forecast_all(std::slice::from_ref(&h), 50);
         let max_hist = h.iter().cloned().fold(0.0f64, f64::max);
         assert!(wild[0].last().unwrap() > &(10.0 * max_hist));
         let tame = ArPredictor::new(1)

@@ -100,7 +100,7 @@ mod tests {
     fn passes_through_when_calm() {
         let guarded = GuardedPredictor::new(Box::new(SeasonalNaive::new(4)), 2.0);
         let h: Vec<f64> = (0..16).map(|k| 100.0 + (k % 4) as f64).collect();
-        let plain = SeasonalNaive::new(4).forecast_all(&[h.clone()], 4);
+        let plain = SeasonalNaive::new(4).forecast_all(std::slice::from_ref(&h), 4);
         let wrapped = guarded.forecast_all(&[h], 4);
         assert_eq!(plain, wrapped);
     }

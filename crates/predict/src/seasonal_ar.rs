@@ -57,7 +57,10 @@ impl Predictor for SeasonalAr {
                 let n = h.len();
                 if n < 2 * period {
                     // Not enough data to form a residual series; fall back.
-                    return self.seasonal.forecast_all(&[h.clone()], horizon).remove(0);
+                    return self
+                        .seasonal
+                        .forecast_all(std::slice::from_ref(h), horizon)
+                        .remove(0);
                 }
                 // Residuals r_t = y_t − y_{t−period}, defined for t ≥ period.
                 let residuals: Vec<f64> = (period..n).map(|t| h[t] - h[t - period]).collect();
@@ -70,11 +73,11 @@ impl Predictor for SeasonalAr {
                     .abs()
                     + 1.0;
                 let lifted: Vec<f64> = residuals.iter().map(|r| r + offset).collect();
-                let r_forecast = self
-                    .residual_ar
-                    .forecast_all(&[lifted], horizon)
+                let r_forecast = self.residual_ar.forecast_all(&[lifted], horizon).remove(0);
+                let s_forecast = self
+                    .seasonal
+                    .forecast_all(std::slice::from_ref(h), horizon)
                     .remove(0);
-                let s_forecast = self.seasonal.forecast_all(&[h.clone()], horizon).remove(0);
                 s_forecast
                     .into_iter()
                     .zip(r_forecast)
@@ -137,7 +140,7 @@ mod tests {
     #[test]
     fn short_history_falls_back_to_seasonal() {
         let h: Vec<f64> = (0..30).map(|k| k as f64).collect();
-        let hybrid = SeasonalAr::new(24, 2).forecast_all(&[h.clone()], 3);
+        let hybrid = SeasonalAr::new(24, 2).forecast_all(std::slice::from_ref(&h), 3);
         let seasonal = SeasonalNaive::new(24).forecast_all(&[h], 3);
         assert_eq!(hybrid, seasonal);
     }
@@ -156,13 +159,10 @@ mod tests {
     #[test]
     fn exact_on_pure_seasonal_series() {
         let h: Vec<f64> = (0..96).map(|k| 10.0 + (k % 24) as f64).collect();
-        let f = SeasonalAr::new(24, 1).forecast_all(&[h.clone()], 5);
+        let f = SeasonalAr::new(24, 1).forecast_all(std::slice::from_ref(&h), 5);
         for (i, &y) in f[0].iter().enumerate() {
             let expect = 10.0 + ((96 + i) % 24) as f64;
-            assert!(
-                (y - expect).abs() < 0.5,
-                "step {i}: {y} vs {expect}"
-            );
+            assert!((y - expect).abs() < 0.5, "step {i}: {y} vs {expect}");
         }
     }
 }

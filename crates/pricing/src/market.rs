@@ -212,8 +212,7 @@ mod tests {
     fn ca_afternoon_premium_over_tx_maximal_near_5pm() {
         // The paper: "The difference reaches its maximum around 5pm".
         let m = ElectricityMarket::us_default();
-        let diff =
-            |h: f64| m.wholesale_price(0, h) - m.wholesale_price(1, h);
+        let diff = |h: f64| m.wholesale_price(0, h) - m.wholesale_price(1, h);
         let at5 = diff(17.0);
         for h in [0.0, 4.0, 8.0, 12.0, 21.0] {
             assert!(at5 >= diff(h), "difference at {h} exceeds 5 pm");

@@ -96,8 +96,7 @@ mod tests {
     use super::*;
 
     fn market() -> SpotMarket {
-        SpotMarket::new(RegionalPriceModel::constant("spot", 40.0))
-            .with_spikes(0.1, 3.0, 0.5)
+        SpotMarket::new(RegionalPriceModel::constant("spot", 40.0)).with_spikes(0.1, 3.0, 0.5)
     }
 
     #[test]
@@ -127,8 +126,8 @@ mod tests {
 
     #[test]
     fn zero_probability_reproduces_base() {
-        let spot = SpotMarket::new(RegionalPriceModel::constant("s", 55.0))
-            .with_spikes(0.0, 2.0, 0.5);
+        let spot =
+            SpotMarket::new(RegionalPriceModel::constant("s", 55.0)).with_spikes(0.0, 2.0, 0.5);
         let t = spot.trace(48, 1.0, 0);
         for k in 0..48 {
             assert!((t.get(0, k) - 55.0).abs() < 1e-9);

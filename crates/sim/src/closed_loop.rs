@@ -1,5 +1,7 @@
-use crate::{evaluate_sla, SlaReport};
+use crate::{evaluate_sla, Monitor, SlaReport};
 use dspp_core::{CoreError, CostLedger, PlacementController};
+use dspp_telemetry::Recorder;
+use std::time::Instant;
 
 /// One period of a closed-loop run.
 #[derive(Debug, Clone)]
@@ -78,6 +80,7 @@ pub struct ClosedLoopSim {
     controller: Box<dyn PlacementController>,
     demand: Vec<Vec<f64>>,
     realized_prices: Option<Vec<Vec<f64>>>,
+    telemetry: Recorder,
 }
 
 impl ClosedLoopSim {
@@ -111,7 +114,17 @@ impl ClosedLoopSim {
             controller,
             demand,
             realized_prices: None,
+            telemetry: Recorder::disabled(),
         })
+    }
+
+    /// Emits `sim.*` metrics (periods, step latency, SLA violations,
+    /// anomaly flags, reconfiguration magnitudes) to `telemetry` during
+    /// [`ClosedLoopSim::run`]. Disabled by default; see
+    /// `docs/OBSERVABILITY.md`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Charges the run against *realized* prices (`[dc][period]`) instead
@@ -148,9 +161,17 @@ impl ClosedLoopSim {
         let periods = self.demand[0].len();
         let mut out = Vec::with_capacity(periods - 1);
         let mut ledger = CostLedger::new();
+        let telemetry = self.telemetry.clone();
+        // Demand anomaly monitor (Figure 2's monitoring module): only
+        // driven when telemetry is on — the controller's own predictor
+        // guard runs its own monitor regardless.
+        let mut monitor = telemetry
+            .is_enabled()
+            .then(|| Monitor::new(self.demand.len(), 0.3, 4.0));
         for k in 0..periods - 1 {
             let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
             let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
+            let t_step = telemetry.is_enabled().then(Instant::now);
             let outcome = self.controller.step(&observed)?;
             let problem = self.controller.problem();
             let sla = evaluate_sla(problem, &outcome.allocation, &outcome.routing, &realized);
@@ -170,13 +191,26 @@ impl ClosedLoopSim {
                 }
             };
             ledger.push(step_cost);
+            let reconfig_magnitude: f64 = outcome.control.iter().map(|u| u.abs()).sum();
+            if let Some(t) = t_step {
+                telemetry.incr("sim.periods", 1);
+                telemetry.observe_duration("sim.step_seconds", t.elapsed());
+                telemetry.observe("sim.reconfig_l1", reconfig_magnitude);
+                if sla.violated_arcs > 0 {
+                    telemetry.incr("sim.sla_violation_periods", 1);
+                }
+                if let Some(mon) = monitor.as_mut() {
+                    let alarms = mon.observe(&observed);
+                    telemetry.incr("sim.anomaly_flags", alarms.len() as u64);
+                }
+            }
             out.push(SimPeriod {
                 period: k,
                 observed_demand: observed,
                 realized_demand: realized,
                 per_dc: per_dc.clone(),
                 total_servers: outcome.allocation.total(),
-                reconfig_magnitude: outcome.control.iter().map(|u| u.abs()).sum(),
+                reconfig_magnitude,
                 cost: step_cost,
                 sla,
             });
@@ -245,7 +279,10 @@ mod tests {
             },
         )
         .unwrap();
-        let report = ClosedLoopSim::new(Box::new(c), demand).unwrap().run().unwrap();
+        let report = ClosedLoopSim::new(Box::new(c), demand)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             report.violation_periods() >= 1,
             "surge must catch persistence out"
@@ -280,12 +317,9 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
+        assert!((rebilled.ledger.total_hosting() - 2.0 * base.ledger.total_hosting()).abs() < 1e-9);
         assert!(
-            (rebilled.ledger.total_hosting() - 2.0 * base.ledger.total_hosting()).abs() < 1e-9
-        );
-        assert!(
-            (rebilled.ledger.total_reconfiguration() - base.ledger.total_reconfiguration())
-                .abs()
+            (rebilled.ledger.total_reconfiguration() - base.ledger.total_reconfiguration()).abs()
                 < 1e-9
         );
         // Shape validation.
@@ -296,12 +330,48 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_periods_and_violations() {
+        let demand = vec![vec![50.0, 50.0, 140.0, 140.0, 140.0]];
+        let telemetry = dspp_telemetry::Recorder::enabled();
+        let c = MpcController::new(
+            problem(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let report = ClosedLoopSim::new(Box::new(c), demand)
+            .unwrap()
+            .with_telemetry(telemetry.clone())
+            .run()
+            .unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        // One sample per period, across sim and controller layers alike.
+        assert_eq!(snap.counter("sim.periods") as usize, report.periods.len());
+        assert_eq!(
+            snap.counter("controller.steps") as usize,
+            report.periods.len()
+        );
+        let steps = snap.histogram("sim.step_seconds").unwrap();
+        assert_eq!(steps.count as usize, report.periods.len());
+        let reconfig = snap.histogram("sim.reconfig_l1").unwrap();
+        assert_eq!(reconfig.count as usize, report.periods.len());
+        assert_eq!(
+            snap.counter("sim.sla_violation_periods") as usize,
+            report.violation_periods()
+        );
+        // Nested solver metrics flow into the same recorder.
+        assert!(snap.histogram("solver.lq.iterations").unwrap().sum > 0.0);
+    }
+
+    #[test]
     fn validation_of_trace_shape() {
         let demand_bad = vec![vec![1.0, 2.0], vec![1.0, 2.0]];
         assert!(ClosedLoopSim::new(mpc(2, vec![vec![1.0, 2.0]]), demand_bad).is_err());
         assert!(ClosedLoopSim::new(mpc(2, vec![vec![1.0]]), vec![vec![1.0]]).is_err());
-        assert!(
-            ClosedLoopSim::new(mpc(2, vec![vec![1.0, 2.0]]), vec![vec![1.0, 2.0]]).is_ok()
-        );
+        assert!(ClosedLoopSim::new(mpc(2, vec![vec![1.0, 2.0]]), vec![vec![1.0, 2.0]]).is_ok());
     }
 }

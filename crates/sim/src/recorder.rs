@@ -2,6 +2,9 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Named series, each a list of `(x, y)` points, sorted by name.
+type SeriesMap = BTreeMap<String, Vec<(f64, f64)>>;
+
 /// A thread-safe collector of named numeric series.
 ///
 /// The experiments crate runs parameter sweeps on scoped threads
@@ -23,7 +26,7 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SharedRecorder {
-    inner: Arc<Mutex<BTreeMap<String, Vec<(f64, f64)>>>>,
+    inner: Arc<Mutex<SeriesMap>>,
 }
 
 impl SharedRecorder {
@@ -43,12 +46,7 @@ impl SharedRecorder {
 
     /// Returns the named series sorted by `x` (empty if absent).
     pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
-        let mut v = self
-            .inner
-            .lock()
-            .get(name)
-            .cloned()
-            .unwrap_or_default();
+        let mut v = self.inner.lock().get(name).cloned().unwrap_or_default();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         v
     }

@@ -29,7 +29,10 @@ impl fmt::Display for SolverError {
         match self {
             SolverError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
             SolverError::MaxIterations { limit, gap } => {
-                write!(f, "no convergence within {limit} iterations (gap {gap:.3e})")
+                write!(
+                    f,
+                    "no convergence within {limit} iterations (gap {gap:.3e})"
+                )
             }
             SolverError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
             SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -58,7 +61,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SolverError::MaxIterations { limit: 50, gap: 1e-3 };
+        let e = SolverError::MaxIterations {
+            limit: 50,
+            gap: 1e-3,
+        };
         assert!(e.to_string().contains("50"));
         let e = SolverError::from(LinalgError::Singular { pivot: 2 });
         assert!(e.to_string().contains("singular"));

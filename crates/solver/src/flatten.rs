@@ -174,12 +174,7 @@ pub fn flatten_lq(problem: &LqProblem) -> Result<FlattenedLq, SolverError> {
     let qp = QpProblem::new(p, q)?
         .with_equalities(a_eq, b_eq)?
         .with_inequalities(g, h)?;
-    Ok(FlattenedLq {
-        qp,
-        offset,
-        n,
-        mus,
-    })
+    Ok(FlattenedLq { qp, offset, n, mus })
 }
 
 #[cfg(test)]

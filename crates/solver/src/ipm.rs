@@ -3,6 +3,8 @@
 use crate::qp::{QpProblem, QpSolution, SolveStatus};
 use crate::{IpmSettings, SolverError};
 use dspp_linalg::{Cholesky, Ldlt, Matrix, Vector};
+use dspp_telemetry::Recorder;
+use std::time::Instant;
 
 /// Solves a dense convex QP with a primal–dual interior-point method.
 ///
@@ -19,12 +21,79 @@ use dspp_linalg::{Cholesky, Ldlt, Matrix, Vector};
 /// * [`SolverError::NumericalFailure`] if iterates become non-finite or the
 ///   Newton system cannot be factorized even with boosted regularization.
 pub fn solve_qp(problem: &QpProblem, settings: &IpmSettings) -> Result<QpSolution, SolverError> {
+    solve_qp_inner(problem, settings, &Recorder::disabled())
+}
+
+/// [`solve_qp`] with metrics emitted to `telemetry`.
+///
+/// Per attempt it increments `solver.qp.solves` and one
+/// `solver.qp.status.*` tally, observes `solver.qp.iterations`,
+/// `solver.qp.solve_seconds`, per-iteration `solver.qp.factor_seconds`,
+/// and — on success — the final `solver.qp.kkt_residual`. A disabled
+/// recorder makes this identical to [`solve_qp`]; see
+/// `docs/OBSERVABILITY.md` for the metric catalogue.
+pub fn solve_qp_traced(
+    problem: &QpProblem,
+    settings: &IpmSettings,
+    telemetry: &Recorder,
+) -> Result<QpSolution, SolverError> {
+    if !telemetry.is_enabled() {
+        return solve_qp_inner(problem, settings, telemetry);
+    }
+    telemetry.incr("solver.qp.solves", 1);
+    let t0 = Instant::now();
+    let result = solve_qp_inner(problem, settings, telemetry);
+    telemetry.observe_duration("solver.qp.solve_seconds", t0.elapsed());
+    match &result {
+        Ok(sol) => {
+            let status = match sol.status {
+                SolveStatus::Optimal => "solver.qp.status.optimal",
+                SolveStatus::AlmostOptimal => "solver.qp.status.almost_optimal",
+            };
+            telemetry.incr(status, 1);
+            telemetry.observe("solver.qp.iterations", sol.iterations as f64);
+            telemetry.observe("solver.qp.kkt_residual", qp_kkt_residual(problem, sol));
+        }
+        Err(err) => telemetry.incr(qp_error_counter(err), 1),
+    }
+    result
+}
+
+/// Maps a solver error to its `solver.qp.status.*` tally.
+fn qp_error_counter(err: &SolverError) -> &'static str {
+    match err {
+        SolverError::MaxIterations { .. } => "solver.qp.status.max_iterations",
+        SolverError::NumericalFailure(_) => "solver.qp.status.numerical_failure",
+        _ => "solver.qp.status.invalid_problem",
+    }
+}
+
+/// ∞-norm KKT residual of a returned solution: stationarity combined with
+/// the worst primal constraint violation.
+fn qp_kkt_residual(problem: &QpProblem, sol: &QpSolution) -> f64 {
+    let mut r_dual = &problem.p.matvec(&sol.x) + &problem.q;
+    if problem.num_equalities() > 0 {
+        r_dual += &problem.a.matvec_t(&sol.y);
+    }
+    if problem.num_inequalities() > 0 {
+        r_dual += &problem.g.matvec_t(&sol.z);
+    }
+    r_dual.norm_inf().max(problem.max_violation(&sol.x))
+}
+
+fn solve_qp_inner(
+    problem: &QpProblem,
+    settings: &IpmSettings,
+    telemetry: &Recorder,
+) -> Result<QpSolution, SolverError> {
     settings.validate().map_err(SolverError::InvalidProblem)?;
     let n = problem.num_vars();
     let p_eq = problem.num_equalities();
     let m = problem.num_inequalities();
     if n == 0 {
-        return Err(SolverError::InvalidProblem("problem has no variables".into()));
+        return Err(SolverError::InvalidProblem(
+            "problem has no variables".into(),
+        ));
     }
 
     // Cold start: x = 0, y = 0, s = max(h - Gx, margin), z = margin.
@@ -119,6 +188,7 @@ pub fn solve_qp(problem: &QpProblem, settings: &IpmSettings) -> Result<QpSolutio
             Chol(Cholesky),
             Kkt(Ldlt),
         }
+        let t_factor = telemetry.is_enabled().then(Instant::now);
         let factor = if p_eq == 0 {
             let mut reg = settings.regularization;
             let chol = loop {
@@ -168,6 +238,9 @@ pub fn solve_qp(problem: &QpProblem, settings: &IpmSettings) -> Result<QpSolutio
             };
             Factor::Kkt(ldlt)
         };
+        if let Some(t) = t_factor {
+            telemetry.observe_duration("solver.qp.factor_seconds", t.elapsed());
+        }
 
         // Solves the reduced Newton system for a given complementarity
         // residual r_c, returning (dx, dy, dz, ds).
@@ -335,7 +408,10 @@ mod tests {
         let q = Vector::from(vec![-6.0]);
         let g = Matrix::from_rows(&[&[1.0]]).unwrap();
         let h = Vector::from(vec![1.0]);
-        let qp = QpProblem::new(p, q).unwrap().with_inequalities(g, h).unwrap();
+        let qp = QpProblem::new(p, q)
+            .unwrap()
+            .with_inequalities(g, h)
+            .unwrap();
         let sol = solve_qp(&qp, &settings()).unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-6, "x = {}", sol.x[0]);
         assert!((sol.z[0] - 4.0).abs() < 1e-5, "z = {}", sol.z[0]);
@@ -348,7 +424,10 @@ mod tests {
         let q = Vector::from(vec![-6.0]);
         let g = Matrix::from_rows(&[&[1.0]]).unwrap();
         let h = Vector::from(vec![10.0]);
-        let qp = QpProblem::new(p, q).unwrap().with_inequalities(g, h).unwrap();
+        let qp = QpProblem::new(p, q)
+            .unwrap()
+            .with_inequalities(g, h)
+            .unwrap();
         let sol = solve_qp(&qp, &settings()).unwrap();
         assert!((sol.x[0] - 3.0).abs() < 1e-6);
         assert!(sol.z[0] < 1e-5);
@@ -467,6 +546,46 @@ mod tests {
         assert!(sol.s.min() >= -1e-9);
         // Complementarity.
         assert!(sol.z.hadamard(&sol.s).norm_inf() < 1e-5);
+    }
+
+    #[test]
+    fn traced_solve_reports_metrics() {
+        let telemetry = Recorder::enabled();
+        let p = Matrix::from_diag(&Vector::from(vec![2.0]));
+        let q = Vector::from(vec![-6.0]);
+        let g = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let h = Vector::from(vec![1.0]);
+        let qp = QpProblem::new(p, q)
+            .unwrap()
+            .with_inequalities(g, h)
+            .unwrap();
+        let sol = solve_qp_traced(&qp, &settings(), &telemetry).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.qp.solves"), 1);
+        assert_eq!(snap.counter("solver.qp.status.optimal"), 1);
+        assert_eq!(snap.histogram("solver.qp.iterations").unwrap().count, 1);
+        assert!(snap.histogram("solver.qp.kkt_residual").unwrap().max < 1e-5);
+        assert!(snap.histogram("solver.qp.factor_seconds").unwrap().count >= 1);
+        assert_eq!(snap.histogram("solver.qp.solve_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn traced_solve_tallies_failures() {
+        let telemetry = Recorder::enabled();
+        let qp = QpProblem::new(Matrix::identity(1), Vector::zeros(1))
+            .unwrap()
+            .with_inequalities(
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                Vector::from(vec![0.0, -1.0]),
+            )
+            .unwrap();
+        assert!(solve_qp_traced(&qp, &settings(), &telemetry).is_err());
+        let snap = telemetry.snapshot().unwrap();
+        let failures = snap.counter("solver.qp.status.max_iterations")
+            + snap.counter("solver.qp.status.numerical_failure");
+        assert_eq!(failures, 1);
+        assert_eq!(snap.counter("solver.qp.status.optimal"), 0);
     }
 
     proptest! {

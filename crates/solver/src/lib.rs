@@ -64,8 +64,8 @@ mod settings;
 
 pub use error::SolverError;
 pub use flatten::flatten_lq;
-pub use ipm::solve_qp;
+pub use ipm::{solve_qp, solve_qp_traced};
 pub use lq::{LqProblem, LqSolution, LqStage, LqTerminal};
-pub use lq_ipm::{solve_lq, solve_lq_warm};
+pub use lq_ipm::{solve_lq, solve_lq_traced, solve_lq_warm, solve_lq_warm_traced};
 pub use qp::{QpProblem, QpSolution, SolveStatus};
 pub use settings::IpmSettings;

@@ -199,7 +199,9 @@ impl LqProblem {
         }
         let n = x0.len();
         if n == 0 {
-            return Err(SolverError::InvalidProblem("state dimension is zero".into()));
+            return Err(SolverError::InvalidProblem(
+                "state dimension is zero".into(),
+            ));
         }
         if !x0.is_finite() {
             return Err(SolverError::InvalidProblem("x0 is non-finite".into()));
@@ -273,7 +275,11 @@ impl LqProblem {
 
     /// Total number of inequality constraints across all stages.
     pub fn num_constraints(&self) -> usize {
-        self.stages.iter().map(LqStage::num_constraints).sum::<usize>() + self.terminal.d.len()
+        self.stages
+            .iter()
+            .map(LqStage::num_constraints)
+            .sum::<usize>()
+            + self.terminal.d.len()
     }
 
     /// Simulates the dynamics from `x0` under the input sequence `us`.
@@ -381,8 +387,7 @@ mod tests {
     #[test]
     fn rejects_dimension_mismatch() {
         let stage = LqStage::identity_dynamics(2);
-        let err =
-            LqProblem::new(Vector::zeros(3), vec![stage], LqTerminal::free(3)).unwrap_err();
+        let err = LqProblem::new(Vector::zeros(3), vec![stage], LqTerminal::free(3)).unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
@@ -390,18 +395,14 @@ mod tests {
     fn rejects_non_finite() {
         let mut stage = LqStage::identity_dynamics(1);
         stage.q_vec = Vector::from(vec![f64::NAN]);
-        let err =
-            LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap_err();
+        let err = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
     #[test]
     fn rollout_tracks_identity_dynamics() {
         let p = simple_problem();
-        let us = vec![
-            Vector::from(vec![1.0, 0.0]),
-            Vector::from(vec![0.0, 2.0]),
-        ];
+        let us = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![0.0, 2.0])];
         let xs = p.rollout(&us);
         assert_eq!(xs[0].as_slice(), &[0.0, 0.0]);
         assert_eq!(xs[1].as_slice(), &[1.0, 0.0]);
@@ -445,8 +446,7 @@ mod tests {
             Matrix::zeros(1, 1),
             Vector::from(vec![0.5]),
         );
-        let p = LqProblem::new(Vector::from(vec![2.0]), vec![stage], LqTerminal::free(n))
-            .unwrap();
+        let p = LqProblem::new(Vector::from(vec![2.0]), vec![stage], LqTerminal::free(n)).unwrap();
         let us = vec![Vector::zeros(1)];
         let xs = p.rollout(&us);
         assert!((p.max_violation(&xs, &us) - 1.5).abs() < 1e-12);

@@ -3,6 +3,8 @@
 use crate::riccati::RiccatiFactor;
 use crate::{IpmSettings, LqProblem, LqSolution, SolveStatus, SolverError};
 use dspp_linalg::{Matrix, Vector};
+use dspp_telemetry::Recorder;
+use std::time::Instant;
 
 /// Solves a stage-structured LQ problem with a primal–dual interior-point
 /// method whose Newton steps are computed by a Riccati recursion.
@@ -72,6 +74,72 @@ pub fn solve_lq_warm(
     problem: &LqProblem,
     settings: &IpmSettings,
     warm_us: Option<&[Vector]>,
+) -> Result<LqSolution, SolverError> {
+    solve_lq_warm_inner(problem, settings, warm_us, &Recorder::disabled())
+}
+
+/// [`solve_lq`] with metrics emitted to `telemetry`; see
+/// [`solve_lq_warm_traced`].
+pub fn solve_lq_traced(
+    problem: &LqProblem,
+    settings: &IpmSettings,
+    telemetry: &Recorder,
+) -> Result<LqSolution, SolverError> {
+    solve_lq_warm_traced(problem, settings, None, telemetry)
+}
+
+/// [`solve_lq_warm`] with metrics emitted to `telemetry`.
+///
+/// Per attempt it increments `solver.lq.solves` (plus
+/// `solver.lq.warm_starts` when a guess is supplied) and one
+/// `solver.lq.status.*` tally, and observes `solver.lq.iterations`,
+/// `solver.lq.solve_seconds`, per-iteration
+/// `solver.lq.riccati_factor_seconds` / `solver.lq.riccati_solve_seconds`,
+/// and — on success — the final `solver.lq.kkt_residual`. A disabled
+/// recorder makes this identical to [`solve_lq_warm`]; see
+/// `docs/OBSERVABILITY.md` for the metric catalogue.
+pub fn solve_lq_warm_traced(
+    problem: &LqProblem,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+    telemetry: &Recorder,
+) -> Result<LqSolution, SolverError> {
+    if !telemetry.is_enabled() {
+        return solve_lq_warm_inner(problem, settings, warm_us, telemetry);
+    }
+    telemetry.incr("solver.lq.solves", 1);
+    if warm_us.is_some() {
+        telemetry.incr("solver.lq.warm_starts", 1);
+    }
+    let t0 = Instant::now();
+    let result = solve_lq_warm_inner(problem, settings, warm_us, telemetry);
+    telemetry.observe_duration("solver.lq.solve_seconds", t0.elapsed());
+    match &result {
+        Ok(sol) => {
+            let status = match sol.status {
+                SolveStatus::Optimal => "solver.lq.status.optimal",
+                SolveStatus::AlmostOptimal => "solver.lq.status.almost_optimal",
+            };
+            telemetry.incr(status, 1);
+            telemetry.observe("solver.lq.iterations", sol.iterations as f64);
+        }
+        Err(err) => {
+            let status = match err {
+                SolverError::MaxIterations { .. } => "solver.lq.status.max_iterations",
+                SolverError::NumericalFailure(_) => "solver.lq.status.numerical_failure",
+                _ => "solver.lq.status.invalid_problem",
+            };
+            telemetry.incr(status, 1);
+        }
+    }
+    result
+}
+
+fn solve_lq_warm_inner(
+    problem: &LqProblem,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+    telemetry: &Recorder,
 ) -> Result<LqSolution, SolverError> {
     settings.validate().map_err(SolverError::InvalidProblem)?;
     let nstages = problem.horizon();
@@ -170,7 +238,10 @@ pub fn solve_lq_warm(
                 let st = &problem.stages[k];
                 (&st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k]), &st.d)
             } else {
-                (problem.terminal.cx.matvec(&xs[nstages]), &problem.terminal.d)
+                (
+                    problem.terminal.cx.matvec(&xs[nstages]),
+                    &problem.terminal.d,
+                )
             };
             r_ineqs.push(&(&lhs + &ss[k]) - d);
         }
@@ -212,7 +283,11 @@ pub fn solve_lq_warm(
         for k in 0..=nstages {
             gap += ss[k].dot(&zs[k]);
         }
-        let mu = if m_total > 0 { gap / m_total as f64 } else { 0.0 };
+        let mu = if m_total > 0 {
+            gap / m_total as f64
+        } else {
+            0.0
+        };
         best_gap = best_gap.min(mu);
 
         let mut stat_norm: f64 = 0.0;
@@ -231,6 +306,7 @@ pub fn solve_lq_warm(
             && ineq_norm <= settings.tol_feasibility * scale;
         let gap_ok = mu <= settings.tol_gap * (1.0 + objective.abs());
         if feas_ok && gap_ok {
+            telemetry.observe("solver.lq.kkt_residual", stat_norm.max(ineq_norm));
             return Ok(LqSolution {
                 xs,
                 us,
@@ -284,8 +360,12 @@ pub fn solve_lq_warm(
             r_mods.push(r);
             m_mods.push(m);
         }
+        let t_factor = telemetry.is_enabled().then(Instant::now);
         let factor =
             RiccatiFactor::factor(problem, &q_mods, &r_mods, &m_mods, settings.regularization)?;
+        if let Some(t) = t_factor {
+            telemetry.observe_duration("solver.lq.riccati_factor_seconds", t.elapsed());
+        }
 
         // Helper building modified gradients for a given complementarity
         // residual r_c and solving the Newton system.
@@ -325,7 +405,9 @@ pub fn solve_lq_warm(
                 }
                 r_hats.push(rh);
             }
-            let step = factor.solve(problem, &q_hats, &r_hats);
+            let step = telemetry.time("solver.lq.riccati_solve_seconds", || {
+                factor.solve(problem, &q_hats, &r_hats)
+            });
             // Recover Δs, Δz per slot.
             let mut dss: Vec<Vector> = Vec::with_capacity(nstages + 1);
             let mut dzs: Vec<Vector> = Vec::with_capacity(nstages + 1);
@@ -424,11 +506,17 @@ pub fn solve_lq_warm(
     for k in 0..=nstages {
         gap += ss[k].dot(&zs[k]);
     }
-    let mu = if m_total > 0 { gap / m_total as f64 } else { 0.0 };
+    let mu = if m_total > 0 {
+        gap / m_total as f64
+    } else {
+        0.0
+    };
     let loose = 1e4;
-    if problem.max_violation(&xs, &us) <= loose * settings.tol_feasibility * scale
+    let violation = problem.max_violation(&xs, &us);
+    if violation <= loose * settings.tol_feasibility * scale
         && mu <= loose * settings.tol_gap * (1.0 + objective.abs())
     {
+        telemetry.observe("solver.lq.kkt_residual", violation.max(mu));
         return Ok(LqSolution {
             xs,
             us,
@@ -501,8 +589,7 @@ mod tests {
         let problem = LqProblem::new(
             Vector::zeros(1),
             vec![free_stage.clone(), make_stage(), make_stage()],
-            LqTerminal::free(1)
-                .with_constraints(floor.clone(), Vector::from(vec![-5.0])),
+            LqTerminal::free(1).with_constraints(floor.clone(), Vector::from(vec![-5.0])),
         )
         .unwrap();
         let sol = solve_lq(&problem, &settings()).unwrap();
@@ -577,18 +664,55 @@ mod tests {
     }
 
     #[test]
+    fn traced_solve_reports_metrics_and_warm_start() {
+        let telemetry = Recorder::enabled();
+        let floor = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(1)
+            .with_state_cost(Vector::ones(1))
+            .with_input_penalty(&Vector::from(vec![0.1]));
+        let stage = free.clone().with_constraints(
+            floor.clone(),
+            Matrix::zeros(1, 1),
+            Vector::from(vec![-5.0]),
+        );
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![free, stage.clone(), stage],
+            LqTerminal::free(1).with_constraints(floor, Vector::from(vec![-5.0])),
+        )
+        .unwrap();
+        let cold = solve_lq_traced(&problem, &settings(), &telemetry).unwrap();
+        let _warm =
+            solve_lq_warm_traced(&problem, &settings(), Some(&cold.us), &telemetry).unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.lq.solves"), 2);
+        assert_eq!(snap.counter("solver.lq.warm_starts"), 1);
+        assert_eq!(snap.counter("solver.lq.status.optimal"), 2);
+        assert_eq!(snap.histogram("solver.lq.iterations").unwrap().count, 2);
+        assert_eq!(snap.histogram("solver.lq.kkt_residual").unwrap().count, 2);
+        assert!(
+            snap.histogram("solver.lq.riccati_factor_seconds")
+                .unwrap()
+                .count
+                >= 2
+        );
+        assert!(
+            snap.histogram("solver.lq.riccati_solve_seconds")
+                .unwrap()
+                .count
+                >= 2
+        );
+        assert_eq!(snap.histogram("solver.lq.solve_seconds").unwrap().count, 2);
+    }
+
+    #[test]
     fn infeasible_constraints_error_out() {
         // x ≥ 5 and x ≤ 1 simultaneously.
         let rows = Matrix::from_rows(&[&[-1.0], &[1.0]]).unwrap();
         let stage = LqStage::identity_dynamics(1)
             .with_input_penalty(&Vector::ones(1))
-            .with_constraints(
-                rows,
-                Matrix::zeros(2, 1),
-                Vector::from(vec![-5.0, 1.0]),
-            );
-        let problem =
-            LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+            .with_constraints(rows, Matrix::zeros(2, 1), Vector::from(vec![-5.0, 1.0]));
+        let problem = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
         let err = solve_lq(&problem, &settings()).unwrap_err();
         assert!(
             matches!(
@@ -623,12 +747,18 @@ mod tests {
             st
         };
         // Floor applies from stage 5 (so it is reachable under the rate cap).
-        let stages = vec![mk(false), mk(false), mk(false), mk(false), mk(false), mk(true)];
+        let stages = vec![
+            mk(false),
+            mk(false),
+            mk(false),
+            mk(false),
+            mk(false),
+            mk(true),
+        ];
         let problem = LqProblem::new(
             Vector::zeros(1),
             stages,
-            LqTerminal::free(1)
-                .with_constraints(floor.clone(), Vector::from(vec![-9.0])),
+            LqTerminal::free(1).with_constraints(floor.clone(), Vector::from(vec![-9.0])),
         )
         .unwrap();
         let sol = solve_lq(&problem, &settings()).unwrap();
@@ -654,11 +784,7 @@ mod tests {
                     Matrix::zeros(1, 2),
                     Vector::from(vec![-10.0]),
                 )
-                .with_constraints(
-                    nonneg.clone(),
-                    Matrix::zeros(2, 2),
-                    Vector::zeros(2),
-                )
+                .with_constraints(nonneg.clone(), Matrix::zeros(2, 2), Vector::zeros(2))
         };
         // Stage 0 is unconstrained: its state constraint would bind the
         // fixed x_0 = 0, which can never satisfy the demand floor.

@@ -235,8 +235,16 @@ mod tests {
         ];
         let r_hats = vec![Vector::zeros(1), Vector::zeros(1)];
         let step = factor.solve(&problem, &q_hats, &r_hats);
-        assert!((step.dus[0][0] + 1.0).abs() < 1e-12, "du0 = {}", step.dus[0][0]);
-        assert!((step.dus[1][0] + 0.5).abs() < 1e-12, "du1 = {}", step.dus[1][0]);
+        assert!(
+            (step.dus[0][0] + 1.0).abs() < 1e-12,
+            "du0 = {}",
+            step.dus[0][0]
+        );
+        assert!(
+            (step.dus[1][0] + 0.5).abs() < 1e-12,
+            "du1 = {}",
+            step.dus[1][0]
+        );
         assert!((step.dxs[1][0] + 1.0).abs() < 1e-12);
         assert!((step.dxs[2][0] + 1.5).abs() < 1e-12);
         // Costates: λ_k = ∂J/∂x_{k+1} along optimal tail: λ_1 = 1 (terminal),
@@ -248,8 +256,7 @@ mod tests {
     #[test]
     fn non_pd_input_cost_is_reported() {
         let stage = LqStage::identity_dynamics(1); // R = 0
-        let problem =
-            LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+        let problem = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
         let q_mods = vec![Matrix::zeros(1, 1); 2];
         let r_mods = vec![Matrix::zeros(1, 1)];
         let m_mods = vec![Matrix::zeros(1, 1)];
@@ -296,8 +303,8 @@ mod tests {
 
         // Verify stationarity rows: Q̃Δx + M̃Δu + q̂ + AᵀΔλ_k − Δλ_{k-1} = 0
         // for k = 1..nst-1 and the terminal row.
-        for k in 1..nst {
-            let mut lhs = q_hats[k].clone();
+        for (k, q_hat) in q_hats.iter().enumerate().take(nst).skip(1) {
+            let mut lhs = q_hat.clone();
             lhs += &problem.stages[k].a.matvec_t(&step.dlams[k]);
             lhs -= &step.dlams[k - 1];
             assert!(lhs.norm_inf() < 1e-10, "x-row {k}: {lhs}");

@@ -1,0 +1,141 @@
+//! Streaming log-bucketed histogram.
+//!
+//! Values are folded into geometrically spaced buckets covering
+//! `[1e-9, ~1.8e10)` with a factor-2 ratio between consecutive bucket
+//! boundaries, so a bucket's relative error is at most 2×. Exact
+//! `count`/`sum`/`min`/`max` are tracked alongside, which makes the mean
+//! exact and quantiles approximate (bucket-resolution), at a fixed memory
+//! cost of 64 words per metric regardless of how many values stream in.
+
+use crate::snapshot::HistogramSummary;
+
+/// Number of geometric buckets per histogram.
+pub(crate) const BIN_COUNT: usize = 64;
+
+/// Lower bound of bucket 0; values at or below it land in bucket 0.
+pub(crate) const LOWEST: f64 = 1e-9;
+
+/// Maps a value to its bucket. Non-finite and non-positive values fold
+/// into bucket 0 (they still update the exact min/max/sum fields).
+pub(crate) fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() || value <= LOWEST {
+        return 0;
+    }
+    let idx = (value / LOWEST).log2().floor() as i64;
+    idx.clamp(0, BIN_COUNT as i64 - 1) as usize
+}
+
+/// Geometric midpoint of a bucket, used as its representative value when
+/// estimating quantiles.
+pub(crate) fn bucket_mid(index: usize) -> f64 {
+    LOWEST * 2f64.powi(index as i32) * std::f64::consts::SQRT_2
+}
+
+/// A streaming histogram: exact count/sum/min/max plus log-spaced buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    bins: [u64; BIN_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            bins: [0; BIN_COUNT],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in. Non-finite values are counted but do not
+    /// perturb `sum`/`min`/`max`.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.bins[bucket_index(value)] += 1;
+        if value.is_finite() {
+            self.sum += value;
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Freezes the current state into a serializable summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            bins: self.bins.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        let mut last = 0;
+        for exp in -12..12 {
+            let v = 10f64.powi(exp);
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket order broke at 1e{exp}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn extremes_fold_into_edge_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.5), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e300), BIN_COUNT - 1);
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.5, 2.0, 4.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 8.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_mid_sits_inside_bucket() {
+        for i in 0..BIN_COUNT - 1 {
+            let lo = LOWEST * 2f64.powi(i as i32);
+            let hi = LOWEST * 2f64.powi(i as i32 + 1);
+            let mid = bucket_mid(i);
+            assert!(lo < mid && mid < hi, "bucket {i}: {lo} {mid} {hi}");
+        }
+    }
+}

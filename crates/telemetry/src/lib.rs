@@ -1,0 +1,458 @@
+//! Lightweight telemetry for the dspp workspace: counters, gauges, and
+//! streaming histograms behind a cheap cloneable [`Recorder`] handle.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Zero cost when off.** The default [`Recorder`] is disabled: every
+//!    recording method is a branch on a `None` and returns — no
+//!    allocation, no locking, no atomics. Instrumented hot paths (IPM
+//!    iterations, Riccati recursions, closed-loop steps) pay nothing
+//!    unless a caller opts in.
+//! 2. **Cheap when on.** Counters and gauges are lock-free atomics;
+//!    histograms take a short [`parking_lot::Mutex`] around a fixed
+//!    64-bucket array. Metric registration (first use of a name) takes a
+//!    write lock once; steady-state lookups take a read lock.
+//! 3. **Inspectable.** [`Recorder::snapshot`] freezes everything into a
+//!    [`Snapshot`] — mergeable, `Display`able as an aligned text report,
+//!    and exportable as JSON without a `serde_json` dependency.
+//!
+//! Call sites use static metric names (`"solver.qp.iterations"`), so the
+//! enabled fast path allocates only on the first sight of each name. The
+//! full metric catalogue lives in `docs/OBSERVABILITY.md`.
+//!
+//! ```
+//! use dspp_telemetry::Recorder;
+//!
+//! let telemetry = Recorder::enabled();
+//! telemetry.incr("demo.events", 2);
+//! telemetry.gauge("demo.level", 0.75);
+//! telemetry.observe("demo.latency_seconds", 0.004);
+//! let snap = telemetry.snapshot().unwrap();
+//! assert_eq!(snap.counter("demo.events"), 2);
+//! println!("{snap}");          // aligned text report
+//! let _json = snap.to_json();  // machine-readable export
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod snapshot;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+pub use histogram::Histogram;
+pub use snapshot::{HistogramSummary, Snapshot};
+
+/// Receiver of raw telemetry events, for callers that want to route
+/// metrics into their own system instead of the built-in [`Registry`].
+///
+/// All methods default to no-ops, so a sink only implements what it
+/// cares about. Implementations must be cheap and non-blocking: they are
+/// called from solver and controller hot paths.
+pub trait TelemetrySink: Send + Sync {
+    /// A counter `name` increased by `by`.
+    fn incr(&self, name: &str, by: u64) {
+        let _ = (name, by);
+    }
+
+    /// A gauge `name` was set to `value`.
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// A histogram `name` observed `value`.
+    fn observe(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// A sink that drops every event. Useful as an explicit "discard"
+/// target; equivalent in effect to [`Recorder::disabled`] but exercising
+/// the sink dispatch path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+/// In-memory metric store: named atomic counters, atomic gauges, and
+/// mutex-guarded histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    // Gauges store f64 bit patterns in an AtomicU64 (safe: to_bits/from_bits).
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }
+
+    fn histogram_cell(&self, name: &str) -> Arc<Mutex<Histogram>> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(Histogram::new()))),
+        )
+    }
+
+    /// Adds `by` to counter `name` (creating it at 0).
+    pub fn incr(&self, name: &str, by: u64) {
+        self.counter_cell(name).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Sets gauge `name` to `value` (latest write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.gauge_cell(name)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histogram_cell(name).lock().record(value);
+    }
+
+    /// Freezes the current state of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (name, cell) in self.counters.read().iter() {
+            snap.counters
+                .insert(name.clone(), cell.load(Ordering::Relaxed));
+        }
+        for (name, cell) in self.gauges.read().iter() {
+            snap.gauges
+                .insert(name.clone(), f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in self.histograms.read().iter() {
+            snap.histograms.insert(name.clone(), cell.lock().summary());
+        }
+        snap
+    }
+
+    /// Drops every metric, returning the registry to its empty state.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+enum RecorderInner {
+    Registry(Arc<Registry>),
+    Sink(Arc<dyn TelemetrySink>),
+}
+
+impl Clone for RecorderInner {
+    fn clone(&self) -> Self {
+        match self {
+            RecorderInner::Registry(r) => RecorderInner::Registry(Arc::clone(r)),
+            RecorderInner::Sink(s) => RecorderInner::Sink(Arc::clone(s)),
+        }
+    }
+}
+
+/// Cheap, cloneable handle through which instrumented code emits
+/// metrics.
+///
+/// Three flavors:
+/// * [`Recorder::disabled`] (the [`Default`]) — every call is a no-op;
+///   this is what uninstrumented callers get implicitly via
+///   `..Default::default()` on settings structs.
+/// * [`Recorder::enabled`] — events accumulate in an owned [`Registry`],
+///   retrievable via [`Recorder::snapshot`].
+/// * [`Recorder::with_sink`] — events stream to a caller-provided
+///   [`TelemetrySink`]; `snapshot()` returns `None`.
+///
+/// Clones share the underlying registry or sink, so a `Recorder` can be
+/// fanned out across the controller, solver, game, and simulator and
+/// still produce one coherent snapshot.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<RecorderInner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner {
+            None => "disabled",
+            Some(RecorderInner::Registry(_)) => "registry",
+            Some(RecorderInner::Sink(_)) => "sink",
+        };
+        f.debug_struct("Recorder").field("kind", &kind).finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that drops everything at zero cost.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder backed by a fresh in-memory [`Registry`].
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(RecorderInner::Registry(Arc::new(Registry::new()))),
+        }
+    }
+
+    /// A recorder backed by an existing shared registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Recorder {
+            inner: Some(RecorderInner::Registry(registry)),
+        }
+    }
+
+    /// A recorder that streams raw events to `sink`.
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        Recorder {
+            inner: Some(RecorderInner::Sink(sink)),
+        }
+    }
+
+    /// True unless this is a disabled recorder. Call sites may use this
+    /// to skip computing expensive metric inputs.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `by` to counter `name`.
+    #[inline]
+    pub fn incr(&self, name: &str, by: u64) {
+        match &self.inner {
+            None => {}
+            Some(RecorderInner::Registry(r)) => r.incr(name, by),
+            Some(RecorderInner::Sink(s)) => s.incr(name, by),
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        match &self.inner {
+            None => {}
+            Some(RecorderInner::Registry(r)) => r.gauge(name, value),
+            Some(RecorderInner::Sink(s)) => s.gauge(name, value),
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: f64) {
+        match &self.inner {
+            None => {}
+            Some(RecorderInner::Registry(r)) => r.observe(name, value),
+            Some(RecorderInner::Sink(s)) => s.observe(name, value),
+        }
+    }
+
+    /// Records a duration, in seconds, into histogram `name`.
+    #[inline]
+    pub fn observe_duration(&self, name: &str, elapsed: Duration) {
+        if self.inner.is_some() {
+            self.observe(name, elapsed.as_secs_f64());
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock duration in seconds into
+    /// histogram `name`. When disabled, `f` runs untimed (no `Instant`
+    /// syscall).
+    #[inline]
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if self.inner.is_none() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        self.observe_duration(name, t0.elapsed());
+        out
+    }
+
+    /// Freezes current metric values. `None` for disabled and sink-backed
+    /// recorders (a sink has no queryable store).
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        match &self.inner {
+            Some(RecorderInner::Registry(r)) => Some(r.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Clears all metrics of a registry-backed recorder; no-op otherwise.
+    pub fn reset(&self) {
+        if let Some(RecorderInner::Registry(r)) = &self.inner {
+            r.reset();
+        }
+    }
+}
+
+/// Process-wide registry-backed recorder, lazily created on first use.
+///
+/// Binaries that want telemetry without threading a [`Recorder`] through
+/// construction (the experiment runner, the quickstart example) clone
+/// this and hand it to settings structs. Library code never touches it.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::enabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.incr("c", 1);
+        r.gauge("g", 1.0);
+        r.observe("h", 1.0);
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        r.incr("events", 2);
+        r2.incr("events", 3);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.counter("events"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_latest_value() {
+        let r = Recorder::enabled();
+        r.gauge("level", 1.0);
+        r.gauge("level", -2.5);
+        assert_eq!(r.snapshot().unwrap().gauge("level"), Some(-2.5));
+    }
+
+    #[test]
+    fn histograms_observe_and_time() {
+        let r = Recorder::enabled();
+        r.observe("lat", 0.5);
+        r.observe("lat", 1.5);
+        let out = r.time("lat", || 42);
+        assert_eq!(out, 42);
+        let snap = r.snapshot().unwrap();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert!(h.min >= 0.0 && h.max <= 1.5);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Recorder::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.incr("n", 1);
+                        r.observe("v", 1.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.counter("n"), 4000);
+        assert_eq!(snap.histogram("v").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn sink_receives_events_and_has_no_snapshot() {
+        #[derive(Default)]
+        struct Counting {
+            incrs: AtomicUsize,
+            gauges: AtomicUsize,
+            observes: AtomicUsize,
+        }
+        impl TelemetrySink for Counting {
+            fn incr(&self, _n: &str, _by: u64) {
+                self.incrs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn gauge(&self, _n: &str, _v: f64) {
+                self.gauges.fetch_add(1, Ordering::Relaxed);
+            }
+            fn observe(&self, _n: &str, _v: f64) {
+                self.observes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(Counting::default());
+        let r = Recorder::with_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        assert!(r.is_enabled());
+        r.incr("a", 1);
+        r.gauge("b", 2.0);
+        r.observe("c", 3.0);
+        r.observe_duration("d", Duration::from_millis(1));
+        assert_eq!(sink.incrs.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.gauges.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.observes.load(Ordering::Relaxed), 2);
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn noop_sink_default_methods_drop_everything() {
+        let r = Recorder::with_sink(Arc::new(NoopSink));
+        r.incr("a", 1);
+        r.observe("b", 1.0);
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn reset_clears_registry() {
+        let r = Recorder::enabled();
+        r.incr("c", 1);
+        r.reset();
+        assert!(r.snapshot().unwrap().is_empty());
+    }
+
+    #[test]
+    fn global_is_shared_and_enabled() {
+        let a = global();
+        a.incr("telemetry.test.global", 1);
+        let b = global();
+        assert!(b.snapshot().unwrap().counter("telemetry.test.global") >= 1);
+    }
+}

@@ -46,30 +46,150 @@ pub struct DataCenterSite {
 /// magnitudes matter.
 pub fn us_cities() -> Vec<City> {
     vec![
-        City { name: "New York, NY", lat: 40.71, lon: -74.01, population: 19.57 },
-        City { name: "Los Angeles, CA", lat: 34.05, lon: -118.24, population: 12.83 },
-        City { name: "Chicago, IL", lat: 41.88, lon: -87.63, population: 9.46 },
-        City { name: "Dallas, TX", lat: 32.78, lon: -96.80, population: 6.43 },
-        City { name: "Houston, TX", lat: 29.76, lon: -95.37, population: 5.92 },
-        City { name: "Philadelphia, PA", lat: 39.95, lon: -75.17, population: 5.97 },
-        City { name: "Washington, DC", lat: 38.91, lon: -77.04, population: 5.58 },
-        City { name: "Miami, FL", lat: 25.76, lon: -80.19, population: 5.56 },
-        City { name: "Atlanta, GA", lat: 33.75, lon: -84.39, population: 5.29 },
-        City { name: "Boston, MA", lat: 42.36, lon: -71.06, population: 4.55 },
-        City { name: "San Francisco, CA", lat: 37.77, lon: -122.42, population: 4.34 },
-        City { name: "Detroit, MI", lat: 42.33, lon: -83.05, population: 4.30 },
-        City { name: "Phoenix, AZ", lat: 33.45, lon: -112.07, population: 4.19 },
-        City { name: "Seattle, WA", lat: 47.61, lon: -122.33, population: 3.44 },
-        City { name: "Minneapolis, MN", lat: 44.98, lon: -93.27, population: 3.28 },
-        City { name: "San Diego, CA", lat: 32.72, lon: -117.16, population: 3.10 },
-        City { name: "St. Louis, MO", lat: 38.63, lon: -90.20, population: 2.79 },
-        City { name: "Tampa, FL", lat: 27.95, lon: -82.46, population: 2.78 },
-        City { name: "Denver, CO", lat: 39.74, lon: -104.99, population: 2.54 },
-        City { name: "Baltimore, MD", lat: 39.29, lon: -76.61, population: 2.71 },
-        City { name: "Pittsburgh, PA", lat: 40.44, lon: -79.99, population: 2.36 },
-        City { name: "Portland, OR", lat: 45.52, lon: -122.68, population: 2.23 },
-        City { name: "Charlotte, NC", lat: 35.23, lon: -80.84, population: 1.76 },
-        City { name: "Salt Lake City, UT", lat: 40.76, lon: -111.89, population: 1.09 },
+        City {
+            name: "New York, NY",
+            lat: 40.71,
+            lon: -74.01,
+            population: 19.57,
+        },
+        City {
+            name: "Los Angeles, CA",
+            lat: 34.05,
+            lon: -118.24,
+            population: 12.83,
+        },
+        City {
+            name: "Chicago, IL",
+            lat: 41.88,
+            lon: -87.63,
+            population: 9.46,
+        },
+        City {
+            name: "Dallas, TX",
+            lat: 32.78,
+            lon: -96.80,
+            population: 6.43,
+        },
+        City {
+            name: "Houston, TX",
+            lat: 29.76,
+            lon: -95.37,
+            population: 5.92,
+        },
+        City {
+            name: "Philadelphia, PA",
+            lat: 39.95,
+            lon: -75.17,
+            population: 5.97,
+        },
+        City {
+            name: "Washington, DC",
+            lat: 38.91,
+            lon: -77.04,
+            population: 5.58,
+        },
+        City {
+            name: "Miami, FL",
+            lat: 25.76,
+            lon: -80.19,
+            population: 5.56,
+        },
+        City {
+            name: "Atlanta, GA",
+            lat: 33.75,
+            lon: -84.39,
+            population: 5.29,
+        },
+        City {
+            name: "Boston, MA",
+            lat: 42.36,
+            lon: -71.06,
+            population: 4.55,
+        },
+        City {
+            name: "San Francisco, CA",
+            lat: 37.77,
+            lon: -122.42,
+            population: 4.34,
+        },
+        City {
+            name: "Detroit, MI",
+            lat: 42.33,
+            lon: -83.05,
+            population: 4.30,
+        },
+        City {
+            name: "Phoenix, AZ",
+            lat: 33.45,
+            lon: -112.07,
+            population: 4.19,
+        },
+        City {
+            name: "Seattle, WA",
+            lat: 47.61,
+            lon: -122.33,
+            population: 3.44,
+        },
+        City {
+            name: "Minneapolis, MN",
+            lat: 44.98,
+            lon: -93.27,
+            population: 3.28,
+        },
+        City {
+            name: "San Diego, CA",
+            lat: 32.72,
+            lon: -117.16,
+            population: 3.10,
+        },
+        City {
+            name: "St. Louis, MO",
+            lat: 38.63,
+            lon: -90.20,
+            population: 2.79,
+        },
+        City {
+            name: "Tampa, FL",
+            lat: 27.95,
+            lon: -82.46,
+            population: 2.78,
+        },
+        City {
+            name: "Denver, CO",
+            lat: 39.74,
+            lon: -104.99,
+            population: 2.54,
+        },
+        City {
+            name: "Baltimore, MD",
+            lat: 39.29,
+            lon: -76.61,
+            population: 2.71,
+        },
+        City {
+            name: "Pittsburgh, PA",
+            lat: 40.44,
+            lon: -79.99,
+            population: 2.36,
+        },
+        City {
+            name: "Portland, OR",
+            lat: 45.52,
+            lon: -122.68,
+            population: 2.23,
+        },
+        City {
+            name: "Charlotte, NC",
+            lat: 35.23,
+            lon: -80.84,
+            population: 1.76,
+        },
+        City {
+            name: "Salt Lake City, UT",
+            lat: 40.76,
+            lon: -111.89,
+            population: 1.09,
+        },
     ]
 }
 
@@ -82,19 +202,39 @@ pub fn us_cities() -> Vec<City> {
 pub fn default_data_centers() -> Vec<DataCenterSite> {
     vec![
         DataCenterSite {
-            city: City { name: "San Jose, CA", lat: 37.34, lon: -121.89, population: 1.84 },
+            city: City {
+                name: "San Jose, CA",
+                lat: 37.34,
+                lon: -121.89,
+                population: 1.84,
+            },
             region: "CA",
         },
         DataCenterSite {
-            city: City { name: "Houston, TX", lat: 29.76, lon: -95.37, population: 5.92 },
+            city: City {
+                name: "Houston, TX",
+                lat: 29.76,
+                lon: -95.37,
+                population: 5.92,
+            },
             region: "TX",
         },
         DataCenterSite {
-            city: City { name: "Atlanta, GA", lat: 33.75, lon: -84.39, population: 5.29 },
+            city: City {
+                name: "Atlanta, GA",
+                lat: 33.75,
+                lon: -84.39,
+                population: 5.29,
+            },
             region: "GA",
         },
         DataCenterSite {
-            city: City { name: "Chicago, IL", lat: 41.88, lon: -87.63, population: 9.46 },
+            city: City {
+                name: "Chicago, IL",
+                lat: 41.88,
+                lon: -87.63,
+                population: 9.46,
+            },
             region: "IL",
         },
     ]
@@ -135,10 +275,7 @@ mod tests {
         let cities = us_cities();
         assert!(cities.iter().all(|c| c.population > 0.0));
         // New York is the largest metro.
-        let max = cities
-            .iter()
-            .map(|c| c.population)
-            .fold(0.0f64, f64::max);
+        let max = cities.iter().map(|c| c.population).fold(0.0f64, f64::max);
         assert_eq!(max, cities[0].population);
     }
 }

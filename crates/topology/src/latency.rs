@@ -73,10 +73,7 @@ impl LatencyMatrix {
 
     /// The smallest latency from any data center to location `v`.
     pub fn best_for_location(&self, v: usize) -> f64 {
-        self.rows
-            .iter()
-            .map(|r| r[v])
-            .fold(f64::INFINITY, f64::min)
+        self.rows.iter().map(|r| r[v]).fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -174,7 +174,10 @@ impl TransitStubTopology {
     ///
     /// Panics if `num_dcs` or `num_locations` is zero.
     pub fn latency_matrix(&self, num_dcs: usize, num_locations: usize) -> LatencyMatrix {
-        assert!(num_dcs > 0 && num_locations > 0, "need at least one of each");
+        assert!(
+            num_dcs > 0 && num_locations > 0,
+            "need at least one of each"
+        );
         let mut order: Vec<usize> = (0..self.stub_gateways.len()).collect();
         // Deterministic Fisher–Yates driven by the topology seed.
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15));
@@ -256,7 +259,10 @@ mod tests {
             .flat_map(|l| (0..24).map(move |v| (l, v)))
             .map(|(l, v)| m.get(l, v))
             .fold(0.0f64, f64::max);
-        assert!(max >= INTRA_TRANSIT_S, "no backbone hop observed (max {max})");
+        assert!(
+            max >= INTRA_TRANSIT_S,
+            "no backbone hop observed (max {max})"
+        );
     }
 
     #[test]

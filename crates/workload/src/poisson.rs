@@ -23,7 +23,10 @@ use rand::Rng;
 /// assert!(n < 100);
 /// ```
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "mean must be >= 0, got {mean}");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "mean must be >= 0, got {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -69,7 +72,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `rate` is not strictly positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "rate must be > 0, got {rate}");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be > 0, got {rate}"
+    );
     loop {
         let u: f64 = rng.gen();
         if u > f64::MIN_POSITIVE {
@@ -97,8 +103,7 @@ mod tests {
         let mean = 3.5;
         let draws: Vec<u64> = (0..n).map(|_| sample(&mut rng, mean)).collect();
         let m: f64 = draws.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            draws.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var: f64 = draws.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!((m - mean).abs() < 0.08, "mean {m}");
         assert!((var - mean).abs() < 0.25, "var {var}");
     }

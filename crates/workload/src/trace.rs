@@ -82,7 +82,10 @@ impl DemandTrace {
     /// Per-location histories truncated to periods `0..=k` (what a
     /// controller is allowed to see at time `k`).
     pub fn history_until(&self, k: usize) -> Vec<Vec<f64>> {
-        self.rows.iter().map(|r| r[..=k.min(r.len() - 1)].to_vec()).collect()
+        self.rows
+            .iter()
+            .map(|r| r[..=k.min(r.len() - 1)].to_vec())
+            .collect()
     }
 
     /// Total demand summed over locations, per period.
@@ -159,8 +162,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let t =
-            DemandTrace::from_rows(vec![vec![1.5, 2.25, 0.0], vec![4.0, 5.5, 6.125]]).unwrap();
+        let t = DemandTrace::from_rows(vec![vec![1.5, 2.25, 0.0], vec![4.0, 5.5, 6.125]]).unwrap();
         let back = DemandTrace::from_csv_str(&t.to_csv_string()).unwrap();
         assert_eq!(t, back);
         // Blank lines are tolerated; garbage is not.

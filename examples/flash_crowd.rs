@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
         let report = ClosedLoopSim::new(Box::new(controller), demand.clone())?.run()?;
-        let max_servers = report
-            .total_series()
-            .iter()
-            .fold(0.0f64, |m, &x| m.max(x));
+        let max_servers = report.total_series().iter().fold(0.0f64, |m, &x| m.max(x));
         println!(
             "{:<12}  {:>10.3}  {:>21}  {:>11.1}",
             name,

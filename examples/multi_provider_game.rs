@@ -7,9 +7,7 @@
 //! cargo run --example multi_provider_game
 //! ```
 
-use dspp::game::{
-    equilibrium_gaps, solve_social_welfare, GameConfig, ResourceGame, SpSampler,
-};
+use dspp::game::{equilibrium_gaps, solve_social_welfare, GameConfig, ResourceGame, SpSampler};
 use dspp::solver::IpmSettings;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

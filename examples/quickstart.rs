@@ -8,6 +8,7 @@
 use dspp::core::{DsppBuilder, MpcController, MpcSettings};
 use dspp::predict::OraclePredictor;
 use dspp::sim::ClosedLoopSim;
+use dspp::telemetry::Recorder;
 use dspp::workload::{DemandModel, DiurnalProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,16 +28,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .price_trace(0, vec![0.004; 24])
         .build()?;
 
+    // Telemetry: one enabled recorder shared by the controller and the
+    // simulator; every solver/controller/sim metric lands in it
+    // (docs/OBSERVABILITY.md catalogues the names).
+    let telemetry = Recorder::enabled();
+
     let controller = MpcController::new(
         problem,
         Box::new(OraclePredictor::new(demand.clone())),
         MpcSettings {
             horizon: 5,
+            telemetry: telemetry.clone(),
             ..MpcSettings::default()
         },
     )?;
 
-    let report = ClosedLoopSim::new(Box::new(controller), demand)?.run()?;
+    let report = ClosedLoopSim::new(Box::new(controller), demand)?
+        .with_telemetry(telemetry.clone())
+        .run()?;
 
     println!("hour  demand(req/s)  servers  Δservers  cost($)");
     for p in &report.periods {
@@ -58,5 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.violation_periods(),
         report.periods.len()
     );
+
+    // What the run looked like from the inside: solver iterations, solve
+    // latency quantiles, warm-start hits. The same snapshot serializes to
+    // JSON for dashboards: `snapshot.to_json()`.
+    if let Some(snapshot) = telemetry.snapshot() {
+        println!("\n{snapshot}");
+    }
     Ok(())
 }

@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         if use_price_predictor {
             controller = controller.with_price_predictor(Box::new(
-                ArPredictor::new(1).with_window(24).with_stability_clamp(3.0),
+                ArPredictor::new(1)
+                    .with_window(24)
+                    .with_stability_clamp(3.0),
             ));
         }
         let report = ClosedLoopSim::new(Box::new(controller), demand.clone())?.run()?;

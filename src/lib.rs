@@ -21,6 +21,7 @@
 //! | [`core`] | `dspp-core` | DSPP model, MPC controller, request router |
 //! | [`game`] | `dspp-game` | best-response Algorithm 2, SWP, PoA/PoS |
 //! | [`sim`] | `dspp-sim` | fluid closed loop + discrete-event M/M/1 pools |
+//! | [`telemetry`] | `dspp-telemetry` | counters/gauges/histograms, snapshots (`docs/OBSERVABILITY.md`) |
 //!
 //! # Quickstart
 //!
@@ -57,5 +58,6 @@ pub use dspp_predict as predict;
 pub use dspp_pricing as pricing;
 pub use dspp_sim as sim;
 pub use dspp_solver as solver;
+pub use dspp_telemetry as telemetry;
 pub use dspp_topology as topology;
 pub use dspp_workload as workload;

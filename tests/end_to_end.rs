@@ -20,7 +20,8 @@ fn wide_area_run(horizon: usize) -> dspp::sim::SimReport {
     let latency: Vec<Vec<f64>> = (0..4)
         .map(|l| cities.iter().map(|&v| full.get(l, v)).collect())
         .collect();
-    let prices = ElectricityMarket::us_default().server_price_trace(VmClass::Medium, periods, 1.0, 0);
+    let prices =
+        ElectricityMarket::us_default().server_price_trace(VmClass::Medium, periods, 1.0, 0);
     let mut builder = DsppBuilder::new(4, cities.len())
         .service_rate(250.0)
         .sla_latency(0.030)
@@ -57,14 +58,15 @@ fn wide_area_run(horizon: usize) -> dspp::sim::SimReport {
 fn wide_area_pipeline_is_sla_compliant_and_priced() {
     let report = wide_area_run(6);
     assert_eq!(report.periods.len(), 47);
-    assert_eq!(report.violation_periods(), 0, "oracle MPC must meet the SLA");
+    assert_eq!(
+        report.violation_periods(),
+        0,
+        "oracle MPC must meet the SLA"
+    );
     assert!(report.ledger.total() > 0.0);
     // All four DCs participate at some point (geo demand spread).
     let series = report.per_dc_series();
-    let active = series
-        .iter()
-        .filter(|s| s.iter().any(|&x| x > 0.5))
-        .count();
+    let active = series.iter().filter(|s| s.iter().any(|&x| x > 0.5)).count();
     assert!(active >= 2, "only {active} DCs ever used");
 }
 
@@ -143,7 +145,11 @@ fn realistic_predictors_work_in_the_loop() {
     };
     for predictor in [
         Box::new(SeasonalNaive::new(24)) as Box<dyn dspp::predict::Predictor>,
-        Box::new(ArPredictor::new(2).with_window(24).with_stability_clamp(3.0)),
+        Box::new(
+            ArPredictor::new(2)
+                .with_window(24)
+                .with_stability_clamp(3.0),
+        ),
     ] {
         let name = predictor.name().to_string();
         let controller = MpcController::new(
@@ -162,7 +168,11 @@ fn realistic_predictors_work_in_the_loop() {
         // Imperfect prediction may cause some violations, but the loop must
         // stay functional and mostly compliant on a mildly noisy trace.
         let frac = report.violation_periods() as f64 / report.periods.len() as f64;
-        assert!(frac < 0.40, "{name}: {:.0}% violation periods", frac * 100.0);
+        assert!(
+            frac < 0.40,
+            "{name}: {:.0}% violation periods",
+            frac * 100.0
+        );
         assert!(report.ledger.total() > 0.0, "{name}: no cost recorded");
     }
 }

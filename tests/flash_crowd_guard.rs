@@ -57,7 +57,10 @@ fn guard_reduces_flash_crowd_violations() {
         Box::new(SeasonalNaive::new(24)),
         1.8,
     )));
-    assert!(plain >= 2, "surge should trip the seasonal predictor: {plain}");
+    assert!(
+        plain >= 2,
+        "surge should trip the seasonal predictor: {plain}"
+    );
     assert!(
         guarded < plain,
         "guard should reduce violations: {guarded} vs {plain}"
@@ -69,8 +72,8 @@ fn monitor_flags_the_surge_periods() {
     let demand = surge_demand(72);
     let mut monitor = Monitor::new(1, 0.25, 4.0);
     let mut flagged = Vec::new();
-    for k in 0..72 {
-        if !monitor.observe(&[demand[0][k]]).is_empty() {
+    for (k, &d) in demand[0].iter().enumerate().take(72) {
+        if !monitor.observe(&[d]).is_empty() {
             flagged.push(k);
         }
     }

@@ -66,23 +66,18 @@ fn capacity_is_never_oversubscribed_at_equilibrium() {
     let game = ResourceGame::new(providers, caps.clone()).unwrap();
     let out = game.run(&config()).unwrap();
     for t in 1..=game.horizon() {
-        for l in 0..2 {
+        for (l, &cap) in caps.iter().enumerate() {
             let used: f64 = out
                 .solutions
                 .iter()
                 .enumerate()
                 .map(|(i, sol)| {
                     let sp = &game.providers()[i];
-                    let x =
-                        Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
+                    let x = Allocation::from_arc_values(&sp.problem, sol.xs[t].as_slice().to_vec());
                     x.per_dc(&sp.problem)[l] * sp.problem.server_size()
                 })
                 .sum();
-            assert!(
-                used <= caps[l] * 1.001,
-                "stage {t} dc {l}: {used} > {}",
-                caps[l]
-            );
+            assert!(used <= cap * 1.001, "stage {t} dc {l}: {used} > {cap}");
         }
     }
 }

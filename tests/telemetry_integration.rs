@@ -1,0 +1,96 @@
+//! End-to-end telemetry integration: a closed-loop MPC run with one shared
+//! recorder must report the whole stack — solver iterations, controller
+//! samples (exactly one per simulated period), and simulator counters —
+//! and the snapshot must survive the JSON export.
+
+use dspp::core::{DsppBuilder, MpcController, MpcSettings};
+use dspp::predict::OraclePredictor;
+use dspp::sim::ClosedLoopSim;
+use dspp::telemetry::Recorder;
+
+fn run_instrumented(periods: usize) -> (dspp::telemetry::Snapshot, usize) {
+    let demand: Vec<Vec<f64>> = vec![(0..periods)
+        .map(|k| 60.0 + 30.0 * ((k as f64) * 0.7).sin())
+        .collect()];
+    let problem = DsppBuilder::new(1, 1)
+        .service_rate(100.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weight(0, 0.05)
+        .price_trace(0, vec![1.0; periods])
+        .build()
+        .expect("problem");
+    let telemetry = Recorder::enabled();
+    let controller = MpcController::new(
+        problem,
+        Box::new(OraclePredictor::new(demand.clone())),
+        MpcSettings {
+            horizon: 4,
+            telemetry: telemetry.clone(),
+            ..MpcSettings::default()
+        },
+    )
+    .expect("controller");
+    let report = ClosedLoopSim::new(Box::new(controller), demand)
+        .expect("sim")
+        .with_telemetry(telemetry.clone())
+        .run()
+        .expect("run");
+    (
+        telemetry.snapshot().expect("snapshot"),
+        report.periods.len(),
+    )
+}
+
+#[test]
+fn closed_loop_reports_solver_and_controller_metrics() {
+    let (snap, simulated) = run_instrumented(8);
+    assert_eq!(simulated, 7);
+
+    // Exactly one controller sample per simulated period, at every layer.
+    assert_eq!(snap.counter("controller.steps") as usize, simulated);
+    assert_eq!(snap.counter("sim.periods") as usize, simulated);
+    for h in [
+        "controller.step_seconds",
+        "controller.solve_seconds",
+        "controller.applied_u_l1",
+        "sim.step_seconds",
+        "sim.reconfig_l1",
+    ] {
+        let hist = snap.histogram(h).unwrap_or_else(|| panic!("missing {h}"));
+        assert_eq!(hist.count as usize, simulated, "histogram {h}");
+    }
+
+    // The solver did real work: one solve per period, nonzero iterations.
+    assert_eq!(snap.counter("solver.lq.solves") as usize, simulated);
+    let iters = snap.histogram("solver.lq.iterations").expect("iterations");
+    assert_eq!(iters.count as usize, simulated);
+    assert!(iters.sum > 0.0, "solver iterations must be nonzero");
+    assert!(iters.min >= 1.0, "every solve iterates at least once");
+
+    // Warm starts: first step is a miss, the rest hit.
+    assert_eq!(snap.counter("controller.warm_start.miss"), 1);
+    assert_eq!(
+        snap.counter("controller.warm_start.hit") as usize,
+        simulated - 1
+    );
+}
+
+#[test]
+fn snapshot_merges_across_runs_and_exports_json() {
+    let (a, simulated_a) = run_instrumented(6);
+    let (b, simulated_b) = run_instrumented(9);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(
+        merged.counter("controller.steps") as usize,
+        simulated_a + simulated_b
+    );
+    let json = merged.to_json();
+    assert!(json.contains("\"solver.lq.iterations\""));
+    assert!(json.contains("\"controller.steps\""));
+    // The report text renders every section.
+    let text = merged.to_string();
+    assert!(text.contains("counters:"));
+    assert!(text.contains("histograms:"));
+}

@@ -1,0 +1,388 @@
+//! Offline mini benchmark harness exposing the `criterion 0.5` API subset
+//! this workspace uses: [`Criterion`], [`BenchmarkGroup`]s with
+//! `sample_size`/`throughput`, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical analysis it reports, per benchmark,
+//! the mean / median / min of `sample_size` timed samples to stdout as
+//!
+//! ```text
+//! group/id    time: [median 1.234 ms  mean 1.250 ms  min 1.200 ms]
+//! ```
+//!
+//! Samples are wall-clock timed with [`std::time::Instant`]. When
+//! `--bench` filters are passed on the command line (as `cargo bench`
+//! does), any non-flag argument is treated as a substring filter on the
+//! benchmark id.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted and ignored: every batch
+/// in this stub is one routine invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+        }
+    }
+
+    /// Times `routine`, called once per sample after one warmup call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut first = setup();
+        black_box(routine(&mut first));
+        for _ in 0..self.target_samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Arithmetic mean over samples.
+    pub mean: Duration,
+    /// Median over samples.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+}
+
+fn stats(samples: &mut [Duration]) -> Option<SampleStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    Some(SampleStats {
+        mean: total / samples.len() as u32,
+        median: samples[samples.len() / 2],
+        min: samples[0],
+    })
+}
+
+/// The harness: runs benchmarks and prints their timings.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+    /// `(id, stats)` for every benchmark run, in execution order.
+    results: Vec<(String, SampleStats)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; any other non-flag argument is a
+        // name filter, matching criterion's CLI behaviour.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            default_sample_size: 20,
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI args are already read by
+    /// [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        if !self.matches(&id) {
+            return;
+        }
+        let mut b = Bencher::new(sample_size);
+        f(&mut b);
+        if let Some(s) = stats(&mut b.samples) {
+            print!(
+                "{id:<50} time: [median {}  mean {}  min {}]",
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                fmt_duration(s.min),
+            );
+            if let Some(Throughput::Elements(n)) = throughput {
+                let per_s = n as f64 / s.median.as_secs_f64().max(1e-12);
+                print!("  thrpt: {per_s:.0} elem/s");
+            }
+            println!();
+            self.results.push((id, s));
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let size = self.default_sample_size;
+        self.run_one(id.to_string(), size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Stats of every benchmark run so far (`(id, stats)` pairs), for
+    /// harness-side post-processing such as overhead comparisons.
+    pub fn results(&self) -> &[(String, SampleStats)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing settings and an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(full, size, throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (prints nothing extra in this stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a group runner, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            std::hint::black_box(calls)
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6); // 1 warmup + 5 samples
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = None;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(2), &2, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "t/f/1");
+        assert_eq!(c.results()[1].0, "t/2");
+    }
+
+    #[test]
+    fn stats_ordering() {
+        let mut samples = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        let s = stats(&mut samples).unwrap();
+        assert_eq!(s.min, Duration::from_nanos(10));
+        assert_eq!(s.median, Duration::from_nanos(20));
+        assert_eq!(s.mean, Duration::from_nanos(20));
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stub of `crossbeam`, implementing the `crossbeam::thread`
+//! scoped-spawn API over `std::thread::scope` (stabilized in Rust 1.63,
+//! after crossbeam's API was designed).
+//!
+//! Differences from real crossbeam: a panic in an *unjoined* child
+//! propagates as a panic out of [`thread::scope`] (std semantics) instead
+//! of an `Err`; joined children report panics through
+//! [`thread::ScopedJoinHandle::join`] exactly like crossbeam.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads (subset of `crossbeam::thread`).
+
+    /// Error type carried by a panicked scope or child.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a
+    /// reference to it so they can spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joinable within the scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention; commonly ignored as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature; this stub always returns `Ok` (child
+    /// panics either surface via `join` or propagate as panics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("child")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(r, 42);
+    }
+}

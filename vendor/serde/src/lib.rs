@@ -1,0 +1,21 @@
+//! Offline API-surface stub of `serde`.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` so that downstream users with the real `serde` can
+//! serialize them, but nothing in-tree actually drives serde serialization
+//! (there is no `serde_json` dependency; JSON export is hand-written where
+//! needed, e.g. `dspp_telemetry::Snapshot::to_json`). This stub keeps those
+//! annotations compiling in the offline build environment: [`Serialize`]
+//! and [`Deserialize`] are marker traits with no required items, and the
+//! derives emit trivial marker impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no required items).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no required items, no
+/// deserializer lifetime).
+pub trait Deserialize {}

@@ -1,0 +1,74 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace's offline `serde` stub (see `vendor/serde`) declares
+//! marker traits without required items, so deriving them is a matter of
+//! emitting a trivial `impl`. Generics are carried through verbatim, which
+//! covers every derive site in this workspace (plain structs and enums).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` from a `struct`/`enum` definition token
+/// stream. Returns the identifier following the `struct`/`enum` keyword and
+/// the raw generic parameter list (without bounds handling beyond textual
+/// reuse).
+fn parse_item(input: TokenStream) -> Option<(String, String)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(name) => name.to_string(),
+                    _ => return None,
+                };
+                // Collect `<...>` generic parameters if present.
+                let mut generics = String::new();
+                if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    let mut depth = 0i32;
+                    for tt in tokens.by_ref() {
+                        let s = tt.to_string();
+                        if s == "<" {
+                            depth += 1;
+                        } else if s == ">" {
+                            depth -= 1;
+                        }
+                        generics.push_str(&s);
+                        generics.push(' ');
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                return Some((name, generics));
+            }
+        }
+    }
+    None
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    // Marker impls carry no behaviour, so a generic item can simply skip
+    // the impl rather than re-deriving bounds (no derive site in this
+    // workspace is generic today).
+    if !generics.is_empty() {
+        return TokenStream::new();
+    }
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Derives the stub `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Deserialize")
+}
