@@ -1,0 +1,440 @@
+//! Perf-baseline recording and regression comparison (the `dspp-bench`
+//! binary).
+//!
+//! `record` times three representative workloads — one Riccati IPM solve,
+//! one MPC controller step, one full best-response game run — and writes
+//! their throughput plus latency quantiles as JSON (the committed
+//! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
+//! fails with a readable delta report when throughput regresses beyond a
+//! tolerance. Quantiles are reported for context but only throughput
+//! gates: wall-clock quantiles on shared CI hardware are too noisy to
+//! fail a build on.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dspp_core::{MpcController, MpcSettings};
+use dspp_game::{GameConfig, ResourceGame, SpSampler};
+use dspp_predict::LastValue;
+use dspp_solver::{solve_lq, IpmSettings};
+use dspp_telemetry::json::{self, JsonValue};
+
+use crate::{lq_fixture, single_dc_problem};
+
+/// Schema version of the baseline file.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// Measured performance of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Workload name, e.g. `"solver.lq_solve"`.
+    pub name: String,
+    /// Timed iterations behind the numbers.
+    pub samples: u64,
+    /// Iterations per second, derived from the *median* per-iteration
+    /// latency (the regression gate). Median-derived throughput is robust
+    /// to scheduler outliers on shared hardware, where a handful of
+    /// preempted iterations would otherwise swing a wall-clock mean by
+    /// tens of percent.
+    pub throughput: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// A full baseline: one [`Metric`] per workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Schema version (see [`BASELINE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Measured workloads, in recording order.
+    pub metrics: Vec<Metric>,
+}
+
+/// Nearest-rank quantile of a sorted sample vector.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Times `iters` runs of `f` (after `warmup` untimed runs) and folds the
+/// per-iteration latencies into a [`Metric`].
+pub fn measure(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) -> Metric {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples_us = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Metric {
+        name: name.to_string(),
+        samples: iters as u64,
+        throughput: 1e6 / quantile(&samples_us, 0.50).max(1e-6),
+        p50_us: quantile(&samples_us, 0.50),
+        p90_us: quantile(&samples_us, 0.90),
+        p99_us: quantile(&samples_us, 0.99),
+    }
+}
+
+/// Runs the three baseline workloads with `iters` timed iterations each.
+pub fn record(iters: usize) -> Baseline {
+    let warmup = (iters / 5).max(2);
+
+    // 1. One Riccati-structured IPM solve on the DSPP-shaped LQ fixture.
+    let lq = lq_fixture(4, 12, 20.0);
+    let ipm = IpmSettings::fast();
+    let solver = measure("solver.lq_solve", warmup, iters, || {
+        solve_lq(&lq, &ipm).expect("solver fixture solves");
+    });
+
+    // 2. One MPC controller step (horizon 6, single DC). A step advances
+    // the controller's internal period, so give it a long price trace and
+    // rebuild once the trace is exhausted.
+    let horizon = 6usize;
+    let periods = 512usize;
+    let make = || {
+        MpcController::new(
+            single_dc_problem(periods),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon,
+                ipm: IpmSettings::fast(),
+                ..MpcSettings::default()
+            },
+        )
+        .expect("controller fixture")
+    };
+    let mut controller = make();
+    let mut used = 0usize;
+    let controller_metric = measure("controller.step", warmup, iters, || {
+        if used + horizon + 1 >= periods {
+            controller = make();
+            used = 0;
+        }
+        controller.step(&[12_000.0]).expect("step");
+        used += 1;
+    });
+
+    // 3. One full best-response game run (Algorithm 2), 3 providers.
+    let providers = SpSampler::new(2, 2, 3)
+        .with_seed(1)
+        .sample(3)
+        .expect("sample");
+    let game = ResourceGame::new(providers, vec![120.0, 120.0]).expect("game");
+    let config = GameConfig {
+        ipm: IpmSettings::fast(),
+        ..GameConfig::default()
+    };
+    let game_metric = measure("game.best_response_run", warmup, iters, || {
+        game.run(&config).expect("game run");
+    });
+
+    Baseline {
+        schema_version: BASELINE_SCHEMA_VERSION,
+        metrics: vec![solver, controller_metric, game_metric],
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Baseline {
+    /// Serializes the baseline as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {},\n  \"metrics\": [",
+            self.schema_version
+        );
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"samples\": {}, \"throughput\": ",
+                m.name, m.samples
+            );
+            push_f64(&mut out, m.throughput);
+            for (key, v) in [
+                ("p50_us", m.p50_us),
+                ("p90_us", m.p90_us),
+                ("p99_us", m.p99_us),
+            ] {
+                let _ = write!(out, ", \"{key}\": ");
+                push_f64(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline previously written by [`Baseline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong schema version, or a
+    /// missing field.
+    pub fn from_json(input: &str) -> Result<Baseline, String> {
+        let root = json::parse(input).map_err(|e| format!("baseline JSON: {e}"))?;
+        let obj = root.as_object().ok_or("baseline must be a JSON object")?;
+        let version = obj
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != BASELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported baseline schema_version {version} (expected {BASELINE_SCHEMA_VERSION})"
+            ));
+        }
+        let metrics = obj
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing metrics array")?;
+        let mut out = Vec::with_capacity(metrics.len());
+        for m in metrics {
+            let m = m.as_object().ok_or("metric must be an object")?;
+            let field = |key: &str| {
+                m.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("metric missing numeric field {key:?}"))
+            };
+            out.push(Metric {
+                name: m
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("metric missing name")?
+                    .to_string(),
+                samples: m
+                    .get("samples")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("metric missing samples")?,
+                throughput: field("throughput")?,
+                p50_us: field("p50_us")?,
+                p90_us: field("p90_us")?,
+                p99_us: field("p99_us")?,
+            });
+        }
+        Ok(Baseline {
+            schema_version: version,
+            metrics: out,
+        })
+    }
+}
+
+/// One workload's baseline-vs-current delta.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Workload name.
+    pub name: String,
+    /// Baseline throughput (iterations/s).
+    pub baseline_throughput: f64,
+    /// Current throughput (iterations/s).
+    pub current_throughput: f64,
+    /// `current/baseline - 1`: negative is slower.
+    pub relative_change: f64,
+    /// True when the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Comparison of a current run against a recorded baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-workload deltas, baseline order.
+    pub deltas: Vec<Delta>,
+    /// Workloads present in only one of the two baselines.
+    pub unmatched: Vec<String>,
+}
+
+impl Comparison {
+    /// True when any matched workload regressed (or a workload is missing
+    /// from the current run).
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed) || !self.unmatched.is_empty()
+    }
+
+    /// The human-readable delta report.
+    pub fn report(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14} {:>9}  verdict",
+            "workload", "baseline it/s", "current it/s", "change"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                format!("REGRESSED (slowdown > {:.0}%)", tolerance * 100.0)
+            } else {
+                "ok".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14.1} {:>14.1} {:>+8.1}%  {verdict}",
+                d.name,
+                d.baseline_throughput,
+                d.current_throughput,
+                d.relative_change * 100.0
+            );
+        }
+        for name in &self.unmatched {
+            let _ = writeln!(out, "{name:<24} present in only one baseline — REGRESSED");
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline`: a workload regresses when its
+/// throughput falls below `baseline * (1 - tolerance)`.
+pub fn compare(baseline: &Baseline, current: &Baseline, tolerance: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    for b in &baseline.metrics {
+        match current.metrics.iter().find(|c| c.name == b.name) {
+            Some(c) => {
+                let relative_change = if b.throughput > 0.0 {
+                    c.throughput / b.throughput - 1.0
+                } else {
+                    0.0
+                };
+                deltas.push(Delta {
+                    name: b.name.clone(),
+                    baseline_throughput: b.throughput,
+                    current_throughput: c.throughput,
+                    relative_change,
+                    regressed: relative_change < -tolerance,
+                });
+            }
+            None => unmatched.push(b.name.clone()),
+        }
+    }
+    for c in &current.metrics {
+        if !baseline.metrics.iter().any(|b| b.name == c.name) {
+            unmatched.push(c.name.clone());
+        }
+    }
+    Comparison { deltas, unmatched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, throughput: f64) -> Metric {
+        Metric {
+            name: name.to_string(),
+            samples: 10,
+            throughput,
+            p50_us: 100.0,
+            p90_us: 150.0,
+            p99_us: 200.0,
+        }
+    }
+
+    fn baseline(pairs: &[(&str, f64)]) -> Baseline {
+        Baseline {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            metrics: pairs.iter().map(|(n, t)| metric(n, *t)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = baseline(&[
+            ("solver.lq_solve", 1234.5),
+            ("game.best_response_run", 56.25),
+        ]);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_input() {
+        assert!(Baseline::from_json("not json").is_err());
+        assert!(Baseline::from_json("{\"schema_version\": 99, \"metrics\": []}").is_err());
+        assert!(Baseline::from_json("{\"metrics\": []}").is_err());
+        assert!(
+            Baseline::from_json(
+                "{\"schema_version\": 1, \"metrics\": [{\"name\": \"x\", \"samples\": 1}]}"
+            )
+            .is_err(),
+            "missing throughput must be rejected"
+        );
+    }
+
+    #[test]
+    fn injected_synthetic_regression_is_flagged() {
+        let recorded = baseline(&[("solver.lq_solve", 1000.0), ("controller.step", 500.0)]);
+        // Solver 40% slower — beyond the 10% tolerance; controller within it.
+        let current = baseline(&[("solver.lq_solve", 600.0), ("controller.step", 480.0)]);
+        let cmp = compare(&recorded, &current, 0.10);
+        assert!(cmp.regressed());
+        assert!(cmp.deltas[0].regressed);
+        assert!(!cmp.deltas[1].regressed);
+        let report = cmp.report(0.10);
+        assert!(report.contains("REGRESSED"), "report:\n{report}");
+        assert!(report.contains("solver.lq_solve"));
+        assert!(report.contains("-40.0%"), "report:\n{report}");
+    }
+
+    #[test]
+    fn matching_throughput_passes_and_speedups_never_fail() {
+        let recorded = baseline(&[("a", 100.0)]);
+        assert!(!compare(&recorded, &baseline(&[("a", 99.0)]), 0.10).regressed());
+        assert!(!compare(&recorded, &baseline(&[("a", 500.0)]), 0.10).regressed());
+    }
+
+    #[test]
+    fn missing_workload_counts_as_regression() {
+        let recorded = baseline(&[("a", 100.0), ("b", 100.0)]);
+        let cmp = compare(&recorded, &baseline(&[("a", 100.0)]), 0.10);
+        assert!(cmp.regressed());
+        assert_eq!(cmp.unmatched, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&sorted, 0.50), 5.0);
+        assert_eq!(quantile(&sorted, 0.90), 9.0);
+        assert_eq!(quantile(&sorted, 0.99), 10.0);
+    }
+
+    #[test]
+    fn record_smoke_produces_all_workloads() {
+        // Tiny iteration count: correctness of the plumbing, not timing.
+        let b = record(2);
+        let names: Vec<&str> = b.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "solver.lq_solve",
+                "controller.step",
+                "game.best_response_run"
+            ]
+        );
+        for m in &b.metrics {
+            assert!(m.throughput > 0.0, "{}: non-positive throughput", m.name);
+            assert!(m.p50_us <= m.p90_us && m.p90_us <= m.p99_us, "{}", m.name);
+        }
+        // And the recorded baseline survives its own serialization.
+        assert_eq!(Baseline::from_json(&b.to_json()).unwrap(), b);
+    }
+}

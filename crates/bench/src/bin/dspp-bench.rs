@@ -1,0 +1,140 @@
+//! Perf-baseline recorder and regression gate.
+//!
+//! ```text
+//! dspp-bench record  [--out BENCH_BASELINE.json] [--iters 30]
+//! dspp-bench compare [--baseline BENCH_BASELINE.json] [--tolerance 0.30] [--iters 30]
+//! ```
+//!
+//! `record` measures the solver/controller/game workloads and writes the
+//! baseline JSON. `compare` re-measures them, prints a delta report, and
+//! exits nonzero when any workload's throughput fell more than
+//! `--tolerance` below the baseline (default 30% — generous on purpose:
+//! shared CI hardware is noisy, and the CI job is warn-only anyway).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dspp_bench::baseline::{compare, record, Baseline};
+
+const DEFAULT_PATH: &str = "BENCH_BASELINE.json";
+const DEFAULT_ITERS: usize = 30;
+const DEFAULT_TOLERANCE: f64 = 0.30;
+
+struct Options {
+    mode: String,
+    path: PathBuf,
+    iters: usize,
+    tolerance: f64,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: dspp-bench record  [--out <path>] [--iters <n>]\n\
+         \x20      dspp-bench compare [--baseline <path>] [--tolerance <frac>] [--iters <n>]\n\
+         defaults: path {DEFAULT_PATH}, iters {DEFAULT_ITERS}, tolerance {DEFAULT_TOLERANCE}"
+    )
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().ok_or_else(usage)?;
+    if mode != "record" && mode != "compare" {
+        return Err(format!("unknown mode {mode:?}\n{}", usage()));
+    }
+    let mut out = Options {
+        mode,
+        path: PathBuf::from(DEFAULT_PATH),
+        iters: DEFAULT_ITERS,
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" | "--baseline" => out.path = PathBuf::from(value(&flag)?),
+            "--iters" => {
+                out.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if out.iters == 0 {
+                    return Err("--iters must be positive".to_string());
+                }
+            }
+            "--tolerance" => {
+                out.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&out.tolerance) {
+                    return Err("--tolerance must be in [0, 1)".to_string());
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    if opts.mode == "record" {
+        eprintln!(
+            "recording baseline ({} iterations per workload)…",
+            opts.iters
+        );
+        let baseline = record(opts.iters);
+        std::fs::write(&opts.path, baseline.to_json())
+            .map_err(|e| format!("write {}: {e}", opts.path.display()))?;
+        for m in &baseline.metrics {
+            println!(
+                "{:<24} {:>10.1} it/s   p50 {:>9.1}µs  p90 {:>9.1}µs  p99 {:>9.1}µs",
+                m.name, m.throughput, m.p50_us, m.p90_us, m.p99_us
+            );
+        }
+        println!("wrote {}", opts.path.display());
+        return Ok(true);
+    }
+    let text = std::fs::read_to_string(&opts.path)
+        .map_err(|e| format!("read {}: {e}", opts.path.display()))?;
+    let baseline = Baseline::from_json(&text)?;
+    eprintln!(
+        "comparing against {} ({} iterations per workload, tolerance {:.0}%)…",
+        opts.path.display(),
+        opts.iters,
+        opts.tolerance * 100.0
+    );
+    let current = record(opts.iters);
+    let comparison = compare(&baseline, &current, opts.tolerance);
+    print!("{}", comparison.report(opts.tolerance));
+    if comparison.regressed() {
+        println!("\nperformance regression detected");
+        Ok(false)
+    } else {
+        println!("\nno regression beyond tolerance");
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("dspp-bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("dspp-bench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -9,6 +9,12 @@
 //! * `sim` — discrete-event throughput and closed-loop step cost.
 //! * `figures` — end-to-end regeneration cost of each paper figure
 //!   (reduced parameterizations for the slow ones).
+//!
+//! The crate also ships the `dspp-bench` binary ([`baseline`]): a
+//! perf-baseline recorder and regression gate over the committed
+//! `BENCH_BASELINE.json`.
+
+pub mod baseline;
 
 use dspp_core::{Dspp, DsppBuilder};
 use dspp_linalg::{Matrix, Vector};

@@ -189,6 +189,10 @@ impl MpcController {
     /// * [`CoreError::Solver`] if the horizon problem cannot be solved.
     pub fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
         let telemetry = self.settings.telemetry.clone();
+        let mut span = telemetry.tracer().span("controller.step");
+        span.attr("period", self.period);
+        span.attr("horizon", self.settings.horizon);
+        span.attr("warm_start", self.warm_us.is_some());
         let t_step = telemetry.is_enabled().then(Instant::now);
         let nv = self.problem.num_locations();
         if observed_demand.len() != nv {
@@ -280,6 +284,11 @@ impl MpcController {
         shifted.push(dspp_linalg::Vector::zeros(self.problem.num_arcs()));
         self.warm_us = Some(shifted);
 
+        if span.is_enabled() {
+            span.attr("solver_iterations", sol.iterations);
+            span.attr("planned_objective", sol.objective);
+        }
+
         let u: Vec<f64> = sol.us[0].as_slice().to_vec();
         let mut new_values = self.state.arc_values().to_vec();
         for (xv, du) in new_values.iter_mut().zip(&u) {
@@ -303,6 +312,10 @@ impl MpcController {
             if let Some(t) = t_step {
                 telemetry.observe_duration("controller.step_seconds", t.elapsed());
             }
+        }
+        if span.is_enabled() {
+            span.attr("applied_u_l1", u.iter().map(|v| v.abs()).sum::<f64>());
+            span.attr("step_cost", step_cost.total());
         }
 
         Ok(StepOutcome {

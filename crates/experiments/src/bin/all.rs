@@ -3,9 +3,15 @@
 //! records into its own telemetry [`Recorder`], and its metric snapshot
 //! (solver iterations, controller latencies, game rounds, SLA counters —
 //! see `docs/OBSERVABILITY.md`) is printed after the figure's table.
+//!
+//! With `--trace-out <path>` (and/or `--events-out <path>`) one shared
+//! flight recorder collects spans from every experiment thread — the
+//! Chrome trace then shows the whole regeneration as one multi-track
+//! timeline (tracks are threads).
 
+use dspp_experiments::cli::TraceArgs;
 use dspp_experiments::{emit, ExpResult, Figure};
-use dspp_telemetry::{Recorder, Snapshot};
+use dspp_telemetry::{Recorder, Snapshot, Tracer, DEFAULT_CAPACITY};
 
 /// Figure 3 is pure market calibration — no solver runs, nothing to record.
 fn fig3_with(_: &Recorder) -> ExpResult<Figure> {
@@ -13,6 +19,18 @@ fn fig3_with(_: &Recorder) -> ExpResult<Figure> {
 }
 
 fn main() {
+    let args = match TraceArgs::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("all: {e}");
+            std::process::exit(2);
+        }
+    };
+    let tracer = if args.wants_tracing() {
+        Tracer::enabled(DEFAULT_CAPACITY)
+    } else {
+        Tracer::disabled()
+    };
     type Job = (&'static str, fn(&Recorder) -> ExpResult<Figure>);
     let jobs: Vec<Job> = vec![
         ("fig3", fig3_with),
@@ -32,8 +50,9 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, (_, f))| {
+                let tracer = tracer.clone();
                 s.spawn(move |_| {
-                    let telemetry = Recorder::enabled();
+                    let telemetry = Recorder::enabled().with_tracer(tracer);
                     let result = f(&telemetry);
                     (i, result, telemetry.snapshot())
                 })
@@ -56,6 +75,29 @@ fn main() {
                 println!("-- telemetry: {} --\n{snap}", jobs[i].0);
             }
         }
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, tracer.to_chrome_trace()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = &args.events_out {
+        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "note: flight recorder evicted {} oldest records (capacity {})",
+            tracer.dropped(),
+            DEFAULT_CAPACITY
+        );
     }
     if failed {
         std::process::exit(1);

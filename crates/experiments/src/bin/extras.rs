@@ -1,8 +1,7 @@
-//! Extension ablations beyond the paper; see `dspp_experiments::extras`.
+//! Regenerates the beyond-the-paper extras table; see
+//! `dspp_experiments::extras`. Accepts `--trace-out`/`--events-out`
+//! (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::extras::run()) {
-        eprintln!("extras failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("extras", dspp_experiments::extras::run_with);
 }

@@ -1,8 +1,6 @@
 //! Regenerates Figure 10 of the paper; see `dspp_experiments::fig10`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig10::run()) {
-        eprintln!("fig10 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig10", dspp_experiments::fig10::run_with);
 }

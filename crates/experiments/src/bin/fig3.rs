@@ -1,8 +1,7 @@
 //! Regenerates Figure 3 of the paper; see `dspp_experiments::fig3`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`),
+//! though fig3 is pure market calibration and opens no solver spans.
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig3::run()) {
-        eprintln!("fig3 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig3", |_| dspp_experiments::fig3::run());
 }

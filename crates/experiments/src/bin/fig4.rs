@@ -1,8 +1,6 @@
 //! Regenerates Figure 4 of the paper; see `dspp_experiments::fig4`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig4::run()) {
-        eprintln!("fig4 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig4", dspp_experiments::fig4::run_with);
 }

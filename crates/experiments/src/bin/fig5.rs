@@ -1,8 +1,6 @@
 //! Regenerates Figure 5 of the paper; see `dspp_experiments::fig5`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig5::run()) {
-        eprintln!("fig5 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig5", dspp_experiments::fig5::run_with);
 }

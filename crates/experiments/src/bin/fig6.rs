@@ -1,8 +1,6 @@
 //! Regenerates Figure 6 of the paper; see `dspp_experiments::fig6`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig6::run()) {
-        eprintln!("fig6 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig6", dspp_experiments::fig6::run_with);
 }

@@ -1,8 +1,6 @@
 //! Regenerates Figure 7 of the paper; see `dspp_experiments::fig7`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig7::run()) {
-        eprintln!("fig7 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig7", dspp_experiments::fig7::run_with);
 }

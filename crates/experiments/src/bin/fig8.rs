@@ -1,8 +1,6 @@
 //! Regenerates Figure 8 of the paper; see `dspp_experiments::fig8`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig8::run()) {
-        eprintln!("fig8 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig8", dspp_experiments::fig8::run_with);
 }

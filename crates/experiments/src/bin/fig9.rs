@@ -1,8 +1,6 @@
 //! Regenerates Figure 9 of the paper; see `dspp_experiments::fig9`.
+//! Accepts `--trace-out`/`--events-out` (see `dspp_experiments::cli`).
 
 fn main() {
-    if let Err(e) = dspp_experiments::emit(dspp_experiments::fig9::run()) {
-        eprintln!("fig9 failed: {e}");
-        std::process::exit(1);
-    }
+    dspp_experiments::cli::figure_main("fig9", dspp_experiments::fig9::run_with);
 }

@@ -1,0 +1,182 @@
+//! Shared command-line handling for the figure binaries.
+//!
+//! Every `figN` binary (and `all`) accepts the same tracing flags:
+//!
+//! * `--trace-out <path>` — run the experiment with span tracing enabled
+//!   and write the flight recorder as Chrome Trace Format JSON (open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * `--events-out <path>` — same, exported as a line-delimited JSONL
+//!   event log (one record per line; schema in `docs/OBSERVABILITY.md`).
+//!
+//! Without either flag the binaries behave exactly as before: metrics go
+//! to the process-wide recorder and no tracer is attached.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process;
+
+use dspp_telemetry::{Recorder, Tracer, DEFAULT_CAPACITY};
+
+use crate::{emit, ExpResult, Figure};
+
+/// Parsed tracing flags.
+#[derive(Debug, Clone, Default)]
+pub struct TraceArgs {
+    /// Destination for the Chrome Trace Format export, if requested.
+    pub trace_out: Option<PathBuf>,
+    /// Destination for the JSONL event log, if requested.
+    pub events_out: Option<PathBuf>,
+}
+
+impl TraceArgs {
+    /// Parses the process arguments (everything after argv[0]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or a missing value.
+    pub fn parse() -> Result<TraceArgs, String> {
+        TraceArgs::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests use this).
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceArgs::parse`].
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<TraceArgs, String> {
+        let mut out = TraceArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |name: &str| {
+                inline
+                    .clone()
+                    .or_else(|| iter.next())
+                    .ok_or_else(|| format!("{name} needs a path argument"))
+            };
+            match flag.as_str() {
+                "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+                "--events-out" => out.events_out = Some(PathBuf::from(value("--events-out")?)),
+                other => {
+                    return Err(format!(
+                    "unknown argument {other:?}; usage: [--trace-out <path>] [--events-out <path>]"
+                ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when any trace export was requested.
+    pub fn wants_tracing(&self) -> bool {
+        self.trace_out.is_some() || self.events_out.is_some()
+    }
+}
+
+/// Runs one figure with the parsed tracing flags: emits the table/CSV as
+/// always, and writes the requested trace exports afterwards.
+///
+/// # Errors
+///
+/// Propagates the experiment's own failure or an export write failure.
+pub fn run_traced(
+    args: &TraceArgs,
+    f: impl FnOnce(&Recorder) -> ExpResult<Figure>,
+) -> ExpResult<()> {
+    if !args.wants_tracing() {
+        return emit(f(dspp_telemetry::global()));
+    }
+    let tracer = Tracer::enabled(DEFAULT_CAPACITY);
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let result = f(&telemetry);
+    emit(result)?;
+    if let Some(path) = &args.trace_out {
+        fs::write(path, tracer.to_chrome_trace())?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.events_out {
+        fs::write(path, tracer.to_jsonl())?;
+        println!("wrote {}", path.display());
+    }
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "note: flight recorder evicted {} oldest records (capacity {})",
+            tracer.dropped(),
+            DEFAULT_CAPACITY
+        );
+    }
+    Ok(())
+}
+
+/// The whole `main` of a figure binary: parse flags, run, set the exit
+/// code. `name` labels error messages.
+pub fn figure_main(name: &str, f: impl FnOnce(&Recorder) -> ExpResult<Figure>) {
+    let args = match TraceArgs::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            process::exit(2);
+        }
+    };
+    if let Err(e) = run_traced(&args, f) {
+        eprintln!("{name} failed: {e}");
+        process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_separate_and_inline_values() {
+        let a = TraceArgs::parse_from(strings(&["--trace-out", "t.json"])).unwrap();
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+        assert!(a.wants_tracing());
+        let b = TraceArgs::parse_from(strings(&["--events-out=e.jsonl"])).unwrap();
+        assert_eq!(b.events_out, Some(PathBuf::from("e.jsonl")));
+        let c = TraceArgs::parse_from(strings(&[])).unwrap();
+        assert!(!c.wants_tracing());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(TraceArgs::parse_from(strings(&["--bogus"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn run_traced_writes_requested_exports() {
+        let dir = std::env::temp_dir().join("dspp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = TraceArgs {
+            trace_out: Some(dir.join("trace.json")),
+            events_out: Some(dir.join("events.jsonl")),
+        };
+        std::env::set_var("DSPP_RESULTS", &dir);
+        run_traced(&args, |telemetry| {
+            let _span = telemetry.tracer().span("cli.test");
+            Ok(Figure {
+                id: "figclitest",
+                title: "cli test".into(),
+                header: vec!["x".into(), "y".into()],
+                rows: vec![vec![0.0, 1.0]],
+                notes: vec![],
+            })
+        })
+        .unwrap();
+        std::env::remove_var("DSPP_RESULTS");
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("cli.test"));
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(events.contains("\"type\":\"span\""));
+    }
+}

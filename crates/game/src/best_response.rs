@@ -3,7 +3,7 @@
 use crate::ServiceProvider;
 use dspp_core::{CoreError, HorizonProblem};
 use dspp_solver::{IpmSettings, LqSolution};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{AttrValue, Recorder};
 
 /// Tuning knobs of the best-response iteration (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -280,6 +280,8 @@ impl ResourceGame {
         let mut prev_cost = f64::INFINITY;
         let mut outcome: Option<GameOutcome> = None;
         for iter in 1..=config.max_iterations {
+            let mut round_span = telemetry.tracer().span("game.round");
+            round_span.attr("round", iter);
             // Every provider best-responds to its quota.
             let mut costs = vec![0.0; n];
             let mut duals = vec![vec![0.0; nl]; n];
@@ -306,6 +308,15 @@ impl ResourceGame {
                 }
             }
             let total: f64 = costs.iter().sum();
+            if round_span.is_enabled() {
+                round_span.attr("total_cost", total);
+                round_span.attr("any_infeasible", any_infeasible);
+                // Per-stage mean shadow prices, summed over providers and
+                // DCs: one scalar proxy for how hard capacity binds.
+                let per_stage = 1.0 / self.horizon as f64;
+                let dual_l1: f64 = duals.iter().flatten().map(|d| d.abs() * per_stage).sum();
+                round_span.attr("capacity_dual_l1", dual_l1);
+            }
 
             // Paper's convergence test: |J − J̄| ≤ ε·J̄. Only meaningful
             // once a previous (finite) total exists.
@@ -315,6 +326,7 @@ impl ResourceGame {
             {
                 telemetry.incr("game.converged", 1);
                 telemetry.observe("game.rounds", iter as f64);
+                round_span.attr("converged", true);
                 return Ok(GameOutcome {
                     iterations: iter,
                     converged: true,
@@ -344,7 +356,8 @@ impl ResourceGame {
             // update step (and the convergence behaviour would depend on W
             // for the wrong reason).
             let per_stage = 1.0 / self.horizon as f64;
-            let old_quotas = telemetry.is_enabled().then(|| quotas.clone());
+            let old_quotas =
+                (telemetry.is_enabled() || round_span.is_enabled()).then(|| quotas.clone());
             let mut bars = quotas.clone();
             for i in 0..n {
                 for l in 0..nl {
@@ -372,20 +385,43 @@ impl ResourceGame {
                     .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
                     .sum();
                 telemetry.observe("game.quota_adjustment_l1", l1);
+                round_span.attr("quota_adjustment_l1", l1);
             }
         }
 
-        // Out of iterations: return the last feasible iterate if any.
+        // Out of iterations: the relative-cost test never fired. That is a
+        // reportable condition (the paper's Figure 7 regime boundary), not
+        // just a quietly-smaller outcome, so flag it loudly.
+        telemetry.incr("game.max_rounds_hit", 1);
         match outcome {
             Some(mut o) => {
                 o.iterations = config.max_iterations;
                 telemetry.observe("game.rounds", config.max_iterations as f64);
+                telemetry.tracer().event_with(
+                    "game.max_rounds_hit",
+                    [
+                        ("severity", AttrValue::Str("warning".into())),
+                        ("rounds", AttrValue::UInt(config.max_iterations as u64)),
+                        ("total_cost", AttrValue::Float(o.total_cost)),
+                        ("converged", AttrValue::Bool(false)),
+                    ],
+                );
                 Ok(o)
             }
-            None => Err(CoreError::Solver(dspp_solver::SolverError::MaxIterations {
-                limit: config.max_iterations,
-                gap: f64::INFINITY,
-            })),
+            None => {
+                telemetry.tracer().event_with(
+                    "game.max_rounds_hit",
+                    [
+                        ("severity", AttrValue::Str("warning".into())),
+                        ("rounds", AttrValue::UInt(config.max_iterations as u64)),
+                        ("feasible_iterate", AttrValue::Bool(false)),
+                    ],
+                );
+                Err(CoreError::Solver(dspp_solver::SolverError::MaxIterations {
+                    limit: config.max_iterations,
+                    gap: f64::INFINITY,
+                }))
+            }
         }
     }
 }
@@ -522,6 +558,48 @@ mod tests {
             let adj = snap.histogram("game.quota_adjustment_l1").unwrap();
             assert_eq!(adj.count as usize, expected_adjustments);
         }
+    }
+
+    #[test]
+    fn max_rounds_exit_emits_warning_event_and_counter() {
+        // epsilon < 0 makes the convergence test |J − J̄| ≤ ε·J̄
+        // unsatisfiable, so the run must exhaust max_iterations.
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(2).unwrap();
+        let game = ResourceGame::new(sps, vec![200.0, 200.0]).unwrap();
+        let tracer = dspp_telemetry::Tracer::enabled(256);
+        let config = GameConfig {
+            epsilon: -1.0,
+            max_iterations: 3,
+            telemetry: dspp_telemetry::Recorder::enabled().with_tracer(tracer.clone()),
+            ..quick_config()
+        };
+        let out = game.run(&config).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 3);
+        let snap = config.telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("game.max_rounds_hit"), 1);
+        assert_eq!(snap.counter("game.converged"), 0);
+        let records = tracer.records();
+        let warning = records
+            .iter()
+            .find_map(|r| match r {
+                dspp_telemetry::TraceRecord::Event(e) if e.name == "game.max_rounds_hit" => Some(e),
+                _ => None,
+            })
+            .expect("warning event must be recorded");
+        assert!(warning
+            .attrs
+            .contains(&("severity", AttrValue::Str("warning".into()))));
+        assert!(warning.attrs.contains(&("rounds", AttrValue::UInt(3))));
+        assert!(warning
+            .attrs
+            .contains(&("converged", AttrValue::Bool(false))));
+        // One round span per iteration rode along.
+        let rounds = records
+            .iter()
+            .filter(|r| matches!(r, dspp_telemetry::TraceRecord::Span(s) if s.name == "game.round"))
+            .count();
+        assert_eq!(rounds, 3);
     }
 
     #[test]

@@ -169,6 +169,10 @@ impl ClosedLoopSim {
             .is_enabled()
             .then(|| Monitor::new(self.demand.len(), 0.3, 4.0));
         for k in 0..periods - 1 {
+            // Top-level timeline span: controller and solver spans opened
+            // inside `step` nest under it.
+            let mut period_span = telemetry.tracer().span("sim.period");
+            period_span.attr("period", k);
             let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
             let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
             let t_step = telemetry.is_enabled().then(Instant::now);
@@ -203,6 +207,12 @@ impl ClosedLoopSim {
                     let alarms = mon.observe(&observed);
                     telemetry.incr("sim.anomaly_flags", alarms.len() as u64);
                 }
+            }
+            if period_span.is_enabled() {
+                period_span.attr("reconfig_l1", reconfig_magnitude);
+                period_span.attr("sla_violated_arcs", sla.violated_arcs);
+                period_span.attr("step_cost", step_cost.total());
+                period_span.attr("total_servers", outcome.allocation.total());
             }
             out.push(SimPeriod {
                 period: k,

@@ -231,4 +231,61 @@ mod tests {
         let mut mon = Monitor::new(2, 0.3, 4.0);
         mon.observe(&[1.0]);
     }
+
+    #[test]
+    fn z_score_is_none_before_any_observation() {
+        let s = EwmaStat::new(0.3);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.z_score(100.0), None);
+    }
+
+    #[test]
+    fn z_score_is_finite_on_zero_variance_series() {
+        // A perfectly constant baseline has zero empirical variance; the
+        // 1%-of-mean floor must keep the score finite and still huge for
+        // a genuine spike.
+        let mut s = EwmaStat::new(0.3);
+        for _ in 0..50 {
+            s.observe(100.0);
+        }
+        assert!(s.std() < 1e-9);
+        let z = s.z_score(200.0).unwrap();
+        assert!(z.is_finite());
+        assert!(z > 50.0, "spike on a flat series must score high, got {z}");
+        // At the mean itself the score is exactly zero.
+        assert_eq!(s.z_score(100.0), Some(0.0));
+    }
+
+    #[test]
+    fn zero_mean_zero_variance_series_uses_absolute_floor() {
+        // Mean 0 makes the relative floor vanish too; the absolute 1e-12
+        // floor keeps the division well-defined.
+        let mut s = EwmaStat::new(0.5);
+        for _ in 0..10 {
+            s.observe(0.0);
+        }
+        let z = s.z_score(1.0).unwrap();
+        assert!(z.is_finite() && z > 0.0);
+    }
+
+    #[test]
+    fn warmup_zero_arms_after_first_observation() {
+        // With no warmup the monitor may alarm as soon as a z-score exists
+        // — i.e. from the second observation on (the first only seeds the
+        // mean).
+        let mut mon = Monitor::new(1, 0.3, 4.0).with_warmup(0);
+        assert!(mon.observe(&[100.0]).is_empty(), "no history yet");
+        let alarms = mon.observe(&[10_000.0]);
+        assert_eq!(alarms, vec![0], "second observation must be scoreable");
+        assert_eq!(mon.anomaly_counts(), &[1]);
+    }
+
+    #[test]
+    fn default_warmup_suppresses_early_alarms() {
+        // Identical spike, default warmup of 10: the early periods stay
+        // silent even though the z-score would have fired.
+        let mut mon = Monitor::new(1, 0.3, 4.0);
+        mon.observe(&[100.0]);
+        assert!(mon.observe(&[10_000.0]).is_empty());
+    }
 }

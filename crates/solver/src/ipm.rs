@@ -3,7 +3,7 @@
 use crate::qp::{QpProblem, QpSolution, SolveStatus};
 use crate::{IpmSettings, SolverError};
 use dspp_linalg::{Cholesky, Ldlt, Matrix, Vector};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{AttrValue, Recorder};
 use std::time::Instant;
 
 /// Solves a dense convex QP with a primal–dual interior-point method.
@@ -96,6 +96,11 @@ fn solve_qp_inner(
         ));
     }
 
+    let mut span = telemetry.tracer().span("solver.qp.solve");
+    span.attr("num_vars", n);
+    span.attr("num_equalities", p_eq);
+    span.attr("num_inequalities", m);
+
     // Cold start: x = 0, y = 0, s = max(h - Gx, margin), z = margin.
     let mut x = Vector::zeros(n);
     let mut y = Vector::zeros(p_eq);
@@ -113,6 +118,8 @@ fn solve_qp_inner(
         let chol = Cholesky::factor_regularized(&problem.p, settings.regularization)?;
         let x = chol.solve(&(-&problem.q));
         let objective = problem.objective(&x);
+        span.attr("status", "optimal");
+        span.attr("iterations", 1u64);
         return Ok(QpSolution {
             x,
             y,
@@ -153,11 +160,27 @@ fn solve_qp_inner(
         best_gap = best_gap.min(mu);
 
         let objective = problem.objective(&x);
+        if span.is_enabled() {
+            span.event_with(
+                "solver.qp.iteration",
+                [
+                    ("iter", AttrValue::UInt(iter as u64)),
+                    ("kkt_dual_norm", AttrValue::Float(r_dual.norm_inf())),
+                    ("kkt_eq_norm", AttrValue::Float(r_eq.norm_inf())),
+                    ("kkt_ineq_norm", AttrValue::Float(r_ineq.norm_inf())),
+                    ("mu", AttrValue::Float(mu)),
+                    ("objective", AttrValue::Float(objective)),
+                ],
+            );
+        }
         let feas_ok = r_dual.norm_inf() <= settings.tol_feasibility * scale_q
             && r_eq.norm_inf() <= settings.tol_feasibility * scale_b
             && r_ineq.norm_inf() <= settings.tol_feasibility * scale_h;
         let gap_ok = mu <= settings.tol_gap * (1.0 + objective.abs());
         if feas_ok && gap_ok {
+            span.attr("status", "optimal");
+            span.attr("iterations", iter);
+            span.attr("objective", objective);
             return Ok(QpSolution {
                 x,
                 y,
@@ -326,11 +349,13 @@ fn solve_qp_inner(
         }
 
         if !x.is_finite() || !s.is_finite() || !z.is_finite() || !y.is_finite() {
+            span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(
                 "iterates became non-finite".into(),
             ));
         }
         if m > 0 && (alpha_p < 1e-13 && alpha_d < 1e-13) {
+            span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(format!(
                 "step length collapsed at iteration {iter} (gap {mu:.3e}); problem is likely infeasible"
             )));
@@ -353,6 +378,9 @@ fn solve_qp_inner(
         && problem.max_violation(&x) <= loose * settings.tol_feasibility * scale_h.max(scale_b);
     let gap_ok = mu <= loose * settings.tol_gap * (1.0 + objective.abs());
     if feas_ok && gap_ok {
+        span.attr("status", "almost_optimal");
+        span.attr("iterations", settings.max_iterations);
+        span.attr("objective", objective);
         return Ok(QpSolution {
             x,
             y,
@@ -363,6 +391,8 @@ fn solve_qp_inner(
             status: SolveStatus::AlmostOptimal,
         });
     }
+    span.attr("status", "max_iterations");
+    span.attr("best_gap", best_gap);
     Err(SolverError::MaxIterations {
         limit: settings.max_iterations,
         gap: best_gap,

@@ -3,7 +3,7 @@
 use crate::riccati::RiccatiFactor;
 use crate::{IpmSettings, LqProblem, LqSolution, SolveStatus, SolverError};
 use dspp_linalg::{Matrix, Vector};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{AttrValue, Recorder};
 use std::time::Instant;
 
 /// Solves a stage-structured LQ problem with a primal–dual interior-point
@@ -144,6 +144,11 @@ fn solve_lq_warm_inner(
     settings.validate().map_err(SolverError::InvalidProblem)?;
     let nstages = problem.horizon();
     let n = problem.state_dim();
+
+    let mut span = telemetry.tracer().span("solver.lq.solve");
+    span.attr("horizon", nstages);
+    span.attr("state_dim", n);
+    span.attr("warm_start", warm_us.is_some());
 
     // Iterates: inputs, states (always exactly dynamics-feasible), costates,
     // and per-stage slack/dual pairs.
@@ -302,11 +307,26 @@ fn solve_lq_warm_inner(
             ineq_norm = ineq_norm.max(r.norm_inf());
         }
         let objective = problem.objective(&xs, &us);
+        if span.is_enabled() {
+            span.event_with(
+                "solver.lq.iteration",
+                [
+                    ("iter", AttrValue::UInt(iter as u64)),
+                    ("kkt_stat_norm", AttrValue::Float(stat_norm)),
+                    ("kkt_ineq_norm", AttrValue::Float(ineq_norm)),
+                    ("mu", AttrValue::Float(mu)),
+                    ("objective", AttrValue::Float(objective)),
+                ],
+            );
+        }
         let feas_ok = stat_norm <= settings.tol_feasibility * scale
             && ineq_norm <= settings.tol_feasibility * scale;
         let gap_ok = mu <= settings.tol_gap * (1.0 + objective.abs());
         if feas_ok && gap_ok {
             telemetry.observe("solver.lq.kkt_residual", stat_norm.max(ineq_norm));
+            span.attr("status", "optimal");
+            span.attr("iterations", iter);
+            span.attr("objective", objective);
             return Ok(LqSolution {
                 xs,
                 us,
@@ -489,11 +509,13 @@ fn solve_lq_warm_inner(
             && zs.iter().all(Vector::is_finite)
             && lams.iter().all(Vector::is_finite);
         if !finite {
+            span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(
                 "iterates became non-finite".into(),
             ));
         }
         if m_total > 0 && alpha_p < 1e-13 && alpha_d < 1e-13 {
+            span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(format!(
                 "step length collapsed at iteration {iter} (gap {mu:.3e}); problem is likely infeasible"
             )));
@@ -517,6 +539,9 @@ fn solve_lq_warm_inner(
         && mu <= loose * settings.tol_gap * (1.0 + objective.abs())
     {
         telemetry.observe("solver.lq.kkt_residual", violation.max(mu));
+        span.attr("status", "almost_optimal");
+        span.attr("iterations", settings.max_iterations);
+        span.attr("objective", objective);
         return Ok(LqSolution {
             xs,
             us,
@@ -526,6 +551,8 @@ fn solve_lq_warm_inner(
             status: SolveStatus::AlmostOptimal,
         });
     }
+    span.attr("status", "max_iterations");
+    span.attr("best_gap", best_gap);
     Err(SolverError::MaxIterations {
         limit: settings.max_iterations,
         gap: best_gap,

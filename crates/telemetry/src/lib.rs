@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 mod histogram;
+pub mod json;
 mod snapshot;
+mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,7 +49,11 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 pub use histogram::Histogram;
-pub use snapshot::{HistogramSummary, Snapshot};
+pub use snapshot::{HistogramSummary, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use trace::{
+    chrome_trace, jsonl, AttrValue, Attrs, EventRecord, FlightRecorder, ManualClock,
+    MonotonicClock, SpanGuard, SpanRecord, TraceClock, TraceRecord, Tracer, DEFAULT_CAPACITY,
+};
 
 /// Receiver of raw telemetry events, for callers that want to route
 /// metrics into their own system instead of the built-in [`Registry`].
@@ -205,6 +211,7 @@ impl Clone for RecorderInner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<RecorderInner>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -214,20 +221,27 @@ impl std::fmt::Debug for Recorder {
             Some(RecorderInner::Registry(_)) => "registry",
             Some(RecorderInner::Sink(_)) => "sink",
         };
-        f.debug_struct("Recorder").field("kind", &kind).finish()
+        f.debug_struct("Recorder")
+            .field("kind", &kind)
+            .field("tracer", &self.tracer)
+            .finish()
     }
 }
 
 impl Recorder {
     /// A recorder that drops everything at zero cost.
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// A recorder backed by a fresh in-memory [`Registry`].
     pub fn enabled() -> Self {
         Recorder {
             inner: Some(RecorderInner::Registry(Arc::new(Registry::new()))),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -235,6 +249,7 @@ impl Recorder {
     pub fn with_registry(registry: Arc<Registry>) -> Self {
         Recorder {
             inner: Some(RecorderInner::Registry(registry)),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -242,7 +257,28 @@ impl Recorder {
     pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
         Recorder {
             inner: Some(RecorderInner::Sink(sink)),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`], so every layer this recorder is threaded
+    /// through can open spans via [`Recorder::tracer`]. Builder-style:
+    ///
+    /// ```
+    /// use dspp_telemetry::{Recorder, Tracer};
+    /// let telemetry = Recorder::enabled().with_tracer(Tracer::enabled(4096));
+    /// assert!(telemetry.tracer().is_enabled());
+    /// ```
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached [`Tracer`] (disabled unless set via
+    /// [`Recorder::with_tracer`]). Instrumented code calls
+    /// `telemetry.tracer().span("...")` — free when tracing is off.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// True unless this is a disabled recorder. Call sites may use this

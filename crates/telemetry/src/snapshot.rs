@@ -14,6 +14,13 @@ use std::fmt;
 use serde::Serialize;
 
 use crate::histogram::{bucket_mid, BIN_COUNT};
+use crate::json::{self, JsonValue};
+
+/// Version stamped into [`Snapshot::to_json`] output as
+/// `schema_version`, and required by [`Snapshot::from_json`]. Bump when
+/// the JSON layout changes shape (v1: counters/gauges/histograms maps,
+/// histogram entries carrying raw `bins` plus derived stats).
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
 
 /// Frozen state of one histogram: exact count/sum/min/max plus the raw
 /// log-spaced buckets (kept so summaries stay mergeable).
@@ -135,14 +142,17 @@ impl Snapshot {
         }
     }
 
-    /// Serializes the snapshot as a JSON object with `counters`,
-    /// `gauges`, and `histograms` keys. Histogram entries carry
-    /// `count`/`sum`/`min`/`max`/`mean`/`p50`/`p90`/`p99` (raw buckets
-    /// are an implementation detail and are not exported). Non-finite
-    /// gauge values encode as `null`.
+    /// Serializes the snapshot as a JSON object with `schema_version`,
+    /// `counters`, `gauges`, and `histograms` keys. Histogram entries
+    /// carry `count`/`sum`/`min`/`max`/`mean`/`p50`/`p90`/`p99` plus the
+    /// raw `bins` array, so [`Snapshot::from_json`] round-trips
+    /// losslessly (merges and quantiles keep working after reload).
+    /// Non-finite gauge values encode as `null`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str("{\"counters\":{");
+        out.push_str("{\"schema_version\":");
+        out.push_str(&SNAPSHOT_SCHEMA_VERSION.to_string());
+        out.push_str(",\"counters\":{");
         push_entries(&mut out, self.counters.iter(), |out, v| {
             out.push_str(&v.to_string())
         });
@@ -168,10 +178,109 @@ impl Snapshot {
                 out.push_str("\":");
                 push_json_f64(out, value);
             }
-            out.push('}');
+            out.push_str(",\"bins\":[");
+            for (i, n) in h.bins.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&n.to_string());
+            }
+            out.push_str("]}");
         });
         out.push_str("}}");
         out
+    }
+
+    /// Parses a snapshot previously written by [`Snapshot::to_json`].
+    ///
+    /// Derived histogram fields (`mean`, `p50`, …) in the input are
+    /// ignored — they are recomputed from `count`/`sum`/`bins` on demand.
+    /// Gauges encoded as `null` (non-finite at export time) reload as
+    /// `NAN`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::JsonError`] when the input is not valid JSON,
+    /// is missing a required section, or declares a `schema_version`
+    /// other than [`SNAPSHOT_SCHEMA_VERSION`].
+    pub fn from_json(input: &str) -> Result<Snapshot, json::JsonError> {
+        fn shape_err(message: &str) -> json::JsonError {
+            json::JsonError {
+                message: message.to_string(),
+                offset: 0,
+            }
+        }
+        let doc = json::parse(input)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| shape_err("missing schema_version"))?;
+        if version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(shape_err(&format!(
+                "unsupported schema_version {version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            )));
+        }
+        let mut snap = Snapshot::new();
+        let counters = doc
+            .get("counters")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| shape_err("missing counters object"))?;
+        for (name, value) in counters {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| shape_err(&format!("counter {name:?} is not a u64")))?;
+            snap.counters.insert(name.clone(), v);
+        }
+        let gauges = doc
+            .get("gauges")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| shape_err("missing gauges object"))?;
+        for (name, value) in gauges {
+            let v = match value {
+                JsonValue::Null => f64::NAN,
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| shape_err(&format!("gauge {name:?} is not a number")))?,
+            };
+            snap.gauges.insert(name.clone(), v);
+        }
+        let histograms = doc
+            .get("histograms")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| shape_err("missing histograms object"))?;
+        for (name, value) in histograms {
+            let field = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| shape_err(&format!("histogram {name:?} missing {key:?}")))
+            };
+            let count = value
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| shape_err(&format!("histogram {name:?} missing count")))?;
+            let bins = value
+                .get("bins")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| shape_err(&format!("histogram {name:?} missing bins")))?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .ok_or_else(|| shape_err(&format!("histogram {name:?} has non-u64 bin")))
+                })
+                .collect::<Result<Vec<u64>, _>>()?;
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSummary {
+                    count,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    bins,
+                },
+            );
+        }
+        Ok(snap)
     }
 }
 
@@ -353,13 +462,55 @@ mod tests {
         s.gauges.insert("bad".into(), f64::NAN);
         s.histograms.insert("h".into(), summary_of(&[2.0, 4.0]));
         let json = s.to_json();
-        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.starts_with("{\"schema_version\":1,\"counters\":{"));
         assert!(json.contains("\"a\\\"b\":2"));
         assert!(json.contains("\"g\":1.5"));
         assert!(json.contains("\"bad\":null"));
         assert!(json.contains("\"count\":2"));
         assert!(json.contains("\"mean\":3.0"));
+        assert!(json.contains("\"bins\":["));
         assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let mut s = Snapshot::new();
+        s.counters.insert("solver.lq.solves".into(), 42);
+        s.counters.insert("weird \"name\"".into(), 1);
+        s.gauges.insert("game.capacity_dual".into(), -0.125);
+        s.gauges.insert("nan_gauge".into(), f64::NAN);
+        s.histograms
+            .insert("lat".into(), summary_of(&[0.001, 0.004, 0.25, 3.0]));
+        let reloaded = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(reloaded.counters, s.counters);
+        assert_eq!(reloaded.gauge("game.capacity_dual"), Some(-0.125));
+        assert!(reloaded.gauge("nan_gauge").unwrap().is_nan());
+        let (a, b) = (
+            s.histogram("lat").unwrap(),
+            reloaded.histogram("lat").unwrap(),
+        );
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!((a.sum - b.sum).abs() < 1e-12);
+        // Derived stats recompute identically from the reloaded bins.
+        assert_eq!(a.quantile(0.9), b.quantile(0.9));
+        // And a second encode is byte-identical modulo the NaN gauge
+        // (exported as null both times).
+        assert_eq!(
+            reloaded.to_json(),
+            Snapshot::from_json(&reloaded.to_json()).unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_version_and_shape() {
+        let bad_version = "{\"schema_version\":99,\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+        let err = Snapshot::from_json(bad_version).unwrap_err();
+        assert!(err.message.contains("schema_version"));
+        assert!(Snapshot::from_json("{\"counters\":{}}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
     }
 
     #[test]

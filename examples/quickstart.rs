@@ -3,15 +3,56 @@
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --trace-out trace.json
 //! ```
+//!
+//! With `--trace-out <path>` the run is traced: every simulated period,
+//! controller step and solver solve becomes a span in a Chrome Trace
+//! Format file (open it at <https://ui.perfetto.dev>). `--events-out
+//! <path>` writes the same flight recorder as a JSONL event log
+//! (docs/OBSERVABILITY.md documents both schemas).
+
+use std::path::PathBuf;
 
 use dspp::core::{DsppBuilder, MpcController, MpcSettings};
 use dspp::predict::OraclePredictor;
 use dspp::sim::ClosedLoopSim;
-use dspp::telemetry::Recorder;
+use dspp::telemetry::{Recorder, Tracer, DEFAULT_CAPACITY};
 use dspp::workload::{DemandModel, DiurnalProfile};
 
+/// Minimal flag parsing: `--trace-out <path>` / `--events-out <path>`
+/// (also accepted as `--flag=path`).
+fn parse_args() -> Result<(Option<PathBuf>, Option<PathBuf>), String> {
+    let mut trace_out = None;
+    let mut events_out = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| iter.next())
+                .ok_or_else(|| format!("{name} needs a path argument"))
+        };
+        match flag.as_str() {
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--events-out" => events_out = Some(PathBuf::from(value("--events-out")?)),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}; usage: [--trace-out <path>] [--events-out <path>]"
+                ))
+            }
+        }
+    }
+    Ok((trace_out, events_out))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (trace_out, events_out) = parse_args().map_err(|e| format!("quickstart: {e}"))?;
+
     // A day of diurnal demand: 4 000 req/s at night, 22 000 at midday.
     let demand = DemandModel::new(DiurnalProfile::working_hours(22_000.0, 4_000.0))
         .with_seed(1)
@@ -30,8 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Telemetry: one enabled recorder shared by the controller and the
     // simulator; every solver/controller/sim metric lands in it
-    // (docs/OBSERVABILITY.md catalogues the names).
-    let telemetry = Recorder::enabled();
+    // (docs/OBSERVABILITY.md catalogues the names). When a trace export
+    // was requested the recorder also carries a span tracer whose flight
+    // recorder we dump at the end.
+    let tracer = if trace_out.is_some() || events_out.is_some() {
+        Tracer::enabled(DEFAULT_CAPACITY)
+    } else {
+        Tracer::disabled()
+    };
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
 
     let controller = MpcController::new(
         problem,
@@ -73,6 +121,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // JSON for dashboards: `snapshot.to_json()`.
     if let Some(snapshot) = telemetry.snapshot() {
         println!("\n{snapshot}");
+    }
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, tracer.to_chrome_trace())?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &events_out {
+        std::fs::write(path, tracer.to_jsonl())?;
+        println!("wrote {}", path.display());
+    }
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "note: flight recorder evicted {} oldest records (capacity {})",
+            tracer.dropped(),
+            DEFAULT_CAPACITY
+        );
     }
     Ok(())
 }

@@ -1,0 +1,194 @@
+//! End-to-end span-tracing integration: a closed-loop MPC run (the
+//! quickstart scenario in miniature) with an enabled tracer must produce a
+//! Chrome Trace Format export whose spans nest
+//! `sim.period → controller.step → solver.lq.solve`, a JSONL event log
+//! with per-iteration solver events attached to the right spans, and a
+//! flight recorder that honours its capacity bound under load.
+
+use std::collections::BTreeMap;
+
+use dspp::core::{DsppBuilder, MpcController, MpcSettings};
+use dspp::predict::OraclePredictor;
+use dspp::sim::ClosedLoopSim;
+use dspp::telemetry::json::{self, JsonValue};
+use dspp::telemetry::{Recorder, Tracer};
+
+/// Runs the quickstart-shaped closed loop with the given tracer attached.
+fn run_traced(periods: usize, tracer: &Tracer) -> usize {
+    let demand: Vec<Vec<f64>> = vec![(0..periods)
+        .map(|k| 60.0 + 30.0 * ((k as f64) * 0.7).sin())
+        .collect()];
+    let problem = DsppBuilder::new(1, 1)
+        .service_rate(100.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weight(0, 0.05)
+        .price_trace(0, vec![1.0; periods])
+        .build()
+        .expect("problem");
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let controller = MpcController::new(
+        problem,
+        Box::new(OraclePredictor::new(demand.clone())),
+        MpcSettings {
+            horizon: 4,
+            telemetry: telemetry.clone(),
+            ..MpcSettings::default()
+        },
+    )
+    .expect("controller");
+    let report = ClosedLoopSim::new(Box::new(controller), demand)
+        .expect("sim")
+        .with_telemetry(telemetry.clone())
+        .run()
+        .expect("run");
+    report.periods.len()
+}
+
+/// One complete span pulled out of the Chrome Trace export.
+#[derive(Debug)]
+struct ChromeSpan {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+}
+
+/// Parses the Chrome Trace JSON into its complete (`"ph":"X"`) spans.
+fn chrome_spans(trace: &str) -> Vec<ChromeSpan> {
+    let root = json::parse(trace).expect("chrome trace must be valid JSON");
+    let events = root
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    events
+        .iter()
+        .filter_map(|e| {
+            let e = e.as_object()?;
+            if e.get("ph").and_then(JsonValue::as_str) != Some("X") {
+                return None;
+            }
+            let args = e.get("args").and_then(JsonValue::as_object)?;
+            Some(ChromeSpan {
+                name: e.get("name").and_then(JsonValue::as_str)?.to_string(),
+                id: args.get("span_id").and_then(JsonValue::as_u64)?,
+                parent: args.get("parent_id").and_then(JsonValue::as_u64),
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_nests_sim_controller_solver() {
+    let tracer = Tracer::enabled(8192);
+    let simulated = run_traced(8, &tracer);
+    let trace = tracer.to_chrome_trace();
+    let spans = chrome_spans(&trace);
+    let by_id: BTreeMap<u64, &ChromeSpan> = spans.iter().map(|s| (s.id, s)).collect();
+
+    let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("sim.period"), simulated, "one span per period");
+    assert_eq!(count("controller.step"), simulated);
+    assert_eq!(count("solver.lq.solve"), simulated);
+
+    // Every controller.step nests under a sim.period, and every
+    // solver.lq.solve under a controller.step — the acceptance-criterion
+    // hierarchy, verified through the exported parent links.
+    for span in &spans {
+        match span.name.as_str() {
+            "sim.period" => assert!(
+                span.parent.is_none(),
+                "sim.period must be a root span, got parent {:?}",
+                span.parent
+            ),
+            "controller.step" => {
+                let parent = span.parent.and_then(|p| by_id.get(&p)).expect("parent");
+                assert_eq!(parent.name, "sim.period", "controller.step parent");
+            }
+            "solver.lq.solve" => {
+                let parent = span.parent.and_then(|p| by_id.get(&p)).expect("parent");
+                assert_eq!(parent.name, "controller.step", "solver.lq.solve parent");
+            }
+            other => panic!("unexpected span {other:?} in single-DC closed loop"),
+        }
+    }
+    assert_eq!(tracer.dropped(), 0, "capacity 8192 must not evict here");
+}
+
+#[test]
+fn jsonl_events_attach_solver_iterations_to_solve_spans() {
+    let tracer = Tracer::enabled(8192);
+    run_traced(6, &tracer);
+    let jsonl = tracer.to_jsonl();
+
+    let mut solve_span_ids = Vec::new();
+    let mut iteration_parent_spans = Vec::new();
+    for line in jsonl.lines() {
+        let record = json::parse(line).expect("every JSONL line parses");
+        let obj = record.as_object().expect("object per line");
+        let kind = obj.get("type").and_then(JsonValue::as_str).expect("type");
+        let name = obj.get("name").and_then(JsonValue::as_str).expect("name");
+        match (kind, name) {
+            ("span", "solver.lq.solve") => {
+                solve_span_ids.push(obj.get("id").and_then(JsonValue::as_u64).expect("id"));
+                let attrs = obj
+                    .get("attrs")
+                    .and_then(JsonValue::as_object)
+                    .expect("attrs");
+                assert!(attrs.get("status").is_some(), "solve span records status");
+                assert!(attrs.get("horizon").is_some());
+            }
+            ("event", "solver.lq.iteration") => {
+                let span = obj.get("span").and_then(JsonValue::as_u64).expect("span");
+                iteration_parent_spans.push(span);
+                let attrs = obj
+                    .get("attrs")
+                    .and_then(JsonValue::as_object)
+                    .expect("attrs");
+                for key in ["iter", "kkt_stat_norm", "mu", "objective"] {
+                    assert!(attrs.get(key).is_some(), "iteration event missing {key}");
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!solve_span_ids.is_empty(), "no solver spans in JSONL");
+    assert!(!iteration_parent_spans.is_empty(), "no iteration events");
+    for span in &iteration_parent_spans {
+        assert!(
+            solve_span_ids.contains(span),
+            "iteration event attached to non-solve span {span}"
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_respects_capacity_under_closed_loop_load() {
+    // A capacity far below what the run produces: the recorder must stay
+    // at its bound, count what it evicted, and keep the *newest* records.
+    let tracer = Tracer::enabled(32);
+    run_traced(10, &tracer);
+    let records = tracer.records();
+    assert_eq!(records.len(), 32, "recorder must sit exactly at capacity");
+    assert!(tracer.dropped() > 0, "this run must overflow 32 records");
+
+    // The export still parses even on a truncated window.
+    let trace = tracer.to_chrome_trace();
+    assert!(json::parse(&trace).is_ok());
+
+    // And an ample capacity loses nothing for the same workload.
+    let roomy = Tracer::enabled(1 << 16);
+    run_traced(10, &roomy);
+    assert_eq!(roomy.dropped(), 0);
+    assert!(roomy.records().len() > 32);
+}
+
+#[test]
+fn disabled_tracer_records_nothing_for_the_same_run() {
+    let tracer = Tracer::disabled();
+    let simulated = run_traced(6, &tracer);
+    assert!(simulated > 0);
+    assert!(!tracer.is_enabled());
+    assert!(tracer.records().is_empty());
+    assert_eq!(tracer.to_jsonl(), "");
+}
