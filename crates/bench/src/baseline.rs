@@ -1,23 +1,27 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times three representative workloads — one Riccati IPM solve,
-//! one MPC controller step, one full best-response game run — and writes
-//! their throughput plus latency quantiles as JSON (the committed
-//! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
-//! fails with a readable delta report when throughput regresses beyond a
-//! tolerance. Quantiles are reported for context but only throughput
-//! gates: wall-clock quantiles on shared CI hardware are too noisy to
-//! fail a build on.
+//! `record` times five representative workloads — one Riccati IPM solve,
+//! one MPC controller step, one full best-response game run, one
+//! `dspp-runtime` scenario sweep on a worker pool, and one simulation
+//! checkpoint JSON round-trip — and writes their throughput plus latency
+//! quantiles as JSON (the committed `BENCH_BASELINE.json`). `compare`
+//! re-measures the same workloads and fails with a readable delta report
+//! when throughput regresses beyond a tolerance. Quantiles are reported
+//! for context but only throughput gates: wall-clock quantiles on shared
+//! CI hardware are too noisy to fail a build on.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dspp_core::{MpcController, MpcSettings};
+use dspp_core::{MpcController, MpcSettings, PlacementController};
 use dspp_game::{GameConfig, ResourceGame, SpSampler};
 use dspp_predict::LastValue;
+use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
+use dspp_sim::{ClosedLoopSim, SimCheckpoint};
 use dspp_solver::{solve_lq, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
+use dspp_telemetry::Recorder;
 
 use crate::{lq_fixture, single_dc_problem};
 
@@ -140,9 +144,70 @@ pub fn record(iters: usize) -> Baseline {
         game.run(&config).expect("game run");
     });
 
+    // 4. A dspp-runtime scenario sweep: three closed-loop scenarios (one
+    // under an injected solver outage, one drilling checkpoint/restore)
+    // fanned out on a two-worker pool. Times the whole engine:
+    // controller wrappers, fault injection, pool scheduling.
+    let sweep_demand = vec![vec![
+        9_000.0, 10_500.0, 12_000.0, 13_000.0, 12_000.0, 10_500.0,
+    ]];
+    let make_controller = || -> Result<Box<dyn PlacementController>, dspp_core::CoreError> {
+        let mpc = MpcController::new(
+            single_dc_problem(64),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 4,
+                ipm: IpmSettings::fast(),
+                ..MpcSettings::default()
+            },
+        )?;
+        Ok(Box::new(mpc))
+    };
+    let pool = ScenarioPool::new(2);
+    let runtime_metric = measure("runtime.scenario_sweep", warmup, iters, || {
+        let specs = vec![
+            ScenarioSpec::new("plain", sweep_demand.clone()),
+            ScenarioSpec::new("outage", sweep_demand.clone())
+                .with_faults(FaultPlan::new().solver_outage(2, 1)),
+            ScenarioSpec::new("drill", sweep_demand.clone()).with_checkpoint_at(2),
+        ];
+        let results = run_scenarios(
+            &pool,
+            specs,
+            move |_| make_controller(),
+            &Recorder::disabled(),
+        );
+        assert!(results.iter().all(Result::is_ok), "scenario sweep runs");
+    });
+
+    // 5. A checkpoint JSON round-trip on a mid-run simulation: freeze,
+    // serialize, parse, restore. Times the persistence path alone. The
+    // run is long (48 executed periods) so the document is big enough
+    // for the measurement to be dominated by serialization, not noise.
+    let long_demand: Vec<f64> = (0..64)
+        .map(|k| 10_000.0 + 3_000.0 * (k as f64 * 0.4).sin())
+        .collect();
+    let mut sim = ClosedLoopSim::new(
+        make_controller().expect("controller fixture"),
+        vec![long_demand],
+    )
+    .expect("sim fixture");
+    sim.run_until(48).expect("sim runs to the checkpoint");
+    let checkpoint_metric = measure("runtime.checkpoint_roundtrip", warmup, iters, || {
+        let ck = sim.checkpoint().expect("checkpointable");
+        let parsed = SimCheckpoint::from_json(&ck.to_json()).expect("round-trip");
+        sim.restore(&parsed).expect("restore");
+    });
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
-        metrics: vec![solver, controller_metric, game_metric],
+        metrics: vec![
+            solver,
+            controller_metric,
+            game_metric,
+            runtime_metric,
+            checkpoint_metric,
+        ],
     }
 }
 
@@ -427,7 +492,9 @@ mod tests {
             [
                 "solver.lq_solve",
                 "controller.step",
-                "game.best_response_run"
+                "game.best_response_run",
+                "runtime.scenario_sweep",
+                "runtime.checkpoint_roundtrip"
             ]
         );
         for m in &b.metrics {

@@ -11,8 +11,8 @@
 //!   and never reconfigure (classic static replica placement [6, 8]).
 
 use crate::{
-    Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, PlacementController, RoutingPolicy,
-    StepOutcome,
+    Allocation, ControllerCheckpoint, CoreError, Dspp, HorizonProblem, PeriodCost,
+    PlacementController, RoutingPolicy, StepOutcome,
 };
 use dspp_solver::IpmSettings;
 
@@ -93,6 +93,33 @@ impl PlacementController for ReactiveController {
 
     fn name(&self) -> &str {
         "reactive"
+    }
+
+    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
+        Some(ControllerCheckpoint {
+            period: self.period,
+            allocation: self.state.arc_values().to_vec(),
+            history: Vec::new(),
+            warm_us: None,
+        })
+    }
+
+    fn restore(&mut self, ck: &ControllerCheckpoint) -> Result<(), CoreError> {
+        if ck.allocation.len() != self.problem.num_arcs() {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint allocation has {} arcs, problem has {}",
+                ck.allocation.len(),
+                self.problem.num_arcs()
+            )));
+        }
+        self.period = ck.period;
+        self.state = Allocation::from_arc_values(&self.problem, ck.allocation.clone());
+        Ok(())
+    }
+
+    fn note_fallback(&mut self, _observed_demand: &[f64]) {
+        // Keep wall-clock alignment for price lookups; no other state.
+        self.period += 1;
     }
 }
 
@@ -203,6 +230,34 @@ impl PlacementController for StaticController {
 
     fn name(&self) -> &str {
         "static"
+    }
+
+    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
+        Some(ControllerCheckpoint {
+            period: self.period,
+            allocation: self.state.arc_values().to_vec(),
+            history: Vec::new(),
+            warm_us: None,
+        })
+    }
+
+    fn restore(&mut self, ck: &ControllerCheckpoint) -> Result<(), CoreError> {
+        if ck.allocation.len() != self.problem.num_arcs() {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint allocation has {} arcs, problem has {}",
+                ck.allocation.len(),
+                self.problem.num_arcs()
+            )));
+        }
+        self.period = ck.period;
+        self.state = Allocation::from_arc_values(&self.problem, ck.allocation.clone());
+        // The one-shot provisioning step has happened iff time has moved.
+        self.provisioned = ck.period > 0;
+        Ok(())
+    }
+
+    fn note_fallback(&mut self, _observed_demand: &[f64]) {
+        self.period += 1;
     }
 }
 

@@ -53,6 +53,28 @@ pub struct StepOutcome {
     pub solver_iterations: usize,
 }
 
+/// A controller's internal state frozen mid-run, for checkpoint/resume.
+///
+/// The snapshot is plain data (no trait objects): the period counter, the
+/// current allocation's arc values, the observed-demand history per
+/// location, and — for warm-started controllers — the shifted horizon
+/// solution. Restoring it into a freshly built controller of the same
+/// construction reproduces the interrupted run bit-for-bit, because every
+/// solve in this workspace is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerCheckpoint {
+    /// Period counter `k` (how many steps have executed).
+    pub period: usize,
+    /// Arc values of the current allocation `x_k`.
+    pub allocation: Vec<f64>,
+    /// Observed demand history, `[location][period]`. Empty for
+    /// controllers that keep no history.
+    pub history: Vec<Vec<f64>>,
+    /// Warm-start inputs (the previous solution shifted one stage), per
+    /// horizon stage; `None` when cold or not warm-started.
+    pub warm_us: Option<Vec<Vec<f64>>>,
+}
+
 /// Common interface of placement controllers (MPC and the baselines), so
 /// the simulator can drive any of them interchangeably.
 pub trait PlacementController {
@@ -72,6 +94,39 @@ pub trait PlacementController {
 
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// Freezes the controller's internal state for a later
+    /// [`PlacementController::restore`]. Returns `None` for controllers
+    /// that do not support checkpointing (the default).
+    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
+        None
+    }
+
+    /// Restores state previously frozen by
+    /// [`PlacementController::checkpoint`] into this controller, which
+    /// must have been built with the same construction parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] when the snapshot does not fit
+    /// this controller, or (the default) when the controller does not
+    /// support checkpointing.
+    fn restore(&mut self, checkpoint: &ControllerCheckpoint) -> Result<(), CoreError> {
+        let _ = checkpoint;
+        Err(CoreError::InvalidSpec(format!(
+            "controller {:?} does not support checkpoint/restore",
+            self.name()
+        )))
+    }
+
+    /// Tells the controller that a supervisor absorbed a failed step by
+    /// holding the current placement (`u = 0`) for one period — the
+    /// runtime's graceful-degradation path. Implementations advance their
+    /// period counter (so price lookups stay aligned with wall-clock
+    /// periods) and record the observation; they must not solve anything.
+    fn note_fallback(&mut self, observed_demand: &[f64]) {
+        let _ = observed_demand;
+    }
 }
 
 /// The paper's Algorithm 1: Model Predictive Control for the DSPP.
@@ -179,6 +234,61 @@ impl MpcController {
         self.settings.horizon
     }
 
+    /// Freezes the controller's full mutable state. See
+    /// [`PlacementController::checkpoint`].
+    pub fn checkpoint(&self) -> ControllerCheckpoint {
+        ControllerCheckpoint {
+            period: self.period,
+            allocation: self.state.arc_values().to_vec(),
+            history: self.history.clone(),
+            warm_us: self
+                .warm_us
+                .as_ref()
+                .map(|us| us.iter().map(|u| u.as_slice().to_vec()).collect()),
+        }
+    }
+
+    /// Restores state frozen by [`MpcController::checkpoint`]. The
+    /// controller must have been built with the same problem, predictor
+    /// and settings for the resumed run to be meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] when any dimension of the
+    /// snapshot disagrees with this controller's problem or horizon.
+    pub fn restore(&mut self, ck: &ControllerCheckpoint) -> Result<(), CoreError> {
+        let ne = self.problem.num_arcs();
+        let nv = self.problem.num_locations();
+        if ck.allocation.len() != ne {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint allocation has {} arcs, problem has {ne}",
+                ck.allocation.len()
+            )));
+        }
+        if ck.history.len() != nv {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint history has {} locations, problem has {nv}",
+                ck.history.len()
+            )));
+        }
+        if let Some(us) = &ck.warm_us {
+            if us.len() != self.settings.horizon || us.iter().any(|u| u.len() != ne) {
+                return Err(CoreError::InvalidSpec(format!(
+                    "checkpoint warm start must be {} vectors of {ne} arcs",
+                    self.settings.horizon
+                )));
+            }
+        }
+        self.period = ck.period;
+        self.state = Allocation::from_arc_values(&self.problem, ck.allocation.clone());
+        self.history = ck.history.clone();
+        self.warm_us = ck
+            .warm_us
+            .as_ref()
+            .map(|us| us.iter().map(|u| u.clone().into()).collect());
+        Ok(())
+    }
+
     /// One MPC step. See [`PlacementController::step`].
     ///
     /// # Errors
@@ -188,12 +298,6 @@ impl MpcController {
     /// * [`CoreError::PredictorShape`] if the predictor misbehaves.
     /// * [`CoreError::Solver`] if the horizon problem cannot be solved.
     pub fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
-        let telemetry = self.settings.telemetry.clone();
-        let mut span = telemetry.tracer().span("controller.step");
-        span.attr("period", self.period);
-        span.attr("horizon", self.settings.horizon);
-        span.attr("warm_start", self.warm_us.is_some());
-        let t_step = telemetry.is_enabled().then(Instant::now);
         let nv = self.problem.num_locations();
         if observed_demand.len() != nv {
             return Err(CoreError::InvalidSpec(format!(
@@ -212,7 +316,28 @@ impl MpcController {
         for (v, &d) in observed_demand.iter().enumerate() {
             self.history[v].push(d);
         }
+        let result = self.solve_step();
+        if result.is_err() {
+            // Roll the observation back so a supervisor can retry the same
+            // period (or acknowledge a fallback via `note_fallback`)
+            // without duplicating history entries.
+            for h in &mut self.history {
+                h.pop();
+            }
+        }
+        result
+    }
 
+    /// The solve half of [`MpcController::step`]: input validation has
+    /// passed and the observation is already appended to the history.
+    fn solve_step(&mut self) -> Result<StepOutcome, CoreError> {
+        let telemetry = self.settings.telemetry.clone();
+        let mut span = telemetry.tracer().span("controller.step");
+        span.attr("period", self.period);
+        span.attr("horizon", self.settings.horizon);
+        span.attr("warm_start", self.warm_us.is_some());
+        let t_step = telemetry.is_enabled().then(Instant::now);
+        let nv = self.problem.num_locations();
         let w = self.settings.horizon;
         let forecast = self.predictor.forecast_all(&self.history, w);
         if forecast.len() != nv || forecast.iter().any(|f| f.len() != w) {
@@ -346,6 +471,28 @@ impl PlacementController for MpcController {
 
     fn name(&self) -> &str {
         "mpc"
+    }
+
+    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
+        Some(MpcController::checkpoint(self))
+    }
+
+    fn restore(&mut self, checkpoint: &ControllerCheckpoint) -> Result<(), CoreError> {
+        MpcController::restore(self, checkpoint)
+    }
+
+    fn note_fallback(&mut self, observed_demand: &[f64]) {
+        // The observation was real even though the solve was skipped, and
+        // wall-clock time moved on: record both so the next solve predicts
+        // from the full history and prices the right period. The previous
+        // shifted solution no longer matches the state, so drop it.
+        if observed_demand.len() == self.history.len() {
+            for (v, &d) in observed_demand.iter().enumerate() {
+                self.history[v].push(d);
+            }
+        }
+        self.period += 1;
+        self.warm_us = None;
     }
 }
 
@@ -655,6 +802,103 @@ mod tests {
         // are positive either way.
         assert!(a.allocation.total() > 0.0);
         assert!(b.allocation.total() > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        let demand = vec![vec![30.0, 60.0, 90.0, 70.0, 40.0, 30.0, 30.0]];
+        let mk = || {
+            MpcController::new(
+                problem(),
+                Box::new(OraclePredictor::new(demand.clone())),
+                MpcSettings {
+                    horizon: 4,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut straight = mk();
+        let mut interrupted = mk();
+        for &d in &demand[0][..3] {
+            let a = straight.step(&[d]).unwrap();
+            let b = interrupted.step(&[d]).unwrap();
+            assert_eq!(a.allocation, b.allocation);
+        }
+        // Freeze, rebuild from scratch, restore, and continue side by side.
+        let ck = interrupted.checkpoint();
+        let mut resumed = mk();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.period(), 3);
+        for (k, &d) in demand[0].iter().enumerate().take(6).skip(3) {
+            let a = straight.step(&[d]).unwrap();
+            let b = resumed.step(&[d]).unwrap();
+            assert_eq!(
+                a.allocation, b.allocation,
+                "period {k}: resumed run diverged"
+            );
+            assert_eq!(a.control, b.control);
+            assert_eq!(a.step_cost, b.step_cost);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint() {
+        let mut c =
+            MpcController::new(problem(), Box::new(LastValue), MpcSettings::default()).unwrap();
+        let mut ck = c.checkpoint();
+        ck.allocation.push(1.0);
+        assert!(matches!(c.restore(&ck), Err(CoreError::InvalidSpec(_))));
+        let mut ck = c.checkpoint();
+        ck.history.clear();
+        assert!(matches!(c.restore(&ck), Err(CoreError::InvalidSpec(_))));
+        let mut ck = c.checkpoint();
+        ck.warm_us = Some(vec![vec![0.0]; 3]); // horizon is 5
+        assert!(matches!(c.restore(&ck), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn failed_step_rolls_back_history_and_fallback_advances_period() {
+        // A capacity-1 problem: the second observation is unservable, so
+        // the solve fails; the history must not keep duplicate entries
+        // across retries, and `note_fallback` must advance the clock.
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 1.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        let mut c = MpcController::new(
+            p,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        c.step(&[0.5 / a]).unwrap();
+        let overload = 5.0 / a;
+        for _ in 0..3 {
+            assert!(c.step(&[overload]).is_err());
+        }
+        let ck = c.checkpoint();
+        assert_eq!(
+            ck.history[0].len(),
+            1,
+            "failed retries must not grow the history"
+        );
+        assert_eq!(ck.period, 1);
+        PlacementController::note_fallback(&mut c, &[overload]);
+        let ck = c.checkpoint();
+        assert_eq!(ck.history[0], vec![0.5 / a, overload]);
+        assert_eq!(ck.period, 2);
+        assert!(ck.warm_us.is_none(), "fallback must drop the warm start");
+        // The controller keeps working after the fallback.
+        assert!(c.step(&[0.5 / a]).is_ok());
     }
 
     #[test]

@@ -206,6 +206,12 @@ impl<C: PlacementController> PlacementController for IntegerizingController<C> {
     fn name(&self) -> &str {
         "integer"
     }
+
+    fn note_fallback(&mut self, observed_demand: &[f64]) {
+        // The integral placement is held as-is; the wrapped controller
+        // still needs to see time (and the observation) move on.
+        self.inner.note_fallback(observed_demand);
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,9 @@ mod router;
 mod sla;
 
 pub use allocation::Allocation;
-pub use controller::{MpcController, MpcSettings, PlacementController, StepOutcome};
+pub use controller::{
+    ControllerCheckpoint, MpcController, MpcSettings, PlacementController, StepOutcome,
+};
 pub use cost::{CostLedger, PeriodCost};
 pub use error::CoreError;
 pub use horizon::HorizonProblem;

@@ -193,4 +193,62 @@ mod tests {
         let sigma = router.assign(&p, &[0.0, 0.0]);
         assert!(sigma.iter().all(|&s| s == 0.0));
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Eq. (13) invariants over arbitrary allocations: the split is
+        /// never negative, every covered location's assignments sum to
+        /// exactly its demand (conservation), its fractions sum to 1, and
+        /// locations with zero routing weight — including the all-zero
+        /// allocation — receive nothing.
+        #[test]
+        fn prop_split_conserves_demand_and_never_goes_negative(
+            xs in prop::collection::vec(0.0f64..50.0, 4),
+            demand in prop::collection::vec(0.0f64..1000.0, 2),
+            zero_mask in 0usize..16,
+        ) {
+            let p = problem();
+            let mut x = Allocation::zeros(&p);
+            for (e, &(l, v)) in p.arcs().iter().enumerate() {
+                // Zero out arcs per the mask to hit partial- and
+                // zero-allocation edges (mask 15 = fully zero).
+                let value = if zero_mask & (1 << e) != 0 { 0.0 } else { xs[e] };
+                x.set(&p, l, v, value);
+            }
+            let router = RoutingPolicy::from_allocation(&p, &x);
+            let sigma = router.assign(&p, &demand);
+            for &s in &sigma {
+                prop_assert!(s >= 0.0, "negative arrival rate {s}");
+            }
+            for (v, &d) in demand.iter().enumerate() {
+                let mut fraction_sum = 0.0;
+                for l in 0..2 {
+                    let f = router.fraction(&p, l, v);
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&f),
+                        "fraction ({l},{v}) = {f} outside [0, 1]");
+                    fraction_sum += f;
+                }
+                let weight: f64 = p
+                    .arcs_for_location(v)
+                    .into_iter()
+                    .map(|e| x.arc_values()[e] / p.arc_coeff(e))
+                    .sum();
+                let served: f64 = p
+                    .arcs_for_location(v)
+                    .into_iter()
+                    .map(|e| sigma[e])
+                    .sum();
+                if weight > 0.0 {
+                    prop_assert!((served - d).abs() <= 1e-9 * d.max(1.0),
+                        "location {v}: served {served} != demand {d}");
+                    prop_assert!((fraction_sum - 1.0).abs() < 1e-12,
+                        "location {v}: fractions sum to {fraction_sum}");
+                } else {
+                    prop_assert!(served == 0.0, "unservable location got traffic");
+                    prop_assert!(fraction_sum == 0.0);
+                }
+            }
+        }
+    }
 }

@@ -1,21 +1,194 @@
-//! Regenerates every figure of the evaluation, running independent
-//! experiments on parallel scoped threads (crossbeam). Each experiment
+//! Regenerates every figure of the evaluation on a `dspp-runtime` worker
+//! pool (`--jobs <N>`, default: machine parallelism). Each experiment
 //! records into its own telemetry [`Recorder`], and its metric snapshot
 //! (solver iterations, controller latencies, game rounds, SLA counters —
 //! see `docs/OBSERVABILITY.md`) is printed after the figure's table.
+//! Results are emitted in a fixed order regardless of completion order,
+//! so the tables and figure CSVs are byte-identical across `--jobs`
+//! settings.
 //!
 //! With `--trace-out <path>` (and/or `--events-out <path>`) one shared
-//! flight recorder collects spans from every experiment thread — the
-//! Chrome trace then shows the whole regeneration as one multi-track
-//! timeline (tracks are threads).
+//! flight recorder collects spans from every worker — the Chrome trace
+//! then shows the whole regeneration as one multi-track timeline (tracks
+//! are threads).
+//!
+//! With `--fault-drill` the figures are skipped and a fault-injection
+//! smoke drill runs instead: a batch of closed-loop scenarios with
+//! scheduled solver outages, a flash crowd, and mid-run
+//! checkpoint/restore drills. The drill fails (exit 1) unless every
+//! scenario completes *and* at least one period was absorbed by the
+//! graceful-degradation fallback — CI uses it to prove the resilience
+//! path stays wired end to end.
 
+use dspp_core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp_experiments::cli::TraceArgs;
 use dspp_experiments::{emit, ExpResult, Figure};
+use dspp_predict::LastValue;
+use dspp_runtime::{run_scenarios, FaultPlan, RetryPolicy, ScenarioPool, ScenarioSpec};
 use dspp_telemetry::{Recorder, Snapshot, Tracer, DEFAULT_CAPACITY};
+use dspp_workload::FlashCrowd;
 
 /// Figure 3 is pure market calibration — no solver runs, nothing to record.
 fn fig3_with(_: &Recorder) -> ExpResult<Figure> {
     dspp_experiments::fig3::run()
+}
+
+fn make_pool(args: &TraceArgs, telemetry: Recorder) -> ScenarioPool {
+    match args.jobs {
+        Some(n) => ScenarioPool::new(n),
+        None => ScenarioPool::with_available_parallelism(),
+    }
+    .with_telemetry(telemetry)
+}
+
+/// The `--fault-drill` mode: run a small scenario batch under injected
+/// faults and verify the degradation path actually fired.
+fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let pool = make_pool(args, telemetry.clone());
+    // A day-ish sinusoid over 16 periods; deterministic, solves fast.
+    let demand: Vec<f64> = (0..16)
+        .map(|k| 60.0 + 35.0 * (k as f64 * 0.5).sin())
+        .collect();
+    let specs = vec![
+        ScenarioSpec::new("healthy-checkpointed", vec![demand.clone()]).with_checkpoint_at(5),
+        ScenarioSpec::new("outage-early", vec![demand.clone()])
+            .with_faults(FaultPlan::new().solver_outage(2, 2))
+            .with_checkpoint_at(6),
+        ScenarioSpec::new("flash-crowd-outage", vec![demand.clone()]).with_faults(
+            FaultPlan::new()
+                .demand_spike(FlashCrowd::new(8.0, 4.0, 2.0))
+                .solver_outage(10, 1),
+        ),
+        ScenarioSpec::new("outage-no-retries", vec![demand])
+            .with_faults(FaultPlan::new().solver_outage(4, 3)),
+    ]
+    .into_iter()
+    .map(|s| {
+        s.with_retry(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        })
+    })
+    .collect();
+    let results = run_scenarios(
+        &pool,
+        specs,
+        |_spec| {
+            let problem = DsppBuilder::new(1, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010]])
+                .reconfiguration_weights(vec![0.02])
+                .price_trace(0, vec![1.0])
+                .build()?;
+            let mpc = MpcController::new(
+                problem,
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon: 3,
+                    ..MpcSettings::default()
+                },
+            )?;
+            Ok(Box::new(mpc) as Box<dyn PlacementController>)
+        },
+        &telemetry,
+    );
+    let mut ok = true;
+    println!(
+        "fault drill: {} scenarios on {} workers",
+        results.len(),
+        pool.workers()
+    );
+    for result in &results {
+        match result {
+            Ok(o) => println!(
+                "  {}: {} periods, fallbacks={}, retries={}, injected={}, cost={:.2}",
+                o.name,
+                o.report.periods.len(),
+                o.fallback_periods,
+                o.retries,
+                o.injected_faults,
+                o.report.ledger.total()
+            ),
+            Err(e) => {
+                eprintln!("  scenario failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    let fallbacks: u64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|o| o.fallback_periods)
+        .sum();
+    let snapshot_fallbacks = telemetry
+        .snapshot()
+        .map_or(0, |s| s.counter("runtime.fallback"));
+    println!("runtime.fallback={fallbacks} (telemetry counter: {snapshot_fallbacks})");
+    if fallbacks == 0 {
+        eprintln!("fault drill: no fallback period was exercised — degradation path is dead");
+        ok = false;
+    }
+    ok
+}
+
+/// The default mode: every figure job on the pool.
+fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
+    type JobFn = fn(&Recorder) -> ExpResult<Figure>;
+    let jobs: Vec<(&'static str, JobFn)> = vec![
+        ("fig3", fig3_with),
+        ("fig4", dspp_experiments::fig4::run_with),
+        ("fig5", dspp_experiments::fig5::run_with),
+        ("fig6", dspp_experiments::fig6::run_with),
+        ("fig7", dspp_experiments::fig7::run_with),
+        ("fig8", dspp_experiments::fig8::run_with),
+        ("fig9", dspp_experiments::fig9::run_with),
+        ("fig10", dspp_experiments::fig10::run_with),
+        ("extras", dspp_experiments::extras::run_with),
+    ];
+    let names: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
+    let pool = make_pool(args, Recorder::enabled().with_tracer(tracer.clone()));
+    type Outcome = (ExpResult<Figure>, Option<Snapshot>);
+    let pooled: Vec<(String, Box<dyn FnOnce() -> Outcome + Send>)> = jobs
+        .into_iter()
+        .map(|(name, f)| {
+            let tracer = tracer.clone();
+            let job = move || {
+                let telemetry = Recorder::enabled().with_tracer(tracer);
+                let result = f(&telemetry);
+                (result, telemetry.snapshot())
+            };
+            (
+                name.to_string(),
+                Box::new(job) as Box<dyn FnOnce() -> Outcome + Send>,
+            )
+        })
+        .collect();
+    let results = pool.run(pooled);
+    let mut ok = true;
+    // Emission order is the submission order, not completion order, so
+    // stdout and the CSVs are stable for any --jobs value.
+    for (name, slot) in names.iter().zip(results) {
+        match slot {
+            Ok((figure, snapshot)) => {
+                if let Err(e) = emit(figure) {
+                    eprintln!("{name} failed: {e}");
+                    ok = false;
+                }
+                if let Some(snap) = snapshot {
+                    if !snap.is_empty() {
+                        println!("-- telemetry: {name} --\n{snap}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 fn main() {
@@ -31,55 +204,15 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    type Job = (&'static str, fn(&Recorder) -> ExpResult<Figure>);
-    let jobs: Vec<Job> = vec![
-        ("fig3", fig3_with),
-        ("fig4", dspp_experiments::fig4::run_with),
-        ("fig5", dspp_experiments::fig5::run_with),
-        ("fig6", dspp_experiments::fig6::run_with),
-        ("fig7", dspp_experiments::fig7::run_with),
-        ("fig8", dspp_experiments::fig8::run_with),
-        ("fig9", dspp_experiments::fig9::run_with),
-        ("fig10", dspp_experiments::fig10::run_with),
-        ("extras", dspp_experiments::extras::run_with),
-    ];
-    type Outcome = (usize, ExpResult<Figure>, Option<Snapshot>);
-    let mut results: Vec<Outcome> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, (_, f))| {
-                let tracer = tracer.clone();
-                s.spawn(move |_| {
-                    let telemetry = Recorder::enabled().with_tracer(tracer);
-                    let result = f(&telemetry);
-                    (i, result, telemetry.snapshot())
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("experiment thread panicked"));
-        }
-    })
-    .expect("scope");
-    results.sort_by_key(|(i, _, _)| *i);
-    let mut failed = false;
-    for (i, r, snapshot) in results {
-        if let Err(e) = emit(r) {
-            eprintln!("{} failed: {e}", jobs[i].0);
-            failed = true;
-        }
-        if let Some(snap) = snapshot {
-            if !snap.is_empty() {
-                println!("-- telemetry: {} --\n{snap}", jobs[i].0);
-            }
-        }
-    }
+    let mut ok = if args.fault_drill {
+        fault_drill(&args, &tracer)
+    } else {
+        regenerate_figures(&args, &tracer)
+    };
     if let Some(path) = &args.trace_out {
         if let Err(e) = std::fs::write(path, tracer.to_chrome_trace()) {
             eprintln!("failed to write {}: {e}", path.display());
-            failed = true;
+            ok = false;
         } else {
             println!("wrote {}", path.display());
         }
@@ -87,7 +220,7 @@ fn main() {
     if let Some(path) = &args.events_out {
         if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
             eprintln!("failed to write {}: {e}", path.display());
-            failed = true;
+            ok = false;
         } else {
             println!("wrote {}", path.display());
         }
@@ -99,7 +232,7 @@ fn main() {
             DEFAULT_CAPACITY
         );
     }
-    if failed {
+    if !ok {
         std::process::exit(1);
     }
 }

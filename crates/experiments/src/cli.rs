@@ -26,6 +26,13 @@ pub struct TraceArgs {
     pub trace_out: Option<PathBuf>,
     /// Destination for the JSONL event log, if requested.
     pub events_out: Option<PathBuf>,
+    /// Worker-thread count for binaries that fan work out on a
+    /// `dspp-runtime` pool (`--jobs <N>`). `None` means "size to the
+    /// machine". Single-figure binaries accept and ignore it.
+    pub jobs: Option<usize>,
+    /// Run the fault-injection drill instead of the normal workload
+    /// (`--fault-drill`; honored by `all`, ignored by figure binaries).
+    pub fault_drill: bool,
 }
 
 impl TraceArgs {
@@ -60,10 +67,21 @@ impl TraceArgs {
             match flag.as_str() {
                 "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
                 "--events-out" => out.events_out = Some(PathBuf::from(value("--events-out")?)),
+                "--jobs" => {
+                    let n: usize = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs needs a positive integer".to_string())?;
+                    if n == 0 {
+                        return Err("--jobs needs a positive integer".to_string());
+                    }
+                    out.jobs = Some(n);
+                }
+                "--fault-drill" => out.fault_drill = true,
                 other => {
                     return Err(format!(
-                    "unknown argument {other:?}; usage: [--trace-out <path>] [--events-out <path>]"
-                ))
+                        "unknown argument {other:?}; usage: [--trace-out <path>] \
+                         [--events-out <path>] [--jobs <N>] [--fault-drill]"
+                    ))
                 }
             }
         }
@@ -144,12 +162,26 @@ mod tests {
         assert_eq!(b.events_out, Some(PathBuf::from("e.jsonl")));
         let c = TraceArgs::parse_from(strings(&[])).unwrap();
         assert!(!c.wants_tracing());
+        assert_eq!(c.jobs, None);
+        assert!(!c.fault_drill);
+    }
+
+    #[test]
+    fn parses_runtime_flags() {
+        let a = TraceArgs::parse_from(strings(&["--jobs", "4", "--fault-drill"])).unwrap();
+        assert_eq!(a.jobs, Some(4));
+        assert!(a.fault_drill);
+        let b = TraceArgs::parse_from(strings(&["--jobs=2"])).unwrap();
+        assert_eq!(b.jobs, Some(2));
     }
 
     #[test]
     fn rejects_unknown_flags_and_missing_values() {
         assert!(TraceArgs::parse_from(strings(&["--bogus"])).is_err());
         assert!(TraceArgs::parse_from(strings(&["--trace-out"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--jobs"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--jobs", "0"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--jobs", "x"])).is_err());
     }
 
     #[test]
@@ -159,6 +191,7 @@ mod tests {
         let args = TraceArgs {
             trace_out: Some(dir.join("trace.json")),
             events_out: Some(dir.join("events.jsonl")),
+            ..TraceArgs::default()
         };
         std::env::set_var("DSPP_RESULTS", &dir);
         run_traced(&args, |telemetry| {

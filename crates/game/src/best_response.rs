@@ -603,6 +603,69 @@ mod tests {
     }
 
     #[test]
+    fn capacity_shock_nonconvergence_keeps_duals_finite_and_warns() {
+        // Regression: shock the shared capacity down from the comfortable
+        // 120 per DC the healthy tests use to 6 — tight enough that the
+        // per-provider quotas bind, the capacity duals keep reshuffling
+        // the partition, and the strict ε = 0 test (costs must repeat
+        // exactly) cannot fire within the round budget. The run must
+        // still exit cleanly: a feasible iterate is returned, every quota
+        // dual at that iterate stays finite, and the non-convergence is
+        // flagged loudly through the warning event, not silently dropped.
+        let sps = SpSampler::new(2, 2, 3).with_seed(1).sample(3).unwrap();
+        let game = ResourceGame::new(sps, vec![6.0, 6.0]).unwrap();
+        let tracer = dspp_telemetry::Tracer::enabled(256);
+        let config = GameConfig {
+            epsilon: 0.0,
+            max_iterations: 4,
+            telemetry: dspp_telemetry::Recorder::enabled().with_tracer(tracer.clone()),
+            ..quick_config()
+        };
+        let out = game.run(&config).unwrap();
+        assert!(!out.converged, "shocked game must not converge at ε = 0");
+        assert_eq!(out.iterations, 4);
+        assert!(out.total_cost.is_finite());
+        // Re-derive each provider's best response at the final quotas: the
+        // capacity shadow prices must be finite (and non-negative) even
+        // though capacity binds hard.
+        for (i, quota) in out.quotas.iter().enumerate() {
+            let (_, duals, _) = game.best_response(i, quota, &config.ipm).unwrap();
+            for (l, d) in duals.iter().enumerate() {
+                assert!(
+                    d.is_finite() && *d >= 0.0,
+                    "provider {i} DC {l}: quota dual {d} not a finite shadow price"
+                );
+            }
+        }
+        let snap = config.telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("game.max_rounds_hit"), 1);
+        assert_eq!(snap.counter("game.converged"), 0);
+        // The shock is real: capacity bound at some round (a positive
+        // shadow price was observed), so the quotas were being reshuffled.
+        let duals_seen = snap
+            .histogram("game.capacity_dual")
+            .expect("best responses must record capacity duals");
+        assert!(
+            duals_seen.quantile(1.0) > 0.0,
+            "shock never produced a binding capacity constraint"
+        );
+        let records = tracer.records();
+        let warning = records
+            .iter()
+            .find_map(|r| match r {
+                dspp_telemetry::TraceRecord::Event(e) if e.name == "game.max_rounds_hit" => Some(e),
+                _ => None,
+            })
+            .expect("capacity shock must emit the non-convergence warning");
+        assert!(warning
+            .attrs
+            .contains(&("severity", AttrValue::Str("warning".into()))));
+        assert!(warning
+            .attrs
+            .contains(&("converged", AttrValue::Bool(false))));
+    }
+
+    #[test]
     fn run_from_rejects_malformed_quotas() {
         let sps = SpSampler::new(2, 1, 2).with_seed(7).sample(2).unwrap();
         let game = ResourceGame::new(sps, vec![10.0, 10.0]).unwrap();

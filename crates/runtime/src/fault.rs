@@ -1,0 +1,283 @@
+//! Fault injection for closed-loop scenarios.
+//!
+//! A [`FaultPlan`] is a declarative list of adversities to throw at a
+//! run: solver outages (the controller's optimizer "times out" for a
+//! window of periods), flash-crowd demand spikes (reusing
+//! [`dspp_workload::FlashCrowd`], treating the period index as hours),
+//! and price shocks. Demand/price faults rewrite the traces before the
+//! simulation starts; solver outages are injected live by wrapping the
+//! controller in a [`FaultingController`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dspp_core::{
+    Allocation, ControllerCheckpoint, CoreError, Dspp, PlacementController, StepOutcome,
+};
+use dspp_solver::SolverError;
+use dspp_telemetry::{AttrValue, Recorder};
+use dspp_workload::FlashCrowd;
+
+/// One injected adversity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The solver fails (as [`SolverError::MaxIterations`]) for every
+    /// attempt during periods `from .. from + periods`.
+    SolverOutage {
+        /// First affected period.
+        from: usize,
+        /// Number of consecutive affected periods.
+        periods: usize,
+    },
+    /// A multiplicative demand surge, interpreting the trace's period
+    /// index as the flash crowd's hour axis.
+    DemandSpike(FlashCrowd),
+    /// Multiplies one data center's posted price by `factor` during
+    /// periods `from .. from + periods`.
+    PriceShock {
+        /// Data center hit by the shock.
+        dc: usize,
+        /// First affected period.
+        from: usize,
+        /// Number of consecutive affected periods.
+        periods: usize,
+        /// Price multiplier (e.g. `3.0` for a 3× spot-price spike).
+        factor: f64,
+    },
+}
+
+/// A declarative set of faults to inject into a scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a solver outage covering `periods` periods starting at `from`.
+    pub fn solver_outage(mut self, from: usize, periods: usize) -> Self {
+        self.faults.push(Fault::SolverOutage { from, periods });
+        self
+    }
+
+    /// Adds a flash-crowd demand spike.
+    pub fn demand_spike(mut self, crowd: FlashCrowd) -> Self {
+        self.faults.push(Fault::DemandSpike(crowd));
+        self
+    }
+
+    /// Adds a price shock on data center `dc`.
+    pub fn price_shock(mut self, dc: usize, from: usize, periods: usize, factor: f64) -> Self {
+        self.faults.push(Fault::PriceShock {
+            dc,
+            from,
+            periods,
+            factor,
+        });
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The individual faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if some solver outage covers period `k`.
+    pub fn outage_at(&self, k: usize) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::SolverOutage { from, periods } => (*from..from + periods).contains(&k),
+            _ => false,
+        })
+    }
+
+    /// Number of periods covered by at least one solver outage within a
+    /// trace of `total_steps` executable periods.
+    pub fn outage_periods(&self, total_steps: usize) -> usize {
+        (0..total_steps).filter(|&k| self.outage_at(k)).count()
+    }
+
+    /// Applies every demand spike to a `[location][period]` trace,
+    /// treating the period index as the flash crowd's hour axis.
+    pub fn apply_to_demand(&self, demand: &mut [Vec<f64>]) {
+        for fault in &self.faults {
+            let Fault::DemandSpike(crowd) = fault else {
+                continue;
+            };
+            for (v, series) in demand.iter_mut().enumerate() {
+                for (k, d) in series.iter_mut().enumerate() {
+                    *d *= crowd.multiplier_for(v, k as f64);
+                }
+            }
+        }
+    }
+
+    /// Applies every price shock to a `[dc][period]` price trace.
+    pub fn apply_to_prices(&self, prices: &mut [Vec<f64>]) {
+        for fault in &self.faults {
+            let Fault::PriceShock {
+                dc,
+                from,
+                periods,
+                factor,
+            } = fault
+            else {
+                continue;
+            };
+            if let Some(series) = prices.get_mut(*dc) {
+                for k in *from..(from + periods).min(series.len()) {
+                    series[k] *= factor;
+                }
+            }
+        }
+    }
+}
+
+/// Shared view of how many faults a [`FaultingController`] has injected.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    injected: Arc<AtomicU64>,
+}
+
+impl FaultStats {
+    /// Number of solver failures injected so far (one per failed attempt,
+    /// so retries during an outage count individually).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// Wraps a controller and fails its `step` during planned solver outages.
+///
+/// The wrapper tracks wall-clock periods itself (advancing on successful
+/// steps and acknowledged fallbacks), so an outage window refers to the
+/// same periods the simulator sees, regardless of how many failed
+/// attempts a supervisor makes inside one period.
+pub struct FaultingController {
+    inner: Box<dyn PlacementController>,
+    plan: FaultPlan,
+    period: usize,
+    stats: FaultStats,
+    telemetry: Recorder,
+}
+
+impl FaultingController {
+    /// Wraps `inner` with the outage schedule of `plan`.
+    pub fn new(inner: Box<dyn PlacementController>, plan: FaultPlan) -> Self {
+        FaultingController {
+            inner,
+            plan,
+            period: 0,
+            stats: FaultStats::default(),
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// Emits `runtime.injected_faults` and fault events to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// A cloneable handle counting injected failures.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.clone()
+    }
+}
+
+impl PlacementController for FaultingController {
+    fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
+        if self.plan.outage_at(self.period) {
+            self.stats.injected.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.incr("runtime.injected_faults", 1);
+            self.telemetry.tracer().event_with(
+                "runtime.fault_injected",
+                [
+                    ("severity", AttrValue::Str("warning".into())),
+                    ("kind", AttrValue::Str("solver_outage".into())),
+                    ("period", AttrValue::UInt(self.period as u64)),
+                ],
+            );
+            return Err(CoreError::Solver(SolverError::MaxIterations {
+                limit: 0,
+                gap: f64::INFINITY,
+            }));
+        }
+        let outcome = self.inner.step(observed_demand)?;
+        self.period += 1;
+        Ok(outcome)
+    }
+
+    fn allocation(&self) -> &Allocation {
+        self.inner.allocation()
+    }
+
+    fn problem(&self) -> &Dspp {
+        self.inner.problem()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
+        self.inner.checkpoint()
+    }
+
+    fn restore(&mut self, checkpoint: &ControllerCheckpoint) -> Result<(), CoreError> {
+        self.inner.restore(checkpoint)?;
+        self.period = checkpoint.period;
+        Ok(())
+    }
+
+    fn note_fallback(&mut self, observed_demand: &[f64]) {
+        self.inner.note_fallback(observed_demand);
+        self.period += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_windows_cover_half_open_ranges() {
+        let plan = FaultPlan::new().solver_outage(2, 2).solver_outage(7, 1);
+        let hit: Vec<usize> = (0..10).filter(|&k| plan.outage_at(k)).collect();
+        assert_eq!(hit, vec![2, 3, 7]);
+        assert_eq!(plan.outage_periods(10), 3);
+        assert_eq!(plan.outage_periods(3), 1);
+        assert!(!FaultPlan::new().outage_at(0));
+    }
+
+    #[test]
+    fn demand_spike_scales_the_window_only() {
+        let plan = FaultPlan::new().demand_spike(FlashCrowd::new(2.0, 4.0, 3.0).at_location(0));
+        let mut demand = vec![vec![10.0; 10], vec![10.0; 10]];
+        plan.apply_to_demand(&mut demand);
+        assert_eq!(demand[1], vec![10.0; 10], "other locations untouched");
+        assert_eq!(demand[0][0], 10.0, "before the window untouched");
+        assert_eq!(demand[0][9], 10.0, "after the window untouched");
+        assert!(demand[0][4] > 25.0, "plateau reaches the 3x magnitude");
+    }
+
+    #[test]
+    fn price_shock_scales_the_window_only() {
+        let plan = FaultPlan::new().price_shock(1, 2, 3, 4.0);
+        let mut prices = vec![vec![1.0; 6], vec![1.0; 6]];
+        plan.apply_to_prices(&mut prices);
+        assert_eq!(prices[0], vec![1.0; 6]);
+        assert_eq!(prices[1], vec![1.0, 1.0, 4.0, 4.0, 4.0, 1.0]);
+        // Out-of-range dc or window tail is ignored, not a panic.
+        let plan = FaultPlan::new().price_shock(5, 0, 99, 2.0);
+        plan.apply_to_prices(&mut prices);
+    }
+}

@@ -1,0 +1,237 @@
+//! A work-queue thread pool for scenario jobs.
+//!
+//! Deliberately minimal — std threads, a mutexed deque, and an mpsc
+//! channel — because the workspace builds offline with no external
+//! executor. Jobs are indexed on submission and results are returned in
+//! submission order regardless of which worker finished first, so callers
+//! (the `all` experiment driver, the bench harness) get deterministic
+//! output layout from a nondeterministic schedule.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use dspp_telemetry::{AttrValue, Recorder};
+
+use crate::RuntimeError;
+
+/// A fixed-size pool that drains a queue of labelled jobs.
+///
+/// Telemetry (when enabled) gets per-job `runtime.job` spans plus the
+/// `runtime.jobs`, `runtime.job_panics` counters and the
+/// `runtime.job_seconds` histogram.
+#[derive(Debug, Clone)]
+pub struct ScenarioPool {
+    workers: usize,
+    telemetry: Recorder,
+}
+
+impl ScenarioPool {
+    /// Creates a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        ScenarioPool {
+            workers: workers.max(1),
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, falling back
+    /// to one worker when that cannot be determined).
+    pub fn with_available_parallelism() -> Self {
+        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        ScenarioPool::new(workers)
+    }
+
+    /// Routes pool metrics and per-job spans to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Number of worker threads the pool spawns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every labelled job on the pool and returns the results in
+    /// submission order. A panicking job yields
+    /// [`RuntimeError::JobPanicked`] for its slot and does not take the
+    /// pool (or sibling jobs) down with it.
+    pub fn run<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<Result<T, RuntimeError>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        self.telemetry.gauge("runtime.pool_workers", workers as f64);
+        let queue: Arc<Mutex<VecDeque<(usize, String, F)>>> = Arc::new(Mutex::new(
+            jobs.into_iter()
+                .enumerate()
+                .map(|(i, (label, f))| (i, label, f))
+                .collect(),
+        ));
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, RuntimeError>)>();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            let telemetry = self.telemetry.clone();
+            let handle = thread::Builder::new()
+                .name(format!("dspp-runtime-{w}"))
+                .spawn(move || loop {
+                    let job = queue.lock().expect("pool queue poisoned").pop_front();
+                    let Some((idx, label, f)) = job else { break };
+                    let mut span = telemetry.tracer().span("runtime.job");
+                    span.attr("label", label.clone());
+                    span.attr("index", idx);
+                    let t = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(f));
+                    telemetry.observe_duration("runtime.job_seconds", t.elapsed());
+                    span.attr("ok", outcome.is_ok());
+                    drop(span);
+                    let result = match outcome {
+                        Ok(value) => {
+                            telemetry.incr("runtime.jobs", 1);
+                            Ok(value)
+                        }
+                        Err(payload) => {
+                            telemetry.incr("runtime.job_panics", 1);
+                            let message = panic_message(payload.as_ref());
+                            telemetry.tracer().event_with(
+                                "runtime.job_panic",
+                                [
+                                    ("severity", AttrValue::Str("error".into())),
+                                    ("label", AttrValue::Str(label.clone())),
+                                    ("message", AttrValue::Str(message.clone())),
+                                ],
+                            );
+                            Err(RuntimeError::JobPanicked { label, message })
+                        }
+                    };
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<T, RuntimeError>>> = (0..n).map(|_| None).collect();
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every queued job reports exactly once"))
+            .collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ScenarioPool::new(4);
+        let jobs: Vec<(String, _)> = (0..32)
+            .map(|i| {
+                (format!("job-{i}"), move || {
+                    // Vary the work so completion order scrambles.
+                    let spin = (31 - i) * 1000;
+                    let mut acc = 0u64;
+                    for x in 0..spin {
+                        acc = acc.wrapping_add(x);
+                    }
+                    (i, acc.min(1))
+                })
+            })
+            .collect();
+        let results = pool.run(jobs);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().0, i as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_still_drains_everything() {
+        let pool = ScenarioPool::new(1);
+        let results = pool.run(vec![
+            (
+                "a".to_string(),
+                Box::new(|| 1) as Box<dyn FnOnce() -> i32 + Send>,
+            ),
+            ("b".to_string(), Box::new(|| 2)),
+            ("c".to_string(), Box::new(|| 3)),
+        ]);
+        let values: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let pool = ScenarioPool::new(2);
+        let results = pool.run(vec![
+            (
+                "ok-before".to_string(),
+                Box::new(|| 7) as Box<dyn FnOnce() -> i32 + Send>,
+            ),
+            ("boom".to_string(), Box::new(|| panic!("scenario exploded"))),
+            ("ok-after".to_string(), Box::new(|| 9)),
+        ]);
+        assert_eq!(*results[0].as_ref().unwrap(), 7);
+        match &results[1] {
+            Err(RuntimeError::JobPanicked { label, message }) => {
+                assert_eq!(label, "boom");
+                assert!(message.contains("scenario exploded"));
+            }
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+        assert_eq!(*results[2].as_ref().unwrap(), 9);
+    }
+
+    #[test]
+    fn telemetry_counts_jobs_and_panics() {
+        let telemetry = Recorder::enabled();
+        let pool = ScenarioPool::new(2).with_telemetry(telemetry.clone());
+        let _ = pool.run(vec![
+            (
+                "fine".to_string(),
+                Box::new(|| 0) as Box<dyn FnOnce() -> i32 + Send>,
+            ),
+            ("bad".to_string(), Box::new(|| panic!("x"))),
+            ("fine2".to_string(), Box::new(|| 0)),
+        ]);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("runtime.jobs"), 2);
+        assert_eq!(snap.counter("runtime.job_panics"), 1);
+        assert_eq!(snap.histogram("runtime.job_seconds").unwrap().count, 3);
+    }
+
+    #[test]
+    fn empty_queue_is_a_noop() {
+        let pool = ScenarioPool::new(3);
+        let results: Vec<Result<i32, RuntimeError>> = pool.run(Vec::<(String, fn() -> i32)>::new());
+        assert!(results.is_empty());
+    }
+}

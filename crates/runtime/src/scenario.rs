@@ -1,0 +1,292 @@
+//! Scenario specifications and the engine that executes them.
+//!
+//! A [`ScenarioSpec`] bundles everything one closed-loop run needs beyond
+//! the controller itself: the demand trace, a [`FaultPlan`], a
+//! [`RetryPolicy`], and an optional checkpoint drill. [`run_scenario`]
+//! executes one spec; [`run_scenarios`] fans a batch out across a
+//! [`ScenarioPool`] and returns outcomes in submission order.
+
+use std::sync::Arc;
+
+use dspp_core::{CoreError, PlacementController};
+use dspp_sim::{ClosedLoopSim, SimCheckpoint, SimReport};
+use dspp_telemetry::Recorder;
+
+use crate::{
+    FaultPlan, FaultingController, ResilientController, RetryPolicy, RuntimeError, ScenarioPool,
+};
+
+/// Everything one closed-loop scenario needs beyond its controller.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario label (job label on the pool, name in reports).
+    pub name: String,
+    /// `[location][period]` demand trace. Demand-spike faults are applied
+    /// to a copy at run time; price shocks must be applied by the caller
+    /// to the price traces *before* building the problem (a [`Dspp`]'s
+    /// posted prices are immutable), via [`FaultPlan::apply_to_prices`].
+    ///
+    /// [`Dspp`]: dspp_core::Dspp
+    pub demand: Vec<Vec<f64>>,
+    /// Adversities injected into the run.
+    pub faults: FaultPlan,
+    /// Retry/fallback behavior on solver failures.
+    pub retry: RetryPolicy,
+    /// When `Some(k)`, the engine runs to period `k`, freezes a
+    /// [`SimCheckpoint`], round-trips it through JSON, restores it, and
+    /// continues — a live drill of the persistence path on every run.
+    pub checkpoint_at: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// A plain scenario: no faults, default retry policy, no checkpoint.
+    pub fn new(name: impl Into<String>, demand: Vec<Vec<f64>>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            demand,
+            faults: FaultPlan::new(),
+            retry: RetryPolicy::default(),
+            checkpoint_at: None,
+        }
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry/fallback policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the checkpoint/restore drill at period `k`.
+    pub fn with_checkpoint_at(mut self, k: usize) -> Self {
+        self.checkpoint_at = Some(k);
+        self
+    }
+}
+
+/// What one executed scenario produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The spec's name.
+    pub name: String,
+    /// The closed-loop report (full length even under injected faults —
+    /// that is the graceful-degradation guarantee).
+    pub report: SimReport,
+    /// Periods absorbed by holding the placement (`u = 0`).
+    pub fallback_periods: u64,
+    /// Solve retries attempted.
+    pub retries: u64,
+    /// Failed solve attempts observed (injected or organic).
+    pub solver_failures: u64,
+    /// Solver failures injected by the fault plan.
+    pub injected_faults: u64,
+}
+
+/// Executes one scenario: applies demand faults, stacks the fault and
+/// degradation wrappers around `controller`, optionally drills the
+/// checkpoint path, and runs the trace to completion.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the scenario is malformed (trace/problem
+/// shape mismatch) or the run fails beyond what the retry policy and
+/// fallback budget absorb.
+pub fn run_scenario(
+    controller: Box<dyn PlacementController>,
+    spec: &ScenarioSpec,
+    telemetry: &Recorder,
+) -> Result<ScenarioOutcome, CoreError> {
+    let mut span = telemetry.tracer().span("runtime.scenario");
+    span.attr("name", spec.name.clone());
+    let mut demand = spec.demand.clone();
+    spec.faults.apply_to_demand(&mut demand);
+
+    let faulting =
+        FaultingController::new(controller, spec.faults.clone()).with_telemetry(telemetry.clone());
+    let fault_stats = faulting.stats();
+    let resilient = ResilientController::new(Box::new(faulting), spec.retry.clone())
+        .with_telemetry(telemetry.clone());
+    let degrade_stats = resilient.stats();
+
+    let mut sim =
+        ClosedLoopSim::new(Box::new(resilient), demand)?.with_telemetry(telemetry.clone());
+    if let Some(k) = spec.checkpoint_at {
+        sim.run_until(k)?;
+        let ck = sim.checkpoint()?;
+        let parsed = SimCheckpoint::from_json(&ck.to_json()).map_err(CoreError::InvalidSpec)?;
+        sim.restore(&parsed)?;
+        telemetry.incr("runtime.checkpoints", 1);
+    }
+    while sim.step()? {}
+    let report = sim.report();
+
+    if span.is_enabled() {
+        span.attr("periods", report.periods.len());
+        span.attr("fallbacks", degrade_stats.fallbacks());
+        span.attr("total_cost", report.ledger.total());
+    }
+    Ok(ScenarioOutcome {
+        name: spec.name.clone(),
+        report,
+        fallback_periods: degrade_stats.fallbacks(),
+        retries: degrade_stats.retries(),
+        solver_failures: degrade_stats.solver_failures(),
+        injected_faults: fault_stats.injected(),
+    })
+}
+
+/// Runs a batch of scenarios on `pool`, building each scenario's
+/// controller inside its worker via `factory`. Results come back in
+/// submission order; a panicking or failing scenario occupies its slot as
+/// an error without affecting siblings.
+pub fn run_scenarios<F>(
+    pool: &ScenarioPool,
+    specs: Vec<ScenarioSpec>,
+    factory: F,
+    telemetry: &Recorder,
+) -> Vec<Result<ScenarioOutcome, RuntimeError>>
+where
+    F: Fn(&ScenarioSpec) -> Result<Box<dyn PlacementController>, CoreError> + Send + Sync + 'static,
+{
+    let factory = Arc::new(factory);
+    let jobs: Vec<(String, _)> = specs
+        .into_iter()
+        .map(|spec| {
+            let factory = Arc::clone(&factory);
+            let telemetry = telemetry.clone();
+            let label = spec.name.clone();
+            let job = move || -> Result<ScenarioOutcome, CoreError> {
+                let controller = factory(&spec)?;
+                run_scenario(controller, &spec, &telemetry)
+            };
+            (label, job)
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(RuntimeError::Core(e)),
+            Err(e) => Err(e),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspp_core::{DsppBuilder, MpcController, MpcSettings};
+    use dspp_predict::LastValue;
+
+    fn demand() -> Vec<Vec<f64>> {
+        vec![vec![40.0, 55.0, 70.0, 85.0, 70.0, 55.0, 40.0, 40.0]]
+    }
+
+    fn mpc() -> Box<dyn PlacementController> {
+        let problem = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .reconfiguration_weights(vec![0.02])
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        Box::new(
+            MpcController::new(
+                problem,
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon: 3,
+                    ..MpcSettings::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn plain_scenario_matches_direct_simulation() {
+        let direct = ClosedLoopSim::new(mpc(), demand()).unwrap().run().unwrap();
+        let spec = ScenarioSpec::new("plain", demand());
+        let outcome = run_scenario(mpc(), &spec, &Recorder::disabled()).unwrap();
+        assert_eq!(outcome.report, direct);
+        assert_eq!(outcome.fallback_periods, 0);
+        assert_eq!(outcome.injected_faults, 0);
+    }
+
+    #[test]
+    fn checkpoint_drill_does_not_change_the_report() {
+        let plain = run_scenario(
+            mpc(),
+            &ScenarioSpec::new("plain", demand()),
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        let drilled = run_scenario(
+            mpc(),
+            &ScenarioSpec::new("drilled", demand()).with_checkpoint_at(3),
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(drilled.report.periods, plain.report.periods);
+        assert_eq!(drilled.report.ledger, plain.report.ledger);
+    }
+
+    #[test]
+    fn injected_outage_completes_with_fallbacks() {
+        let telemetry = Recorder::enabled();
+        let spec =
+            ScenarioSpec::new("outage", demand()).with_faults(FaultPlan::new().solver_outage(2, 2));
+        let outcome = run_scenario(mpc(), &spec, &telemetry).unwrap();
+        // Full-length report despite two dead periods.
+        assert_eq!(outcome.report.periods.len(), demand()[0].len() - 1);
+        assert_eq!(outcome.fallback_periods, 2);
+        assert!(outcome.injected_faults >= 2);
+        // The held periods executed u = 0.
+        assert_eq!(outcome.report.periods[2].reconfig_magnitude, 0.0);
+        assert_eq!(outcome.report.periods[3].reconfig_magnitude, 0.0);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("runtime.fallback"), 2);
+    }
+
+    #[test]
+    fn pool_batch_returns_outcomes_in_submission_order() {
+        let pool = ScenarioPool::new(3);
+        let specs = vec![
+            ScenarioSpec::new("s0", demand()),
+            ScenarioSpec::new("s1", demand()).with_checkpoint_at(2),
+            ScenarioSpec::new("s2", demand()).with_faults(FaultPlan::new().solver_outage(1, 1)),
+        ];
+        let results = run_scenarios(&pool, specs, |_spec| Ok(mpc()), &Recorder::disabled());
+        assert_eq!(results.len(), 3);
+        let names: Vec<&str> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().name.as_str())
+            .collect();
+        assert_eq!(names, vec!["s0", "s1", "s2"]);
+        // All three ran the full trace; s0 and s1 agree exactly.
+        assert_eq!(
+            results[0].as_ref().unwrap().report.periods,
+            results[1].as_ref().unwrap().report.periods
+        );
+        assert_eq!(results[2].as_ref().unwrap().fallback_periods, 1);
+    }
+
+    #[test]
+    fn factory_errors_surface_as_core_errors() {
+        let pool = ScenarioPool::new(2);
+        let specs = vec![ScenarioSpec::new("broken", demand())];
+        let results = run_scenarios(
+            &pool,
+            specs,
+            |_spec| Err(CoreError::InvalidSpec("no controller".into())),
+            &Recorder::disabled(),
+        );
+        assert!(matches!(&results[0], Err(RuntimeError::Core(_))));
+    }
+}

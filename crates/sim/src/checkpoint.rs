@@ -1,0 +1,364 @@
+//! Checkpoint/resume for [`crate::ClosedLoopSim`].
+//!
+//! A [`SimCheckpoint`] freezes everything a closed-loop run has produced
+//! and the controller's internal state ([`ControllerCheckpoint`]) into
+//! plain data with a lossless JSON round-trip — the reader side uses the
+//! workspace's own `dspp_telemetry::json` parser, so no external
+//! serialization dependency is involved. Because every solve in this
+//! workspace is deterministic, restoring a checkpoint into a freshly
+//! built simulation reproduces the interrupted run exactly (the
+//! `dspp-runtime` crate's resume tests pin this).
+//!
+//! Non-finite floats (an overloaded arc reports `worst_latency = ∞`) are
+//! encoded as the JSON strings `"inf"`, `"-inf"` and `"nan"`, since RFC
+//! 8259 has no number syntax for them.
+
+use std::fmt::Write as _;
+
+use dspp_core::{ControllerCheckpoint, PeriodCost};
+use dspp_telemetry::json::{self, JsonValue};
+
+use crate::{SimPeriod, SlaReport};
+
+/// Schema version of the checkpoint JSON document.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// A frozen mid-run closed-loop simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCheckpoint {
+    /// Schema version (see [`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Name of the controller driving the run (sanity-checked on restore).
+    pub controller: String,
+    /// Next period index to execute.
+    pub cursor: usize,
+    /// Periods executed before the checkpoint.
+    pub periods: Vec<SimPeriod>,
+    /// The controller's internal state.
+    pub controller_state: ControllerCheckpoint,
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for f64 prints the shortest representation that
+        // parses back to the same bits — exactly what a checkpoint needs.
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn push_f64_matrix(out: &mut String, rows: &[Vec<f64>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64_array(out, row);
+    }
+    out.push(']');
+}
+
+fn parse_f64(v: &JsonValue) -> Result<f64, String> {
+    match v {
+        JsonValue::Number(n) => Ok(*n),
+        JsonValue::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("expected a number, got string {other:?}")),
+        },
+        other => Err(format!("expected a number, got {other:?}")),
+    }
+}
+
+fn parse_f64_array(v: &JsonValue) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or("expected an array of numbers")?
+        .iter()
+        .map(parse_f64)
+        .collect()
+}
+
+fn parse_f64_matrix(v: &JsonValue) -> Result<Vec<Vec<f64>>, String> {
+    v.as_array()
+        .ok_or("expected an array of arrays")?
+        .iter()
+        .map(parse_f64_array)
+        .collect()
+}
+
+fn get<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_usize(obj: &JsonValue, key: &str) -> Result<usize, String> {
+    get(obj, key)?
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+impl SimCheckpoint {
+    /// Serializes the checkpoint as a single JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},\"controller\":{},\"cursor\":{},\"periods\":[",
+            self.schema_version,
+            json_string(&self.controller),
+            self.cursor
+        );
+        for (i, p) in self.periods.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"period\":{},\"observed_demand\":", p.period);
+            push_f64_array(&mut out, &p.observed_demand);
+            out.push_str(",\"realized_demand\":");
+            push_f64_array(&mut out, &p.realized_demand);
+            out.push_str(",\"per_dc\":");
+            push_f64_array(&mut out, &p.per_dc);
+            out.push_str(",\"total_servers\":");
+            push_f64(&mut out, p.total_servers);
+            out.push_str(",\"reconfig_magnitude\":");
+            push_f64(&mut out, p.reconfig_magnitude);
+            out.push_str(",\"hosting\":");
+            push_f64(&mut out, p.cost.hosting);
+            out.push_str(",\"reconfiguration\":");
+            push_f64(&mut out, p.cost.reconfiguration);
+            let _ = write!(
+                out,
+                ",\"sla\":{{\"violated_arcs\":{},\"loaded_arcs\":{},\"worst_latency\":",
+                p.sla.violated_arcs, p.sla.loaded_arcs
+            );
+            push_f64(&mut out, p.sla.worst_latency);
+            out.push_str(",\"served_fraction\":");
+            push_f64(&mut out, p.sla.served_fraction);
+            out.push_str("}}");
+        }
+        let _ = write!(
+            out,
+            "],\"controller_state\":{{\"period\":{},\"allocation\":",
+            self.controller_state.period
+        );
+        push_f64_array(&mut out, &self.controller_state.allocation);
+        out.push_str(",\"history\":");
+        push_f64_matrix(&mut out, &self.controller_state.history);
+        out.push_str(",\"warm_us\":");
+        match &self.controller_state.warm_us {
+            None => out.push_str("null"),
+            Some(us) => push_f64_matrix(&mut out, us),
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a checkpoint previously written by [`SimCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong schema version, or a
+    /// missing/mistyped field.
+    pub fn from_json(input: &str) -> Result<SimCheckpoint, String> {
+        let root = json::parse(input).map_err(|e| format!("checkpoint JSON: {e}"))?;
+        let version = get(&root, "schema_version")?
+            .as_u64()
+            .ok_or("schema_version must be an integer")?;
+        if version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported checkpoint schema_version {version} \
+                 (expected {CHECKPOINT_SCHEMA_VERSION})"
+            ));
+        }
+        let controller = get(&root, "controller")?
+            .as_str()
+            .ok_or("controller must be a string")?
+            .to_string();
+        let cursor = get_usize(&root, "cursor")?;
+        let mut periods = Vec::new();
+        for (i, p) in get(&root, "periods")?
+            .as_array()
+            .ok_or("periods must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let period = (|| -> Result<SimPeriod, String> {
+                let sla = get(p, "sla")?;
+                Ok(SimPeriod {
+                    period: get_usize(p, "period")?,
+                    observed_demand: parse_f64_array(get(p, "observed_demand")?)?,
+                    realized_demand: parse_f64_array(get(p, "realized_demand")?)?,
+                    per_dc: parse_f64_array(get(p, "per_dc")?)?,
+                    total_servers: parse_f64(get(p, "total_servers")?)?,
+                    reconfig_magnitude: parse_f64(get(p, "reconfig_magnitude")?)?,
+                    cost: PeriodCost {
+                        hosting: parse_f64(get(p, "hosting")?)?,
+                        reconfiguration: parse_f64(get(p, "reconfiguration")?)?,
+                    },
+                    sla: SlaReport {
+                        violated_arcs: get_usize(sla, "violated_arcs")?,
+                        loaded_arcs: get_usize(sla, "loaded_arcs")?,
+                        worst_latency: parse_f64(get(sla, "worst_latency")?)?,
+                        served_fraction: parse_f64(get(sla, "served_fraction")?)?,
+                    },
+                })
+            })()
+            .map_err(|e| format!("periods[{i}]: {e}"))?;
+            periods.push(period);
+        }
+        let cs = get(&root, "controller_state")?;
+        let warm = get(cs, "warm_us")?;
+        let controller_state = ControllerCheckpoint {
+            period: get_usize(cs, "period")?,
+            allocation: parse_f64_array(get(cs, "allocation")?)
+                .map_err(|e| format!("controller_state.allocation: {e}"))?,
+            history: parse_f64_matrix(get(cs, "history")?)
+                .map_err(|e| format!("controller_state.history: {e}"))?,
+            warm_us: match warm {
+                JsonValue::Null => None,
+                other => Some(
+                    parse_f64_matrix(other)
+                        .map_err(|e| format!("controller_state.warm_us: {e}"))?,
+                ),
+            },
+        };
+        Ok(SimCheckpoint {
+            schema_version: version,
+            controller,
+            cursor,
+            periods,
+            controller_state,
+        })
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimCheckpoint {
+        SimCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            controller: "mpc".into(),
+            cursor: 2,
+            periods: vec![
+                SimPeriod {
+                    period: 0,
+                    observed_demand: vec![40.0],
+                    realized_demand: vec![60.0],
+                    per_dc: vec![0.875_000_000_000_123],
+                    total_servers: 0.875_000_000_000_123,
+                    reconfig_magnitude: 0.875,
+                    cost: PeriodCost {
+                        hosting: 1.0 / 3.0,
+                        reconfiguration: 2e-17,
+                    },
+                    sla: SlaReport {
+                        violated_arcs: 0,
+                        loaded_arcs: 1,
+                        worst_latency: 0.031,
+                        served_fraction: 1.0,
+                    },
+                },
+                SimPeriod {
+                    period: 1,
+                    observed_demand: vec![60.0],
+                    realized_demand: vec![90.0],
+                    per_dc: vec![1.25],
+                    total_servers: 1.25,
+                    reconfig_magnitude: 0.375,
+                    cost: PeriodCost {
+                        hosting: 1.25,
+                        reconfiguration: 0.01,
+                    },
+                    sla: SlaReport {
+                        violated_arcs: 1,
+                        loaded_arcs: 1,
+                        worst_latency: f64::INFINITY,
+                        served_fraction: 1.0,
+                    },
+                },
+            ],
+            controller_state: ControllerCheckpoint {
+                period: 2,
+                allocation: vec![1.25],
+                history: vec![vec![40.0, 60.0]],
+                warm_us: Some(vec![vec![0.1], vec![0.0]]),
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let ck = sample();
+        let parsed = SimCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn round_trips_non_finite_and_none_warm_start() {
+        let mut ck = sample();
+        ck.controller_state.warm_us = None;
+        ck.periods[0].sla.worst_latency = f64::NEG_INFINITY;
+        let parsed = SimCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(parsed.controller_state.warm_us, None);
+        assert_eq!(parsed.periods[0].sla.worst_latency, f64::NEG_INFINITY);
+        assert_eq!(parsed.periods[1].sla.worst_latency, f64::INFINITY);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(SimCheckpoint::from_json("not json").is_err());
+        assert!(SimCheckpoint::from_json("{\"schema_version\":99}").is_err());
+        let mut ck = sample();
+        ck.schema_version = 1;
+        let text = ck.to_json().replace("\"cursor\":2", "\"cursor\":\"x\"");
+        assert!(SimCheckpoint::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn controller_name_with_quotes_escapes() {
+        let mut ck = sample();
+        ck.controller = "weird \"name\"\n".into();
+        let parsed = SimCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(parsed.controller, ck.controller);
+    }
+}

@@ -1,10 +1,10 @@
-use crate::{evaluate_sla, Monitor, SlaReport};
+use crate::{evaluate_sla, Monitor, SimCheckpoint, SlaReport};
 use dspp_core::{CoreError, CostLedger, PlacementController};
 use dspp_telemetry::Recorder;
 use std::time::Instant;
 
 /// One period of a closed-loop run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimPeriod {
     /// Period index `k` (the allocation recorded here served period `k+1`).
     pub period: usize,
@@ -25,7 +25,7 @@ pub struct SimPeriod {
 }
 
 /// Result of a closed-loop run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Per-period records (length `K − 1` for a `K`-period trace).
     pub periods: Vec<SimPeriod>,
@@ -81,6 +81,15 @@ pub struct ClosedLoopSim {
     demand: Vec<Vec<f64>>,
     realized_prices: Option<Vec<Vec<f64>>>,
     telemetry: Recorder,
+    /// Next period index `k` to execute (`0 ..= total_steps()`).
+    cursor: usize,
+    /// Per-period records executed so far.
+    periods: Vec<SimPeriod>,
+    ledger: CostLedger,
+    /// Demand anomaly monitor (Figure 2's monitoring module): only driven
+    /// when telemetry is on — the controller's own predictor guard runs
+    /// its own monitor regardless.
+    monitor: Option<Monitor>,
 }
 
 impl ClosedLoopSim {
@@ -115,14 +124,20 @@ impl ClosedLoopSim {
             demand,
             realized_prices: None,
             telemetry: Recorder::disabled(),
+            cursor: 0,
+            periods: Vec::with_capacity(periods - 1),
+            ledger: CostLedger::new(),
+            monitor: None,
         })
     }
 
     /// Emits `sim.*` metrics (periods, step latency, SLA violations,
     /// anomaly flags, reconfiguration magnitudes) to `telemetry` during
-    /// [`ClosedLoopSim::run`]. Disabled by default; see
-    /// `docs/OBSERVABILITY.md`.
+    /// stepping. Disabled by default; see `docs/OBSERVABILITY.md`.
     pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.monitor = telemetry
+            .is_enabled()
+            .then(|| Monitor::new(self.demand.len(), 0.3, 4.0));
         self.telemetry = telemetry;
         self
     }
@@ -152,84 +167,212 @@ impl ClosedLoopSim {
         Ok(self)
     }
 
-    /// Runs the whole trace.
+    /// Number of executable steps: `K − 1` for a `K`-period trace.
+    pub fn total_steps(&self) -> usize {
+        self.demand[0].len() - 1
+    }
+
+    /// The next period index to execute (equals [`total_steps`] when the
+    /// run is finished).
+    ///
+    /// [`total_steps`]: ClosedLoopSim::total_steps
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// True once every period of the trace has been executed.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.total_steps()
+    }
+
+    /// The periods executed so far.
+    pub fn periods(&self) -> &[SimPeriod] {
+        &self.periods
+    }
+
+    /// The controller being driven.
+    pub fn controller(&self) -> &dyn PlacementController {
+        self.controller.as_ref()
+    }
+
+    /// Executes one period of the closed loop: the controller observes
+    /// `demand[·][cursor]`, decides the allocation for `cursor + 1`, and
+    /// the simulator scores it against the realized demand. Returns
+    /// `false` when the trace was already exhausted (no work done).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the controller failure; the simulation state is
+    /// unchanged on error, so a supervisor may retry or abandon the run.
+    pub fn step(&mut self) -> Result<bool, CoreError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let k = self.cursor;
+        let telemetry = self.telemetry.clone();
+        // Top-level timeline span: controller and solver spans opened
+        // inside `step` nest under it.
+        let mut period_span = telemetry.tracer().span("sim.period");
+        period_span.attr("period", k);
+        let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
+        let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
+        let t_step = telemetry.is_enabled().then(Instant::now);
+        let outcome = self.controller.step(&observed)?;
+        let problem = self.controller.problem();
+        let sla = evaluate_sla(problem, &outcome.allocation, &outcome.routing, &realized);
+        let per_dc = outcome.allocation.per_dc(problem);
+        let step_cost = match &self.realized_prices {
+            None => outcome.step_cost,
+            Some(prices) => {
+                // Re-bill hosting at the realized price of period k+1.
+                let mut hosting = 0.0;
+                for (e, &(l, _)) in problem.arcs().iter().enumerate() {
+                    hosting += prices[l][k + 1] * outcome.allocation.arc_values()[e];
+                }
+                dspp_core::PeriodCost {
+                    hosting,
+                    reconfiguration: outcome.step_cost.reconfiguration,
+                }
+            }
+        };
+        self.ledger.push(step_cost);
+        let reconfig_magnitude: f64 = outcome.control.iter().map(|u| u.abs()).sum();
+        if let Some(t) = t_step {
+            telemetry.incr("sim.periods", 1);
+            telemetry.observe_duration("sim.step_seconds", t.elapsed());
+            telemetry.observe("sim.reconfig_l1", reconfig_magnitude);
+            if sla.violated_arcs > 0 {
+                telemetry.incr("sim.sla_violation_periods", 1);
+            }
+            if let Some(mon) = self.monitor.as_mut() {
+                let alarms = mon.observe(&observed);
+                telemetry.incr("sim.anomaly_flags", alarms.len() as u64);
+            }
+        }
+        if period_span.is_enabled() {
+            period_span.attr("reconfig_l1", reconfig_magnitude);
+            period_span.attr("sla_violated_arcs", sla.violated_arcs);
+            period_span.attr("step_cost", step_cost.total());
+            period_span.attr("total_servers", outcome.allocation.total());
+        }
+        self.periods.push(SimPeriod {
+            period: k,
+            observed_demand: observed,
+            realized_demand: realized,
+            per_dc,
+            total_servers: outcome.allocation.total(),
+            reconfig_magnitude,
+            cost: step_cost,
+            sla,
+        });
+        self.cursor += 1;
+        Ok(true)
+    }
+
+    /// Steps until the cursor reaches `k` (clamped to the trace length).
+    /// Useful to run to a checkpoint boundary and stop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first controller failure.
+    pub fn run_until(&mut self, k: usize) -> Result<(), CoreError> {
+        while self.cursor < k.min(self.total_steps()) {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// The report of everything executed so far. Cheap to call mid-run:
+    /// monitors can inspect partial results without consuming the sim.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            periods: self.periods.clone(),
+            ledger: self.ledger.clone(),
+            controller: self.controller.name().to_string(),
+        }
+    }
+
+    /// Runs the remainder of the trace and returns the final report.
     ///
     /// # Errors
     ///
     /// Propagates the first controller failure.
     pub fn run(mut self) -> Result<SimReport, CoreError> {
-        let periods = self.demand[0].len();
-        let mut out = Vec::with_capacity(periods - 1);
-        let mut ledger = CostLedger::new();
-        let telemetry = self.telemetry.clone();
-        // Demand anomaly monitor (Figure 2's monitoring module): only
-        // driven when telemetry is on — the controller's own predictor
-        // guard runs its own monitor regardless.
-        let mut monitor = telemetry
-            .is_enabled()
-            .then(|| Monitor::new(self.demand.len(), 0.3, 4.0));
-        for k in 0..periods - 1 {
-            // Top-level timeline span: controller and solver spans opened
-            // inside `step` nest under it.
-            let mut period_span = telemetry.tracer().span("sim.period");
-            period_span.attr("period", k);
-            let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
-            let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
-            let t_step = telemetry.is_enabled().then(Instant::now);
-            let outcome = self.controller.step(&observed)?;
-            let problem = self.controller.problem();
-            let sla = evaluate_sla(problem, &outcome.allocation, &outcome.routing, &realized);
-            let per_dc = outcome.allocation.per_dc(problem);
-            let step_cost = match &self.realized_prices {
-                None => outcome.step_cost,
-                Some(prices) => {
-                    // Re-bill hosting at the realized price of period k+1.
-                    let mut hosting = 0.0;
-                    for (e, &(l, _)) in problem.arcs().iter().enumerate() {
-                        hosting += prices[l][k + 1] * outcome.allocation.arc_values()[e];
-                    }
-                    dspp_core::PeriodCost {
-                        hosting,
-                        reconfiguration: outcome.step_cost.reconfiguration,
-                    }
-                }
-            };
-            ledger.push(step_cost);
-            let reconfig_magnitude: f64 = outcome.control.iter().map(|u| u.abs()).sum();
-            if let Some(t) = t_step {
-                telemetry.incr("sim.periods", 1);
-                telemetry.observe_duration("sim.step_seconds", t.elapsed());
-                telemetry.observe("sim.reconfig_l1", reconfig_magnitude);
-                if sla.violated_arcs > 0 {
-                    telemetry.incr("sim.sla_violation_periods", 1);
-                }
-                if let Some(mon) = monitor.as_mut() {
-                    let alarms = mon.observe(&observed);
-                    telemetry.incr("sim.anomaly_flags", alarms.len() as u64);
-                }
-            }
-            if period_span.is_enabled() {
-                period_span.attr("reconfig_l1", reconfig_magnitude);
-                period_span.attr("sla_violated_arcs", sla.violated_arcs);
-                period_span.attr("step_cost", step_cost.total());
-                period_span.attr("total_servers", outcome.allocation.total());
-            }
-            out.push(SimPeriod {
-                period: k,
-                observed_demand: observed,
-                realized_demand: realized,
-                per_dc: per_dc.clone(),
-                total_servers: outcome.allocation.total(),
-                reconfig_magnitude,
-                cost: step_cost,
-                sla,
-            });
-        }
-        Ok(SimReport {
-            periods: out,
-            ledger,
+        while self.step()? {}
+        Ok(self.report())
+    }
+
+    /// Freezes the run into a [`SimCheckpoint`] that can be serialized
+    /// with [`SimCheckpoint::to_json`] and later fed to
+    /// [`ClosedLoopSim::restore`] on a freshly built simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the controller does not
+    /// support checkpointing (its `checkpoint()` returns `None`).
+    pub fn checkpoint(&self) -> Result<SimCheckpoint, CoreError> {
+        let controller_state = self.controller.checkpoint().ok_or_else(|| {
+            CoreError::InvalidSpec(format!(
+                "controller {:?} does not support checkpoint/resume",
+                self.controller.name()
+            ))
+        })?;
+        Ok(SimCheckpoint {
+            schema_version: crate::CHECKPOINT_SCHEMA_VERSION,
             controller: self.controller.name().to_string(),
+            cursor: self.cursor,
+            periods: self.periods.clone(),
+            controller_state,
         })
+    }
+
+    /// Restores a checkpoint into this (freshly built) simulation: the
+    /// controller state, cursor, executed periods, and cost ledger are
+    /// all rewound to the moment the checkpoint was taken, after which
+    /// [`ClosedLoopSim::step`] continues exactly where the original run
+    /// left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the checkpoint belongs to a
+    /// different controller, does not fit this trace, is internally
+    /// inconsistent, or the controller rejects its state.
+    pub fn restore(&mut self, ck: &SimCheckpoint) -> Result<(), CoreError> {
+        if ck.controller != self.controller.name() {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint was taken from controller {:?}, this sim drives {:?}",
+                ck.controller,
+                self.controller.name()
+            )));
+        }
+        if ck.cursor > self.total_steps() {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint cursor {} exceeds trace steps {}",
+                ck.cursor,
+                self.total_steps()
+            )));
+        }
+        if ck.periods.len() != ck.cursor {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint records {} periods but cursor is {}",
+                ck.periods.len(),
+                ck.cursor
+            )));
+        }
+        let nv = self.demand.len();
+        if ck.periods.iter().any(|p| p.observed_demand.len() != nv) {
+            return Err(CoreError::InvalidSpec(format!(
+                "checkpoint periods do not match trace with {nv} locations"
+            )));
+        }
+        self.controller.restore(&ck.controller_state)?;
+        self.cursor = ck.cursor;
+        self.periods = ck.periods.clone();
+        self.ledger = CostLedger::new();
+        for p in &self.periods {
+            self.ledger.push(p.cost);
+        }
+        Ok(())
     }
 }
 
@@ -375,6 +518,59 @@ mod tests {
         );
         // Nested solver metrics flow into the same recorder.
         assert!(snap.histogram("solver.lq.iterations").unwrap().sum > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_reproduces_uninterrupted_report() {
+        let demand = vec![vec![40.0, 60.0, 90.0, 120.0, 90.0, 60.0, 40.0]];
+        let straight = ClosedLoopSim::new(mpc(3, demand.clone()), demand.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+
+        // Run to period 3, freeze, and round-trip through JSON.
+        let mut first = ClosedLoopSim::new(mpc(3, demand.clone()), demand.clone()).unwrap();
+        first.run_until(3).unwrap();
+        assert_eq!(first.cursor(), 3);
+        assert!(!first.is_done());
+        let ck = first.checkpoint().unwrap();
+        let ck = crate::SimCheckpoint::from_json(&ck.to_json()).unwrap();
+        drop(first);
+
+        // Resume in a freshly built simulation.
+        let mut resumed = ClosedLoopSim::new(mpc(3, demand.clone()), demand).unwrap();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.cursor(), 3);
+        assert_eq!(resumed.periods().len(), 3);
+        let report = resumed.run().unwrap();
+        assert_eq!(report, straight, "resume must be bit-exact");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_checkpoints() {
+        let demand = vec![vec![40.0, 60.0, 90.0, 120.0]];
+        let mut sim = ClosedLoopSim::new(mpc(2, demand.clone()), demand.clone()).unwrap();
+        sim.run_until(2).unwrap();
+        let good = sim.checkpoint().unwrap();
+
+        // Wrong controller name.
+        let mut bad = good.clone();
+        bad.controller = "other".into();
+        let mut fresh = ClosedLoopSim::new(mpc(2, demand.clone()), demand.clone()).unwrap();
+        assert!(fresh.restore(&bad).is_err());
+
+        // Cursor beyond the trace.
+        let mut bad = good.clone();
+        bad.cursor = 99;
+        assert!(fresh.restore(&bad).is_err());
+
+        // Periods/cursor mismatch.
+        let mut bad = good.clone();
+        bad.periods.pop();
+        assert!(fresh.restore(&bad).is_err());
+
+        // The unmodified checkpoint restores fine.
+        assert!(fresh.restore(&good).is_ok());
     }
 
     #[test]

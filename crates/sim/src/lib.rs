@@ -49,12 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod closed_loop;
 mod des;
 mod fluid;
 mod monitor;
 mod recorder;
 
+pub use checkpoint::{SimCheckpoint, CHECKPOINT_SCHEMA_VERSION};
 pub use closed_loop::{ClosedLoopSim, SimPeriod, SimReport};
 pub use des::{run_des, DesConfig, PoolSpec, PoolStats};
 pub use fluid::{evaluate_sla, SlaReport};
