@@ -1,8 +1,9 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times five representative workloads — one Riccati IPM solve,
-//! one MPC controller step, one full best-response game run, one
+//! `record` times six representative workloads — one Riccati IPM solve,
+//! one MPC controller step, one capacity-starved MPC step resolved by the
+//! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, and one simulation
 //! checkpoint JSON round-trip — and writes their throughput plus latency
 //! quantiles as JSON (the committed `BENCH_BASELINE.json`). `compare`
@@ -23,7 +24,7 @@ use dspp_solver::{solve_lq, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
 use dspp_telemetry::Recorder;
 
-use crate::{lq_fixture, single_dc_problem};
+use crate::{lq_fixture, single_dc_problem, starved_single_dc_problem};
 
 /// Schema version of the baseline file.
 pub const BASELINE_SCHEMA_VERSION: u64 = 1;
@@ -130,7 +131,38 @@ pub fn record(iters: usize) -> Baseline {
         used += 1;
     });
 
-    // 3. One full best-response game run (Algorithm 2), 3 providers.
+    // 3. One capacity-starved MPC step: the strict horizon QP is
+    // infeasible every period, so each step runs the preflight check plus
+    // the slack-relaxed recovery solve — the feasibility guardian's hot
+    // path under sustained overload.
+    let make_starved = || {
+        MpcController::new(
+            starved_single_dc_problem(periods),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon,
+                ipm: IpmSettings::fast(),
+                ..MpcSettings::default()
+            },
+        )
+        .expect("starved controller fixture")
+    };
+    let mut starved = make_starved();
+    let mut starved_used = 0usize;
+    let recovery_metric = measure("controller.recovery_step", warmup, iters, || {
+        if starved_used + horizon + 1 >= periods {
+            starved = make_starved();
+            starved_used = 0;
+        }
+        let outcome = starved.step(&[12_000.0]).expect("recovery step");
+        assert!(
+            outcome.recovery.is_some(),
+            "workload must exercise recovery"
+        );
+        starved_used += 1;
+    });
+
+    // 4. One full best-response game run (Algorithm 2), 3 providers.
     let providers = SpSampler::new(2, 2, 3)
         .with_seed(1)
         .sample(3)
@@ -144,7 +176,7 @@ pub fn record(iters: usize) -> Baseline {
         game.run(&config).expect("game run");
     });
 
-    // 4. A dspp-runtime scenario sweep: three closed-loop scenarios (one
+    // 5. A dspp-runtime scenario sweep: three closed-loop scenarios (one
     // under an injected solver outage, one drilling checkpoint/restore)
     // fanned out on a two-worker pool. Times the whole engine:
     // controller wrappers, fault injection, pool scheduling.
@@ -180,7 +212,7 @@ pub fn record(iters: usize) -> Baseline {
         assert!(results.iter().all(Result::is_ok), "scenario sweep runs");
     });
 
-    // 5. A checkpoint JSON round-trip on a mid-run simulation: freeze,
+    // 6. A checkpoint JSON round-trip on a mid-run simulation: freeze,
     // serialize, parse, restore. Times the persistence path alone. The
     // run is long (48 executed periods) so the document is big enough
     // for the measurement to be dominated by serialization, not noise.
@@ -204,6 +236,7 @@ pub fn record(iters: usize) -> Baseline {
         metrics: vec![
             solver,
             controller_metric,
+            recovery_metric,
             game_metric,
             runtime_metric,
             checkpoint_metric,
@@ -492,6 +525,7 @@ mod tests {
             [
                 "solver.lq_solve",
                 "controller.step",
+                "controller.recovery_step",
                 "game.best_response_run",
                 "runtime.scenario_sweep",
                 "runtime.checkpoint_roundtrip"

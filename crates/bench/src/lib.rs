@@ -70,6 +70,22 @@ pub fn single_dc_problem(periods: usize) -> Dspp {
         .expect("valid problem")
 }
 
+/// The single-DC problem with its capacity starved far below demand:
+/// every strict horizon QP is infeasible, so an MPC step must run the
+/// recovery (soft-constraint) solve. Used by the `controller.recovery_step`
+/// baseline workload.
+pub fn starved_single_dc_problem(periods: usize) -> Dspp {
+    DsppBuilder::new(1, 1)
+        .service_rate(250.0)
+        .sla_latency(0.100)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weight(0, 0.001)
+        .price_trace(0, vec![0.004; periods])
+        .capacity(0, 10.0)
+        .build()
+        .expect("valid problem")
+}
+
 /// A 4-DC × `v` locations problem with all-usable arcs.
 pub fn multi_dc_problem(v: usize, periods: usize) -> Dspp {
     let latency: Vec<Vec<f64>> = (0..4)

@@ -80,6 +80,7 @@ impl PlacementController for ReactiveController {
             planned_objective: sol.objective,
             step_cost,
             solver_iterations: sol.iterations,
+            recovery: None,
         })
     }
 
@@ -217,6 +218,7 @@ impl PlacementController for StaticController {
             planned_objective: step_cost.total(),
             step_cost,
             solver_iterations: 0,
+            recovery: None,
         })
     }
 

@@ -1,6 +1,8 @@
-use crate::{Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, RoutingPolicy};
+use crate::{
+    Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, RecoverySettings, RoutingPolicy,
+};
 use dspp_predict::Predictor;
-use dspp_solver::IpmSettings;
+use dspp_solver::{IpmSettings, SolverError};
 use dspp_telemetry::Recorder;
 use std::time::Instant;
 
@@ -19,6 +21,12 @@ pub struct MpcSettings {
     /// the traced solver calls, `solver.lq.*`). Disabled by default, which
     /// keeps every instrumented path a no-op; see `docs/OBSERVABILITY.md`.
     pub telemetry: Recorder,
+    /// How to fall back when the strict horizon problem is infeasible:
+    /// re-solve with slack on the demand/SLA rows and report the shortfall
+    /// instead of failing the step. Enabled by default — disable it to
+    /// restore hard-failure semantics (every infeasible period becomes a
+    /// [`CoreError::Solver`] for a supervisor to handle).
+    pub recovery: RecoverySettings,
 }
 
 impl Default for MpcSettings {
@@ -28,6 +36,7 @@ impl Default for MpcSettings {
             ipm: IpmSettings::default(),
             max_reconfiguration: None,
             telemetry: Recorder::disabled(),
+            recovery: RecoverySettings::default(),
         }
     }
 }
@@ -51,6 +60,25 @@ pub struct StepOutcome {
     pub step_cost: PeriodCost,
     /// Interior-point iterations spent.
     pub solver_iterations: usize,
+    /// `Some` when the strict horizon problem was infeasible and this step
+    /// came from the recovery solve instead; carries the demand the
+    /// executed placement cannot serve.
+    pub recovery: Option<RecoveryInfo>,
+}
+
+/// How much demand a recovered step sheds — the explicit SLA-violation
+/// mass a monitor should attribute to this period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryInfo {
+    /// Unserved demand per location in the executed period `k+1`, in
+    /// demand units.
+    pub shortfall: Vec<f64>,
+    /// The executed period's shortfall converted to servers — comparable
+    /// to the preflight's aggregate capacity deficit.
+    pub resource_shortfall: f64,
+    /// Per-period server shortfall over the whole planned horizon
+    /// (index 0 is the executed period).
+    pub horizon_resource_shortfall: Vec<f64>,
 }
 
 /// A controller's internal state frozen mid-run, for checkpoint/resume.
@@ -399,8 +427,46 @@ impl MpcController {
             1,
         );
         let t_solve = telemetry.is_enabled().then(Instant::now);
-        let sol =
-            horizon.solve_warm_traced(&self.settings.ipm, self.warm_us.as_deref(), &telemetry)?;
+        let preflight = horizon.preflight()?;
+        if !preflight.is_feasible() {
+            telemetry.incr("controller.preflight_infeasible", 1);
+        }
+        let recovery_enabled = self.settings.recovery.enabled;
+        let strict = if recovery_enabled && !preflight.is_feasible() {
+            // The aggregate preflight already certifies the strict horizon
+            // infeasible: skip the doomed solve and recover directly.
+            None
+        } else {
+            match horizon.solve_warm_traced(&self.settings.ipm, self.warm_us.as_deref(), &telemetry)
+            {
+                Ok(sol) => Some(sol),
+                Err(CoreError::Solver(SolverError::Infeasible { .. })) if recovery_enabled => None,
+                Err(e) => return Err(e),
+            }
+        };
+        let (sol, recovery_info) = match strict {
+            Some(sol) => (sol, None),
+            None => {
+                let out = horizon.solve_recovery(
+                    &self.settings.ipm,
+                    &self.settings.recovery,
+                    self.warm_us.as_deref(),
+                    &telemetry,
+                )?;
+                telemetry.incr("controller.recovery_solves", 1);
+                telemetry.observe("controller.sla_shortfall", out.resource_shortfall[0]);
+                if span.is_enabled() {
+                    span.attr("recovered", true);
+                    span.attr("sla_shortfall", out.resource_shortfall[0]);
+                }
+                let info = RecoveryInfo {
+                    shortfall: out.demand_slack[0].clone(),
+                    resource_shortfall: out.resource_shortfall[0],
+                    horizon_resource_shortfall: out.resource_shortfall.clone(),
+                };
+                (out.solution, Some(info))
+            }
+        };
         if let Some(t) = t_solve {
             telemetry.observe_duration("controller.solve_seconds", t.elapsed());
         }
@@ -452,6 +518,7 @@ impl MpcController {
             planned_objective: sol.objective,
             step_cost,
             solver_iterations: sol.iterations,
+            recovery: recovery_info,
         })
     }
 }
@@ -554,7 +621,7 @@ mod tests {
             .build()
             .unwrap();
         let a = p.arc_coeff(0);
-        // Demand requiring ≤ 1 server: fine.
+        // Demand requiring ≤ 1 server: fine, no recovery involved.
         let ok_demand = 0.9 / a;
         let mut c = MpcController::new(
             p.clone(),
@@ -567,12 +634,38 @@ mod tests {
         .unwrap();
         let out = c.step(&[ok_demand]).unwrap();
         assert!(out.allocation.total() <= 1.0 + 1e-6);
-        // Demand requiring > 1 server: infeasible horizon.
+        assert!(out.recovery.is_none());
+        // Demand requiring 2 servers against capacity 1: the default
+        // controller recovers, keeps the placement within capacity, and
+        // reports the missing server as shortfall.
+        let mut c = MpcController::new(
+            p.clone(),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let out = c.step(&[2.0 / a]).unwrap();
+        assert!(out.allocation.total() <= 1.0 + 1e-6);
+        let info = out.recovery.expect("overloaded step must be recovered");
+        assert!(
+            (info.resource_shortfall - 1.0).abs() < 1e-5,
+            "shortfall {} servers, expected 1",
+            info.resource_shortfall
+        );
+        assert!((info.shortfall[0] - 1.0 / a).abs() < 1e-3 / a);
+        // With recovery disabled the same step is a hard solver error.
         let mut c = MpcController::new(
             p,
             Box::new(LastValue),
             MpcSettings {
                 horizon: 2,
+                recovery: RecoverySettings {
+                    enabled: false,
+                    ..RecoverySettings::default()
+                },
                 ..MpcSettings::default()
             },
         )
@@ -635,6 +728,40 @@ mod tests {
         // The traced solver path reports through the same recorder.
         assert_eq!(snap.counter("solver.lq.solves"), 4);
         assert!(snap.histogram("solver.lq.iterations").unwrap().sum > 0.0);
+    }
+
+    #[test]
+    fn recovery_emits_telemetry() {
+        let telemetry = Recorder::enabled();
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 1.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        let mut c = MpcController::new(
+            p,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        c.step(&[0.5 / a]).unwrap();
+        c.step(&[3.0 / a]).unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("controller.steps"), 2);
+        assert_eq!(snap.counter("controller.preflight_infeasible"), 1);
+        assert_eq!(snap.counter("controller.recovery_solves"), 1);
+        let shortfall = snap.histogram("controller.sla_shortfall").unwrap();
+        assert_eq!(shortfall.count, 1);
+        // 3 servers needed, 1 exists: 2 servers of shortfall recorded.
+        assert!((shortfall.sum - 2.0).abs() < 1e-5, "sum {}", shortfall.sum);
     }
 
     #[test]
@@ -734,6 +861,30 @@ mod tests {
     #[test]
     fn infeasible_rate_limit_is_reported() {
         // The jump cannot be ramped within the horizon under the limit.
+        // With recovery disabled that is a hard solver error.
+        let demand = vec![vec![10.0, 1000.0, 1000.0]];
+        let mut c = MpcController::new(
+            problem(),
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 2,
+                max_reconfiguration: Some(0.05),
+                recovery: RecoverySettings {
+                    enabled: false,
+                    ..RecoverySettings::default()
+                },
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let err = c.step(&[10.0]).unwrap_err();
+        assert!(matches!(err, CoreError::Solver(_)), "got {err}");
+    }
+
+    #[test]
+    fn rate_limited_jump_recovers_with_bounded_controls() {
+        // Same jump with recovery on: the controller sheds the demand it
+        // cannot ramp to, but never exceeds the change budget.
         let demand = vec![vec![10.0, 1000.0, 1000.0]];
         let mut c = MpcController::new(
             problem(),
@@ -745,8 +896,14 @@ mod tests {
             },
         )
         .unwrap();
-        let err = c.step(&[10.0]).unwrap_err();
-        assert!(matches!(err, CoreError::Solver(_)), "got {err}");
+        let out = c.step(&[10.0]).unwrap();
+        let info = out.recovery.expect("rate-limited jump must recover");
+        assert!(info.resource_shortfall > 0.0);
+        for &u in &out.control {
+            assert!(u.abs() <= 0.05 + 1e-6, "|u| = {}", u.abs());
+        }
+        // The controller keeps stepping afterwards.
+        assert!(c.step(&[1000.0]).is_ok());
     }
 
     #[test]
@@ -876,6 +1033,12 @@ mod tests {
             Box::new(LastValue),
             MpcSettings {
                 horizon: 2,
+                // Hard-failure semantics: this test exercises the
+                // supervisor-facing retry/rollback contract.
+                recovery: RecoverySettings {
+                    enabled: false,
+                    ..RecoverySettings::default()
+                },
                 ..MpcSettings::default()
             },
         )

@@ -1,6 +1,73 @@
 use crate::{Allocation, CoreError, Dspp};
 use dspp_linalg::{Matrix, Vector};
-use dspp_solver::{solve_lq_warm, IpmSettings, LqProblem, LqSolution, LqStage, LqTerminal};
+use dspp_solver::{
+    preflight_lq, relax_lq_slots, solve_lq_warm, FeasibilityReport, IpmSettings, LqProblem,
+    LqRowLayout, LqSolution, LqStage, LqTerminal, SoftSpec,
+};
+
+/// How the recovery solve (the always-feasible relaxation of the horizon
+/// problem) penalizes unserved demand.
+///
+/// The linear penalty is expressed per *server* (resource unit) of
+/// shortfall, uniformly across locations: internally each location `v`'s
+/// demand-unit slack is priced at `penalty · min_e(a^{lv}·s)`, so the
+/// optimizer has no arbitrage between shedding demand at "cheap" and
+/// "expensive" locations and the total slack lands exactly on the capacity
+/// deficit. Keep `penalty` well above the hosting prices — it is an exact
+/// penalty, so any value dominating the marginal hosting cost yields zero
+/// slack on feasible horizons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySettings {
+    /// Whether the MPC controller may fall back to a recovery solve when
+    /// the strict horizon problem is infeasible.
+    pub enabled: bool,
+    /// Linear slack penalty per server of unserved capacity-equivalent.
+    pub penalty: f64,
+    /// Quadratic slack penalty (keeps the slack Hessian positive definite;
+    /// small relative to `penalty`).
+    pub quadratic: f64,
+}
+
+impl Default for RecoverySettings {
+    fn default() -> Self {
+        RecoverySettings {
+            enabled: true,
+            penalty: 1e4,
+            quadratic: 1e-4,
+        }
+    }
+}
+
+/// Result of a recovery solve: a capacity-respecting placement plus the
+/// demand it could not serve.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// The placement in the strict problem's shapes (slack columns and
+    /// rows already stripped; the objective excludes the slack penalty).
+    pub solution: LqSolution,
+    /// Unserved demand per horizon period and location,
+    /// `demand_slack[t][v]` in demand units, `t = 0` being the first
+    /// predicted period `k+1`.
+    pub demand_slack: Vec<Vec<f64>>,
+    /// Per-period shortfall converted to servers:
+    /// `Σ_v demand_slack[t][v] · min_e(a^{lv}·s)` — directly comparable to
+    /// the aggregate deficit a [`HorizonProblem::preflight`] reports.
+    pub resource_shortfall: Vec<f64>,
+}
+
+impl RecoveryOutcome {
+    /// Largest per-period resource shortfall across the horizon.
+    pub fn max_resource_shortfall(&self) -> f64 {
+        self.resource_shortfall
+            .iter()
+            .fold(0.0f64, |m, &s| m.max(s))
+    }
+
+    /// Total resource shortfall summed over the horizon.
+    pub fn total_resource_shortfall(&self) -> f64 {
+        self.resource_shortfall.iter().sum()
+    }
+}
 
 /// The horizon-truncated DSPP (Section IV-D) as a stage-structured LQ
 /// program, plus the bookkeeping to read duals back out.
@@ -25,6 +92,10 @@ pub struct HorizonProblem {
     num_dcs: usize,
     num_locations: usize,
     horizon: usize,
+    /// Per location `v`, the cheapest resource cost of serving one demand
+    /// unit, `min_e(a^{lv}·s)` over the arcs serving `v` — the conversion
+    /// factor between demand-unit slack and server-unit shortfall.
+    resource_per_demand: Vec<f64>,
 }
 
 impl HorizonProblem {
@@ -230,12 +301,19 @@ impl HorizonProblem {
             .with_state_cost(q_term)
             .with_constraints(cx, d_term);
 
+        let mut resource_per_demand = vec![f64::INFINITY; nv];
+        for (e, &(_, v)) in problem.arcs().iter().enumerate() {
+            let per_unit = problem.arc_coeff(e) * problem.server_size();
+            resource_per_demand[v] = resource_per_demand[v].min(per_unit);
+        }
+
         let lq = LqProblem::new(Vector::from(x0.arc_values()), stages, terminal)?;
         Ok(HorizonProblem {
             lq,
             num_dcs: nl,
             num_locations: nv,
             horizon,
+            resource_per_demand,
         })
     }
 
@@ -288,6 +366,109 @@ impl HorizonProblem {
         Ok(dspp_solver::solve_lq_warm_traced(
             &self.lq, settings, warm_us, telemetry,
         )?)
+    }
+
+    /// Aggregate feasibility preflight: per period, can the SLA-scaled
+    /// demand `Σ_v D^v · min_e(a^{lv}·s)` fit under the total capacity
+    /// `Σ_l C^l`? A clean report is necessary but not sufficient for the
+    /// full QP to be feasible; a reported deficit is a lower bound on the
+    /// server-unit shortfall every recovery solve must incur.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Solver`] only for a malformed underlying
+    /// problem, which the builder never produces.
+    pub fn preflight(&self) -> Result<FeasibilityReport, CoreError> {
+        Ok(preflight_lq(
+            &self.lq,
+            &LqRowLayout {
+                demand_rows: self.num_locations,
+                capacity_rows: self.num_dcs,
+            },
+        )?)
+    }
+
+    /// Solves the always-feasible relaxation of the horizon problem: the
+    /// demand/SLA rows (eq. 11 of the paper) gain per-period slack under
+    /// the penalty in `recovery`, while capacity, non-negativity and any
+    /// rate-limit rows stay hard. The result is the best
+    /// capacity-respecting placement plus exactly how much demand each
+    /// location must shed per period.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] for a non-positive or non-finite
+    ///   penalty configuration.
+    /// * [`CoreError::Solver`] when even the relaxed problem fails — with
+    ///   hard rate limits this can genuinely happen (e.g. a quota shrunk
+    ///   below the current allocation faster than `u_max` can shed), and
+    ///   callers should degrade further (retry/hold) rather than retry the
+    ///   relaxation.
+    pub fn solve_recovery(
+        &self,
+        settings: &IpmSettings,
+        recovery: &RecoverySettings,
+        warm_us: Option<&[dspp_linalg::Vector]>,
+        telemetry: &dspp_telemetry::Recorder,
+    ) -> Result<RecoveryOutcome, CoreError> {
+        if !(recovery.penalty.is_finite() && recovery.penalty > 0.0) {
+            return Err(CoreError::InvalidSpec(format!(
+                "recovery penalty must be positive and finite, got {}",
+                recovery.penalty
+            )));
+        }
+        // Uniform penalty per server-unit of shortfall: price location v's
+        // demand-unit slack at penalty · min_e(a·s).
+        let penalties: Vector = self
+            .resource_per_demand
+            .iter()
+            .map(|rpd| recovery.penalty * rpd)
+            .collect();
+        let spec = SoftSpec {
+            penalties,
+            quadratic: recovery.quadratic,
+        };
+        // Soften every constrained slot except stage 0, whose only
+        // possible rows are rate limits on u_0 (x_0 is fixed, so it
+        // carries no demand rows to soften).
+        let mut soften = vec![true; self.lq.horizon() + 1];
+        soften[0] = false;
+        let relaxed = relax_lq_slots(&self.lq, &spec, &soften)?;
+        let warm = warm_us.map(|us| relaxed.extend_warm_start(us));
+        let sol = dspp_solver::solve_lq_warm_traced(
+            &relaxed.problem,
+            settings,
+            warm.as_deref(),
+            telemetry,
+        )?;
+        let split = relaxed.split_solution(&self.lq, &sol);
+
+        // Map slot slacks back onto forecast periods: stage j (j ≥ 1)
+        // constrains x_j, covering forecast index j−1; the terminal slot
+        // covers the last forecast index.
+        let w = self.horizon;
+        let nv = self.num_locations;
+        let mut demand_slack = vec![vec![0.0; nv]; w];
+        let mut resource_shortfall = vec![0.0; w];
+        for (t, (slack_row, shortfall)) in demand_slack
+            .iter_mut()
+            .zip(&mut resource_shortfall)
+            .enumerate()
+        {
+            let slot = if t + 1 == w { w } else { t + 1 };
+            let slacks = &split.slacks[slot];
+            for v in 0..nv {
+                let s = if v < slacks.len() { slacks[v] } else { 0.0 };
+                slack_row[v] = s;
+                *shortfall += s * self.resource_per_demand[v];
+            }
+        }
+
+        Ok(RecoveryOutcome {
+            solution: split.solution,
+            demand_slack,
+            resource_shortfall,
+        })
     }
 
     /// Extracts per-DC capacity shadow prices: the sum over horizon stages
@@ -461,6 +642,123 @@ mod tests {
         // Location 0 has positive demand: its constraint binds (cost scales
         // with demand), so the dual is positive.
         assert!(duals[0] > 1e-4, "duals {duals:?}");
+    }
+
+    #[test]
+    fn preflight_reports_per_period_server_deficits() {
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 2.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        let x0 = Allocation::zeros(&p);
+        // Periods needing 1, 5 and 1 servers against capacity 2.
+        let demand = vec![vec![1.0 / a, 5.0 / a, 1.0 / a]];
+        let h = HorizonProblem::build(&p, &x0, &demand, &[flat(1.0, 3)]).unwrap();
+        let report = h.preflight().unwrap();
+        assert!(!report.is_feasible());
+        let worst = report.worst().unwrap();
+        assert!(
+            (worst.deficit - 3.0).abs() < 1e-9,
+            "deficit {}",
+            worst.deficit
+        );
+        assert!((report.total_deficit() - 3.0).abs() < 1e-9);
+        // A horizon that fits reports clean.
+        let h = HorizonProblem::build(&p, &x0, &[vec![1.0 / a; 3]], &[flat(1.0, 3)]).unwrap();
+        assert!(h.preflight().unwrap().is_feasible());
+    }
+
+    #[test]
+    fn recovery_solve_sheds_exactly_the_preflight_deficit() {
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 2.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        let x0 = Allocation::zeros(&p);
+        let demand = vec![vec![1.0 / a, 5.0 / a, 1.0 / a]];
+        let h = HorizonProblem::build(&p, &x0, &demand, &[flat(1.0, 3)]).unwrap();
+        assert!(h.solve(&IpmSettings::default()).is_err());
+        let out = h
+            .solve_recovery(
+                &IpmSettings::default(),
+                &RecoverySettings::default(),
+                None,
+                &dspp_telemetry::Recorder::disabled(),
+            )
+            .unwrap();
+        // With one DC and one location the aggregate preflight bound is
+        // tight: the shed servers equal the deficit, period by period.
+        let deficits = h.preflight().unwrap().deficits();
+        assert_eq!(out.resource_shortfall.len(), 3);
+        for (t, (&short, &deficit)) in out.resource_shortfall.iter().zip(&deficits).enumerate() {
+            assert!(
+                (short - deficit).abs() < 1e-6,
+                "period {t}: shed {short} servers vs preflight deficit {deficit}"
+            );
+        }
+        assert!((out.max_resource_shortfall() - 3.0).abs() < 1e-6);
+        assert!((out.total_resource_shortfall() - 3.0).abs() < 1e-6);
+        // The placement itself stays within capacity.
+        for x in out.solution.xs.iter().skip(1) {
+            assert!(x.iter().sum::<f64>() <= 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn recovery_matches_strict_solve_when_feasible() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        let demand = vec![flat(50.0, 3), flat(30.0, 3)];
+        let prices = vec![flat(1.0, 3), flat(1.0, 3)];
+        let h = HorizonProblem::build(&p, &x0, &demand, &prices).unwrap();
+        let strict = h.solve(&IpmSettings::default()).unwrap();
+        let out = h
+            .solve_recovery(
+                &IpmSettings::default(),
+                &RecoverySettings::default(),
+                None,
+                &dspp_telemetry::Recorder::disabled(),
+            )
+            .unwrap();
+        assert!(out.max_resource_shortfall() < 1e-5);
+        assert!((out.solution.objective - strict.objective).abs() < 1e-2);
+    }
+
+    #[test]
+    fn recovery_rejects_bad_penalties() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        let h = HorizonProblem::build(
+            &p,
+            &x0,
+            &[flat(1.0, 2), flat(1.0, 2)],
+            &[flat(1.0, 2), flat(1.0, 2)],
+        )
+        .unwrap();
+        for penalty in [0.0, -1.0, f64::NAN] {
+            let err = h
+                .solve_recovery(
+                    &IpmSettings::default(),
+                    &RecoverySettings {
+                        penalty,
+                        ..RecoverySettings::default()
+                    },
+                    None,
+                    &dspp_telemetry::Recorder::disabled(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidSpec(_)));
+        }
     }
 
     #[test]

@@ -65,11 +65,12 @@ mod sla;
 
 pub use allocation::Allocation;
 pub use controller::{
-    ControllerCheckpoint, MpcController, MpcSettings, PlacementController, StepOutcome,
+    ControllerCheckpoint, MpcController, MpcSettings, PlacementController, RecoveryInfo,
+    StepOutcome,
 };
 pub use cost::{CostLedger, PeriodCost};
 pub use error::CoreError;
-pub use horizon::HorizonProblem;
+pub use horizon::{HorizonProblem, RecoveryOutcome, RecoverySettings};
 pub use integer::{integerize, IntegerizingController};
 pub use problem::{Dspp, DsppBuilder};
 pub use router::RoutingPolicy;

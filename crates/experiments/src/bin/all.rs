@@ -19,6 +19,12 @@
 //! scenario completes *and* at least one period was absorbed by the
 //! graceful-degradation fallback — CI uses it to prove the resilience
 //! path stays wired end to end.
+//!
+//! With `--fault-drill --infeasible` the drill instead runs
+//! capacity-starved flash crowds whose strict horizon QPs are genuinely
+//! infeasible, and fails unless the *recovery solve* (not the
+//! last-known-good fallback) resolved every infeasible period with a
+//! shortfall matching the preflight capacity deficit.
 
 use dspp_core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp_experiments::cli::TraceArgs;
@@ -133,6 +139,125 @@ fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     ok
 }
 
+/// The `--fault-drill --infeasible` mode: capacity-starved flash crowds
+/// that make the strict horizon QP genuinely infeasible. The drill fails
+/// (exit 1) unless every scenario completes with *zero* last-known-good
+/// fallbacks — i.e. the recovery (soft-constraint) solve, the rung above
+/// holding the placement, absorbed every infeasible period — and the
+/// reported per-period SLA shortfall equals the preflight capacity
+/// deficit `max(0, a·D − C)` to 1e-6.
+fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let pool = make_pool(args, telemetry.clone());
+    // 1×1 drill problem: a = 1/(100 − 1/0.05) = 1/80 servers per unit
+    // demand, capacity 1.0 → demand above 80 cannot be served.
+    let cap = 1.0;
+    let coeff = 1.0 / 80.0;
+    let base: Vec<f64> = (0..16)
+        .map(|k| 60.0 + 15.0 * (k as f64 * 0.5).sin())
+        .collect();
+    // Doubling flash crowd over hours 6–10: peaks reach ~150 demand
+    // (≈ 1.875 required servers), far past the capacity.
+    let crowd = FlashCrowd::new(6.0, 4.0, 2.0);
+    let mut crowded = base.clone();
+    for (k, d) in crowded.iter_mut().enumerate() {
+        *d *= crowd.multiplier_for(0, k as f64);
+    }
+    let sustained: Vec<f64> = (0..12).map(|k| 90.0 + (k as f64 * 0.7).cos()).collect();
+    let specs = vec![
+        ScenarioSpec::new("flash-crowd-infeasible", vec![base.clone()])
+            .with_faults(FaultPlan::new().demand_spike(crowd))
+            .with_checkpoint_at(8),
+        ScenarioSpec::new("sustained-overload", vec![sustained.clone()]),
+    ];
+    let results = run_scenarios(
+        &pool,
+        specs,
+        move |_spec| {
+            let problem = DsppBuilder::new(1, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010]])
+                .reconfiguration_weights(vec![0.02])
+                .price_trace(0, vec![1.0])
+                .capacity(0, 1.0)
+                .build()?;
+            let mpc = MpcController::new(
+                problem,
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon: 3,
+                    ..MpcSettings::default()
+                },
+            )?;
+            Ok(Box::new(mpc) as Box<dyn PlacementController>)
+        },
+        &telemetry,
+    );
+    let mut ok = true;
+    println!(
+        "infeasible drill: {} scenarios on {} workers",
+        results.len(),
+        pool.workers()
+    );
+    // Expected per-period shortfall from the observed (post-fault) demand
+    // the LastValue predictor plans against.
+    let expected = |observed: &[f64]| -> Vec<f64> {
+        observed
+            .iter()
+            .map(|&d| (coeff * d - cap).max(0.0))
+            .collect()
+    };
+    let traces: Vec<Vec<f64>> = vec![crowded, sustained];
+    let mut total_recoveries = 0u64;
+    let mut total_fallbacks = 0u64;
+    for (result, trace) in results.iter().zip(&traces) {
+        match result {
+            Ok(o) => {
+                println!(
+                    "  {}: {} periods, recoveries={}, fallbacks={}, shortfall={:.4}, cost={:.2}",
+                    o.name,
+                    o.report.periods.len(),
+                    o.recovery_periods,
+                    o.fallback_periods,
+                    o.sla_shortfall,
+                    o.report.ledger.total()
+                );
+                total_recoveries += o.recovery_periods;
+                total_fallbacks += o.fallback_periods;
+                let want = expected(trace);
+                for p in &o.report.periods {
+                    let w = want[p.period];
+                    if (p.sla_shortfall - w).abs() > 1e-6 {
+                        eprintln!(
+                            "  {}: period {} shortfall {} != preflight deficit {w}",
+                            o.name, p.period, p.sla_shortfall
+                        );
+                        ok = false;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("  scenario failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    println!("recovery.periods={total_recoveries} runtime.fallback={total_fallbacks}");
+    if total_recoveries == 0 {
+        eprintln!("infeasible drill: no recovery solve ran — the recovery rung is dead");
+        ok = false;
+    }
+    if total_fallbacks > 0 {
+        eprintln!(
+            "infeasible drill: {total_fallbacks} periods fell through to last-known-good — \
+             the recovery rung should have absorbed them"
+        );
+        ok = false;
+    }
+    ok
+}
+
 /// The default mode: every figure job on the pool.
 fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
     type JobFn = fn(&Recorder) -> ExpResult<Figure>;
@@ -204,7 +329,9 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    let mut ok = if args.fault_drill {
+    let mut ok = if args.fault_drill && args.infeasible {
+        infeasible_drill(&args, &tracer)
+    } else if args.fault_drill {
         fault_drill(&args, &tracer)
     } else {
         regenerate_figures(&args, &tracer)

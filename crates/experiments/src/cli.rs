@@ -33,6 +33,11 @@ pub struct TraceArgs {
     /// Run the fault-injection drill instead of the normal workload
     /// (`--fault-drill`; honored by `all`, ignored by figure binaries).
     pub fault_drill: bool,
+    /// With `--fault-drill`, run the *infeasible* scenario set instead:
+    /// capacity-starved flash crowds that must be resolved by the
+    /// recovery (soft-constraint) solve, not the last-known-good
+    /// fallback (`--infeasible`).
+    pub infeasible: bool,
 }
 
 impl TraceArgs {
@@ -77,10 +82,11 @@ impl TraceArgs {
                     out.jobs = Some(n);
                 }
                 "--fault-drill" => out.fault_drill = true,
+                "--infeasible" => out.infeasible = true,
                 other => {
                     return Err(format!(
                         "unknown argument {other:?}; usage: [--trace-out <path>] \
-                         [--events-out <path>] [--jobs <N>] [--fault-drill]"
+                         [--events-out <path>] [--jobs <N>] [--fault-drill] [--infeasible]"
                     ))
                 }
             }
@@ -171,8 +177,11 @@ mod tests {
         let a = TraceArgs::parse_from(strings(&["--jobs", "4", "--fault-drill"])).unwrap();
         assert_eq!(a.jobs, Some(4));
         assert!(a.fault_drill);
+        assert!(!a.infeasible);
         let b = TraceArgs::parse_from(strings(&["--jobs=2"])).unwrap();
         assert_eq!(b.jobs, Some(2));
+        let c = TraceArgs::parse_from(strings(&["--fault-drill", "--infeasible"])).unwrap();
+        assert!(c.fault_drill && c.infeasible);
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub fn game_config() -> GameConfig {
         max_iterations: 200,
         ipm: IpmSettings::fast(),
         telemetry: Recorder::disabled(),
+        recovery: dspp_core::RecoverySettings::default(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Algorithm 2: iterative best-response with dual-driven capacity quotas.
 
 use crate::ServiceProvider;
-use dspp_core::{CoreError, HorizonProblem};
+use dspp_core::{CoreError, HorizonProblem, RecoverySettings};
 use dspp_solver::{IpmSettings, LqSolution};
 use dspp_telemetry::{AttrValue, Recorder};
 
@@ -19,6 +19,12 @@ pub struct GameConfig {
     /// Metric recorder for `game.*` (and nested `solver.lq.*`) metrics.
     /// Disabled by default; see `docs/OBSERVABILITY.md`.
     pub telemetry: Recorder,
+    /// How a starved provider recovers: when a quota makes the strict
+    /// best response infeasible, the provider re-solves the relaxation
+    /// and reports a large-but-finite cost (objective plus
+    /// `penalty · shed servers`) together with *real*, finite capacity
+    /// duals — instead of the ∞-cost / synthetic-dual dead-end.
+    pub recovery: RecoverySettings,
 }
 
 impl Default for GameConfig {
@@ -29,6 +35,7 @@ impl Default for GameConfig {
             max_iterations: 500,
             ipm: IpmSettings::default(),
             telemetry: Recorder::disabled(),
+            recovery: RecoverySettings::default(),
         }
     }
 }
@@ -242,6 +249,40 @@ impl ResourceGame {
         Ok((sol.objective, duals, sol))
     }
 
+    /// Best response for a provider whose quota starves the strict solve:
+    /// re-solves the always-feasible relaxation (slack on the demand/SLA
+    /// rows, capacity and non-negativity hard) and prices the shed demand
+    /// at the recovery penalty. Returns the cost, the capacity duals of
+    /// the recovered placement, the placement itself, and the total
+    /// server-unit shortfall across the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Solver`] when even the relaxation fails —
+    /// the game-level dead-end the caller then reports.
+    fn recovery_response_traced(
+        &self,
+        i: usize,
+        quota: &[f64],
+        config: &GameConfig,
+        telemetry: &Recorder,
+    ) -> Result<(f64, Vec<f64>, LqSolution, f64), CoreError> {
+        let sp = &self.providers[i];
+        let problem = sp.problem.with_capacities(quota.to_vec())?;
+        let horizon = HorizonProblem::build(&problem, &sp.initial, &sp.demand, &sp.price_rows())?;
+        let out = horizon.solve_recovery(&config.ipm, &config.recovery, None, telemetry)?;
+        let shortfall = out.total_resource_shortfall();
+        let duals = horizon.capacity_duals(&out.solution);
+        if telemetry.is_enabled() {
+            let per_stage = 1.0 / self.horizon as f64;
+            for d in &duals {
+                telemetry.observe("game.capacity_dual", d * per_stage);
+            }
+        }
+        let cost = out.solution.objective + config.recovery.penalty * shortfall;
+        Ok((cost, duals, out.solution, shortfall))
+    }
+
     /// Runs Algorithm 2 from the equal-split initial quota.
     ///
     /// # Errors
@@ -294,11 +335,34 @@ impl ResourceGame {
                         duals[i] = d;
                         sols[i] = Some(sol);
                     }
+                    Err(CoreError::Solver(_)) if config.recovery.enabled => {
+                        // The quota starves this provider: recover with a
+                        // bounded-shortfall placement whose penalty-inflated
+                        // cost and genuine capacity duals pull quota back
+                        // toward it on the next division.
+                        match self.recovery_response_traced(i, &quotas[i], config, telemetry) {
+                            Ok((cost, d, sol, shortfall)) => {
+                                telemetry.incr("game.recovered_responses", 1);
+                                telemetry.observe("game.response_shortfall", shortfall);
+                                costs[i] = cost;
+                                duals[i] = d;
+                                sols[i] = Some(sol);
+                            }
+                            Err(CoreError::Solver(_)) => {
+                                // Even the relaxation failed (the true
+                                // dead-end): fall back to the synthetic
+                                // strong-shadow-price nudge.
+                                telemetry.incr("game.infeasible_responses", 1);
+                                any_infeasible = true;
+                                costs[i] = f64::INFINITY;
+                                duals[i] =
+                                    self.total_capacity.iter().map(|c| c / n as f64).collect();
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
                     Err(CoreError::Solver(_)) => {
-                        // The quota starves this provider: emulate a strong
-                        // (but bounded) shadow price so the next division
-                        // hands it a larger share without collapsing
-                        // everyone else's quota in one step.
+                        // Recovery disabled: the historical ∞-cost path.
                         telemetry.incr("game.infeasible_responses", 1);
                         any_infeasible = true;
                         costs[i] = f64::INFINITY;
@@ -637,9 +701,24 @@ mod tests {
                 );
             }
         }
+        // Every provider returned an actual placement at the final
+        // iterate — no ∞-cost dead-ends survive the recovery path.
+        assert_eq!(out.solutions.len(), game.providers().len());
+        for (i, (sol, cost)) in out.solutions.iter().zip(&out.provider_costs).enumerate() {
+            assert!(cost.is_finite(), "provider {i} cost {cost} not finite");
+            assert!(
+                sol.xs.iter().all(dspp_linalg::Vector::is_finite),
+                "provider {i} placement has non-finite entries"
+            );
+        }
         let snap = config.telemetry.snapshot().unwrap();
         assert_eq!(snap.counter("game.max_rounds_hit"), 1);
         assert_eq!(snap.counter("game.converged"), 0);
+        assert_eq!(
+            snap.counter("game.infeasible_responses"),
+            0,
+            "recovery must absorb starved quotas instead of dead-ending"
+        );
         // The shock is real: capacity bound at some round (a positive
         // shadow price was observed), so the quotas were being reshuffled.
         let duals_seen = snap
@@ -663,6 +742,36 @@ mod tests {
         assert!(warning
             .attrs
             .contains(&("converged", AttrValue::Bool(false))));
+    }
+
+    #[test]
+    fn starved_quota_recovers_instead_of_dead_ending() {
+        // Hand provider 0 a near-zero initial quota: its strict best
+        // response is infeasible, so the first rounds must go through the
+        // recovery solve (finite penalty-inflated cost, real duals) rather
+        // than the ∞-cost synthetic-dual path.
+        let sps = SpSampler::new(2, 2, 3).with_seed(9).sample(2).unwrap();
+        let game = ResourceGame::new(sps, vec![40.0, 40.0]).unwrap();
+        let quotas = vec![vec![0.05, 0.05], vec![39.95, 39.95]];
+        let config = GameConfig {
+            telemetry: dspp_telemetry::Recorder::enabled(),
+            ..quick_config()
+        };
+        let out = game.run_from(quotas, &config).unwrap();
+        let snap = config.telemetry.snapshot().unwrap();
+        assert!(
+            snap.counter("game.recovered_responses") >= 1,
+            "starved provider must recover at least once"
+        );
+        assert_eq!(snap.counter("game.infeasible_responses"), 0);
+        let shortfall = snap.histogram("game.response_shortfall").unwrap();
+        assert!(shortfall.count >= 1);
+        assert!(shortfall.sum > 0.0, "a starved response must shed demand");
+        // The run ends with finite costs and placements for everyone.
+        for (i, cost) in out.provider_costs.iter().enumerate() {
+            assert!(cost.is_finite(), "provider {i} cost {cost}");
+        }
+        assert_eq!(out.solutions.len(), 2);
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl ResilientController {
             planned_objective: step_cost.total(),
             step_cost,
             solver_iterations: 0,
+            recovery: None,
         }
     }
 }

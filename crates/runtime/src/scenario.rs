@@ -85,6 +85,12 @@ pub struct ScenarioOutcome {
     pub solver_failures: u64,
     /// Solver failures injected by the fault plan.
     pub injected_faults: u64,
+    /// Periods resolved by a recovery (soft-constraint) solve instead of
+    /// the strict horizon QP — the degradation rung *above* holding the
+    /// last-known-good placement.
+    pub recovery_periods: u64,
+    /// Total server-units of demand the recovery solves left unserved.
+    pub sla_shortfall: f64,
 }
 
 /// Executes one scenario: applies demand faults, stacks the fault and
@@ -125,9 +131,12 @@ pub fn run_scenario(
     while sim.step()? {}
     let report = sim.report();
 
+    let recovery_periods = report.recovery_periods() as u64;
+    let sla_shortfall = report.total_sla_shortfall();
     if span.is_enabled() {
         span.attr("periods", report.periods.len());
         span.attr("fallbacks", degrade_stats.fallbacks());
+        span.attr("recovery_periods", recovery_periods);
         span.attr("total_cost", report.ledger.total());
     }
     Ok(ScenarioOutcome {
@@ -137,6 +146,8 @@ pub fn run_scenario(
         retries: degrade_stats.retries(),
         solver_failures: degrade_stats.solver_failures(),
         injected_faults: fault_stats.injected(),
+        recovery_periods,
+        sla_shortfall,
     })
 }
 
@@ -252,6 +263,45 @@ mod tests {
         assert_eq!(outcome.report.periods[3].reconfig_magnitude, 0.0);
         let snap = telemetry.snapshot().unwrap();
         assert_eq!(snap.counter("runtime.fallback"), 2);
+    }
+
+    #[test]
+    fn infeasible_surge_is_resolved_by_recovery_not_fallback() {
+        // Capacity 1.0 with a = 1/80: demand 95 needs ≈ 1.1875 servers.
+        // The recovery rung — not last-known-good — must absorb it.
+        let capped = || -> Box<dyn PlacementController> {
+            let problem = DsppBuilder::new(1, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010]])
+                .reconfiguration_weights(vec![0.02])
+                .price_trace(0, vec![1.0])
+                .capacity(0, 1.0)
+                .build()
+                .unwrap();
+            Box::new(
+                MpcController::new(
+                    problem,
+                    Box::new(LastValue),
+                    MpcSettings {
+                        horizon: 3,
+                        ..MpcSettings::default()
+                    },
+                )
+                .unwrap(),
+            )
+        };
+        let trace = vec![vec![40.0, 55.0, 95.0, 95.0, 55.0, 40.0]];
+        let spec = ScenarioSpec::new("infeasible-surge", trace).with_checkpoint_at(4);
+        let outcome = run_scenario(capped(), &spec, &Recorder::disabled()).unwrap();
+        assert!(outcome.recovery_periods >= 1, "{outcome:?}");
+        assert_eq!(outcome.fallback_periods, 0, "recovery must beat LKG");
+        assert_eq!(outcome.solver_failures, 0);
+        let deficit = 95.0 / 80.0 - 1.0;
+        assert!(
+            (outcome.sla_shortfall - deficit * outcome.recovery_periods as f64).abs() < 1e-6,
+            "{outcome:?}"
+        );
     }
 
     #[test]

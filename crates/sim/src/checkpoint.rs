@@ -21,7 +21,10 @@ use dspp_telemetry::json::{self, JsonValue};
 use crate::{SimPeriod, SlaReport};
 
 /// Schema version of the checkpoint JSON document.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 — initial layout; 2 — adds the per-period
+/// `sla_shortfall` recovery field.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
 
 /// A frozen mid-run closed-loop simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,7 +154,9 @@ impl SimCheckpoint {
             push_f64(&mut out, p.sla.worst_latency);
             out.push_str(",\"served_fraction\":");
             push_f64(&mut out, p.sla.served_fraction);
-            out.push_str("}}");
+            out.push_str("},\"sla_shortfall\":");
+            push_f64(&mut out, p.sla_shortfall);
+            out.push('}');
         }
         let _ = write!(
             out,
@@ -218,6 +223,7 @@ impl SimCheckpoint {
                         worst_latency: parse_f64(get(sla, "worst_latency")?)?,
                         served_fraction: parse_f64(get(sla, "served_fraction")?)?,
                     },
+                    sla_shortfall: parse_f64(get(p, "sla_shortfall")?)?,
                 })
             })()
             .map_err(|e| format!("periods[{i}]: {e}"))?;
@@ -297,6 +303,7 @@ mod tests {
                         worst_latency: 0.031,
                         served_fraction: 1.0,
                     },
+                    sla_shortfall: 0.0,
                 },
                 SimPeriod {
                     period: 1,
@@ -315,6 +322,7 @@ mod tests {
                         worst_latency: f64::INFINITY,
                         served_fraction: 1.0,
                     },
+                    sla_shortfall: 2.625,
                 },
             ],
             controller_state: ControllerCheckpoint {
@@ -349,9 +357,14 @@ mod tests {
         assert!(SimCheckpoint::from_json("not json").is_err());
         assert!(SimCheckpoint::from_json("{\"schema_version\":99}").is_err());
         let mut ck = sample();
-        ck.schema_version = 1;
+        ck.schema_version = CHECKPOINT_SCHEMA_VERSION;
         let text = ck.to_json().replace("\"cursor\":2", "\"cursor\":\"x\"");
         assert!(SimCheckpoint::from_json(&text).is_err());
+        // A v1 document (no sla_shortfall) is rejected by version check.
+        let old = ck
+            .to_json()
+            .replace("\"schema_version\":2", "\"schema_version\":1");
+        assert!(SimCheckpoint::from_json(&old).is_err());
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct SimPeriod {
     pub cost: dspp_core::PeriodCost,
     /// Analytic SLA evaluation against the realized demand.
     pub sla: SlaReport,
+    /// Demand (in server units) the controller knowingly left unserved
+    /// because the period was infeasible and a recovery solve ran; `0.0`
+    /// for strict-feasible periods.
+    pub sla_shortfall: f64,
 }
 
 /// Result of a closed-loop run.
@@ -42,6 +46,21 @@ impl SimReport {
             .iter()
             .filter(|p| p.sla.violated_arcs > 0)
             .count()
+    }
+
+    /// Periods resolved by a recovery (soft-constraint) solve rather than
+    /// the strict horizon QP.
+    pub fn recovery_periods(&self) -> usize {
+        self.periods
+            .iter()
+            .filter(|p| p.sla_shortfall > 0.0)
+            .count()
+    }
+
+    /// Total server-units of demand left unserved across the run by
+    /// recovery solves.
+    pub fn total_sla_shortfall(&self) -> f64 {
+        self.periods.iter().map(|p| p.sla_shortfall).sum()
     }
 
     /// The per-DC server series, `[dc][period]` — what Figures 4–6 plot.
@@ -237,12 +256,25 @@ impl ClosedLoopSim {
         };
         self.ledger.push(step_cost);
         let reconfig_magnitude: f64 = outcome.control.iter().map(|u| u.abs()).sum();
+        // Shortfall the recovery solve knowingly left unserved this period
+        // (server units). Strict-feasible steps carry no recovery record.
+        let sla_shortfall = outcome
+            .recovery
+            .as_ref()
+            .map_or(0.0, |r| r.resource_shortfall);
         if let Some(t) = t_step {
             telemetry.incr("sim.periods", 1);
             telemetry.observe_duration("sim.step_seconds", t.elapsed());
             telemetry.observe("sim.reconfig_l1", reconfig_magnitude);
-            if sla.violated_arcs > 0 {
+            // A recovered period counts as SLA-violation mass even when the
+            // analytic check happens to pass against realized demand: the
+            // controller planned to leave demand unserved.
+            if sla.violated_arcs > 0 || sla_shortfall > 0.0 {
                 telemetry.incr("sim.sla_violation_periods", 1);
+            }
+            if sla_shortfall > 0.0 {
+                telemetry.incr("sim.recovery_periods", 1);
+                telemetry.observe("sim.sla_shortfall", sla_shortfall);
             }
             if let Some(mon) = self.monitor.as_mut() {
                 let alarms = mon.observe(&observed);
@@ -254,6 +286,9 @@ impl ClosedLoopSim {
             period_span.attr("sla_violated_arcs", sla.violated_arcs);
             period_span.attr("step_cost", step_cost.total());
             period_span.attr("total_servers", outcome.allocation.total());
+            if sla_shortfall > 0.0 {
+                period_span.attr("sla_shortfall", sla_shortfall);
+            }
         }
         self.periods.push(SimPeriod {
             period: k,
@@ -264,6 +299,7 @@ impl ClosedLoopSim {
             reconfig_magnitude,
             cost: step_cost,
             sla,
+            sla_shortfall,
         });
         self.cursor += 1;
         Ok(true)
@@ -518,6 +554,103 @@ mod tests {
         );
         // Nested solver metrics flow into the same recorder.
         assert!(snap.histogram("solver.lq.iterations").unwrap().sum > 0.0);
+    }
+
+    /// The 1×1 problem with a hard capacity: `a = 1/80`, so demand above
+    /// `80 · cap` is infeasible and forces a recovery solve.
+    fn capped_problem(cap: f64) -> dspp_core::Dspp {
+        DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .reconfiguration_weights(vec![0.02])
+            .price_trace(0, vec![1.0])
+            .capacity(0, cap)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recovery_periods_are_recorded_with_shortfall_telemetry() {
+        // Demand 95 needs 95/80 ≈ 1.1875 servers against a capacity of
+        // 1.0 — strict-infeasible, so the controller's recovery rung must
+        // resolve those periods and the sim must record the shortfall.
+        let demand = vec![vec![40.0, 55.0, 95.0, 95.0, 55.0, 40.0]];
+        let telemetry = dspp_telemetry::Recorder::enabled();
+        let c = MpcController::new(
+            capped_problem(1.0),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let report = ClosedLoopSim::new(Box::new(c), demand)
+            .unwrap()
+            .with_telemetry(telemetry.clone())
+            .run()
+            .unwrap();
+        assert!(
+            report.recovery_periods() >= 1,
+            "surge must trigger recovery"
+        );
+        // Shortfall equals the capacity deficit: 95/80 − 1.0 per period.
+        let deficit = 95.0 / 80.0 - 1.0;
+        for p in report.periods.iter().filter(|p| p.sla_shortfall > 0.0) {
+            assert!((p.sla_shortfall - deficit).abs() < 1e-6, "{p:?}");
+        }
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("sim.recovery_periods") as usize,
+            report.recovery_periods()
+        );
+        let shortfall = snap.histogram("sim.sla_shortfall").unwrap();
+        assert_eq!(shortfall.count as usize, report.recovery_periods());
+        assert!((shortfall.sum - report.total_sla_shortfall()).abs() < 1e-9);
+        // Recovered periods count as SLA-violation mass.
+        assert!(snap.counter("sim.sla_violation_periods") >= report.recovery_periods() as u64);
+    }
+
+    #[test]
+    fn checkpoint_resumes_through_a_recovery_period() {
+        let demand = vec![vec![40.0, 55.0, 95.0, 95.0, 55.0, 40.0]];
+        let capped = |horizon| {
+            Box::new(
+                MpcController::new(
+                    capped_problem(1.0),
+                    Box::new(LastValue),
+                    MpcSettings {
+                        horizon,
+                        ..MpcSettings::default()
+                    },
+                )
+                .unwrap(),
+            )
+        };
+        let straight = ClosedLoopSim::new(capped(3), demand.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(straight.recovery_periods() >= 1);
+        // Checkpoint right after the first recovery-mode period.
+        let boundary = straight
+            .periods
+            .iter()
+            .position(|p| p.sla_shortfall > 0.0)
+            .unwrap()
+            + 1;
+        let mut first = ClosedLoopSim::new(capped(3), demand.clone()).unwrap();
+        first.run_until(boundary).unwrap();
+        let ck = first.checkpoint().unwrap();
+        let ck = crate::SimCheckpoint::from_json(&ck.to_json()).unwrap();
+        drop(first);
+        let mut resumed = ClosedLoopSim::new(capped(3), demand).unwrap();
+        resumed.restore(&ck).unwrap();
+        assert!(resumed.periods()[boundary - 1].sla_shortfall > 0.0);
+        let report = resumed.run().unwrap();
+        assert_eq!(report, straight, "resume through recovery must be exact");
     }
 
     #[test]

@@ -20,6 +20,22 @@ pub enum SolverError {
     /// The iteration stalled or produced non-finite values; the problem is
     /// likely primal or dual infeasible, or catastrophically ill-conditioned.
     NumericalFailure(String),
+    /// The problem is primal infeasible: the interior-point iterates produced
+    /// a Farkas-style certificate (diverging inequality multipliers pricing a
+    /// constraint row whose violation never shrank). Unlike
+    /// [`SolverError::MaxIterations`], this is a property of the *problem*,
+    /// not of the iteration budget, and callers can react by re-solving a
+    /// relaxation (see `relax_lq`).
+    Infeasible {
+        /// Stage (period) index of the certified row; the terminal slot is
+        /// reported as the horizon length.
+        period: usize,
+        /// Constraint row index within that stage.
+        constraint: usize,
+        /// Persistent violation of that row, `(Cx·x + Cu·u − d)_row`, at the
+        /// least-infeasible iterate seen.
+        shortfall: f64,
+    },
     /// A linear-algebra kernel failed irrecoverably.
     Linalg(LinalgError),
 }
@@ -35,6 +51,15 @@ impl fmt::Display for SolverError {
                 )
             }
             SolverError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            SolverError::Infeasible {
+                period,
+                constraint,
+                shortfall,
+            } => write!(
+                f,
+                "primal infeasible: period {period} constraint {constraint} \
+                 cannot be met (shortfall {shortfall:.6})"
+            ),
             SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

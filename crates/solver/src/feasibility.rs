@@ -1,0 +1,267 @@
+//! Preflight feasibility analysis for stage-structured DSPP problems.
+//!
+//! Solving an infeasible horizon QP wastes a full interior-point run just
+//! to learn that no placement exists. The preflight implemented here costs
+//! one pass over the constraint data and certifies the cheapest necessary
+//! condition: per period, the SLA-scaled aggregate demand
+//! `Σ_v D_k^v · min_l (a^{lv} · s)` cannot exceed the total capacity
+//! `Σ_l C^l`. The bound ignores how demand splits across data centers, so
+//! a clean report does not *guarantee* feasibility — but any reported
+//! deficit is a true lower bound on the SLA shortfall that every
+//! relaxation (see [`crate::relax_lq`]) must incur, which is exactly the
+//! contract the recovery solve and its tests rely on.
+//!
+//! The preflight operates on the [`LqProblem`] row convention used by the
+//! core crate's horizon builder, described to it by an [`LqRowLayout`]:
+//! each constrained slot leads with the demand rows
+//! (`-Σ_e x_e/a_e ≤ -D_v`), followed by the capacity rows
+//! (`Σ_e s·x_e ≤ C_l`); any further rows (non-negativity, rate limits)
+//! are ignored by the aggregate check.
+
+use crate::{LqProblem, SolverError};
+
+/// Describes which leading constraint rows of each constrained stage are
+/// demand rows and which are capacity rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LqRowLayout {
+    /// Number of leading demand rows (`-Σ_e x_e/a_e ≤ -D_v`) per
+    /// constrained slot.
+    pub demand_rows: usize,
+    /// Number of capacity rows (`Σ_e s·x_e ≤ C_l`) following the demand
+    /// rows.
+    pub capacity_rows: usize,
+}
+
+/// Aggregate demand-versus-capacity balance of one period (stage slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodFeasibility {
+    /// Stage slot index within the horizon (the terminal slot is the
+    /// horizon length).
+    pub period: usize,
+    /// Minimum aggregate resource the period's demand requires,
+    /// `Σ_v D_v · min_e(resource per served demand unit via arc e)`.
+    pub required: f64,
+    /// Total capacity across the period's capacity rows, `Σ_l C^l`.
+    pub available: f64,
+    /// Aggregate capacity deficit `max(0, required − available)`; zero for
+    /// a period that passes the check, infinite when a positive demand has
+    /// no serving arc at all.
+    pub deficit: f64,
+}
+
+/// Result of the aggregate preflight over a whole horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityReport {
+    /// One entry per constrained stage slot, in horizon order.
+    pub periods: Vec<PeriodFeasibility>,
+}
+
+impl FeasibilityReport {
+    /// `true` when no period shows an aggregate deficit. A `true` report
+    /// is necessary but not sufficient for feasibility of the full QP.
+    pub fn is_feasible(&self) -> bool {
+        self.periods.iter().all(|p| p.deficit <= 0.0)
+    }
+
+    /// The period with the largest deficit, if any period has one.
+    pub fn worst(&self) -> Option<&PeriodFeasibility> {
+        self.periods
+            .iter()
+            .filter(|p| p.deficit > 0.0)
+            .max_by(|a, b| a.deficit.total_cmp(&b.deficit))
+    }
+
+    /// The first period (in horizon order) with a positive deficit.
+    pub fn first_infeasible(&self) -> Option<&PeriodFeasibility> {
+        self.periods.iter().find(|p| p.deficit > 0.0)
+    }
+
+    /// Sum of all per-period deficits.
+    pub fn total_deficit(&self) -> f64 {
+        self.periods.iter().map(|p| p.deficit).sum()
+    }
+
+    /// Per-period deficits in horizon order.
+    pub fn deficits(&self) -> Vec<f64> {
+        self.periods.iter().map(|p| p.deficit).collect()
+    }
+}
+
+/// Runs the aggregate preflight on `problem` under the row convention
+/// `layout`.
+///
+/// Slots without constraints (the horizon builder leaves stage 0
+/// unconstrained because `x_0` is fixed) are skipped. For every
+/// constrained slot the check computes, per demand row `v`, the cheapest
+/// resource cost of serving one demand unit over the arcs that can serve
+/// it — the capacity-row coefficient of arc `e` divided by its demand-row
+/// rate `1/a_e` — and compares the summed requirement against the summed
+/// capacity right-hand sides.
+///
+/// # Errors
+///
+/// Returns [`SolverError::InvalidProblem`] when a constrained slot has
+/// fewer rows than the layout promises, or when any inspected entry is
+/// non-finite (the horizon builder never produces either, so a failure
+/// here means the problem was assembled by hand and is malformed).
+pub fn preflight_lq(
+    problem: &LqProblem,
+    layout: &LqRowLayout,
+) -> Result<FeasibilityReport, SolverError> {
+    let nstages = problem.horizon();
+    let declared = layout.demand_rows + layout.capacity_rows;
+    let mut periods = Vec::new();
+    for slot in 0..=nstages {
+        let (cx, d) = if slot < nstages {
+            let st = &problem.stages[slot];
+            (&st.cx, &st.d)
+        } else {
+            (&problem.terminal.cx, &problem.terminal.d)
+        };
+        if d.is_empty() {
+            continue;
+        }
+        if d.len() < declared {
+            return Err(SolverError::InvalidProblem(format!(
+                "feasibility preflight: slot {slot} has {} constraint rows, \
+                 fewer than the declared {declared} demand+capacity rows",
+                d.len()
+            )));
+        }
+        if !d.is_finite() || !cx.is_finite() {
+            return Err(SolverError::InvalidProblem(format!(
+                "feasibility preflight: slot {slot} has non-finite constraint data"
+            )));
+        }
+        let nv = layout.demand_rows;
+        let nl = layout.capacity_rows;
+        let mut required = 0.0f64;
+        for v in 0..nv {
+            let demand = -d[v];
+            if demand <= 0.0 {
+                continue;
+            }
+            // Cheapest resource cost per served demand unit over the arcs
+            // (columns) that appear in this demand row.
+            let mut best: Option<f64> = None;
+            for e in 0..cx.cols() {
+                let rate = -cx[(v, e)];
+                if rate <= 0.0 {
+                    continue;
+                }
+                let mut resource = 0.0f64;
+                for l in 0..nl {
+                    resource += cx[(nv + l, e)].max(0.0);
+                }
+                let cost = resource / rate;
+                best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+            }
+            match best {
+                Some(cost) => required += demand * cost,
+                // Positive demand with no serving arc: structurally
+                // unservable, regardless of capacity.
+                None => required = f64::INFINITY,
+            }
+        }
+        let available: f64 = (0..nl).map(|l| d[nv + l]).sum();
+        let deficit = (required - available).max(0.0);
+        periods.push(PeriodFeasibility {
+            period: slot,
+            required,
+            available,
+            deficit,
+        });
+    }
+    Ok(FeasibilityReport { periods })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LqStage, LqTerminal};
+    use dspp_linalg::{Matrix, Vector};
+
+    /// One DC (capacity `cap`), one location, arc coefficient `a`,
+    /// server size 1: demand row `-x/a ≤ -demand`, capacity row `x ≤ cap`,
+    /// non-negativity `-x ≤ 0`.
+    fn one_arc_problem(a: f64, cap: f64, demands: &[f64]) -> LqProblem {
+        let cx = Matrix::from_rows(&[&[-1.0 / a], &[1.0], &[-1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(1).with_input_penalty(&Vector::from(vec![0.1]));
+        let mut stages = vec![free.clone()];
+        for &dem in &demands[..demands.len() - 1] {
+            stages.push(free.clone().with_constraints(
+                cx.clone(),
+                Matrix::zeros(3, 1),
+                Vector::from(vec![-dem, cap, 0.0]),
+            ));
+        }
+        let terminal = LqTerminal::free(1).with_constraints(
+            cx,
+            Vector::from(vec![-demands[demands.len() - 1], cap, 0.0]),
+        );
+        LqProblem::new(Vector::zeros(1), stages, terminal).unwrap()
+    }
+
+    fn layout() -> LqRowLayout {
+        LqRowLayout {
+            demand_rows: 1,
+            capacity_rows: 1,
+        }
+    }
+
+    #[test]
+    fn feasible_horizon_reports_zero_deficit() {
+        let p = one_arc_problem(0.5, 10.0, &[8.0, 12.0, 16.0]);
+        let report = preflight_lq(&p, &layout()).unwrap();
+        assert!(report.is_feasible());
+        assert_eq!(report.periods.len(), 3);
+        // Period 1 needs 0.5 · 8 = 4 servers of 10.
+        assert!((report.periods[0].required - 4.0).abs() < 1e-12);
+        assert!((report.periods[0].available - 10.0).abs() < 1e-12);
+        assert_eq!(report.worst(), None);
+        assert_eq!(report.total_deficit(), 0.0);
+    }
+
+    #[test]
+    fn overload_reports_exact_deficit() {
+        // Demand 30 at a = 0.5 needs 15 servers; only 10 exist.
+        let p = one_arc_problem(0.5, 10.0, &[8.0, 30.0, 8.0]);
+        let report = preflight_lq(&p, &layout()).unwrap();
+        assert!(!report.is_feasible());
+        let worst = report.worst().unwrap();
+        assert_eq!(worst.period, 2);
+        assert!((worst.deficit - 5.0).abs() < 1e-12);
+        assert_eq!(report.first_infeasible().unwrap().period, 2);
+        assert!((report.total_deficit() - 5.0).abs() < 1e-12);
+        assert_eq!(report.deficits(), vec![0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn unservable_demand_is_an_infinite_deficit() {
+        // Demand row with no serving column.
+        let cx = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let stage = LqStage::identity_dynamics(1)
+            .with_input_penalty(&Vector::ones(1))
+            .with_constraints(cx, Matrix::zeros(2, 1), Vector::from(vec![-5.0, 10.0]));
+        let free = LqStage::identity_dynamics(1).with_input_penalty(&Vector::ones(1));
+        let p = LqProblem::new(Vector::zeros(1), vec![free, stage], LqTerminal::free(1)).unwrap();
+        let report = preflight_lq(&p, &layout()).unwrap();
+        assert_eq!(report.periods.len(), 1);
+        assert!(report.periods[0].deficit.is_infinite());
+    }
+
+    #[test]
+    fn short_slots_are_rejected() {
+        // A constrained slot with a single row cannot satisfy a layout
+        // demanding 1 + 1 rows.
+        let cx = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let stage = LqStage::identity_dynamics(1)
+            .with_input_penalty(&Vector::ones(1))
+            .with_constraints(cx, Matrix::zeros(1, 1), Vector::from(vec![-5.0]));
+        let p = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+        assert!(matches!(
+            preflight_lq(&p, &layout()),
+            Err(SolverError::InvalidProblem(_))
+        ));
+    }
+}

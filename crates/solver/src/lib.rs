@@ -54,18 +54,22 @@
 #![warn(missing_docs)]
 
 mod error;
+mod feasibility;
 mod flatten;
 mod ipm;
 mod lq;
 mod lq_ipm;
 mod qp;
+mod relax;
 mod riccati;
 mod settings;
 
 pub use error::SolverError;
+pub use feasibility::{preflight_lq, FeasibilityReport, LqRowLayout, PeriodFeasibility};
 pub use flatten::flatten_lq;
 pub use ipm::{solve_qp, solve_qp_traced};
 pub use lq::{LqProblem, LqSolution, LqStage, LqTerminal};
 pub use lq_ipm::{solve_lq, solve_lq_traced, solve_lq_warm, solve_lq_warm_traced};
 pub use qp::{QpProblem, QpSolution, SolveStatus};
+pub use relax::{relax_lq, relax_lq_slots, RelaxedLq, RelaxedSolution, SoftSpec};
 pub use settings::IpmSettings;

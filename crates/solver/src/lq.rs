@@ -294,7 +294,7 @@ impl LqProblem {
         let mut xs = Vec::with_capacity(self.horizon() + 1);
         xs.push(self.x0.clone());
         for (k, st) in self.stages.iter().enumerate() {
-            let x = xs.last().expect("non-empty");
+            let x = &xs[k];
             let mut xn = st.a.matvec(x);
             xn += &st.b.matvec(&us[k]);
             xn += &st.c;

@@ -22,8 +22,11 @@ use std::time::Instant;
 /// # Errors
 ///
 /// * [`SolverError::InvalidProblem`] for invalid settings.
-/// * [`SolverError::MaxIterations`] when tolerances are not met (usually an
-///   infeasible problem — e.g. demand exceeding total data-center capacity).
+/// * [`SolverError::Infeasible`] when the exit classifier certifies primal
+///   infeasibility (e.g. demand exceeding total data-center capacity): a
+///   constraint row stayed violated while its multipliers diverged.
+/// * [`SolverError::MaxIterations`] when tolerances are not met within the
+///   iteration budget on an apparently feasible problem.
 /// * [`SolverError::NumericalFailure`] for non-PD stage input costs or
 ///   non-finite iterates.
 ///
@@ -127,6 +130,12 @@ pub fn solve_lq_warm_traced(
             let status = match err {
                 SolverError::MaxIterations { .. } => "solver.lq.status.max_iterations",
                 SolverError::NumericalFailure(_) => "solver.lq.status.numerical_failure",
+                SolverError::Infeasible { .. } => {
+                    // Headline series (docs/OBSERVABILITY.md, "Feasibility
+                    // and recovery"): certified-infeasible solves.
+                    telemetry.incr("solver.infeasible", 1);
+                    "solver.lq.status.infeasible"
+                }
                 _ => "solver.lq.status.invalid_problem",
             };
             telemetry.incr(status, 1);
@@ -230,6 +239,18 @@ fn solve_lq_warm_inner(
         .max(problem.terminal.d.norm_inf());
 
     let mut best_gap = f64::INFINITY;
+    // Exit-classifier trackers: the least-violated iterate seen (slot, row,
+    // violation) and the latest dual magnitude. If even the *best* iterate
+    // leaves a constraint row violated while the multipliers diverge, the
+    // problem is primal infeasible (Farkas-style certificate) rather than
+    // slow to converge.
+    let mut best_violation = (0usize, 0usize, f64::INFINITY, f64::INFINITY);
+    let mut z_max = 0.0f64;
+    // Regularization is adaptive: a failed Riccati factorization (the
+    // barrier Hessian went ill-conditioned near the boundary) boosts it for
+    // the rest of the solve instead of aborting.
+    let mut reg = settings.regularization;
+    let max_reg = settings.regularization.max(1e-12) * 1e8;
     for iter in 0..settings.max_iterations {
         // ------- residuals -------
         // r_ineq per slot.
@@ -306,6 +327,11 @@ fn solve_lq_warm_inner(
         for r in &r_ineqs {
             ineq_norm = ineq_norm.max(r.norm_inf());
         }
+        let wr = worst_violation_row(problem, &xs, &us);
+        if wr.3 < best_violation.3 {
+            best_violation = wr;
+        }
+        z_max = z_max.max(zs.iter().map(Vector::norm_inf).fold(0.0f64, f64::max));
         let objective = problem.objective(&xs, &us);
         if span.is_enabled() {
             span.event_with(
@@ -381,8 +407,36 @@ fn solve_lq_warm_inner(
             m_mods.push(m);
         }
         let t_factor = telemetry.is_enabled().then(Instant::now);
-        let factor =
-            RiccatiFactor::factor(problem, &q_mods, &r_mods, &m_mods, settings.regularization)?;
+        let factor = loop {
+            match RiccatiFactor::factor(problem, &q_mods, &r_mods, &m_mods, reg) {
+                Ok(f) => break f,
+                Err(e) if reg < max_reg => {
+                    reg = (reg * 100.0).max(1e-12);
+                    telemetry.incr("solver.lq.reg_boosts", 1);
+                    if span.is_enabled() {
+                        span.event_with(
+                            "solver.lq.reg_boost",
+                            [
+                                ("iter", AttrValue::UInt(iter as u64)),
+                                ("regularization", AttrValue::Float(reg)),
+                                ("cause", AttrValue::from(e.to_string())),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Even the fully boosted regularization cannot factor
+                    // the barrier Hessian. When the multipliers driving it
+                    // diverged against a never-satisfied constraint row,
+                    // that is the infeasibility exit, not a numerical one.
+                    if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                        span.attr("status", "infeasible");
+                        return Err(err);
+                    }
+                    return Err(e);
+                }
+            }
+        };
         if let Some(t) = t_factor {
             telemetry.observe_duration("solver.lq.riccati_factor_seconds", t.elapsed());
         }
@@ -509,12 +563,26 @@ fn solve_lq_warm_inner(
             && zs.iter().all(Vector::is_finite)
             && lams.iter().all(Vector::is_finite);
         if !finite {
+            // Diverging to non-finite values while a constraint row was
+            // never satisfiable is an infeasibility exit, not a numerical
+            // accident; classify from the pre-divergence trackers.
+            if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                span.attr("status", "infeasible");
+                return Err(err);
+            }
             span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(
                 "iterates became non-finite".into(),
             ));
         }
         if m_total > 0 && alpha_p < 1e-13 && alpha_d < 1e-13 {
+            // A collapsed step with a constraint row still violated is the
+            // classic primal-infeasibility exit; classify it as such
+            // instead of reporting an opaque numerical failure.
+            if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                span.attr("status", "infeasible");
+                return Err(err);
+            }
             span.attr("status", "numerical_failure");
             return Err(SolverError::NumericalFailure(format!(
                 "step length collapsed at iteration {iter} (gap {mu:.3e}); problem is likely infeasible"
@@ -551,12 +619,90 @@ fn solve_lq_warm_inner(
             status: SolveStatus::AlmostOptimal,
         });
     }
+    // Exit classifier: iteration exhaustion on a *feasible* problem leaves
+    // the iterates primal-feasible (to loose tolerance) with bounded duals;
+    // on an infeasible one a constraint row stays violated while its
+    // multipliers diverge — a Farkas-style certificate.
+    if let Some(err) = classify_infeasibility(best_violation, settings, z_max > 1e6) {
+        span.attr("status", "infeasible");
+        span.attr("dual_max", z_max);
+        return Err(err);
+    }
     span.attr("status", "max_iterations");
     span.attr("best_gap", best_gap);
     Err(SolverError::MaxIterations {
         limit: settings.max_iterations,
         gap: best_gap,
     })
+}
+
+/// Farkas-style exit classification shared by the divergence,
+/// step-collapse, and iteration-exhaustion exits.
+///
+/// `best_violation` is the least-violated iterate's worst row
+/// `(slot, row, violation, relative violation)`: if even that iterate left
+/// a row violated beyond the loose feasibility tolerance *relative to the
+/// row's own right-hand side*, no iterate ever approached the constraint
+/// set. (Row-relative scaling matters: a single huge entry elsewhere —
+/// e.g. a 1e9 "uncapacitated" sentinel — must not drown out a genuinely
+/// violated demand row.) Combined with `diverged` — the step length
+/// collapsed, iterates blew up to non-finite values, or the inequality
+/// multipliers exceeded `1e6` — this is the practical Farkas certificate:
+/// normalizing the huge multipliers makes the cost gradient in the
+/// stationarity residual negligible, so they approximately satisfy
+/// `Cᵀy ⊥ dynamics, y ≥ 0` while pricing the violated row reported in the
+/// error.
+fn classify_infeasibility(
+    best_violation: (usize, usize, f64, f64),
+    settings: &IpmSettings,
+    diverged: bool,
+) -> Option<SolverError> {
+    let loose = 1e4;
+    let (period, constraint, shortfall, relative) = best_violation;
+    if !diverged || !relative.is_finite() || relative <= loose * settings.tol_feasibility {
+        return None;
+    }
+    Some(SolverError::Infeasible {
+        period,
+        constraint,
+        shortfall,
+    })
+}
+
+/// Locates the most-violated constraint row along the trajectory, measured
+/// relative to each row's right-hand side; returns
+/// `(slot, row, violation, violation / (1 + |d_row|))` with the terminal
+/// slot reported as the horizon length.
+fn worst_violation_row(
+    problem: &LqProblem,
+    xs: &[Vector],
+    us: &[Vector],
+) -> (usize, usize, f64, f64) {
+    let mut worst = (0usize, 0usize, 0.0f64, 0.0f64);
+    for (k, st) in problem.stages.iter().enumerate() {
+        if st.num_constraints() == 0 {
+            continue;
+        }
+        let lhs = &st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k]);
+        for i in 0..st.d.len() {
+            let viol = lhs[i] - st.d[i];
+            let rel = viol / (1.0 + st.d[i].abs());
+            if rel > worst.3 {
+                worst = (k, i, viol, rel);
+            }
+        }
+    }
+    if !problem.terminal.d.is_empty() {
+        let lhs = problem.terminal.cx.matvec(&xs[problem.horizon()]);
+        for i in 0..problem.terminal.d.len() {
+            let viol = lhs[i] - problem.terminal.d[i];
+            let rel = viol / (1.0 + problem.terminal.d[i].abs());
+            if rel > worst.3 {
+                worst = (problem.horizon(), i, viol, rel);
+            }
+        }
+    }
+    worst
 }
 
 fn max_step_multi(vs: &[Vector], dvs: &[Vector]) -> f64 {
@@ -733,21 +879,74 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_constraints_error_out() {
-        // x ≥ 5 and x ≤ 1 simultaneously.
+    fn infeasible_constraints_are_certified_as_infeasible() {
+        // x ≥ 5 and x ≤ 1 simultaneously: the exit classifier must report
+        // a typed certificate, not an opaque iteration failure.
         let rows = Matrix::from_rows(&[&[-1.0], &[1.0]]).unwrap();
         let stage = LqStage::identity_dynamics(1)
             .with_input_penalty(&Vector::ones(1))
             .with_constraints(rows, Matrix::zeros(2, 1), Vector::from(vec![-5.0, 1.0]));
         let problem = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
         let err = solve_lq(&problem, &settings()).unwrap_err();
-        assert!(
-            matches!(
-                err,
-                SolverError::MaxIterations { .. } | SolverError::NumericalFailure(_)
-            ),
-            "unexpected: {err}"
+        match err {
+            SolverError::Infeasible {
+                period,
+                constraint,
+                shortfall,
+            } => {
+                assert_eq!(period, 0);
+                assert!(constraint < 2);
+                // The two rows are 4 apart; no point can violate the worse
+                // one by less than half of that.
+                assert!(shortfall >= 2.0 - 1e-6, "shortfall = {shortfall}");
+            }
+            other => panic!("expected Infeasible, got {other}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_solve_increments_the_headline_counter() {
+        let telemetry = Recorder::enabled();
+        let rows = Matrix::from_rows(&[&[-1.0], &[1.0]]).unwrap();
+        let stage = LqStage::identity_dynamics(1)
+            .with_input_penalty(&Vector::ones(1))
+            .with_constraints(rows, Matrix::zeros(2, 1), Vector::from(vec![-5.0, 1.0]));
+        let problem = LqProblem::new(Vector::zeros(1), vec![stage], LqTerminal::free(1)).unwrap();
+        let err = solve_lq_traced(&problem, &settings(), &telemetry).unwrap_err();
+        assert!(matches!(err, SolverError::Infeasible { .. }));
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.infeasible"), 1);
+        assert_eq!(snap.counter("solver.lq.status.infeasible"), 1);
+    }
+
+    #[test]
+    fn capacity_overload_names_the_binding_period() {
+        // Demand floor x ≥ 8 against capacity x ≤ 5 from stage 2 on: the
+        // certificate must point at a constrained slot, not slot 0.
+        let rows = Matrix::from_rows(&[&[-1.0], &[1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(1).with_input_penalty(&Vector::ones(1));
+        let tight = free.clone().with_constraints(
+            rows.clone(),
+            Matrix::zeros(2, 1),
+            Vector::from(vec![-8.0, 5.0]),
         );
+        let mid = free.clone();
+        let problem = LqProblem::new(
+            Vector::zeros(1),
+            vec![free, mid, tight],
+            LqTerminal::free(1),
+        )
+        .unwrap();
+        let err = solve_lq(&problem, &settings()).unwrap_err();
+        match err {
+            SolverError::Infeasible {
+                period, shortfall, ..
+            } => {
+                assert!(period >= 1, "period = {period}");
+                assert!(shortfall >= 1.5 - 1e-6, "shortfall = {shortfall}");
+            }
+            other => panic!("expected Infeasible, got {other}"),
+        }
     }
 
     #[test]

@@ -131,8 +131,10 @@ impl RiccatiFactor {
             hs[k] = h;
             f_list[k] = Some(f_chol);
         }
-        for f in f_list {
-            f_chols.push(f.expect("all stages factored"));
+        for (k, f) in f_list.into_iter().enumerate() {
+            f_chols.push(f.ok_or_else(|| {
+                SolverError::NumericalFailure(format!("stage {k}: Riccati factor missing"))
+            })?);
         }
         Ok(RiccatiFactor {
             f_chols,

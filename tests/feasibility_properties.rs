@@ -1,0 +1,120 @@
+//! Property-based tests for the feasibility guardian: the recovery
+//! (soft-constraint) solve must coincide with the strict solve whenever
+//! the preflight check says the horizon is feasible, and its reported
+//! shortfall must cover the preflight's aggregate capacity deficit
+//! whenever it is not.
+
+use dspp::core::{Allocation, Dspp, DsppBuilder, HorizonProblem, RecoverySettings};
+use dspp::solver::IpmSettings;
+use dspp::telemetry::Recorder;
+use proptest::prelude::*;
+
+/// A 1×1 problem with `a = 1/(100 − 1/0.05) = 1/80`: demand `D` needs
+/// exactly `D/80` servers, so `capacity · 80` is the feasibility boundary.
+fn capped_problem(capacity: f64) -> Dspp {
+    DsppBuilder::new(1, 1)
+        .service_rate(100.0)
+        .sla_latency(0.060)
+        .latency_rows(vec![vec![0.010]])
+        .reconfiguration_weights(vec![0.02])
+        .price_trace(0, vec![1.0])
+        .capacity(0, capacity)
+        .build()
+        .expect("valid spec")
+}
+
+fn horizon_for(problem: &Dspp, demand: f64, w: usize) -> HorizonProblem {
+    let x0 = Allocation::zeros(problem);
+    HorizonProblem::build(problem, &x0, &[vec![demand; w]], &[vec![1.0; w]]).expect("valid horizon")
+}
+
+const A: f64 = 1.0 / 80.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// When the preflight report is feasible, the strict solve succeeds
+    /// and the recovery solve reproduces it: zero slack, matching
+    /// objective and matching first control.
+    #[test]
+    fn prop_recovery_matches_strict_when_feasible(
+        demand in 8.0f64..70.0,
+        headroom in 1.1f64..3.0,
+        w in 1usize..5,
+    ) {
+        let capacity = demand * A * headroom;
+        let problem = capped_problem(capacity);
+        let horizon = horizon_for(&problem, demand, w);
+        let report = horizon.preflight().expect("preflight");
+        prop_assert!(report.is_feasible(), "{report:?}");
+
+        let ipm = IpmSettings::default();
+        let strict = horizon.solve(&ipm).expect("strict solve");
+        let recovered = horizon
+            .solve_recovery(&ipm, &RecoverySettings::default(), None, &Recorder::disabled())
+            .expect("recovery solve");
+
+        prop_assert!(
+            recovered.max_resource_shortfall() < 1e-5,
+            "feasible horizon must carry no slack: {:?}",
+            recovered.resource_shortfall
+        );
+        let scale = 1.0 + strict.objective.abs();
+        prop_assert!(
+            (recovered.solution.objective - strict.objective).abs() < 1e-4 * scale,
+            "objectives diverge: strict {} vs recovered {}",
+            strict.objective,
+            recovered.solution.objective
+        );
+        for (a, b) in strict.us[0].iter().zip(recovered.solution.us[0].iter()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "u0 diverges: {a} vs {b}");
+        }
+    }
+
+    /// When the preflight report is infeasible, the recovery solve still
+    /// returns a placement, and its shortfall covers the aggregate
+    /// capacity deficit — per period, not just in total, for this
+    /// single-location problem.
+    #[test]
+    fn prop_recovery_shortfall_covers_deficit_when_infeasible(
+        demand in 8.0f64..70.0,
+        starvation in 0.1f64..0.9,
+        w in 1usize..5,
+    ) {
+        let capacity = demand * A * starvation;
+        let problem = capped_problem(capacity);
+        let horizon = horizon_for(&problem, demand, w);
+        let report = horizon.preflight().expect("preflight");
+        prop_assert!(!report.is_feasible(), "{report:?}");
+
+        let recovered = horizon
+            .solve_recovery(
+                &IpmSettings::default(),
+                &RecoverySettings::default(),
+                None,
+                &Recorder::disabled(),
+            )
+            .expect("recovery solve");
+
+        prop_assert!(
+            recovered.total_resource_shortfall() >= report.total_deficit() - 1e-6,
+            "shortfall {} below aggregate deficit {}",
+            recovered.total_resource_shortfall(),
+            report.total_deficit()
+        );
+        // Single location, flat forecast: every period's shortfall equals
+        // its capacity deficit exactly.
+        let per_period = demand * A - capacity;
+        for (t, &s) in recovered.resource_shortfall.iter().enumerate() {
+            prop_assert!(
+                (s - per_period).abs() < 1e-6,
+                "period {t}: shortfall {s} != deficit {per_period}"
+            );
+        }
+        // The placement itself respects the hard capacity rows.
+        for xs in recovered.solution.xs.iter().skip(1) {
+            let used: f64 = xs.iter().sum();
+            prop_assert!(used <= capacity + 1e-6, "capacity violated: {used} > {capacity}");
+        }
+    }
+}
