@@ -1,16 +1,21 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times six representative workloads — one Riccati IPM solve,
+//! `record` times nine representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
-//! `dspp-runtime` scenario sweep on a worker pool, and one simulation
-//! checkpoint JSON round-trip — and writes their throughput plus latency
-//! quantiles as JSON (the committed `BENCH_BASELINE.json`). `compare`
-//! re-measures the same workloads and fails with a readable delta report
-//! when throughput regresses beyond a tolerance. Quantiles are reported
-//! for context but only throughput gates: wall-clock quantiles on shared
-//! CI hardware are too noisy to fail a build on.
+//! `dspp-runtime` scenario sweep on a worker pool, one simulation
+//! checkpoint JSON round-trip, a 4-provider game sweep run sequentially
+//! and on a parallel pool, and a warm-vs-cold solve pair — and writes
+//! their throughput plus latency quantiles as JSON (the committed
+//! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
+//! fails with a readable delta report when throughput regresses beyond a
+//! tolerance. Quantiles are reported for context but only throughput
+//! gates: wall-clock quantiles on shared CI hardware are too noisy to
+//! fail a build on. Each workload also carries *deterministic* counters
+//! (IPM iterations, warm-start hits/savings, allocation counts, game
+//! rounds); [`compare_metrics`] checks those exactly and backs the
+//! enforcing `bench-metrics` CI job.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -20,14 +25,17 @@ use dspp_game::{GameConfig, ResourceGame, SpSampler};
 use dspp_predict::LastValue;
 use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
 use dspp_sim::{ClosedLoopSim, SimCheckpoint};
-use dspp_solver::{solve_lq, IpmSettings};
+use dspp_solver::{solve_lq, solve_lq_warm, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
 use dspp_telemetry::Recorder;
 
-use crate::{lq_fixture, single_dc_problem, starved_single_dc_problem};
+use crate::{alloc_count, lq_fixture, single_dc_problem, starved_single_dc_problem};
 
 /// Schema version of the baseline file.
-pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added per-workload deterministic `counters` and the
+/// `game.round_4sp.*` / `solver.warm_vs_cold` workloads.
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
 
 /// Measured performance of one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +56,11 @@ pub struct Metric {
     pub p90_us: f64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: f64,
+    /// Deterministic counters for this workload — IPM iteration totals,
+    /// warm-start hits, allocation counts. Exactly reproducible for a
+    /// fixed build, so [`compare_metrics`] can *enforce* them where the
+    /// wall-clock comparison can only warn.
+    pub counters: Vec<(String, f64)>,
 }
 
 /// A full baseline: one [`Metric`] per workload.
@@ -89,6 +102,19 @@ pub fn measure(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) -> 
         p50_us: quantile(&samples_us, 0.50),
         p90_us: quantile(&samples_us, 0.90),
         p99_us: quantile(&samples_us, 0.99),
+        counters: Vec::new(),
+    }
+}
+
+impl Metric {
+    /// Attaches deterministic counters to a measured workload. Counters
+    /// are kept sorted by name so a JSON round-trip (which stores them as
+    /// an object) reproduces the in-memory value exactly.
+    #[must_use]
+    pub fn with_counters(mut self, mut counters: Vec<(String, f64)>) -> Metric {
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.counters = counters;
+        self
     }
 }
 
@@ -97,11 +123,19 @@ pub fn record(iters: usize) -> Baseline {
     let warmup = (iters / 5).max(2);
 
     // 1. One Riccati-structured IPM solve on the DSPP-shaped LQ fixture.
+    // Deterministic counters: IPM iterations and allocations of one solve
+    // (the workspace-reuse optimizations gate on the allocation count).
     let lq = lq_fixture(4, 12, 20.0);
     let ipm = IpmSettings::fast();
+    let (cold_sol, cold_allocs) =
+        alloc_count::count(|| solve_lq(&lq, &ipm).expect("solver fixture solves"));
     let solver = measure("solver.lq_solve", warmup, iters, || {
         solve_lq(&lq, &ipm).expect("solver fixture solves");
-    });
+    })
+    .with_counters(vec![
+        ("ipm_iterations".to_string(), cold_sol.iterations as f64),
+        ("allocs".to_string(), cold_allocs as f64),
+    ]);
 
     // 2. One MPC controller step (horizon 6, single DC). A step advances
     // the controller's internal period, so give it a long price trace and
@@ -231,6 +265,77 @@ pub fn record(iters: usize) -> Baseline {
         sim.restore(&parsed).expect("restore");
     });
 
+    // 7–8. One best-response game round sweep at 4 providers, sequential
+    // (`jobs = 1`) vs parallel (`jobs = 4`). The deterministic counters —
+    // rounds, total IPM iterations, warm-start hits/savings — must be
+    // *identical* between the two: the Jacobi sweep merges in provider
+    // order, so only wall-clock may differ. `compare-metrics` enforces
+    // both the counters and, implicitly, that equality.
+    let sweep_providers = SpSampler::new(2, 2, 3)
+        .with_seed(3)
+        .sample(4)
+        .expect("sample");
+    let sweep_game = ResourceGame::new(sweep_providers, vec![60.0, 80.0]).expect("game");
+    let sweep_counters = |jobs: usize| -> Vec<(String, f64)> {
+        let telemetry = Recorder::enabled();
+        let config = GameConfig {
+            ipm: IpmSettings::fast(),
+            jobs,
+            telemetry: telemetry.clone(),
+            ..GameConfig::default()
+        };
+        let out = sweep_game.run(&config).expect("game run");
+        let snap = telemetry.snapshot().expect("enabled recorder");
+        let solves = snap.counter("solver.lq.solves") as f64;
+        let warm_hits = snap.counter("solver.lq.warm_hits") as f64;
+        vec![
+            ("rounds".to_string(), out.iterations as f64),
+            (
+                "ipm_iterations".to_string(),
+                snap.histogram("solver.lq.iterations")
+                    .map_or(0.0, |h| h.sum),
+            ),
+            ("warm_hits".to_string(), warm_hits),
+            ("warm_hit_rate".to_string(), warm_hits / solves.max(1.0)),
+            (
+                "iterations_saved".to_string(),
+                snap.counter("solver.lq.iterations_saved") as f64,
+            ),
+        ]
+    };
+    let sweep_timed = |name: &str, jobs: usize| -> Metric {
+        let config = GameConfig {
+            ipm: IpmSettings::fast(),
+            jobs,
+            ..GameConfig::default()
+        };
+        measure(name, warmup, iters, || {
+            sweep_game.run(&config).expect("game run");
+        })
+        .with_counters(sweep_counters(jobs))
+    };
+    let sweep_seq = sweep_timed("game.round_4sp.seq", 1);
+    let sweep_par = sweep_timed("game.round_4sp.par", 4);
+
+    // 9. A warm solve seeded with the optimum of a neighbouring problem
+    // (the game/MPC hot path after the first round). Times the warm solve;
+    // the counters pin the cold/warm iteration split the warm-start path
+    // is supposed to deliver.
+    let lq_next = lq_fixture(4, 12, 21.0);
+    let near_sol = solve_lq(&lq_next, &ipm).expect("neighbour fixture solves");
+    let warm_sol = solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
+    let warm_metric = measure("solver.warm_vs_cold", warmup, iters, || {
+        solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
+    })
+    .with_counters(vec![
+        ("cold_iterations".to_string(), cold_sol.iterations as f64),
+        ("warm_iterations".to_string(), warm_sol.iterations as f64),
+        (
+            "iterations_saved".to_string(),
+            cold_sol.iterations.saturating_sub(warm_sol.iterations) as f64,
+        ),
+    ]);
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         metrics: vec![
@@ -240,6 +345,9 @@ pub fn record(iters: usize) -> Baseline {
             game_metric,
             runtime_metric,
             checkpoint_metric,
+            sweep_seq,
+            sweep_par,
+            warm_metric,
         ],
     }
 }
@@ -279,7 +387,15 @@ impl Baseline {
                 let _ = write!(out, ", \"{key}\": ");
                 push_f64(&mut out, v);
             }
-            out.push('}');
+            out.push_str(", \"counters\": {");
+            for (j, (key, v)) in m.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{key}\": ");
+                push_f64(&mut out, *v);
+            }
+            out.push_str("}}");
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -329,6 +445,20 @@ impl Baseline {
                 p50_us: field("p50_us")?,
                 p90_us: field("p90_us")?,
                 p99_us: field("p99_us")?,
+                counters: match m.get("counters") {
+                    None => Vec::new(),
+                    Some(c) => {
+                        let obj = c.as_object().ok_or("counters must be an object")?;
+                        let mut counters = Vec::with_capacity(obj.len());
+                        for (key, v) in obj {
+                            let v = v
+                                .as_f64()
+                                .ok_or_else(|| format!("counter {key:?} must be numeric"))?;
+                            counters.push((key.clone(), v));
+                        }
+                        counters
+                    }
+                },
             });
         }
         Ok(Baseline {
@@ -431,6 +561,131 @@ pub fn compare(baseline: &Baseline, current: &Baseline, tolerance: f64) -> Compa
     Comparison { deltas, unmatched }
 }
 
+/// True when larger values of a deterministic counter are better (warm
+/// hits, hit rates, saved iterations); everything else — iteration
+/// totals, round counts, allocation counts — regresses upward.
+fn higher_is_better(counter: &str) -> bool {
+    counter.ends_with("warm_hits")
+        || counter.ends_with("iterations_saved")
+        || counter.contains("hit_rate")
+}
+
+/// One deterministic counter's baseline-vs-current delta.
+#[derive(Debug, Clone)]
+pub struct CounterDelta {
+    /// Workload the counter belongs to.
+    pub workload: String,
+    /// Counter name, e.g. `"ipm_iterations"`.
+    pub counter: String,
+    /// Recorded baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// True when the counter moved in its bad direction beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Comparison of the deterministic counters against a recorded baseline
+/// (the *enforcing* CI gate; the wall-clock [`Comparison`] only warns).
+#[derive(Debug, Clone)]
+pub struct MetricsComparison {
+    /// Per-counter deltas, baseline order.
+    pub deltas: Vec<CounterDelta>,
+    /// `workload/counter` keys present in only one of the two baselines.
+    pub unmatched: Vec<String>,
+}
+
+impl MetricsComparison {
+    /// True when any counter regressed or the counter sets diverged.
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed) || !self.unmatched.is_empty()
+    }
+
+    /// The human-readable counter delta report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:<18} {:>12} {:>12}  verdict",
+            "workload", "counter", "baseline", "current"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                let direction = if higher_is_better(&d.counter) {
+                    "fell"
+                } else {
+                    "rose"
+                };
+                format!("REGRESSED ({direction})")
+            } else {
+                "ok".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:<18} {:>12.3} {:>12.3}  {verdict}",
+                d.workload, d.counter, d.baseline, d.current
+            );
+        }
+        for key in &self.unmatched {
+            let _ = writeln!(out, "{key}: present in only one baseline — REGRESSED");
+        }
+        out
+    }
+}
+
+/// Compares the deterministic counters of `current` against `baseline`.
+///
+/// A lower-is-better counter regresses when it exceeds
+/// `baseline · (1 + tolerance)`; a higher-is-better counter (warm hits,
+/// hit rates, saved iterations) when it falls below
+/// `baseline · (1 − tolerance)`.
+/// The counters are exactly reproducible for a fixed build, so CI runs
+/// this with `tolerance = 0`.
+pub fn compare_metrics(
+    baseline: &Baseline,
+    current: &Baseline,
+    tolerance: f64,
+) -> MetricsComparison {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    let find = |b: &Baseline, workload: &str, counter: &str| -> Option<f64> {
+        b.metrics
+            .iter()
+            .find(|m| m.name == workload)
+            .and_then(|m| m.counters.iter().find(|(k, _)| k == counter))
+            .map(|(_, v)| *v)
+    };
+    for b in &baseline.metrics {
+        for (counter, &recorded) in b.counters.iter().map(|(k, v)| (k, v)) {
+            match find(current, &b.name, counter) {
+                Some(now) => {
+                    let regressed = if higher_is_better(counter) {
+                        now < recorded * (1.0 - tolerance)
+                    } else {
+                        now > recorded * (1.0 + tolerance)
+                    };
+                    deltas.push(CounterDelta {
+                        workload: b.name.clone(),
+                        counter: counter.clone(),
+                        baseline: recorded,
+                        current: now,
+                        regressed,
+                    });
+                }
+                None => unmatched.push(format!("{}/{counter}", b.name)),
+            }
+        }
+    }
+    for c in &current.metrics {
+        for (counter, _) in &c.counters {
+            if find(baseline, &c.name, counter).is_none() {
+                unmatched.push(format!("{}/{counter}", c.name));
+            }
+        }
+    }
+    MetricsComparison { deltas, unmatched }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +698,7 @@ mod tests {
             p50_us: 100.0,
             p90_us: 150.0,
             p99_us: 200.0,
+            counters: Vec::new(),
         }
     }
 
@@ -455,9 +711,13 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
-        let b = baseline(&[
+        let mut b = baseline(&[
             ("solver.lq_solve", 1234.5),
             ("game.best_response_run", 56.25),
+        ]);
+        b.metrics[0] = b.metrics[0].clone().with_counters(vec![
+            ("ipm_iterations".to_string(), 14.0),
+            ("allocs".to_string(), 2048.0),
         ]);
         let parsed = Baseline::from_json(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
@@ -528,7 +788,10 @@ mod tests {
                 "controller.recovery_step",
                 "game.best_response_run",
                 "runtime.scenario_sweep",
-                "runtime.checkpoint_roundtrip"
+                "runtime.checkpoint_roundtrip",
+                "game.round_4sp.seq",
+                "game.round_4sp.par",
+                "solver.warm_vs_cold",
             ]
         );
         for m in &b.metrics {
@@ -537,5 +800,118 @@ mod tests {
         }
         // And the recorded baseline survives its own serialization.
         assert_eq!(Baseline::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn recorded_counters_are_deterministic_and_warm_starts_save_work() {
+        let b = record(1);
+        let by_name =
+            |name: &str| -> &Metric { b.metrics.iter().find(|m| m.name == name).expect(name) };
+        let counter = |m: &Metric, key: &str| -> f64 {
+            m.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{}: missing counter {key}", m.name))
+                .1
+        };
+        // The solver workload pins its iteration and allocation counts.
+        let solver = by_name("solver.lq_solve");
+        assert!(counter(solver, "ipm_iterations") > 0.0);
+        assert!(counter(solver, "allocs") > 0.0);
+        // Sequential and parallel game sweeps are byte-deterministic, so
+        // every deterministic counter must agree exactly.
+        let seq = by_name("game.round_4sp.seq");
+        let par = by_name("game.round_4sp.par");
+        assert_eq!(seq.counters, par.counters, "jacobi sweep diverged");
+        assert!(counter(seq, "rounds") >= 1.0);
+        // Rounds after the first warm-start; the game converges in > 1
+        // round on this fixture, so savings must be visible.
+        if counter(seq, "rounds") > 1.0 {
+            assert!(counter(seq, "warm_hits") > 0.0);
+        }
+        // The warm solve must not be more expensive than the cold one.
+        let warm = by_name("solver.warm_vs_cold");
+        assert!(counter(warm, "warm_iterations") <= counter(warm, "cold_iterations"));
+        assert_eq!(
+            counter(warm, "iterations_saved"),
+            counter(warm, "cold_iterations") - counter(warm, "warm_iterations")
+        );
+    }
+
+    #[test]
+    fn metrics_comparison_is_direction_aware() {
+        let with = |pairs: &[(&str, f64)]| -> Baseline {
+            let mut b = baseline(&[("w", 100.0)]);
+            b.metrics[0] = b.metrics[0]
+                .clone()
+                .with_counters(pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect());
+            b
+        };
+        let recorded = with(&[
+            ("ipm_iterations", 40.0),
+            ("warm_hits", 10.0),
+            ("iterations_saved", 12.0),
+            ("warm_hit_rate", 0.8),
+            ("allocs", 1000.0),
+        ]);
+        // Identical counters pass at zero tolerance.
+        assert!(!compare_metrics(&recorded, &recorded, 0.0).regressed());
+        // More iterations / allocs regresses; fewer is fine.
+        let worse = with(&[
+            ("ipm_iterations", 41.0),
+            ("warm_hits", 10.0),
+            ("iterations_saved", 12.0),
+            ("warm_hit_rate", 0.8),
+            ("allocs", 1000.0),
+        ]);
+        let cmp = compare_metrics(&recorded, &worse, 0.0);
+        assert!(cmp.regressed());
+        assert!(
+            cmp.report().contains("REGRESSED (rose)"),
+            "{}",
+            cmp.report()
+        );
+        let better = with(&[
+            ("ipm_iterations", 30.0),
+            ("warm_hits", 20.0),
+            ("iterations_saved", 20.0),
+            ("warm_hit_rate", 1.0),
+            ("allocs", 500.0),
+        ]);
+        assert!(!compare_metrics(&recorded, &better, 0.0).regressed());
+        // Losing warm hits (higher-is-better) regresses.
+        let fewer_hits = with(&[
+            ("ipm_iterations", 40.0),
+            ("warm_hits", 5.0),
+            ("iterations_saved", 12.0),
+            ("warm_hit_rate", 0.8),
+            ("allocs", 1000.0),
+        ]);
+        let cmp = compare_metrics(&recorded, &fewer_hits, 0.0);
+        assert!(cmp.regressed());
+        assert!(
+            cmp.report().contains("REGRESSED (fell)"),
+            "{}",
+            cmp.report()
+        );
+        // Tolerance forgives small drift in both directions.
+        assert!(!compare_metrics(&recorded, &worse, 0.05).regressed());
+        assert!(!compare_metrics(&recorded, &fewer_hits, 0.60).regressed());
+    }
+
+    #[test]
+    fn metrics_comparison_flags_missing_counters() {
+        let mut recorded = baseline(&[("w", 100.0)]);
+        recorded.metrics[0] = recorded.metrics[0]
+            .clone()
+            .with_counters(vec![("ipm_iterations".to_string(), 40.0)]);
+        let missing = baseline(&[("w", 100.0)]);
+        let cmp = compare_metrics(&recorded, &missing, 0.0);
+        assert!(cmp.regressed());
+        assert_eq!(cmp.unmatched, vec!["w/ipm_iterations".to_string()]);
+        // Symmetric: a counter only in the current run also fails (the
+        // baseline must be re-recorded to cover it).
+        let cmp = compare_metrics(&missing, &recorded, 0.0);
+        assert!(cmp.regressed());
     }
 }

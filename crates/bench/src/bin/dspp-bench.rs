@@ -3,6 +3,7 @@
 //! ```text
 //! dspp-bench record  [--out BENCH_BASELINE.json] [--iters 30]
 //! dspp-bench compare [--baseline BENCH_BASELINE.json] [--tolerance 0.30] [--iters 30]
+//! dspp-bench compare-metrics [--baseline BENCH_BASELINE.json] [--tolerance 0] [--iters 2]
 //! ```
 //!
 //! `record` measures the solver/controller/game workloads and writes the
@@ -10,15 +11,21 @@
 //! exits nonzero when any workload's throughput fell more than
 //! `--tolerance` below the baseline (default 30% — generous on purpose:
 //! shared CI hardware is noisy, and the CI job is warn-only anyway).
+//! `compare-metrics` checks only the *deterministic* counters — IPM
+//! iteration totals, warm-start hits and savings, allocation counts —
+//! which are exactly reproducible for a fixed build, so its default
+//! tolerance is zero and CI runs it as an enforcing gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dspp_bench::baseline::{compare, record, Baseline};
+use dspp_bench::baseline::{compare, compare_metrics, record, Baseline};
 
 const DEFAULT_PATH: &str = "BENCH_BASELINE.json";
 const DEFAULT_ITERS: usize = 30;
 const DEFAULT_TOLERANCE: f64 = 0.30;
+const DEFAULT_METRICS_ITERS: usize = 2;
+const DEFAULT_METRICS_TOLERANCE: f64 = 0.0;
 
 struct Options {
     mode: String,
@@ -31,21 +38,31 @@ fn usage() -> String {
     format!(
         "usage: dspp-bench record  [--out <path>] [--iters <n>]\n\
          \x20      dspp-bench compare [--baseline <path>] [--tolerance <frac>] [--iters <n>]\n\
-         defaults: path {DEFAULT_PATH}, iters {DEFAULT_ITERS}, tolerance {DEFAULT_TOLERANCE}"
+         \x20      dspp-bench compare-metrics [--baseline <path>] [--tolerance <frac>] [--iters <n>]\n\
+         defaults: path {DEFAULT_PATH}, iters {DEFAULT_ITERS} (compare-metrics: \
+         {DEFAULT_METRICS_ITERS}), tolerance {DEFAULT_TOLERANCE} (compare-metrics: \
+         {DEFAULT_METRICS_TOLERANCE})"
     )
 }
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mode = args.next().ok_or_else(usage)?;
-    if mode != "record" && mode != "compare" {
+    if mode != "record" && mode != "compare" && mode != "compare-metrics" {
         return Err(format!("unknown mode {mode:?}\n{}", usage()));
     }
+    // The deterministic counters do not need many timed iterations, and
+    // their comparison is exact by default.
+    let (iters, tolerance) = if mode == "compare-metrics" {
+        (DEFAULT_METRICS_ITERS, DEFAULT_METRICS_TOLERANCE)
+    } else {
+        (DEFAULT_ITERS, DEFAULT_TOLERANCE)
+    };
     let mut out = Options {
         mode,
         path: PathBuf::from(DEFAULT_PATH),
-        iters: DEFAULT_ITERS,
-        tolerance: DEFAULT_TOLERANCE,
+        iters,
+        tolerance,
     };
     while let Some(arg) = args.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -103,6 +120,23 @@ fn run(opts: &Options) -> Result<bool, String> {
     let text = std::fs::read_to_string(&opts.path)
         .map_err(|e| format!("read {}: {e}", opts.path.display()))?;
     let baseline = Baseline::from_json(&text)?;
+    if opts.mode == "compare-metrics" {
+        eprintln!(
+            "checking deterministic counters against {} (tolerance {:.0}%)…",
+            opts.path.display(),
+            opts.tolerance * 100.0
+        );
+        let current = record(opts.iters);
+        let comparison = compare_metrics(&baseline, &current, opts.tolerance);
+        print!("{}", comparison.report());
+        return if comparison.regressed() {
+            println!("\ndeterministic-metric regression detected");
+            Ok(false)
+        } else {
+            println!("\nall deterministic counters within tolerance");
+            Ok(true)
+        };
+    }
     eprintln!(
         "comparing against {} ({} iterations per workload, tolerance {:.0}%)…",
         opts.path.display(),

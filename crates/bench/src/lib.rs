@@ -16,6 +16,53 @@
 
 pub mod baseline;
 
+/// Allocation counting behind the deterministic baseline counters.
+///
+/// The crate installs a counting wrapper around the system allocator so
+/// `dspp-bench` can report allocation counts per workload. Unlike
+/// wall-clock throughput, an allocation count is exactly reproducible for
+/// a fixed build, which lets CI *enforce* it (see `compare-metrics`).
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// The system allocator plus a relaxed atomic allocation counter.
+    pub struct CountingAllocator;
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    // SAFETY: every call delegates directly to the system allocator; the
+    // only addition is a relaxed counter increment with no side effects
+    // on the returned memory.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Total allocations made by this process so far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` and returns its result plus the number of allocations it
+    /// made. Only meaningful for single-threaded sections (the counter is
+    /// process-wide).
+    pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = allocations();
+        let value = f();
+        (value, allocations() - before)
+    }
+}
+
 use dspp_core::{Dspp, DsppBuilder};
 use dspp_linalg::{Matrix, Vector};
 use dspp_solver::{LqProblem, LqStage, LqTerminal};

@@ -260,17 +260,26 @@ fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
 
 /// The default mode: every figure job on the pool.
 fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
-    type JobFn = fn(&Recorder) -> ExpResult<Figure>;
+    type JobFn = Box<dyn Fn(&Recorder) -> ExpResult<Figure> + Send>;
+    // The game figures additionally fan each round's best-response sweep
+    // out on `--jobs` workers; their output is byte-identical either way.
+    let sweep_jobs = args.jobs.unwrap_or(1);
     let jobs: Vec<(&'static str, JobFn)> = vec![
-        ("fig3", fig3_with),
-        ("fig4", dspp_experiments::fig4::run_with),
-        ("fig5", dspp_experiments::fig5::run_with),
-        ("fig6", dspp_experiments::fig6::run_with),
-        ("fig7", dspp_experiments::fig7::run_with),
-        ("fig8", dspp_experiments::fig8::run_with),
-        ("fig9", dspp_experiments::fig9::run_with),
-        ("fig10", dspp_experiments::fig10::run_with),
-        ("extras", dspp_experiments::extras::run_with),
+        ("fig3", Box::new(fig3_with)),
+        ("fig4", Box::new(dspp_experiments::fig4::run_with)),
+        ("fig5", Box::new(dspp_experiments::fig5::run_with)),
+        ("fig6", Box::new(dspp_experiments::fig6::run_with)),
+        (
+            "fig7",
+            Box::new(move |t: &Recorder| dspp_experiments::fig7::run_with_jobs(t, sweep_jobs)),
+        ),
+        (
+            "fig8",
+            Box::new(move |t: &Recorder| dspp_experiments::fig8::run_with_jobs(t, sweep_jobs)),
+        ),
+        ("fig9", Box::new(dspp_experiments::fig9::run_with)),
+        ("fig10", Box::new(dspp_experiments::fig10::run_with)),
+        ("extras", Box::new(dspp_experiments::extras::run_with)),
     ];
     let names: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
     let pool = make_pool(args, Recorder::enabled().with_tracer(tracer.clone()));

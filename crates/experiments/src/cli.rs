@@ -41,7 +41,7 @@ pub struct TraceArgs {
 }
 
 impl TraceArgs {
-    /// Parses the process arguments (everything after argv[0]).
+    /// Parses the process arguments (everything after `argv[0]`).
     ///
     /// # Errors
     ///
@@ -146,6 +146,25 @@ pub fn figure_main(name: &str, f: impl FnOnce(&Recorder) -> ExpResult<Figure>) {
         }
     };
     if let Err(e) = run_traced(&args, f) {
+        eprintln!("{name} failed: {e}");
+        process::exit(1);
+    }
+}
+
+/// [`figure_main`] for binaries whose experiment fans the per-round game
+/// sweep out on a worker pool: the closure also receives the `--jobs`
+/// value (default 1 — the sequential sweep). The figure output is
+/// byte-identical for any jobs value; only wall-clock changes.
+pub fn figure_main_jobs(name: &str, f: impl FnOnce(&Recorder, usize) -> ExpResult<Figure>) {
+    let args = match TraceArgs::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            process::exit(2);
+        }
+    };
+    let jobs = args.jobs.unwrap_or(1);
+    if let Err(e) = run_traced(&args, |telemetry| f(telemetry, jobs)) {
         eprintln!("{name} failed: {e}");
         process::exit(1);
     }

@@ -106,6 +106,7 @@ pub fn game_config() -> GameConfig {
         ipm: IpmSettings::fast(),
         telemetry: Recorder::disabled(),
         recovery: dspp_core::RecoverySettings::default(),
+        jobs: 1,
     }
 }
 
@@ -129,11 +130,29 @@ pub fn iterations_for_traced(
     window: usize,
     telemetry: &Recorder,
 ) -> ExpResult<usize> {
+    iterations_for_jobs(n_players, bottleneck, window, 1, telemetry)
+}
+
+/// [`iterations_for_traced`] with the per-round best-response sweep fanned
+/// out on `jobs` workers ([`GameConfig::jobs`]). The game outcome — and
+/// therefore the figure — is byte-identical for any `jobs` value.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn iterations_for_jobs(
+    n_players: usize,
+    bottleneck: f64,
+    window: usize,
+    jobs: usize,
+    telemetry: &Recorder,
+) -> ExpResult<usize> {
     let sps = providers(n_players, window)?;
     let caps = vec![2000.0, bottleneck, 2000.0, 2000.0];
     let game = ResourceGame::new(sps, caps)?;
     let config = GameConfig {
         telemetry: telemetry.clone(),
+        jobs,
         ..game_config()
     };
     let out = game.run(&config)?;
@@ -155,12 +174,22 @@ pub fn run() -> ExpResult<Figure> {
 ///
 /// Propagates game failures.
 pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
+    run_with_jobs(telemetry, 1)
+}
+
+/// [`run_with`] with the per-round best-response sweeps running on `jobs`
+/// workers. Output is byte-identical for any `jobs` value.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn run_with_jobs(telemetry: &Recorder, jobs: usize) -> ExpResult<Figure> {
     let window = 3;
     let mut rows = Vec::new();
     for n in 1..=10usize {
         let mut row = vec![n as f64];
         for &cap in &BOTTLENECKS {
-            row.push(iterations_for_traced(n, cap, window, telemetry)? as f64);
+            row.push(iterations_for_jobs(n, cap, window, jobs, telemetry)? as f64);
         }
         rows.push(row);
     }

@@ -19,11 +19,21 @@ pub fn run() -> ExpResult<Figure> {
 ///
 /// Propagates game failures.
 pub fn run_with(telemetry: &Recorder) -> ExpResult<Figure> {
+    run_with_jobs(telemetry, 1)
+}
+
+/// [`run_with`] with the per-round best-response sweeps running on `jobs`
+/// workers. Output is byte-identical for any `jobs` value.
+///
+/// # Errors
+///
+/// Propagates game failures.
+pub fn run_with_jobs(telemetry: &Recorder, jobs: usize) -> ExpResult<Figure> {
     let players = 8;
     let bottleneck = 130.0;
     let mut rows = Vec::new();
     for w in 1..=10usize {
-        let iters = fig7::iterations_for_traced(players, bottleneck, w, telemetry)?;
+        let iters = fig7::iterations_for_jobs(players, bottleneck, w, jobs, telemetry)?;
         rows.push(vec![w as f64, iters as f64]);
     }
     let first = rows[0][1];

@@ -1,8 +1,18 @@
 //! Algorithm 2: iterative best-response with dual-driven capacity quotas.
+//!
+//! Rounds are *Jacobi sweeps*: every provider best-responds to the quotas
+//! fixed at the start of the round, so the `N` per-provider solves are
+//! independent. With [`GameConfig::jobs`] `> 1` they run on a
+//! `dspp-runtime` worker pool; results are merged in provider order, so
+//! quota updates, duals, and convergence checks are byte-identical for any
+//! worker count. Each provider's previous-round solution warm-starts its
+//! next solve (including through recovery periods).
 
 use crate::ServiceProvider;
 use dspp_core::{CoreError, HorizonProblem, RecoverySettings};
-use dspp_solver::{IpmSettings, LqSolution};
+use dspp_linalg::Vector;
+use dspp_runtime::ScenarioPool;
+use dspp_solver::{IpmSettings, LqSolution, WarmStartTracker};
 use dspp_telemetry::{AttrValue, Recorder};
 
 /// Tuning knobs of the best-response iteration (Algorithm 2).
@@ -25,6 +35,12 @@ pub struct GameConfig {
     /// `penalty · shed servers`) together with *real*, finite capacity
     /// duals — instead of the ∞-cost / synthetic-dual dead-end.
     pub recovery: RecoverySettings,
+    /// Worker threads for the per-round provider sweep (default 1 =
+    /// sequential). The sweep is Jacobi-style — every provider solves
+    /// against the quotas fixed at the round start — so the solves are
+    /// independent; results are merged in provider order and the outcome
+    /// is byte-identical for any `jobs` value.
+    pub jobs: usize,
 }
 
 impl Default for GameConfig {
@@ -36,6 +52,7 @@ impl Default for GameConfig {
             ipm: IpmSettings::default(),
             telemetry: Recorder::disabled(),
             recovery: RecoverySettings::default(),
+            jobs: 1,
         }
     }
 }
@@ -55,6 +72,28 @@ pub struct GameOutcome {
     pub quotas: Vec<Vec<f64>>,
     /// Final per-provider horizon solutions.
     pub solutions: Vec<LqSolution>,
+}
+
+/// What one provider's share of a Jacobi sweep produced. Workers return
+/// these; the main thread merges them in provider order and emits the
+/// order-sensitive `game.*` counters there.
+enum Response {
+    /// The strict best response solved.
+    Strict {
+        cost: f64,
+        duals: Vec<f64>,
+        sol: LqSolution,
+    },
+    /// The strict solve starved; the relaxation recovered with `shortfall`
+    /// shed server-units priced at the recovery penalty.
+    Recovered {
+        cost: f64,
+        duals: Vec<f64>,
+        sol: LqSolution,
+        shortfall: f64,
+    },
+    /// Even the relaxation failed — the ∞-cost synthetic-dual dead-end.
+    Infeasible,
 }
 
 /// The resource-competition game: providers plus the true total capacity.
@@ -233,10 +272,31 @@ impl ResourceGame {
         ipm: &IpmSettings,
         telemetry: &Recorder,
     ) -> Result<(f64, Vec<f64>, LqSolution), CoreError> {
+        self.best_response_warm_traced(i, quota, ipm, None, telemetry)
+    }
+
+    /// [`ResourceGame::best_response_traced`] seeded with a warm-start
+    /// input trajectory — typically the provider's previous-round
+    /// solution. Quota updates only move the capacity right-hand sides,
+    /// so the previous iterate is shape-compatible and usually close to
+    /// the new optimum; the solver falls back to its cold start if the
+    /// guess is rejected.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceGame::best_response`].
+    pub fn best_response_warm_traced(
+        &self,
+        i: usize,
+        quota: &[f64],
+        ipm: &IpmSettings,
+        warm_us: Option<&[Vector]>,
+        telemetry: &Recorder,
+    ) -> Result<(f64, Vec<f64>, LqSolution), CoreError> {
         let sp = &self.providers[i];
         let problem = sp.problem.with_capacities(quota.to_vec())?;
         let horizon = HorizonProblem::build(&problem, &sp.initial, &sp.demand, &sp.price_rows())?;
-        let sol = horizon.solve_warm_traced(ipm, None, telemetry)?;
+        let sol = horizon.solve_warm_traced(ipm, warm_us, telemetry)?;
         let duals = horizon.capacity_duals(&sol);
         if telemetry.is_enabled() {
             // Per-stage average shadow price: capacity_duals sums the
@@ -264,13 +324,14 @@ impl ResourceGame {
         &self,
         i: usize,
         quota: &[f64],
+        warm_us: Option<&[Vector]>,
         config: &GameConfig,
         telemetry: &Recorder,
     ) -> Result<(f64, Vec<f64>, LqSolution, f64), CoreError> {
         let sp = &self.providers[i];
         let problem = sp.problem.with_capacities(quota.to_vec())?;
         let horizon = HorizonProblem::build(&problem, &sp.initial, &sp.demand, &sp.price_rows())?;
-        let out = horizon.solve_recovery(&config.ipm, &config.recovery, None, telemetry)?;
+        let out = horizon.solve_recovery(&config.ipm, &config.recovery, warm_us, telemetry)?;
         let shortfall = out.total_resource_shortfall();
         let duals = horizon.capacity_duals(&out.solution);
         if telemetry.is_enabled() {
@@ -281,6 +342,97 @@ impl ResourceGame {
         }
         let cost = out.solution.objective + config.recovery.penalty * shortfall;
         Ok((cost, duals, out.solution, shortfall))
+    }
+
+    /// One provider's share of a Jacobi sweep: the strict best response,
+    /// falling back to the recovery solve and then to the infeasible
+    /// marker exactly as the historical sequential loop did. Telemetry
+    /// emitted here (nested `solver.lq.*`, `game.capacity_dual`) is
+    /// order-insensitive; the order-sensitive `game.*` counters are
+    /// emitted by the caller during the provider-order merge.
+    fn sweep_one(
+        &self,
+        i: usize,
+        quota: &[f64],
+        warm_us: Option<&[Vector]>,
+        config: &GameConfig,
+        telemetry: &Recorder,
+    ) -> Result<Response, CoreError> {
+        match self.best_response_warm_traced(i, quota, &config.ipm, warm_us, telemetry) {
+            Ok((cost, duals, sol)) => Ok(Response::Strict { cost, duals, sol }),
+            Err(CoreError::Solver(_)) if config.recovery.enabled => {
+                // The quota starves this provider: recover with a
+                // bounded-shortfall placement whose penalty-inflated
+                // cost and genuine capacity duals pull quota back
+                // toward it on the next division.
+                match self.recovery_response_traced(i, quota, warm_us, config, telemetry) {
+                    Ok((cost, duals, sol, shortfall)) => Ok(Response::Recovered {
+                        cost,
+                        duals,
+                        sol,
+                        shortfall,
+                    }),
+                    // Even the relaxation failed: the true dead-end.
+                    Err(CoreError::Solver(_)) => Ok(Response::Infeasible),
+                    Err(e) => Err(e),
+                }
+            }
+            // Recovery disabled: the historical ∞-cost path.
+            Err(CoreError::Solver(_)) => Ok(Response::Infeasible),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs one round's Jacobi sweep — every provider best-responds to
+    /// the quotas fixed at the round start — sequentially or on a
+    /// [`ScenarioPool`] when [`GameConfig::jobs`] `> 1`. Results come
+    /// back in provider order either way, so the caller's merge is
+    /// byte-deterministic regardless of worker count.
+    fn sweep_round(
+        &self,
+        round: usize,
+        quotas: &[Vec<f64>],
+        prev: &[Option<LqSolution>],
+        config: &GameConfig,
+        telemetry: &Recorder,
+    ) -> Vec<Result<Response, CoreError>> {
+        let n = self.providers.len();
+        if config.jobs > 1 && n > 1 {
+            let pool = ScenarioPool::new(config.jobs).with_telemetry(telemetry.clone());
+            let mut span = telemetry.tracer().span("game.round.parallel");
+            span.attr("round", round);
+            span.attr("jobs", pool.workers().min(n));
+            span.attr("providers", n);
+            let jobs: Vec<(String, _)> = (0..n)
+                .map(|i| {
+                    let quota = &quotas[i];
+                    let warm = prev[i].as_ref().map(|s| s.us.as_slice());
+                    let job = move || self.sweep_one(i, quota, warm, config, telemetry);
+                    (format!("game.best_response.{i}"), job)
+                })
+                .collect();
+            pool.run_scoped(jobs)
+                .into_iter()
+                .map(|slot| match slot {
+                    Ok(result) => result,
+                    // A panicking best response is a solver bug, not a game
+                    // outcome: surface it exactly like the sequential path.
+                    Err(e) => panic!("{e}"),
+                })
+                .collect()
+        } else {
+            (0..n)
+                .map(|i| {
+                    self.sweep_one(
+                        i,
+                        &quotas[i],
+                        prev[i].as_ref().map(|s| s.us.as_slice()),
+                        config,
+                        telemetry,
+                    )
+                })
+                .collect()
+        }
     }
 
     /// Runs Algorithm 2 from the equal-split initial quota.
@@ -320,55 +472,52 @@ impl ResourceGame {
         telemetry.incr("game.runs", 1);
         let mut prev_cost = f64::INFINITY;
         let mut outcome: Option<GameOutcome> = None;
+        // Each provider's previous-round solution, carried as the warm
+        // start for its next solve (None after an infeasible response,
+        // which forces a cold start).
+        let mut prev_sols: Vec<Option<LqSolution>> = (0..n).map(|_| None).collect();
+        let mut trackers = vec![WarmStartTracker::new(); n];
         for iter in 1..=config.max_iterations {
             let mut round_span = telemetry.tracer().span("game.round");
             round_span.attr("round", iter);
-            // Every provider best-responds to its quota.
+            // Every provider best-responds to its quota (Jacobi sweep,
+            // parallel when config.jobs > 1); merge in provider order.
+            let responses = self.sweep_round(iter, &quotas, &prev_sols, config, telemetry);
             let mut costs = vec![0.0; n];
             let mut duals = vec![vec![0.0; nl]; n];
             let mut sols: Vec<Option<LqSolution>> = (0..n).map(|_| None).collect();
             let mut any_infeasible = false;
-            for i in 0..n {
-                match self.best_response_traced(i, &quotas[i], &config.ipm, telemetry) {
-                    Ok((cost, d, sol)) => {
+            for (i, response) in responses.into_iter().enumerate() {
+                match response? {
+                    Response::Strict {
+                        cost,
+                        duals: d,
+                        sol,
+                    } => {
+                        trackers[i].record(prev_sols[i].is_some(), sol.iterations, telemetry);
                         costs[i] = cost;
                         duals[i] = d;
                         sols[i] = Some(sol);
                     }
-                    Err(CoreError::Solver(_)) if config.recovery.enabled => {
-                        // The quota starves this provider: recover with a
-                        // bounded-shortfall placement whose penalty-inflated
-                        // cost and genuine capacity duals pull quota back
-                        // toward it on the next division.
-                        match self.recovery_response_traced(i, &quotas[i], config, telemetry) {
-                            Ok((cost, d, sol, shortfall)) => {
-                                telemetry.incr("game.recovered_responses", 1);
-                                telemetry.observe("game.response_shortfall", shortfall);
-                                costs[i] = cost;
-                                duals[i] = d;
-                                sols[i] = Some(sol);
-                            }
-                            Err(CoreError::Solver(_)) => {
-                                // Even the relaxation failed (the true
-                                // dead-end): fall back to the synthetic
-                                // strong-shadow-price nudge.
-                                telemetry.incr("game.infeasible_responses", 1);
-                                any_infeasible = true;
-                                costs[i] = f64::INFINITY;
-                                duals[i] =
-                                    self.total_capacity.iter().map(|c| c / n as f64).collect();
-                            }
-                            Err(e) => return Err(e),
-                        }
+                    Response::Recovered {
+                        cost,
+                        duals: d,
+                        sol,
+                        shortfall,
+                    } => {
+                        telemetry.incr("game.recovered_responses", 1);
+                        telemetry.observe("game.response_shortfall", shortfall);
+                        trackers[i].record(prev_sols[i].is_some(), sol.iterations, telemetry);
+                        costs[i] = cost;
+                        duals[i] = d;
+                        sols[i] = Some(sol);
                     }
-                    Err(CoreError::Solver(_)) => {
-                        // Recovery disabled: the historical ∞-cost path.
+                    Response::Infeasible => {
                         telemetry.incr("game.infeasible_responses", 1);
                         any_infeasible = true;
                         costs[i] = f64::INFINITY;
                         duals[i] = self.total_capacity.iter().map(|c| c / n as f64).collect();
                     }
-                    Err(e) => return Err(e),
                 }
             }
             let total: f64 = costs.iter().sum();
@@ -411,6 +560,7 @@ impl ResourceGame {
                     solutions: sols.iter().map(|s| s.clone().expect("feasible")).collect(),
                 });
             }
+            prev_sols = sols;
 
             // Quota update: C̄ᵢ = Cᵢ + α·λᵢ, then renormalize per DC so the
             // quotas partition the true capacity. The duals are averaged
@@ -772,6 +922,104 @@ mod tests {
             assert!(cost.is_finite(), "provider {i} cost {cost}");
         }
         assert_eq!(out.solutions.len(), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_bitwise() {
+        // The Jacobi sweep merges results in provider order, so the whole
+        // trajectory of the game — costs, quotas, solutions — must be
+        // byte-identical for any worker count.
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(4).unwrap();
+        let game = ResourceGame::new(sps, vec![60.0, 80.0]).unwrap();
+        let seq = game.run(&quick_config()).unwrap();
+        let par = game
+            .run(&GameConfig {
+                jobs: 4,
+                ..quick_config()
+            })
+            .unwrap();
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(seq.converged, par.converged);
+        assert_eq!(seq.total_cost.to_bits(), par.total_cost.to_bits());
+        for (a, b) in seq.provider_costs.iter().zip(&par.provider_costs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (qa, qb) in seq.quotas.iter().zip(&par.quotas) {
+            for (a, b) in qa.iter().zip(qb) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        for (sa, sb) in seq.solutions.iter().zip(&par.solutions) {
+            assert_eq!(sa.iterations, sb.iterations);
+            for (ua, ub) in sa.us.iter().zip(&sb.us) {
+                for (a, b) in ua.as_slice().iter().zip(ub.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_emits_round_parallel_spans() {
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(3).unwrap();
+        let game = ResourceGame::new(sps, vec![60.0, 80.0]).unwrap();
+        let tracer = dspp_telemetry::Tracer::enabled(1024);
+        let config = GameConfig {
+            jobs: 2,
+            telemetry: dspp_telemetry::Recorder::enabled().with_tracer(tracer.clone()),
+            ..quick_config()
+        };
+        let out = game.run(&config).unwrap();
+        let spans = tracer
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(r, dspp_telemetry::TraceRecord::Span(s) if s.name == "game.round.parallel")
+            })
+            .count();
+        assert_eq!(spans, out.iterations);
+    }
+
+    #[test]
+    fn rounds_after_the_first_warm_start_from_the_previous_round() {
+        let sps = SpSampler::new(2, 2, 3).with_seed(3).sample(3).unwrap();
+        let game = ResourceGame::new(sps, vec![60.0, 80.0]).unwrap();
+        let config = GameConfig {
+            telemetry: dspp_telemetry::Recorder::enabled(),
+            ..quick_config()
+        };
+        let out = game.run(&config).unwrap();
+        let snap = config.telemetry.snapshot().unwrap();
+        let n = game.providers().len() as u64;
+        if out.iterations > 1 {
+            // Every provider solve after round 1 carries a warm start.
+            let expected_hits = (out.iterations as u64 - 1) * n;
+            assert_eq!(snap.counter("solver.lq.warm_hits"), expected_hits);
+            assert_eq!(snap.counter("solver.lq.warm_starts"), expected_hits);
+        }
+    }
+
+    #[test]
+    fn starved_provider_warm_starts_through_recovery() {
+        // Provider 0's first rounds go through the recovery solve; the
+        // warm carry must survive that path (the recovered placement is
+        // mapped back to strict dimensions and seeds the next round).
+        let sps = SpSampler::new(2, 2, 3).with_seed(9).sample(2).unwrap();
+        let game = ResourceGame::new(sps, vec![40.0, 40.0]).unwrap();
+        let quotas = vec![vec![0.05, 0.05], vec![39.95, 39.95]];
+        let config = GameConfig {
+            telemetry: dspp_telemetry::Recorder::enabled(),
+            ..quick_config()
+        };
+        let out = game.run_from(quotas, &config).unwrap();
+        let snap = config.telemetry.snapshot().unwrap();
+        assert!(snap.counter("game.recovered_responses") >= 1);
+        if out.iterations > 1 {
+            assert!(
+                snap.counter("solver.lq.warm_hits") > 0,
+                "warm starts must carry through the recovery path"
+            );
+        }
     }
 
     #[test]

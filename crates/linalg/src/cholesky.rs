@@ -45,15 +45,37 @@ impl Cholesky {
     ///
     /// Same conditions as [`Cholesky::factor`].
     pub fn factor_regularized(a: &Matrix, reg: f64) -> Result<Self, LinalgError> {
-        if !a.is_square() {
+        let mut chol = Cholesky {
+            l: Matrix::zeros(a.rows(), a.rows()),
+        };
+        chol.refactor(a, reg)?;
+        Ok(chol)
+    }
+
+    /// Re-factors `a + reg * I` into this factorization's existing storage
+    /// (allocation-free [`Cholesky::factor_regularized`] for solvers that
+    /// factor a same-sized matrix every iteration).
+    ///
+    /// On error the stored factor is unspecified and must not be used for
+    /// solves until a later `refactor` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`], plus
+    /// [`LinalgError::DimensionMismatch`] if `a`'s dimension differs from
+    /// the existing factor's.
+    pub fn refactor(&mut self, a: &Matrix, reg: f64) -> Result<(), LinalgError> {
+        if !a.is_square() || a.rows() != self.l.rows() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "cholesky: matrix is {}x{}",
+                "cholesky refactor: matrix is {}x{}, factor is {}x{}",
                 a.rows(),
-                a.cols()
+                a.cols(),
+                self.l.rows(),
+                self.l.rows()
             )));
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        let l = &mut self.l;
         // Scale-aware tolerance for pivot positivity.
         let scale = a.norm_inf().max(reg).max(1.0);
         let tol = scale * 1e-14;
@@ -76,7 +98,15 @@ impl Cholesky {
                 l[(i, j)] = s / dsqrt;
             }
         }
-        Ok(Cholesky { l })
+        // Upper triangle may hold entries from a previous factorization;
+        // solves only read the lower triangle, but clear it so `l()` is a
+        // genuine lower-triangular matrix.
+        for j in 1..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -200,6 +230,20 @@ mod tests {
         a[(0, 1)] = 999.0; // poison upper triangle
         let f_poisoned = Cholesky::factor(&a).unwrap();
         assert_eq!(f_clean.l(), f_poisoned.l());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh_factor() {
+        let a = spd(5, 11);
+        let b = spd(5, 29);
+        let mut f = Cholesky::factor(&a).unwrap();
+        f.refactor(&b, 0.0).unwrap();
+        let fresh = Cholesky::factor(&b).unwrap();
+        assert_eq!(f.l(), fresh.l());
+        // Dimension changes are rejected, as is a non-PD refactor.
+        assert!(f.refactor(&spd(4, 3), 0.0).is_err());
+        let indef = Matrix::from_rows(&[&[1.0; 5]; 5].map(|r| &r[..])).unwrap();
+        assert!(f.refactor(&indef, 0.0).is_err());
     }
 
     #[test]

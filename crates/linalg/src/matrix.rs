@@ -140,15 +140,57 @@ impl Matrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Copies column `j` into `out` (allocation-free [`Matrix::col`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols` or `out.len() != rows`.
+    pub fn col_into(&self, j: usize, out: &mut Vector) {
+        assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
+        assert_eq!(out.len(), self.rows, "col_into: output length");
+        for i in 0..self.rows {
+            out[i] = self[(i, j)];
+        }
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes the transpose into `out` (allocation-free
+    /// [`Matrix::transpose`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `cols × rows`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose_into: output shape"
+        );
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+                out[(j, i)] = self[(i, j)];
             }
         }
-        t
+    }
+
+    /// Overwrites every entry with a copy of `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from: shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Matrix–vector product `A x`.
@@ -157,24 +199,52 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Writes `A x` into `out` (allocation-free [`Matrix::matvec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &Vector, out: &mut Vector) {
         assert_eq!(
             x.len(),
             self.cols,
-            "matvec: matrix is {}x{} but vector has length {}",
+            "matvec_into: matrix is {}x{} but vector has length {}",
             self.rows,
             self.cols,
             x.len()
         );
-        let mut y = Vector::zeros(self.rows);
+        assert_eq!(out.len(), self.rows, "matvec_into: output length");
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.as_slice()) {
                 acc += a * b;
             }
-            y[i] = acc;
+            out[i] = acc;
         }
-        y
+    }
+
+    /// Accumulates `out += alpha · A x` (gemv-style, allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_acc(&self, alpha: f64, x: &Vector, out: &mut Vector) {
+        assert_eq!(x.len(), self.cols, "matvec_acc: vector length");
+        assert_eq!(out.len(), self.rows, "matvec_acc: output length");
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.as_slice()) {
+                acc += a * b;
+            }
+            out[i] += alpha * acc;
+        }
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
@@ -183,26 +253,46 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.cols);
+        self.matvec_t_acc(1.0, x, &mut y);
+        y
+    }
+
+    /// Writes `Aᵀ x` into `out` (allocation-free [`Matrix::matvec_t`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, x: &Vector, out: &mut Vector) {
+        out.fill(0.0);
+        self.matvec_t_acc(1.0, x, out);
+    }
+
+    /// Accumulates `out += alpha · Aᵀ x` (gemv-style, allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_acc(&self, alpha: f64, x: &Vector, out: &mut Vector) {
         assert_eq!(
             x.len(),
             self.rows,
-            "matvec_t: matrix is {}x{} but vector has length {}",
+            "matvec_t_acc: matrix is {}x{} but vector has length {}",
             self.rows,
             self.cols,
             x.len()
         );
-        let mut y = Vector::zeros(self.cols);
+        assert_eq!(out.len(), self.cols, "matvec_t_acc: output length");
         for i in 0..self.rows {
-            let xi = x[i];
+            let xi = alpha * x[i];
             if xi == 0.0 {
                 continue;
             }
             let row = self.row(i);
             for (j, a) in row.iter().enumerate() {
-                y[j] += a * xi;
+                out[j] += a * xi;
             }
         }
-        y
     }
 
     /// Matrix–matrix product `A B`.
@@ -211,15 +301,46 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Writes `A B` into `out` (allocation-free [`Matrix::matmul`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible or `out` is not
+    /// `rows × other.cols`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into: output shape"
+        );
+        out.data.fill(0.0);
+        self.matmul_acc(1.0, other, out);
+    }
+
+    /// Accumulates `out += alpha · A B` (gemm-style, allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn matmul_acc(&self, alpha: f64, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
-            "matmul: {}x{} times {}x{}",
+            "matmul_acc: {}x{} times {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_acc: output shape"
+        );
         for i in 0..self.rows {
             for k in 0..self.cols {
-                let aik = self[(i, k)];
+                let aik = alpha * self[(i, k)];
                 if aik == 0.0 {
                     continue;
                 }
@@ -230,7 +351,39 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Accumulates `out += alpha · Aᵀ B` without materializing the
+    /// transpose (the `HᵀK` / `BᵀPB` pattern of the Riccati recursion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn matmul_t_acc(&self, alpha: f64, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_t_acc: {}x{} transposed times {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_t_acc: output shape"
+        );
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                let s = alpha * a;
+                if s == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += s * b;
+                }
+            }
+        }
     }
 
     /// Computes `AᵀA` directly (symmetric result, used by normal equations).
@@ -290,15 +443,64 @@ impl Matrix {
         out
     }
 
+    /// Accumulates `out += Aᵀ D A` where `D = diag(w)` (allocation-free
+    /// [`Matrix::weighted_gram`] for the interior-point Hessian updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows` or `out` is not `cols × cols`.
+    pub fn weighted_gram_acc(&self, w: &Vector, out: &mut Matrix) {
+        assert_eq!(w.len(), self.rows, "weighted_gram_acc: weight length");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.cols),
+            "weighted_gram_acc: output shape"
+        );
+        for k in 0..self.rows {
+            let wk = w[k];
+            if wk == 0.0 {
+                continue;
+            }
+            let row = self.row(k);
+            for i in 0..self.cols {
+                let s = wk * row[i];
+                if s == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, a) in orow.iter_mut().zip(row) {
+                    *o += s * a;
+                }
+            }
+        }
+    }
+
     /// Computes `Aᵀ D B` where `D = diag(w)`.
     ///
     /// # Panics
     ///
     /// Panics if the shapes are incompatible.
     pub fn weighted_product(&self, w: &Vector, other: &Matrix) -> Matrix {
-        assert_eq!(w.len(), self.rows, "weighted_product: weight length");
-        assert_eq!(self.rows, other.rows, "weighted_product: row mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.weighted_product_into(w, other, &mut out);
+        out
+    }
+
+    /// Writes `Aᵀ D B` into `out` (allocation-free
+    /// [`Matrix::weighted_product`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn weighted_product_into(&self, w: &Vector, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(w.len(), self.rows, "weighted_product_into: weight length");
+        assert_eq!(self.rows, other.rows, "weighted_product_into: row mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "weighted_product_into: output shape"
+        );
+        out.data.fill(0.0);
         for k in 0..self.rows {
             let wk = w[k];
             if wk == 0.0 {
@@ -317,7 +519,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// In-place `self += alpha * other`.
@@ -577,6 +778,59 @@ mod tests {
         let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(a.row(1), &[3.0, 4.0]);
         assert_eq!(a.col(0).as_slice(), &[1.0, 3.0]);
+        let mut c = Vector::zeros(2);
+        a.col_into(1, &mut c);
+        assert_eq!(c.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_counterparts() {
+        let a = mat(&[&[1.0, 2.0, -1.0], &[0.5, -3.0, 2.0]]);
+        let b = mat(&[&[2.0, 1.0], &[0.0, -1.0], &[1.5, 0.5]]);
+        let x = Vector::from(vec![1.0, -2.0, 0.5]);
+        let y = Vector::from(vec![2.0, 3.0]);
+        let w = Vector::from(vec![0.5, 2.0]);
+
+        let mut out = Vector::from(vec![9.0, 9.0]);
+        a.matvec_into(&x, &mut out);
+        assert_eq!(out, a.matvec(&x));
+        a.matvec_acc(2.0, &x, &mut out);
+        assert_eq!(out, &a.matvec(&x) + &a.matvec(&x.scaled(2.0)));
+
+        let mut out_t = Vector::from(vec![9.0, 9.0, 9.0]);
+        a.matvec_t_into(&y, &mut out_t);
+        assert_eq!(out_t, a.matvec_t(&y));
+        a.matvec_t_acc(-1.0, &y, &mut out_t);
+        assert!(out_t.norm_inf() < 1e-12);
+
+        let mut prod = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut prod);
+        assert_eq!(prod, a.matmul(&b));
+        a.matmul_acc(1.0, &b, &mut prod);
+        assert_eq!(prod, &a.matmul(&b) + &a.matmul(&b));
+
+        let mut tprod = Matrix::zeros(3, 3);
+        let explicit = a.transpose().matmul(&b.transpose());
+        a.matmul_t_acc(1.0, &b.transpose(), &mut tprod);
+        assert!((&tprod - &explicit).norm_inf() < 1e-12);
+
+        let mut gram = Matrix::zeros(3, 3);
+        a.weighted_gram_acc(&w, &mut gram);
+        assert!((&gram - &a.weighted_gram(&w)).norm_inf() < 1e-12);
+        a.weighted_gram_acc(&w, &mut gram);
+        assert!((&gram - &(&a.weighted_gram(&w) * 2.0)).norm_inf() < 1e-12);
+
+        let mut wp = Matrix::zeros(3, 3);
+        a.weighted_product_into(&w, &b.transpose(), &mut wp);
+        assert!((&wp - &a.weighted_product(&w, &b.transpose())).norm_inf() < 1e-12);
+
+        let mut t = Matrix::zeros(3, 2);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let mut copy = Matrix::zeros(2, 3);
+        copy.copy_from(&a);
+        assert_eq!(copy, a);
     }
 
     proptest! {

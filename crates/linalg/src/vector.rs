@@ -169,6 +169,35 @@ impl Vector {
             .collect()
     }
 
+    /// Writes the element-wise product `self ∘ other` into `out`
+    /// (allocation-free [`Vector::hadamard`] for solver hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hadamard_into(&self, other: &Vector, out: &mut Vector) {
+        assert_eq!(self.len(), other.len(), "hadamard_into: length mismatch");
+        assert_eq!(self.len(), out.len(), "hadamard_into: output length");
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
+    }
+
+    /// Overwrites every entry with a copy of `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Sets every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Applies `f` to every entry, returning a new vector.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
         self.data.iter().map(|&x| f(x)).collect()

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
@@ -65,71 +65,81 @@ impl ScenarioPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.run_scoped(jobs)
+    }
+
+    /// Like [`ScenarioPool::run`], but for jobs that borrow from the
+    /// caller's stack: workers are scoped threads
+    /// ([`std::thread::scope`]), so `T` and `F` need only be [`Send`],
+    /// not `'static`. The game crate uses this to run per-provider
+    /// best-response solves that borrow the game state for one round.
+    pub fn run_scoped<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<Result<T, RuntimeError>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         let n = jobs.len();
         if n == 0 {
             return Vec::new();
         }
         let workers = self.workers.min(n);
         self.telemetry.gauge("runtime.pool_workers", workers as f64);
-        let queue: Arc<Mutex<VecDeque<(usize, String, F)>>> = Arc::new(Mutex::new(
+        let queue: Mutex<VecDeque<(usize, String, F)>> = Mutex::new(
             jobs.into_iter()
                 .enumerate()
                 .map(|(i, (label, f))| (i, label, f))
                 .collect(),
-        ));
+        );
         let (tx, rx) = mpsc::channel::<(usize, Result<T, RuntimeError>)>();
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let queue = Arc::clone(&queue);
-            let tx = tx.clone();
-            let telemetry = self.telemetry.clone();
-            let handle = thread::Builder::new()
-                .name(format!("dspp-runtime-{w}"))
-                .spawn(move || loop {
-                    let job = queue.lock().expect("pool queue poisoned").pop_front();
-                    let Some((idx, label, f)) = job else { break };
-                    let mut span = telemetry.tracer().span("runtime.job");
-                    span.attr("label", label.clone());
-                    span.attr("index", idx);
-                    let t = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(f));
-                    telemetry.observe_duration("runtime.job_seconds", t.elapsed());
-                    span.attr("ok", outcome.is_ok());
-                    drop(span);
-                    let result = match outcome {
-                        Ok(value) => {
-                            telemetry.incr("runtime.jobs", 1);
-                            Ok(value)
-                        }
-                        Err(payload) => {
-                            telemetry.incr("runtime.job_panics", 1);
-                            let message = panic_message(payload.as_ref());
-                            telemetry.tracer().event_with(
-                                "runtime.job_panic",
-                                [
-                                    ("severity", AttrValue::Str("error".into())),
-                                    ("label", AttrValue::Str(label.clone())),
-                                    ("message", AttrValue::Str(message.clone())),
-                                ],
-                            );
-                            Err(RuntimeError::JobPanicked { label, message })
-                        }
-                    };
-                    if tx.send((idx, result)).is_err() {
-                        break;
-                    }
-                })
-                .expect("failed to spawn pool worker");
-            handles.push(handle);
-        }
-        drop(tx);
         let mut slots: Vec<Option<Result<T, RuntimeError>>> = (0..n).map(|_| None).collect();
-        for (idx, result) in rx {
-            slots[idx] = Some(result);
-        }
-        for handle in handles {
-            let _ = handle.join();
-        }
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let tx = tx.clone();
+                let telemetry = &self.telemetry;
+                thread::Builder::new()
+                    .name(format!("dspp-runtime-{w}"))
+                    .spawn_scoped(scope, move || loop {
+                        let job = queue.lock().expect("pool queue poisoned").pop_front();
+                        let Some((idx, label, f)) = job else { break };
+                        let mut span = telemetry.tracer().span("runtime.job");
+                        span.attr("label", label.clone());
+                        span.attr("index", idx);
+                        let t = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(f));
+                        telemetry.observe_duration("runtime.job_seconds", t.elapsed());
+                        span.attr("ok", outcome.is_ok());
+                        drop(span);
+                        let result = match outcome {
+                            Ok(value) => {
+                                telemetry.incr("runtime.jobs", 1);
+                                Ok(value)
+                            }
+                            Err(payload) => {
+                                telemetry.incr("runtime.job_panics", 1);
+                                let message = panic_message(payload.as_ref());
+                                telemetry.tracer().event_with(
+                                    "runtime.job_panic",
+                                    [
+                                        ("severity", AttrValue::Str("error".into())),
+                                        ("label", AttrValue::Str(label.clone())),
+                                        ("message", AttrValue::Str(message.clone())),
+                                    ],
+                                );
+                                Err(RuntimeError::JobPanicked { label, message })
+                            }
+                        };
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("failed to spawn pool worker");
+            }
+            drop(tx);
+            for (idx, result) in rx {
+                slots[idx] = Some(result);
+            }
+        });
         slots
             .into_iter()
             .map(|slot| slot.expect("every queued job reports exactly once"))
@@ -226,6 +236,20 @@ mod tests {
         assert_eq!(snap.counter("runtime.jobs"), 2);
         assert_eq!(snap.counter("runtime.job_panics"), 1);
         assert_eq!(snap.histogram("runtime.job_seconds").unwrap().count, 3);
+    }
+
+    #[test]
+    fn scoped_jobs_can_borrow_caller_state() {
+        let pool = ScenarioPool::new(4);
+        let data: Vec<u64> = (0..16).collect();
+        let jobs: Vec<(String, _)> = data
+            .iter()
+            .map(|v| (format!("borrow-{v}"), move || v * 2))
+            .collect();
+        let results = pool.run_scoped(jobs);
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), 2 * i as u64);
+        }
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub fn flatten_lq(problem: &LqProblem) -> Result<FlattenedLq, SolverError> {
     // Dynamics equalities: x_{k+1} − A_k x_k − B_k u_k = c_k  (x_0 constant).
     let mut a_eq = Matrix::zeros(nstages * n, nvar);
     let mut b_eq = Vector::zeros(nstages * n);
+    let mut ax0 = Vector::zeros(n);
     for (k, st) in problem.stages.iter().enumerate() {
         let row0 = k * n;
         // +x_{k+1}
@@ -122,7 +123,7 @@ pub fn flatten_lq(problem: &LqProblem) -> Result<FlattenedLq, SolverError> {
             }
         }
         if k == 0 {
-            let ax0 = st.a.matvec(&problem.x0);
+            st.a.matvec_into(&problem.x0, &mut ax0);
             for i in 0..n {
                 b_eq[row0 + i] = st.c[i] + ax0[i];
             }

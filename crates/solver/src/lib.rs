@@ -63,6 +63,7 @@ mod qp;
 mod relax;
 mod riccati;
 mod settings;
+mod warm;
 
 pub use error::SolverError;
 pub use feasibility::{preflight_lq, FeasibilityReport, LqRowLayout, PeriodFeasibility};
@@ -73,3 +74,4 @@ pub use lq_ipm::{solve_lq, solve_lq_traced, solve_lq_warm, solve_lq_warm_traced}
 pub use qp::{QpProblem, QpSolution, SolveStatus};
 pub use relax::{relax_lq, relax_lq_slots, RelaxedLq, RelaxedSolution, SoftSpec};
 pub use settings::IpmSettings;
+pub use warm::WarmStartTracker;

@@ -1,6 +1,6 @@
 //! Interior-point outer loop for stage-structured LQ problems.
 
-use crate::riccati::RiccatiFactor;
+use crate::riccati::{RiccatiFactor, RiccatiStep};
 use crate::{IpmSettings, LqProblem, LqSolution, SolveStatus, SolverError};
 use dspp_linalg::{Matrix, Vector};
 use dspp_telemetry::{AttrValue, Recorder};
@@ -251,58 +251,97 @@ fn solve_lq_warm_inner(
     // the rest of the solve instead of aborting.
     let mut reg = settings.regularization;
     let max_reg = settings.regularization.max(1e-12) * 1e8;
+
+    // ------- preallocated workspace, reused every iteration -------
+    // Everything the loop body writes lives here (or in the iterates above),
+    // so steady-state iterations are allocation-free.
+    let slot_vecs = || -> Vec<Vector> { mcs.iter().map(|&m| Vector::zeros(m)).collect() };
+    let input_vecs = || -> Vec<Vector> {
+        problem
+            .stages
+            .iter()
+            .map(|st| Vector::zeros(st.input_dim()))
+            .collect()
+    };
+    let mut cons = slot_vecs(); // constraint-row scratch (lhs / CΔ products)
+    let mut r_ineqs = slot_vecs();
+    let mut r_xs: Vec<Vector> = vec![Vector::zeros(n); nstages + 1];
+    let mut r_us = input_vecs();
+    let mut ws = slot_vecs(); // barrier weights z/s
+    let mut ts = slot_vecs();
+    let mut r_cs = slot_vecs();
+    let mut q_mods: Vec<Matrix> = vec![Matrix::zeros(n, n); nstages + 1];
+    let mut r_mods: Vec<Matrix> = problem
+        .stages
+        .iter()
+        .map(|st| Matrix::zeros(st.input_dim(), st.input_dim()))
+        .collect();
+    let mut m_mods: Vec<Matrix> = problem
+        .stages
+        .iter()
+        .map(|st| Matrix::zeros(n, st.input_dim()))
+        .collect();
+    let mut q_hats: Vec<Vector> = vec![Vector::zeros(n); nstages + 1];
+    let mut r_hats = input_vecs();
+    let mut factor = RiccatiFactor::new(problem);
+    let mut step_aff = RiccatiStep::new(problem);
+    let mut step = RiccatiStep::new(problem);
+    let mut dss_aff = slot_vecs();
+    let mut dzs_aff = slot_vecs();
+    let mut dss = slot_vecs();
+    let mut dzs = slot_vecs();
+
     for iter in 0..settings.max_iterations {
         // ------- residuals -------
         // r_ineq per slot.
-        let mut r_ineqs: Vec<Vector> = Vec::with_capacity(nstages + 1);
         for k in 0..=nstages {
             if mcs[k] == 0 {
-                r_ineqs.push(Vector::zeros(0));
                 continue;
             }
-            let (lhs, d) = if k < nstages {
+            let r = &mut r_ineqs[k];
+            let d = if k < nstages {
                 let st = &problem.stages[k];
-                (&st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k]), &st.d)
+                st.cx.matvec_into(&xs[k], r);
+                st.cu.matvec_acc(1.0, &us[k], r);
+                &st.d
             } else {
-                (
-                    problem.terminal.cx.matvec(&xs[nstages]),
-                    &problem.terminal.d,
-                )
+                problem.terminal.cx.matvec_into(&xs[nstages], r);
+                &problem.terminal.d
             };
-            r_ineqs.push(&(&lhs + &ss[k]) - d);
+            for i in 0..mcs[k] {
+                r[i] += ss[k][i] - d[i];
+            }
         }
         // Stationarity residuals.
-        let mut r_xs: Vec<Vector> = vec![Vector::zeros(n); nstages + 1];
         for k in 1..nstages {
             let st = &problem.stages[k];
-            let mut r = st.q_mat.matvec(&xs[k]);
-            r += &st.q_vec;
+            let r = &mut r_xs[k];
+            st.q_mat.matvec_into(&xs[k], r);
+            r.axpy(1.0, &st.q_vec);
             if mcs[k] > 0 {
-                r += &st.cx.matvec_t(&zs[k]);
+                st.cx.matvec_t_acc(1.0, &zs[k], r);
             }
-            r += &st.a.matvec_t(&lams[k]);
-            r -= &lams[k - 1];
-            r_xs[k] = r;
+            st.a.matvec_t_acc(1.0, &lams[k], r);
+            r.axpy(-1.0, &lams[k - 1]);
         }
         {
-            let mut r = problem.terminal.q_mat.matvec(&xs[nstages]);
-            r += &problem.terminal.q_vec;
+            let r = &mut r_xs[nstages];
+            problem.terminal.q_mat.matvec_into(&xs[nstages], r);
+            r.axpy(1.0, &problem.terminal.q_vec);
             if mcs[nstages] > 0 {
-                r += &problem.terminal.cx.matvec_t(&zs[nstages]);
+                problem.terminal.cx.matvec_t_acc(1.0, &zs[nstages], r);
             }
-            r -= &lams[nstages - 1];
-            r_xs[nstages] = r;
+            r.axpy(-1.0, &lams[nstages - 1]);
         }
-        let mut r_us: Vec<Vector> = Vec::with_capacity(nstages);
         for k in 0..nstages {
             let st = &problem.stages[k];
-            let mut r = st.r_mat.matvec(&us[k]);
-            r += &st.r_vec;
+            let r = &mut r_us[k];
+            st.r_mat.matvec_into(&us[k], r);
+            r.axpy(1.0, &st.r_vec);
             if mcs[k] > 0 {
-                r += &st.cu.matvec_t(&zs[k]);
+                st.cu.matvec_t_acc(1.0, &zs[k], r);
             }
-            r += &st.b.matvec_t(&lams[k]);
-            r_us.push(r);
+            st.b.matvec_t_acc(1.0, &lams[k], r);
         }
 
         let mut gap = 0.0;
@@ -327,7 +366,7 @@ fn solve_lq_warm_inner(
         for r in &r_ineqs {
             ineq_norm = ineq_norm.max(r.norm_inf());
         }
-        let wr = worst_violation_row(problem, &xs, &us);
+        let wr = worst_violation_row(problem, &xs, &us, &mut cons);
         if wr.3 < best_violation.3 {
             best_violation = wr;
         }
@@ -364,52 +403,38 @@ fn solve_lq_warm_inner(
         }
 
         // ------- barrier-modified Hessians and factorization -------
-        let mut ws: Vec<Vector> = Vec::with_capacity(nstages + 1);
         for k in 0..=nstages {
-            let mut w = Vector::zeros(mcs[k]);
             for i in 0..mcs[k] {
-                w[i] = zs[k][i] / ss[k][i];
+                ws[k][i] = zs[k][i] / ss[k][i];
             }
-            ws.push(w);
         }
-        let mut q_mods: Vec<Matrix> = Vec::with_capacity(nstages + 1);
-        let mut r_mods: Vec<Matrix> = Vec::with_capacity(nstages);
-        let mut m_mods: Vec<Matrix> = Vec::with_capacity(nstages);
-        for k in 0..=nstages {
-            if k == 0 {
-                // x_0 is fixed; its Hessian never enters the step.
-                q_mods.push(Matrix::zeros(n, n));
-            } else if k < nstages {
-                let st = &problem.stages[k];
-                let mut q = st.q_mat.clone();
-                if mcs[k] > 0 {
-                    q.add_scaled(1.0, &st.cx.weighted_gram(&ws[k]));
-                }
-                q_mods.push(q);
+        // q_mods[0] stays zero: x_0 is fixed, its Hessian never enters the
+        // step. Constraint-free stages keep their zero m_mods likewise.
+        for k in 1..=nstages {
+            let (q_mat, cx) = if k < nstages {
+                (&problem.stages[k].q_mat, &problem.stages[k].cx)
             } else {
-                let mut q = problem.terminal.q_mat.clone();
-                if mcs[nstages] > 0 {
-                    q.add_scaled(1.0, &problem.terminal.cx.weighted_gram(&ws[nstages]));
-                }
-                q_mods.push(q);
+                (&problem.terminal.q_mat, &problem.terminal.cx)
+            };
+            let q = &mut q_mods[k];
+            q.copy_from(q_mat);
+            if mcs[k] > 0 {
+                cx.weighted_gram_acc(&ws[k], q);
             }
         }
         for k in 0..nstages {
             let st = &problem.stages[k];
-            let mut r = st.r_mat.clone();
-            let m = if mcs[k] > 0 {
-                r.add_scaled(1.0, &st.cu.weighted_gram(&ws[k]));
-                st.cx.weighted_product(&ws[k], &st.cu)
-            } else {
-                Matrix::zeros(n, st.input_dim())
-            };
-            r_mods.push(r);
-            m_mods.push(m);
+            let r = &mut r_mods[k];
+            r.copy_from(&st.r_mat);
+            if mcs[k] > 0 {
+                st.cu.weighted_gram_acc(&ws[k], r);
+                st.cx.weighted_product_into(&ws[k], &st.cu, &mut m_mods[k]);
+            }
         }
         let t_factor = telemetry.is_enabled().then(Instant::now);
-        let factor = loop {
-            match RiccatiFactor::factor(problem, &q_mods, &r_mods, &m_mods, reg) {
-                Ok(f) => break f,
+        loop {
+            match factor.refactor(problem, &q_mods, &r_mods, &m_mods, reg) {
+                Ok(()) => break,
                 Err(e) if reg < max_reg => {
                     reg = (reg * 100.0).max(1e-12);
                     telemetry.incr("solver.lq.reg_boosts", 1);
@@ -436,82 +461,34 @@ fn solve_lq_warm_inner(
                     return Err(e);
                 }
             }
-        };
+        }
         if let Some(t) = t_factor {
             telemetry.observe_duration("solver.lq.riccati_factor_seconds", t.elapsed());
         }
 
-        // Helper building modified gradients for a given complementarity
-        // residual r_c and solving the Newton system.
-        let solve_step = |r_cs: &[Vector]| {
-            // t_k = S⁻¹(Z r_ineq − r_c) per slot.
-            let mut ts: Vec<Vector> = Vec::with_capacity(nstages + 1);
-            for k in 0..=nstages {
-                let mut t = Vector::zeros(mcs[k]);
-                for i in 0..mcs[k] {
-                    t[i] = (zs[k][i] * r_ineqs[k][i] - r_cs[k][i]) / ss[k][i];
-                }
-                ts.push(t);
-            }
-            let mut q_hats: Vec<Vector> = Vec::with_capacity(nstages + 1);
-            for k in 0..=nstages {
-                if k == 0 {
-                    q_hats.push(Vector::zeros(n));
-                } else if k < nstages {
-                    let mut qh = r_xs[k].clone();
-                    if mcs[k] > 0 {
-                        qh += &problem.stages[k].cx.matvec_t(&ts[k]);
-                    }
-                    q_hats.push(qh);
-                } else {
-                    let mut qh = r_xs[nstages].clone();
-                    if mcs[nstages] > 0 {
-                        qh += &problem.terminal.cx.matvec_t(&ts[nstages]);
-                    }
-                    q_hats.push(qh);
-                }
-            }
-            let mut r_hats: Vec<Vector> = Vec::with_capacity(nstages);
-            for k in 0..nstages {
-                let mut rh = r_us[k].clone();
-                if mcs[k] > 0 {
-                    rh += &problem.stages[k].cu.matvec_t(&ts[k]);
-                }
-                r_hats.push(rh);
-            }
-            let step = telemetry.time("solver.lq.riccati_solve_seconds", || {
-                factor.solve(problem, &q_hats, &r_hats)
-            });
-            // Recover Δs, Δz per slot.
-            let mut dss: Vec<Vector> = Vec::with_capacity(nstages + 1);
-            let mut dzs: Vec<Vector> = Vec::with_capacity(nstages + 1);
-            for k in 0..=nstages {
-                if mcs[k] == 0 {
-                    dss.push(Vector::zeros(0));
-                    dzs.push(Vector::zeros(0));
-                    continue;
-                }
-                let cdx = if k < nstages {
-                    let st = &problem.stages[k];
-                    &st.cx.matvec(&step.dxs[k]) + &st.cu.matvec(&step.dus[k])
-                } else {
-                    problem.terminal.cx.matvec(&step.dxs[nstages])
-                };
-                let mut ds = Vector::zeros(mcs[k]);
-                let mut dz = Vector::zeros(mcs[k]);
-                for i in 0..mcs[k] {
-                    ds[i] = -r_ineqs[k][i] - cdx[i];
-                    dz[i] = (-r_cs[k][i] - zs[k][i] * ds[i]) / ss[k][i];
-                }
-                dss.push(ds);
-                dzs.push(dz);
-            }
-            (step, dss, dzs)
-        };
-
         // ------- predictor -------
-        let r_cs_aff: Vec<Vector> = (0..=nstages).map(|k| ss[k].hadamard(&zs[k])).collect();
-        let (step_aff, dss_aff, dzs_aff) = solve_step(&r_cs_aff);
+        for k in 0..=nstages {
+            ss[k].hadamard_into(&zs[k], &mut r_cs[k]);
+        }
+        newton_step(
+            problem,
+            &mcs,
+            &ss,
+            &zs,
+            &r_ineqs,
+            &r_xs,
+            &r_us,
+            &r_cs,
+            &mut factor,
+            &mut ts,
+            &mut q_hats,
+            &mut r_hats,
+            &mut cons,
+            &mut step_aff,
+            &mut dss_aff,
+            &mut dzs_aff,
+            telemetry,
+        );
         let alpha_p_aff = max_step_multi(&ss, &dss_aff);
         let alpha_d_aff = max_step_multi(&zs, &dzs_aff);
         let sigma = if m_total > 0 && mu > 0.0 {
@@ -529,31 +506,50 @@ fn solve_lq_warm_inner(
         };
 
         // ------- corrector -------
-        let (step, dss, dzs) = if m_total > 0 {
-            let mut r_cs: Vec<Vector> = Vec::with_capacity(nstages + 1);
+        let use_corrector = m_total > 0;
+        if use_corrector {
             for k in 0..=nstages {
-                let mut rc = Vector::zeros(mcs[k]);
                 for i in 0..mcs[k] {
-                    rc[i] = ss[k][i] * zs[k][i] + dss_aff[k][i] * dzs_aff[k][i] - sigma * mu;
+                    r_cs[k][i] = ss[k][i] * zs[k][i] + dss_aff[k][i] * dzs_aff[k][i] - sigma * mu;
                 }
-                r_cs.push(rc);
             }
-            solve_step(&r_cs)
+            newton_step(
+                problem,
+                &mcs,
+                &ss,
+                &zs,
+                &r_ineqs,
+                &r_xs,
+                &r_us,
+                &r_cs,
+                &mut factor,
+                &mut ts,
+                &mut q_hats,
+                &mut r_hats,
+                &mut cons,
+                &mut step,
+                &mut dss,
+                &mut dzs,
+                telemetry,
+            );
+        }
+        let (fstep, fdss, fdzs) = if use_corrector {
+            (&step, &dss, &dzs)
         } else {
-            (step_aff, dss_aff, dzs_aff)
+            (&step_aff, &dss_aff, &dzs_aff)
         };
 
         let tau = settings.step_fraction;
-        let alpha_p = (tau * max_step_multi(&ss, &dss)).min(1.0);
-        let alpha_d = (tau * max_step_multi(&zs, &dzs)).min(1.0);
+        let alpha_p = (tau * max_step_multi(&ss, fdss)).min(1.0);
+        let alpha_d = (tau * max_step_multi(&zs, fdzs)).min(1.0);
 
         for k in 0..=nstages {
-            xs[k].axpy(alpha_p, &step.dxs[k]);
-            ss[k].axpy(alpha_p, &dss[k]);
-            zs[k].axpy(alpha_d, &dzs[k]);
+            xs[k].axpy(alpha_p, &fstep.dxs[k]);
+            ss[k].axpy(alpha_p, &fdss[k]);
+            zs[k].axpy(alpha_d, &fdzs[k]);
             if k < nstages {
-                us[k].axpy(alpha_p, &step.dus[k]);
-                lams[k].axpy(alpha_d, &step.dlams[k]);
+                us[k].axpy(alpha_p, &fstep.dus[k]);
+                lams[k].axpy(alpha_d, &fstep.dlams[k]);
             }
         }
 
@@ -669,21 +665,99 @@ fn classify_infeasibility(
     })
 }
 
+/// Builds the modified gradients for a given complementarity residual
+/// `r_cs` and solves the Newton system into preallocated outputs
+/// (`step`, `dss`, `dzs`); `ts`, `q_hats`, `r_hats`, and `cons` are
+/// per-slot scratch, so the call allocates nothing.
+#[allow(clippy::too_many_arguments)]
+fn newton_step(
+    problem: &LqProblem,
+    mcs: &[usize],
+    ss: &[Vector],
+    zs: &[Vector],
+    r_ineqs: &[Vector],
+    r_xs: &[Vector],
+    r_us: &[Vector],
+    r_cs: &[Vector],
+    factor: &mut RiccatiFactor,
+    ts: &mut [Vector],
+    q_hats: &mut [Vector],
+    r_hats: &mut [Vector],
+    cons: &mut [Vector],
+    step: &mut RiccatiStep,
+    dss: &mut [Vector],
+    dzs: &mut [Vector],
+    telemetry: &Recorder,
+) {
+    let nstages = problem.horizon();
+    // t_k = S⁻¹(Z r_ineq − r_c) per slot.
+    for k in 0..=nstages {
+        for i in 0..mcs[k] {
+            ts[k][i] = (zs[k][i] * r_ineqs[k][i] - r_cs[k][i]) / ss[k][i];
+        }
+    }
+    // q_hats[0] stays zero (x_0 fixed).
+    for k in 1..=nstages {
+        let cx = if k < nstages {
+            &problem.stages[k].cx
+        } else {
+            &problem.terminal.cx
+        };
+        let qh = &mut q_hats[k];
+        qh.copy_from(&r_xs[k]);
+        if mcs[k] > 0 {
+            cx.matvec_t_acc(1.0, &ts[k], qh);
+        }
+    }
+    for k in 0..nstages {
+        let rh = &mut r_hats[k];
+        rh.copy_from(&r_us[k]);
+        if mcs[k] > 0 {
+            problem.stages[k].cu.matvec_t_acc(1.0, &ts[k], rh);
+        }
+    }
+    telemetry.time("solver.lq.riccati_solve_seconds", || {
+        factor.solve_into(problem, q_hats, r_hats, step)
+    });
+    // Recover Δs, Δz per slot.
+    for k in 0..=nstages {
+        if mcs[k] == 0 {
+            continue;
+        }
+        let cdx = &mut cons[k];
+        if k < nstages {
+            let st = &problem.stages[k];
+            st.cx.matvec_into(&step.dxs[k], cdx);
+            st.cu.matvec_acc(1.0, &step.dus[k], cdx);
+        } else {
+            problem.terminal.cx.matvec_into(&step.dxs[nstages], cdx);
+        }
+        for i in 0..mcs[k] {
+            dss[k][i] = -r_ineqs[k][i] - cdx[i];
+            dzs[k][i] = (-r_cs[k][i] - zs[k][i] * dss[k][i]) / ss[k][i];
+        }
+    }
+}
+
 /// Locates the most-violated constraint row along the trajectory, measured
 /// relative to each row's right-hand side; returns
 /// `(slot, row, violation, violation / (1 + |d_row|))` with the terminal
-/// slot reported as the horizon length.
+/// slot reported as the horizon length. `cons` is per-slot scratch for the
+/// constraint left-hand sides.
 fn worst_violation_row(
     problem: &LqProblem,
     xs: &[Vector],
     us: &[Vector],
+    cons: &mut [Vector],
 ) -> (usize, usize, f64, f64) {
     let mut worst = (0usize, 0usize, 0.0f64, 0.0f64);
     for (k, st) in problem.stages.iter().enumerate() {
         if st.num_constraints() == 0 {
             continue;
         }
-        let lhs = &st.cx.matvec(&xs[k]) + &st.cu.matvec(&us[k]);
+        let lhs = &mut cons[k];
+        st.cx.matvec_into(&xs[k], lhs);
+        st.cu.matvec_acc(1.0, &us[k], lhs);
         for i in 0..st.d.len() {
             let viol = lhs[i] - st.d[i];
             let rel = viol / (1.0 + st.d[i].abs());
@@ -693,7 +767,8 @@ fn worst_violation_row(
         }
     }
     if !problem.terminal.d.is_empty() {
-        let lhs = problem.terminal.cx.matvec(&xs[problem.horizon()]);
+        let lhs = &mut cons[problem.horizon()];
+        problem.terminal.cx.matvec_into(&xs[problem.horizon()], lhs);
         for i in 0..problem.terminal.d.len() {
             let viol = lhs[i] - problem.terminal.d[i];
             let rel = viol / (1.0 + problem.terminal.d[i].abs());
@@ -720,7 +795,8 @@ fn max_step_multi(vs: &[Vector], dvs: &[Vector]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LqStage, LqTerminal};
+    use crate::{relax_lq_slots, LqStage, LqTerminal, SoftSpec};
+    use proptest::prelude::*;
 
     fn settings() -> IpmSettings {
         IpmSettings::default()
@@ -992,6 +1068,86 @@ mod tests {
             assert!(u[0].abs() <= 2.0 + 1e-6, "u = {}", u[0]);
         }
         assert!(sol.xs[6][0] >= 9.0 - 1e-6, "x6 = {}", sol.xs[6][0]);
+    }
+
+    /// Single-pool tracking problem with a demand floor from stage 1 on —
+    /// the shape of one provider's per-round horizon problem. `floor` is
+    /// what shifts between rounds (quota updates) and `price` between
+    /// problem instances.
+    fn warm_problem(floor: f64, price: f64) -> LqProblem {
+        let floor_row = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let free = LqStage::identity_dynamics(1)
+            .with_state_cost(Vector::from(vec![price]))
+            .with_input_penalty(&Vector::from(vec![0.1]));
+        let stage = free.clone().with_constraints(
+            floor_row.clone(),
+            Matrix::zeros(1, 1),
+            Vector::from(vec![-floor]),
+        );
+        LqProblem::new(
+            Vector::zeros(1),
+            vec![free, stage.clone(), stage.clone(), stage],
+            LqTerminal::free(1).with_constraints(floor_row, Vector::from(vec![-floor])),
+        )
+        .unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Warm-starting from an arbitrary feasible previous-round solution
+        /// must reach the cold optimum (same objective) in at most as many
+        /// iterations — including through a recovery (relaxed) solve.
+        #[test]
+        fn prop_warm_start_from_previous_round_matches_cold(
+            floor in 2.0f64..8.0,
+            price in 0.5f64..3.0,
+            drift in -0.2f64..0.2,
+        ) {
+            let settings = settings();
+            // "Previous round": same structure, quota drifted a little.
+            let prev_problem = warm_problem(floor * (1.0 + drift), price);
+            let prev = solve_lq(&prev_problem, &settings).unwrap();
+            let problem = warm_problem(floor, price);
+            let cold = solve_lq(&problem, &settings).unwrap();
+            let warm = solve_lq_warm(&problem, &settings, Some(&prev.us)).unwrap();
+            prop_assert!(
+                (warm.objective - cold.objective).abs()
+                    <= 1e-5 * (1.0 + cold.objective.abs()),
+                "objectives diverge: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            prop_assert!(
+                warm.iterations <= cold.iterations,
+                "warm start took more iterations ({} > {})",
+                warm.iterations,
+                cold.iterations
+            );
+
+            // Through a recovery-solve period: soften the demand rows and
+            // warm-start the relaxed problem from the same strict-dims
+            // previous-round guess, extended with zero slack.
+            let spec = SoftSpec::uniform(1, 50.0, 1e-3);
+            let soften: Vec<bool> = (0..=problem.horizon()).map(|k| k > 0).collect();
+            let relaxed = relax_lq_slots(&problem, &spec, &soften).unwrap();
+            let warm_guess = relaxed.extend_warm_start(&prev.us);
+            let cold_rec = solve_lq(&relaxed.problem, &settings).unwrap();
+            let warm_rec =
+                solve_lq_warm(&relaxed.problem, &settings, Some(&warm_guess)).unwrap();
+            prop_assert!(
+                (warm_rec.objective - cold_rec.objective).abs()
+                    <= 1e-5 * (1.0 + cold_rec.objective.abs()),
+                "recovery objectives diverge: warm {} vs cold {}",
+                warm_rec.objective,
+                cold_rec.objective
+            );
+            prop_assert!(
+                warm_rec.iterations <= cold_rec.iterations,
+                "recovery warm start took more iterations ({} > {})",
+                warm_rec.iterations,
+                cold_rec.iterations
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Warm-start effectiveness tracking for repeated LQ solves.
+
+use dspp_telemetry::Recorder;
+
+/// Tracks how much work warm-starting saves across a sequence of related LQ
+/// solves (MPC periods, game rounds) and emits the `solver.lq.warm_hits` /
+/// `solver.lq.iterations_saved` counters.
+///
+/// The first (cold) solve establishes the iteration reference; every later
+/// warm solve counts as a hit and credits `reference − iterations` saved
+/// iterations (clamped at zero). Callers keep one tracker per recurring
+/// problem — e.g. one per provider in the best-response game, or one per
+/// MPC controller instance.
+///
+/// # Examples
+///
+/// ```
+/// use dspp_solver::WarmStartTracker;
+/// use dspp_telemetry::Recorder;
+///
+/// let telemetry = Recorder::enabled();
+/// let mut tracker = WarmStartTracker::new();
+/// tracker.record(false, 20, &telemetry); // cold reference
+/// let saved = tracker.record(true, 12, &telemetry); // warm solve
+/// assert_eq!(saved, 8);
+/// let snap = telemetry.snapshot().unwrap();
+/// assert_eq!(snap.counter("solver.lq.warm_hits"), 1);
+/// assert_eq!(snap.counter("solver.lq.iterations_saved"), 8);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmStartTracker {
+    cold_reference: Option<usize>,
+}
+
+impl WarmStartTracker {
+    /// Creates a tracker with no cold reference yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iteration count of the most recent cold solve, if one was recorded.
+    pub fn cold_reference(&self) -> Option<usize> {
+        self.cold_reference
+    }
+
+    /// Records one solve: `warm` says whether a warm-start guess was used
+    /// and `iterations` is the iteration count the solver reported.
+    ///
+    /// Cold solves update the reference and return 0. Warm solves increment
+    /// `solver.lq.warm_hits` and add the iteration reduction relative to the
+    /// cold reference to `solver.lq.iterations_saved`; the return value is
+    /// the number of iterations credited as saved (0 when the warm solve
+    /// needed at least as many iterations as the reference, or when no cold
+    /// reference exists yet).
+    pub fn record(&mut self, warm: bool, iterations: usize, telemetry: &Recorder) -> usize {
+        if !warm {
+            self.cold_reference = Some(iterations);
+            return 0;
+        }
+        telemetry.incr("solver.lq.warm_hits", 1);
+        let saved = self
+            .cold_reference
+            .map_or(0, |cold| cold.saturating_sub(iterations));
+        if saved > 0 {
+            telemetry.incr("solver.lq.iterations_saved", saved as u64);
+        }
+        saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_warm_credits_saved_iterations() {
+        let telemetry = Recorder::enabled();
+        let mut tracker = WarmStartTracker::new();
+        assert_eq!(tracker.record(false, 15, &telemetry), 0);
+        assert_eq!(tracker.cold_reference(), Some(15));
+        assert_eq!(tracker.record(true, 9, &telemetry), 6);
+        // A warm solve that is *worse* than the reference still counts as a
+        // hit but saves nothing.
+        assert_eq!(tracker.record(true, 20, &telemetry), 0);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.lq.warm_hits"), 2);
+        assert_eq!(snap.counter("solver.lq.iterations_saved"), 6);
+    }
+
+    #[test]
+    fn warm_before_any_cold_reference_is_a_hit_without_savings() {
+        let telemetry = Recorder::enabled();
+        let mut tracker = WarmStartTracker::new();
+        assert_eq!(tracker.record(true, 10, &telemetry), 0);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.lq.warm_hits"), 1);
+        assert_eq!(snap.counter("solver.lq.iterations_saved"), 0);
+    }
+}
