@@ -1,12 +1,14 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times nine representative workloads — one Riccati IPM solve,
+//! `record` times ten representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, one simulation
 //! checkpoint JSON round-trip, a 4-provider game sweep run sequentially
-//! and on a parallel pool, and a warm-vs-cold solve pair — and writes
+//! and on a parallel pool, a warm-vs-cold solve pair, and a reduced
+//! policy tournament (every placement policy on a one-day diurnal
+//! trace) — and writes
 //! their throughput plus latency quantiles as JSON (the committed
 //! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
 //! fails with a readable delta report when throughput regresses beyond a
@@ -21,6 +23,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dspp_core::{MpcController, MpcSettings, PlacementController};
+use dspp_experiments::tournament;
 use dspp_game::{GameConfig, ResourceGame, SpSampler};
 use dspp_predict::LastValue;
 use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
@@ -336,6 +339,33 @@ pub fn record(iters: usize) -> Baseline {
         ),
     ]);
 
+    // 10. The policy tournament, reduced: all five placement policies on
+    // a one-day diurnal trace, fanned out on a two-worker pool. Times the
+    // whole pluggable-policy path (trait dispatch, closed-form guards,
+    // the W-MPC reference); the counters pin the sweep's deterministic
+    // outcome — total cost, shortfall, recovery count, and that W-MPC
+    // stays the cheapest entrant.
+    let tournament_pool = ScenarioPool::new(2);
+    let tournament_metric = measure("policy.tournament_small", warmup, iters, || {
+        tournament::small_sweep(&tournament_pool, &Recorder::disabled())
+            .expect("tournament sweep runs");
+    });
+    let sweep = tournament::small_sweep(&tournament_pool, &Recorder::disabled())
+        .expect("tournament sweep runs");
+    let tournament_metric = tournament_metric.with_counters(vec![
+        ("scenarios".to_string(), sweep.scenarios as f64),
+        ("total_cost".to_string(), sweep.total_cost),
+        ("sla_shortfall".to_string(), sweep.sla_shortfall),
+        (
+            "recovery_periods".to_string(),
+            sweep.recovery_periods as f64,
+        ),
+        (
+            "wmpc_is_cheapest".to_string(),
+            f64::from(u8::from(sweep.wmpc_is_cheapest)),
+        ),
+    ]);
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         metrics: vec![
@@ -348,6 +378,7 @@ pub fn record(iters: usize) -> Baseline {
             sweep_seq,
             sweep_par,
             warm_metric,
+            tournament_metric,
         ],
     }
 }
@@ -562,12 +593,13 @@ pub fn compare(baseline: &Baseline, current: &Baseline, tolerance: f64) -> Compa
 }
 
 /// True when larger values of a deterministic counter are better (warm
-/// hits, hit rates, saved iterations); everything else — iteration
-/// totals, round counts, allocation counts — regresses upward.
+/// hits, hit rates, saved iterations, dominance flags); everything else —
+/// iteration totals, round counts, allocation counts — regresses upward.
 fn higher_is_better(counter: &str) -> bool {
     counter.ends_with("warm_hits")
         || counter.ends_with("iterations_saved")
         || counter.contains("hit_rate")
+        || counter.ends_with("is_cheapest")
 }
 
 /// One deterministic counter's baseline-vs-current delta.
@@ -792,6 +824,7 @@ mod tests {
                 "game.round_4sp.seq",
                 "game.round_4sp.par",
                 "solver.warm_vs_cold",
+                "policy.tournament_small",
             ]
         );
         for m in &b.metrics {
@@ -829,6 +862,12 @@ mod tests {
         if counter(seq, "rounds") > 1.0 {
             assert!(counter(seq, "warm_hits") > 0.0);
         }
+        // The reduced policy tournament pins its sweep outcome, and the
+        // reference controller must stay the cheapest entrant.
+        let tournament = by_name("policy.tournament_small");
+        assert_eq!(counter(tournament, "scenarios"), 5.0);
+        assert!(counter(tournament, "total_cost") > 0.0);
+        assert_eq!(counter(tournament, "wmpc_is_cheapest"), 1.0);
         // The warm solve must not be more expensive than the cold one.
         let warm = by_name("solver.warm_vs_cold");
         assert!(counter(warm, "warm_iterations") <= counter(warm, "cold_iterations"));

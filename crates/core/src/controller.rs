@@ -1,3 +1,4 @@
+use crate::policy::PlacementPolicy;
 use crate::{
     Allocation, CoreError, Dspp, HorizonProblem, PeriodCost, RecoverySettings, RoutingPolicy,
 };
@@ -101,60 +102,6 @@ pub struct ControllerCheckpoint {
     /// Warm-start inputs (the previous solution shifted one stage), per
     /// horizon stage; `None` when cold or not warm-started.
     pub warm_us: Option<Vec<Vec<f64>>>,
-}
-
-/// Common interface of placement controllers (MPC and the baselines), so
-/// the simulator can drive any of them interchangeably.
-pub trait PlacementController {
-    /// Observes the demand realized in period `k` and decides the
-    /// allocation for period `k+1`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError`] on solver failures or malformed input.
-    fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError>;
-
-    /// The current allocation.
-    fn allocation(&self) -> &Allocation;
-
-    /// The problem being controlled.
-    fn problem(&self) -> &Dspp;
-
-    /// A short name for reports.
-    fn name(&self) -> &str;
-
-    /// Freezes the controller's internal state for a later
-    /// [`PlacementController::restore`]. Returns `None` for controllers
-    /// that do not support checkpointing (the default).
-    fn checkpoint(&self) -> Option<ControllerCheckpoint> {
-        None
-    }
-
-    /// Restores state previously frozen by
-    /// [`PlacementController::checkpoint`] into this controller, which
-    /// must have been built with the same construction parameters.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidSpec`] when the snapshot does not fit
-    /// this controller, or (the default) when the controller does not
-    /// support checkpointing.
-    fn restore(&mut self, checkpoint: &ControllerCheckpoint) -> Result<(), CoreError> {
-        let _ = checkpoint;
-        Err(CoreError::InvalidSpec(format!(
-            "controller {:?} does not support checkpoint/restore",
-            self.name()
-        )))
-    }
-
-    /// Tells the controller that a supervisor absorbed a failed step by
-    /// holding the current placement (`u = 0`) for one period — the
-    /// runtime's graceful-degradation path. Implementations advance their
-    /// period counter (so price lookups stay aligned with wall-clock
-    /// periods) and record the observation; they must not solve anything.
-    fn note_fallback(&mut self, observed_demand: &[f64]) {
-        let _ = observed_demand;
-    }
 }
 
 /// The paper's Algorithm 1: Model Predictive Control for the DSPP.
@@ -263,7 +210,7 @@ impl MpcController {
     }
 
     /// Freezes the controller's full mutable state. See
-    /// [`PlacementController::checkpoint`].
+    /// [`PlacementPolicy::checkpoint`].
     pub fn checkpoint(&self) -> ControllerCheckpoint {
         ControllerCheckpoint {
             period: self.period,
@@ -317,7 +264,7 @@ impl MpcController {
         Ok(())
     }
 
-    /// One MPC step. See [`PlacementController::step`].
+    /// One MPC step. See [`PlacementPolicy::step`].
     ///
     /// # Errors
     ///
@@ -523,7 +470,7 @@ impl MpcController {
     }
 }
 
-impl PlacementController for MpcController {
+impl PlacementPolicy for MpcController {
     fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
         MpcController::step(self, observed_demand)
     }
@@ -538,6 +485,10 @@ impl PlacementController for MpcController {
 
     fn name(&self) -> &str {
         "mpc"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Recorder) {
+        self.settings.telemetry = telemetry;
     }
 
     fn checkpoint(&self) -> Option<ControllerCheckpoint> {
@@ -1055,7 +1006,7 @@ mod tests {
             "failed retries must not grow the history"
         );
         assert_eq!(ck.period, 1);
-        PlacementController::note_fallback(&mut c, &[overload]);
+        PlacementPolicy::note_fallback(&mut c, &[overload]);
         let ck = c.checkpoint();
         assert_eq!(ck.history[0], vec![0.5 / a, overload]);
         assert_eq!(ck.period, 2);

@@ -207,6 +207,10 @@ impl<C: PlacementController> PlacementController for IntegerizingController<C> {
         "integer"
     }
 
+    fn attach_telemetry(&mut self, telemetry: dspp_telemetry::Recorder) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
     fn note_fallback(&mut self, observed_demand: &[f64]) {
         // The integral placement is held as-is; the wrapped controller
         // still needs to see time (and the observation) move on.

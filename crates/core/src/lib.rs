@@ -20,7 +20,14 @@
 //! routers split demand proportionally to `x^{lv}/a^{lv}` (eq. 13,
 //! [`RoutingPolicy`]).
 //!
-//! Baselines used by the evaluation's ablations live in [`baselines`].
+//! Placement strategies are pluggable: every controller implements the
+//! [`policy::PlacementPolicy`] trait, with the MPC controller re-exported
+//! as the reference [`policy::WMpc`] implementation next to a suite of
+//! simple baselines ([`policy::MyopicW1`], [`policy::StaticCheapestDc`],
+//! [`policy::ReactiveThreshold`], [`policy::ProportionalGreedy`]) — see
+//! `docs/POLICIES.md` for the handbook and the measured simple-vs-optimal
+//! gap. The solver-backed ablation baselines of the original evaluation
+//! live in [`baselines`].
 //!
 //! # Examples
 //!
@@ -59,19 +66,26 @@ mod cost;
 mod error;
 mod horizon;
 mod integer;
+pub mod policy;
 mod problem;
 mod router;
 mod sla;
 
 pub use allocation::Allocation;
-pub use controller::{
-    ControllerCheckpoint, MpcController, MpcSettings, PlacementController, RecoveryInfo,
-    StepOutcome,
-};
+pub use controller::{ControllerCheckpoint, MpcController, MpcSettings, RecoveryInfo, StepOutcome};
 pub use cost::{CostLedger, PeriodCost};
 pub use error::CoreError;
 pub use horizon::{HorizonProblem, RecoveryOutcome, RecoverySettings};
 pub use integer::{integerize, IntegerizingController};
+/// Backward-compatible name for [`PlacementPolicy`], kept so existing
+/// `impl PlacementController for …` blocks and `Box<dyn
+/// PlacementController>` signatures keep compiling: the two names are the
+/// same trait.
+pub use policy::PlacementPolicy as PlacementController;
+pub use policy::{
+    MyopicW1, PlacementPolicy, ProportionalGreedy, ReactiveThreshold, StaticCheapestDc,
+    UtilizationBands, WMpc,
+};
 pub use problem::{Dspp, DsppBuilder};
 pub use router::RoutingPolicy;
 pub use sla::SlaSpec;

@@ -1,0 +1,271 @@
+//! Shared feasibility guard for the closed-form baseline policies.
+//!
+//! The MPC-based policies inherit the recovery ladder of
+//! [`HorizonProblem::solve_recovery`](crate::HorizonProblem::solve_recovery)
+//! (PR-4): when the strict horizon problem is infeasible they re-solve with
+//! softened demand rows and report the shed demand as
+//! [`RecoveryInfo`]. The closed-form baselines never call a solver, so this
+//! module reproduces the same degradation contract arithmetically: clamp
+//! the desired placement into the capacity region, measure the demand the
+//! clamped placement cannot serve, and report it through the identical
+//! [`RecoveryInfo`] channel — so an infeasible instance degrades the same
+//! way no matter which policy ran it.
+
+use crate::{Allocation, CoreError, Dspp, PeriodCost, RecoveryInfo, RoutingPolicy, StepOutcome};
+use dspp_telemetry::Recorder;
+
+/// Shortfalls below this are solver-noise, not real shed demand.
+const SHORTFALL_TOL: f64 = 1e-9;
+
+/// Validates an observed-demand vector against the problem shape: one
+/// finite, non-negative entry per client location.
+pub(crate) fn validate_observation(problem: &Dspp, observed: &[f64]) -> Result<(), CoreError> {
+    let nv = problem.num_locations();
+    if observed.len() != nv {
+        return Err(CoreError::InvalidSpec(format!(
+            "observed demand has {} locations, expected {nv}",
+            observed.len()
+        )));
+    }
+    if observed.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
+        return Err(CoreError::InvalidSpec(
+            "observed demand must be non-negative and finite".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Clamps a desired per-arc placement into the feasible capacity region
+/// and measures the demand the clamped placement sheds.
+///
+/// Mirrors the preflight/recovery arithmetic of the solver path:
+///
+/// 1. negative desired values are floored at zero (no negative splits);
+/// 2. every data center over its capacity `C^l` (in `server_size` units)
+///    has its arcs scaled down proportionally until it fits;
+/// 3. demand the clamped placement leaves unserved is poured into spare
+///    capacity, cheapest SLA coefficient first — like the recovery solve,
+///    capacity is exhausted before anything is shed;
+/// 4. the remaining per-location shortfall is
+///    `max(0, D^v − Σ_l x^{lv}/a^{lv})` in demand units, and the aggregate
+///    resource shortfall converts it to servers through each location's
+///    cheapest SLA coefficient — the same conversion
+///    `HorizonProblem::preflight` uses for its capacity deficit.
+///
+/// Returns the feasible allocation and `Some(RecoveryInfo)` when any
+/// demand was shed, `None` when everything is served.
+pub(crate) fn clamp_to_capacity(
+    problem: &Dspp,
+    desired: Vec<f64>,
+    demand: &[f64],
+) -> (Allocation, Option<RecoveryInfo>) {
+    let mut values: Vec<f64> = desired.into_iter().map(|x| x.max(0.0)).collect();
+    let mut per_dc = vec![0.0; problem.num_dcs()];
+    for (e, &(l, _)) in problem.arcs().iter().enumerate() {
+        per_dc[l] += values[e] * problem.server_size();
+    }
+    for (l, load) in per_dc.iter_mut().enumerate() {
+        let cap = problem.capacity(l);
+        if *load > cap {
+            let scale = if *load > 0.0 { cap / *load } else { 0.0 };
+            for e in problem.arcs_for_dc(l) {
+                values[e] *= scale;
+            }
+            *load = cap;
+        }
+    }
+    // Recovery spill: demand the clamped placement cannot serve goes into
+    // spare capacity before it is declared shed.
+    for (v, &d) in demand.iter().enumerate() {
+        let mut arcs = problem.arcs_for_location(v);
+        arcs.sort_by(|&ea, &eb| {
+            problem
+                .arc_coeff(ea)
+                .partial_cmp(&problem.arc_coeff(eb))
+                .unwrap()
+                .then(ea.cmp(&eb))
+        });
+        let served: f64 = arcs.iter().map(|&e| values[e] / problem.arc_coeff(e)).sum();
+        let mut missing = d - served;
+        for &e in &arcs {
+            if missing <= SHORTFALL_TOL {
+                break;
+            }
+            let l = problem.arcs()[e].0;
+            let spare_servers = (problem.capacity(l) - per_dc[l]).max(0.0) / problem.server_size();
+            if spare_servers <= 0.0 {
+                continue;
+            }
+            let a = problem.arc_coeff(e);
+            let add = (a * missing).min(spare_servers);
+            values[e] += add;
+            per_dc[l] += add * problem.server_size();
+            missing -= add / a;
+        }
+    }
+    let allocation = Allocation::from_arc_values(problem, values);
+    let info = measure_shortfall(problem, &allocation, demand);
+    (allocation, info)
+}
+
+/// Measures the demand an allocation leaves unserved: per-location
+/// shortfall `max(0, D^v − Σ_l x^{lv}/a^{lv})` in demand units, plus the
+/// aggregate conversion to servers through each location's cheapest SLA
+/// coefficient (the `HorizonProblem::preflight` deficit convention).
+/// Returns `None` when everything is served.
+pub(crate) fn measure_shortfall(
+    problem: &Dspp,
+    allocation: &Allocation,
+    demand: &[f64],
+) -> Option<RecoveryInfo> {
+    let capability = allocation.capability_per_location(problem);
+    let shortfall: Vec<f64> = demand
+        .iter()
+        .zip(&capability)
+        .map(|(d, c)| {
+            let s = (d - c).max(0.0);
+            if s < SHORTFALL_TOL {
+                0.0
+            } else {
+                s
+            }
+        })
+        .collect();
+    if shortfall.iter().all(|&s| s == 0.0) {
+        return None;
+    }
+    let resource_shortfall: f64 = shortfall
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| {
+            let cheapest = problem
+                .arcs_for_location(v)
+                .into_iter()
+                .map(|e| problem.arc_coeff(e))
+                .fold(f64::INFINITY, f64::min);
+            if cheapest.is_finite() {
+                cheapest * s
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    Some(RecoveryInfo {
+        shortfall,
+        resource_shortfall,
+        horizon_resource_shortfall: vec![resource_shortfall],
+    })
+}
+
+/// Assembles the [`StepOutcome`] of a closed-form policy step: the control
+/// is the allocation delta, the routing weights follow eq. 13, the step
+/// cost prices the executed period `k+1`, and zero solver iterations are
+/// reported (nothing was solved). Emits the same `controller.steps` /
+/// `controller.sla_shortfall` telemetry as the solver-backed policies.
+pub(crate) fn closed_form_outcome(
+    problem: &Dspp,
+    previous: &Allocation,
+    allocation: Allocation,
+    period: usize,
+    predicted_demand: Vec<Vec<f64>>,
+    recovery: Option<RecoveryInfo>,
+    telemetry: &Recorder,
+) -> StepOutcome {
+    let control: Vec<f64> = allocation
+        .arc_values()
+        .iter()
+        .zip(previous.arc_values())
+        .map(|(new, old)| new - old)
+        .collect();
+    let routing = RoutingPolicy::from_allocation(problem, &allocation);
+    let step_cost = PeriodCost::compute(problem, &allocation, &control, period + 1);
+    telemetry.incr("controller.steps", 1);
+    if let Some(info) = &recovery {
+        telemetry.observe("controller.sla_shortfall", info.resource_shortfall);
+    }
+    StepOutcome {
+        period,
+        allocation,
+        control,
+        routing,
+        predicted_demand,
+        planned_objective: step_cost.total(),
+        step_cost,
+        solver_iterations: 0,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsppBuilder;
+
+    fn two_dc_problem() -> Dspp {
+        DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .capacity(0, 2.0)
+            .capacity(1, 2.0)
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn negative_desired_values_are_floored() {
+        let p = two_dc_problem();
+        let (alloc, info) = clamp_to_capacity(&p, vec![-1.0, 1.0], &[0.0]);
+        assert_eq!(alloc.arc_values(), &[0.0, 1.0]);
+        assert!(info.is_none());
+    }
+
+    #[test]
+    fn overloaded_dc_is_scaled_down_and_shortfall_reported() {
+        let p = two_dc_problem();
+        let a = p.arc_coeff(0);
+        // Demand that needs 6 servers against 2 + 2 of capacity, requested
+        // as 3 + 3: both DCs clamp to 2 and a third of demand is shed.
+        let demand = 6.0 / a;
+        let (alloc, info) = clamp_to_capacity(&p, vec![3.0, 3.0], &[demand]);
+        assert_eq!(alloc.arc_values(), &[2.0, 2.0]);
+        assert!(alloc.satisfies_capacity(&p, 1e-9));
+        let info = info.expect("a third of demand was shed");
+        assert!((info.shortfall[0] - 2.0 / a).abs() < 1e-9);
+        assert!((info.resource_shortfall - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shortfall_spills_into_spare_capacity_before_shedding() {
+        let p = two_dc_problem();
+        let a = p.arc_coeff(0);
+        // Everything requested at DC 0 (capacity 2) for a 3-server demand:
+        // the guard clamps DC 0 to 2 and serves the missing server from
+        // DC 1's spare capacity instead of shedding it.
+        let demand = 3.0 / a;
+        let (alloc, info) = clamp_to_capacity(&p, vec![3.0, 0.0], &[demand]);
+        assert_eq!(alloc.arc_values()[0], 2.0);
+        assert!((alloc.arc_values()[1] - 1.0).abs() < 1e-9);
+        assert!(info.is_none(), "spare capacity absorbs the overflow");
+    }
+
+    #[test]
+    fn feasible_desired_passes_through_untouched() {
+        let p = two_dc_problem();
+        let a = p.arc_coeff(0);
+        let (alloc, info) = clamp_to_capacity(&p, vec![1.5, 0.0], &[1.5 / a]);
+        assert_eq!(alloc.arc_values(), &[1.5, 0.0]);
+        assert!(info.is_none());
+    }
+
+    #[test]
+    fn observation_validation_rejects_bad_shapes() {
+        let p = two_dc_problem();
+        assert!(validate_observation(&p, &[1.0]).is_ok());
+        assert!(validate_observation(&p, &[1.0, 2.0]).is_err());
+        assert!(validate_observation(&p, &[-1.0]).is_err());
+        assert!(validate_observation(&p, &[f64::NAN]).is_err());
+    }
+}

@@ -280,6 +280,12 @@ fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
         ("fig9", Box::new(dspp_experiments::fig9::run_with)),
         ("fig10", Box::new(dspp_experiments::fig10::run_with)),
         ("extras", Box::new(dspp_experiments::extras::run_with)),
+        (
+            "policy_tournament",
+            Box::new(move |t: &Recorder| {
+                dspp_experiments::tournament::run_with_jobs(t, sweep_jobs)
+            }),
+        ),
     ];
     let names: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
     let pool = make_pool(args, Recorder::enabled().with_tracer(tracer.clone()));

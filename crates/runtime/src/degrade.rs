@@ -214,6 +214,10 @@ impl PlacementController for ResilientController {
         self.inner.name()
     }
 
+    fn attach_telemetry(&mut self, telemetry: Recorder) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
     fn checkpoint(&self) -> Option<ControllerCheckpoint> {
         self.inner.checkpoint()
     }

@@ -228,6 +228,10 @@ impl PlacementController for FaultingController {
         self.inner.name()
     }
 
+    fn attach_telemetry(&mut self, telemetry: Recorder) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
     fn checkpoint(&self) -> Option<ControllerCheckpoint> {
         self.inner.checkpoint()
     }
