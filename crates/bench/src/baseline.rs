@@ -1,14 +1,14 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times ten representative workloads — one Riccati IPM solve,
+//! `record` times eleven representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, one simulation
 //! checkpoint JSON round-trip, a 4-provider game sweep run sequentially
-//! and on a parallel pool, a warm-vs-cold solve pair, and a reduced
+//! and on a parallel pool, a warm-vs-cold solve pair, a reduced
 //! policy tournament (every placement policy on a one-day diurnal
-//! trace) — and writes
+//! trace), and a steady-state SLO evaluation pass — and writes
 //! their throughput plus latency quantiles as JSON (the committed
 //! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
 //! fails with a readable delta report when throughput regresses beyond a
@@ -30,7 +30,7 @@ use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
 use dspp_sim::{ClosedLoopSim, SimCheckpoint};
 use dspp_solver::{solve_lq, solve_lq_warm, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{Recorder, SloEngine, SloSample};
 
 use crate::{alloc_count, lq_fixture, single_dc_problem, starved_single_dc_problem};
 
@@ -366,6 +366,49 @@ pub fn record(iters: usize) -> Baseline {
         ),
     ]);
 
+    // 11. One per-period SLO evaluation on the default burn-rate set.
+    // Registration happens at engine construction; the steady-state
+    // `observe` pass — ring-window updates, burn computation, counter
+    // bumps — must be allocation-free (`allocs` pins that at exactly 0).
+    // Transition counts come from a scripted four-period outage replayed
+    // on a fresh engine: both are fully deterministic.
+    let slo_telemetry = Recorder::enabled();
+    let mut slo_engine = SloEngine::with_defaults(slo_telemetry.clone());
+    let healthy = SloSample {
+        period: 0,
+        step_latency_seconds: 0.002,
+        sla_shortfall: 0.0,
+        fallback: false,
+        recovery: false,
+    };
+    // Fill every window so the measured pass is true steady state.
+    for period in 0..32 {
+        slo_engine.observe(&SloSample { period, ..healthy });
+    }
+    let (_, slo_allocs) = alloc_count::count(|| slo_engine.observe(&healthy));
+    let slo_metric = measure("telemetry.slo_eval", warmup, iters, || {
+        slo_engine.observe(&healthy);
+    });
+    let mut scripted = SloEngine::with_defaults(Recorder::enabled());
+    for period in 0..16u64 {
+        let bad = (2..=5).contains(&period);
+        scripted.observe(&SloSample {
+            period,
+            step_latency_seconds: 0.002,
+            sla_shortfall: if bad { 0.2 } else { 0.0 },
+            fallback: bad,
+            recovery: bad,
+        });
+    }
+    let slo_metric = slo_metric.with_counters(vec![
+        ("allocs".to_string(), slo_allocs as f64),
+        ("slo_evaluations".to_string(), scripted.evaluations() as f64),
+        (
+            "alert_transitions".to_string(),
+            scripted.transitions().len() as f64,
+        ),
+    ]);
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         metrics: vec![
@@ -379,6 +422,7 @@ pub fn record(iters: usize) -> Baseline {
             sweep_par,
             warm_metric,
             tournament_metric,
+            slo_metric,
         ],
     }
 }
@@ -825,6 +869,7 @@ mod tests {
                 "game.round_4sp.par",
                 "solver.warm_vs_cold",
                 "policy.tournament_small",
+                "telemetry.slo_eval",
             ]
         );
         for m in &b.metrics {
@@ -875,6 +920,12 @@ mod tests {
             counter(warm, "iterations_saved"),
             counter(warm, "cold_iterations") - counter(warm, "warm_iterations")
         );
+        // The steady-state SLO pass is allocation-free, and the scripted
+        // outage replay pins its evaluation and transition counts.
+        let slo = by_name("telemetry.slo_eval");
+        assert_eq!(counter(slo, "allocs"), 0.0, "SLO hot path allocated");
+        assert_eq!(counter(slo, "slo_evaluations"), 16.0);
+        assert!(counter(slo, "alert_transitions") >= 3.0);
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl PlacementController for ReactiveController {
             step_cost,
             solver_iterations: sol.iterations,
             recovery: None,
+            fallback: false,
         })
     }
 
@@ -219,6 +220,7 @@ impl PlacementController for StaticController {
             step_cost,
             solver_iterations: 0,
             recovery: None,
+            fallback: false,
         })
     }
 

@@ -65,6 +65,10 @@ pub struct StepOutcome {
     /// came from the recovery solve instead; carries the demand the
     /// executed placement cannot serve.
     pub recovery: Option<RecoveryInfo>,
+    /// True when this step is a degraded hold-last-allocation fallback
+    /// (the resilient wrapper exhausted its retries), not a solver
+    /// decision. SLO monitors budget these per window.
+    pub fallback: bool,
 }
 
 /// How much demand a recovered step sheds — the explicit SLA-violation
@@ -466,6 +470,7 @@ impl MpcController {
             step_cost,
             solver_iterations: sol.iterations,
             recovery: recovery_info,
+            fallback: false,
         })
     }
 }

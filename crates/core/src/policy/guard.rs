@@ -193,6 +193,7 @@ pub(crate) fn closed_form_outcome(
         step_cost,
         solver_iterations: 0,
         recovery,
+        fallback: false,
     }
 }
 

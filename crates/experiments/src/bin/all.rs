@@ -25,13 +25,25 @@
 //! infeasible, and fails unless the *recovery solve* (not the
 //! last-known-good fallback) resolved every infeasible period with a
 //! shortfall matching the preflight capacity deficit.
+//!
+//! Both drills also attach the default SLO set
+//! ([`SloSpec::default_set`]) to every scenario and assert the
+//! burn-rate alerts behaved: sustained adversities must page (a
+//! `Firing` transition inside the fault window) and calm tails must
+//! clear the page (`Resolved`), while healthy scenarios and one-period
+//! blips must stay quiet — multi-window burn rates exist precisely so a
+//! single bad period never wakes anyone up. `--slo-out <path>` writes
+//! the combined alert timeline as CSV (CI uploads it as an artifact),
+//! and `--metrics-addr <host:port>` serves live metrics during the run.
 
 use dspp_core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp_experiments::cli::TraceArgs;
 use dspp_experiments::{emit, ExpResult, Figure};
 use dspp_predict::LastValue;
-use dspp_runtime::{run_scenarios, FaultPlan, RetryPolicy, ScenarioPool, ScenarioSpec};
-use dspp_telemetry::{Recorder, Snapshot, Tracer, DEFAULT_CAPACITY};
+use dspp_runtime::{
+    run_scenarios, FaultPlan, RetryPolicy, ScenarioOutcome, ScenarioPool, ScenarioSpec,
+};
+use dspp_telemetry::{AlertState, Recorder, SloSpec, Snapshot, Tracer, DEFAULT_CAPACITY};
 use dspp_workload::FlashCrowd;
 
 /// Figure 3 is pure market calibration — no solver runs, nothing to record.
@@ -47,10 +59,119 @@ fn make_pool(args: &TraceArgs, telemetry: Recorder) -> ScenarioPool {
     .with_telemetry(telemetry)
 }
 
+/// What the burn-rate alerts of one drill scenario must have done.
+/// `step_latency_p99` is excluded from every check — it reads wall
+/// clock, which CI machines make arbitrarily noisy.
+#[derive(Clone, Copy)]
+enum SloExpect {
+    /// No SLO may have transitioned at all.
+    Quiet,
+    /// The named SLO fired during the run *and* resolved before its end.
+    FiredAndResolved(&'static str),
+    /// The named SLO fired and was still firing when the trace ended —
+    /// a genuine unresolved page.
+    StillFiring(&'static str),
+}
+
+/// Checks one scenario outcome against its expectation, printing the
+/// verdict; returns false on a violated expectation.
+fn check_slo(o: &ScenarioOutcome, expect: SloExpect) -> bool {
+    let transitions: Vec<_> = o
+        .slo_transitions
+        .iter()
+        .filter(|t| t.slo != "step_latency_p99")
+        .collect();
+    let last_state = |slo: &str| transitions.iter().rfind(|t| t.slo == slo).map(|t| t.to);
+    let fired = |slo: &str| {
+        transitions
+            .iter()
+            .any(|t| t.slo == slo && t.to == AlertState::Firing)
+    };
+    let (ok, verdict) = match expect {
+        SloExpect::Quiet => (
+            transitions.is_empty(),
+            format!("expected quiet, saw {} transitions", transitions.len()),
+        ),
+        SloExpect::FiredAndResolved(slo) => (
+            fired(slo) && last_state(slo) == Some(AlertState::Resolved),
+            format!(
+                "expected {slo} to fire and resolve, last={:?}",
+                last_state(slo)
+            ),
+        ),
+        SloExpect::StillFiring(slo) => (
+            fired(slo) && last_state(slo) == Some(AlertState::Firing),
+            format!(
+                "expected {slo} to fire and stay firing, last={:?}",
+                last_state(slo)
+            ),
+        ),
+    };
+    if ok {
+        println!("  {}: slo ok ({} transitions)", o.name, transitions.len());
+    } else {
+        eprintln!("  {}: SLO EXPECTATION FAILED — {verdict}", o.name);
+        for t in &transitions {
+            eprintln!(
+                "    period {} {}: {} -> {} (burn {:.3}/{:.3})",
+                t.period, t.slo, t.from, t.to, t.burn_short, t.burn_long
+            );
+        }
+    }
+    ok
+}
+
+/// Writes the combined alert timeline of every scenario as CSV — the
+/// artifact CI uploads from the fault-drill jobs.
+fn write_slo_timeline(path: &std::path::Path, outcomes: &[&ScenarioOutcome]) -> bool {
+    let mut csv = String::from("scenario,period,slo,from,to,burn_short,burn_long\n");
+    for o in outcomes {
+        for t in &o.slo_transitions {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.3},{:.3}\n",
+                o.name, t.period, t.slo, t.from, t.to, t.burn_short, t.burn_long
+            ));
+        }
+    }
+    match std::fs::write(path, csv) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Prints the drill-wide transition totals CI greps for.
+fn print_slo_totals(outcomes: &[&ScenarioOutcome]) {
+    let count = |state: AlertState| -> usize {
+        outcomes
+            .iter()
+            .flat_map(|o| &o.slo_transitions)
+            .filter(|t| t.slo != "step_latency_p99" && t.to == state)
+            .count()
+    };
+    println!(
+        "slo.firing={} slo.resolved={}",
+        count(AlertState::Firing),
+        count(AlertState::Resolved)
+    );
+}
+
 /// The `--fault-drill` mode: run a small scenario batch under injected
 /// faults and verify the degradation path actually fired.
 fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let _server = match args.serve_metrics(&telemetry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("all: {e}");
+            return false;
+        }
+    };
     let pool = make_pool(args, telemetry.clone());
     // A day-ish sinusoid over 16 periods; deterministic, solves fast.
     let demand: Vec<f64> = (0..16)
@@ -75,6 +196,7 @@ fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
             max_retries: 1,
             ..RetryPolicy::default()
         })
+        .with_slos(SloSpec::default_set())
     })
     .collect();
     let results = run_scenarios(
@@ -136,6 +258,34 @@ fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
         eprintln!("fault drill: no fallback period was exercised — degradation path is dead");
         ok = false;
     }
+    // Burn-rate alert assertions: multi-period outages must page and
+    // later clear; the healthy run and the one-period blip must not.
+    let expectations = [
+        ("healthy-checkpointed", SloExpect::Quiet),
+        (
+            "outage-early",
+            SloExpect::FiredAndResolved("fallback_budget"),
+        ),
+        ("flash-crowd-outage", SloExpect::Quiet),
+        (
+            "outage-no-retries",
+            SloExpect::FiredAndResolved("fallback_budget"),
+        ),
+    ];
+    let outcomes: Vec<&ScenarioOutcome> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    for (name, expect) in expectations {
+        match outcomes.iter().find(|o| o.name == name) {
+            Some(o) => ok &= check_slo(o, expect),
+            None => {
+                eprintln!("  {name}: missing outcome for SLO check");
+                ok = false;
+            }
+        }
+    }
+    print_slo_totals(&outcomes);
+    if let Some(path) = &args.slo_out {
+        ok &= write_slo_timeline(path, &outcomes);
+    }
     ok
 }
 
@@ -148,6 +298,13 @@ fn fault_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
 /// deficit `max(0, a·D − C)` to 1e-6.
 fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let _server = match args.serve_metrics(&telemetry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("all: {e}");
+            return false;
+        }
+    };
     let pool = make_pool(args, telemetry.clone());
     // 1×1 drill problem: a = 1/(100 − 1/0.05) = 1/80 servers per unit
     // demand, capacity 1.0 → demand above 80 cannot be served.
@@ -167,8 +324,10 @@ fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     let specs = vec![
         ScenarioSpec::new("flash-crowd-infeasible", vec![base.clone()])
             .with_faults(FaultPlan::new().demand_spike(crowd))
-            .with_checkpoint_at(8),
-        ScenarioSpec::new("sustained-overload", vec![sustained.clone()]),
+            .with_checkpoint_at(8)
+            .with_slos(SloSpec::default_set()),
+        ScenarioSpec::new("sustained-overload", vec![sustained.clone()])
+            .with_slos(SloSpec::default_set()),
     ];
     let results = run_scenarios(
         &pool,
@@ -255,6 +414,33 @@ fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
         );
         ok = false;
     }
+    // Burn-rate alert assertions: the bounded flash crowd pages on
+    // SLA-shortfall mass and clears once capacity suffices again; the
+    // sustained overload is a page that must *never* auto-resolve.
+    let expectations = [
+        (
+            "flash-crowd-infeasible",
+            SloExpect::FiredAndResolved("sla_shortfall"),
+        ),
+        (
+            "sustained-overload",
+            SloExpect::StillFiring("sla_shortfall"),
+        ),
+    ];
+    let outcomes: Vec<&ScenarioOutcome> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    for (name, expect) in expectations {
+        match outcomes.iter().find(|o| o.name == name) {
+            Some(o) => ok &= check_slo(o, expect),
+            None => {
+                eprintln!("  {name}: missing outcome for SLO check");
+                ok = false;
+            }
+        }
+    }
+    print_slo_totals(&outcomes);
+    if let Some(path) = &args.slo_out {
+        ok &= write_slo_timeline(path, &outcomes);
+    }
     ok
 }
 
@@ -288,7 +474,18 @@ fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
         ),
     ];
     let names: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
-    let pool = make_pool(args, Recorder::enabled().with_tracer(tracer.clone()));
+    let pool_telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    // Figure jobs record into per-figure recorders (their snapshots print
+    // after each table), so the live endpoint exposes the pool-level
+    // series; the fault drills serve their full scenario telemetry.
+    let _server = match args.serve_metrics(&pool_telemetry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("all: {e}");
+            return false;
+        }
+    };
+    let pool = make_pool(args, pool_telemetry);
     type Outcome = (ExpResult<Figure>, Option<Snapshot>);
     let pooled: Vec<(String, Box<dyn FnOnce() -> Outcome + Send>)> = jobs
         .into_iter()

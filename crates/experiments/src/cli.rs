@@ -7,15 +7,20 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>).
 //! * `--events-out <path>` — same, exported as a line-delimited JSONL
 //!   event log (one record per line; schema in `docs/OBSERVABILITY.md`).
+//! * `--metrics-addr <host:port>` — serve the run's live metrics over
+//!   HTTP while the experiment executes (`/metrics`, `/health`,
+//!   `/snapshot.json`; see [`dspp_telemetry::MetricsServer`]).
+//! * `--slo-out <path>` — with `--fault-drill`, write the SLO alert
+//!   timeline CSV (honored by `all`, ignored by figure binaries).
 //!
-//! Without either flag the binaries behave exactly as before: metrics go
+//! Without any flag the binaries behave exactly as before: metrics go
 //! to the process-wide recorder and no tracer is attached.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process;
 
-use dspp_telemetry::{Recorder, Tracer, DEFAULT_CAPACITY};
+use dspp_telemetry::{MetricsServer, Recorder, Tracer, DEFAULT_CAPACITY};
 
 use crate::{emit, ExpResult, Figure};
 
@@ -38,6 +43,13 @@ pub struct TraceArgs {
     /// recovery (soft-constraint) solve, not the last-known-good
     /// fallback (`--infeasible`).
     pub infeasible: bool,
+    /// Serve the run's live metrics over HTTP on this address while the
+    /// experiment executes (`--metrics-addr <host:port>`; port 0 picks a
+    /// free port and prints it).
+    pub metrics_addr: Option<String>,
+    /// Destination for the SLO alert-timeline CSV written by the fault
+    /// drills (`--slo-out <path>`; ignored outside `--fault-drill`).
+    pub slo_out: Option<PathBuf>,
 }
 
 impl TraceArgs {
@@ -83,10 +95,13 @@ impl TraceArgs {
                 }
                 "--fault-drill" => out.fault_drill = true,
                 "--infeasible" => out.infeasible = true,
+                "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")?),
+                "--slo-out" => out.slo_out = Some(PathBuf::from(value("--slo-out")?)),
                 other => {
                     return Err(format!(
                         "unknown argument {other:?}; usage: [--trace-out <path>] \
-                         [--events-out <path>] [--jobs <N>] [--fault-drill] [--infeasible]"
+                         [--events-out <path>] [--jobs <N>] [--fault-drill] [--infeasible] \
+                         [--metrics-addr <host:port>] [--slo-out <path>]"
                     ))
                 }
             }
@@ -97,6 +112,23 @@ impl TraceArgs {
     /// True when any trace export was requested.
     pub fn wants_tracing(&self) -> bool {
         self.trace_out.is_some() || self.events_out.is_some()
+    }
+
+    /// Starts the live metrics endpoint when `--metrics-addr` was given.
+    /// The returned server shuts down on drop; `None` when the flag is
+    /// absent. Prints the resolved address (port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure as a message naming the flag.
+    pub fn serve_metrics(&self, telemetry: &Recorder) -> Result<Option<MetricsServer>, String> {
+        let Some(addr) = &self.metrics_addr else {
+            return Ok(None);
+        };
+        let server = MetricsServer::bind(addr.as_str(), telemetry.clone())
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        println!("serving metrics on http://{}/metrics", server.addr());
+        Ok(Some(server))
     }
 }
 
@@ -111,10 +143,13 @@ pub fn run_traced(
     f: impl FnOnce(&Recorder) -> ExpResult<Figure>,
 ) -> ExpResult<()> {
     if !args.wants_tracing() {
-        return emit(f(dspp_telemetry::global()));
+        let telemetry = dspp_telemetry::global();
+        let _server = args.serve_metrics(telemetry)?;
+        return emit(f(telemetry));
     }
     let tracer = Tracer::enabled(DEFAULT_CAPACITY);
     let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let _server = args.serve_metrics(&telemetry)?;
     let result = f(&telemetry);
     emit(result)?;
     if let Some(path) = &args.trace_out {
@@ -210,6 +245,52 @@ mod tests {
         assert!(TraceArgs::parse_from(strings(&["--jobs"])).is_err());
         assert!(TraceArgs::parse_from(strings(&["--jobs", "0"])).is_err());
         assert!(TraceArgs::parse_from(strings(&["--jobs", "x"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--metrics-addr"])).is_err());
+        assert!(TraceArgs::parse_from(strings(&["--slo-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let a = TraceArgs::parse_from(strings(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slo-out=slo.csv",
+        ]))
+        .unwrap();
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.slo_out, Some(PathBuf::from("slo.csv")));
+        assert!(!a.wants_tracing());
+    }
+
+    #[test]
+    fn serve_metrics_binds_and_scrapes() {
+        let args = TraceArgs {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..TraceArgs::default()
+        };
+        let telemetry = Recorder::enabled();
+        telemetry.incr("cli.test_counter", 3);
+        let server = args.serve_metrics(&telemetry).unwrap().unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        use std::io::{Read, Write};
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("cli_test_counter_total 3"), "{body}");
+        // No flag → no server.
+        assert!(TraceArgs::default()
+            .serve_metrics(&telemetry)
+            .unwrap()
+            .is_none());
+        // Unbindable address → a flag-naming error.
+        let bad = TraceArgs {
+            metrics_addr: Some("256.0.0.1:9".into()),
+            ..TraceArgs::default()
+        };
+        assert!(bad
+            .serve_metrics(&telemetry)
+            .unwrap_err()
+            .contains("--metrics-addr"));
     }
 
     #[test]

@@ -135,6 +135,7 @@ impl ResilientController {
             step_cost,
             solver_iterations: 0,
             recovery: None,
+            fallback: true,
         }
     }
 }

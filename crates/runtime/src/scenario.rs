@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use dspp_core::{CoreError, PlacementController};
 use dspp_sim::{ClosedLoopSim, SimCheckpoint, SimReport};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{Recorder, SloEngine, SloSpec, SloTransition};
 
 use crate::{
     FaultPlan, FaultingController, ResilientController, RetryPolicy, RuntimeError, ScenarioPool,
@@ -36,6 +36,10 @@ pub struct ScenarioSpec {
     /// [`SimCheckpoint`], round-trips it through JSON, restores it, and
     /// continues — a live drill of the persistence path on every run.
     pub checkpoint_at: Option<usize>,
+    /// SLO specs evaluated against every executed period. Empty (the
+    /// default) means no engine is attached and the run behaves exactly
+    /// as before this field existed.
+    pub slos: Vec<SloSpec>,
 }
 
 impl ScenarioSpec {
@@ -47,6 +51,7 @@ impl ScenarioSpec {
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
             checkpoint_at: None,
+            slos: Vec::new(),
         }
     }
 
@@ -65,6 +70,13 @@ impl ScenarioSpec {
     /// Enables the checkpoint/restore drill at period `k`.
     pub fn with_checkpoint_at(mut self, k: usize) -> Self {
         self.checkpoint_at = Some(k);
+        self
+    }
+
+    /// Attaches SLO specs; the run evaluates them every period and the
+    /// outcome reports the alert transitions.
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
         self
     }
 }
@@ -91,6 +103,9 @@ pub struct ScenarioOutcome {
     pub recovery_periods: u64,
     /// Total server-units of demand the recovery solves left unserved.
     pub sla_shortfall: f64,
+    /// Alert transitions emitted by the SLO engine (empty when the spec
+    /// carried no SLOs).
+    pub slo_transitions: Vec<SloTransition>,
 }
 
 /// Executes one scenario: applies demand faults, stacks the fault and
@@ -121,6 +136,9 @@ pub fn run_scenario(
 
     let mut sim =
         ClosedLoopSim::new(Box::new(resilient), demand)?.with_telemetry(telemetry.clone());
+    if !spec.slos.is_empty() {
+        sim = sim.with_slos(SloEngine::new(spec.slos.clone(), telemetry.clone()));
+    }
     if let Some(k) = spec.checkpoint_at {
         sim.run_until(k)?;
         let ck = sim.checkpoint()?;
@@ -129,6 +147,7 @@ pub fn run_scenario(
         telemetry.incr("runtime.checkpoints", 1);
     }
     while sim.step()? {}
+    let slo_transitions = sim.slo_transitions().to_vec();
     let report = sim.report();
 
     let recovery_periods = report.recovery_periods() as u64;
@@ -148,6 +167,7 @@ pub fn run_scenario(
         injected_faults: fault_stats.injected(),
         recovery_periods,
         sla_shortfall,
+        slo_transitions,
     })
 }
 
@@ -263,6 +283,48 @@ mod tests {
         assert_eq!(outcome.report.periods[3].reconfig_magnitude, 0.0);
         let snap = telemetry.snapshot().unwrap();
         assert_eq!(snap.counter("runtime.fallback"), 2);
+    }
+
+    #[test]
+    fn outage_scenario_pages_the_fallback_slo_and_resolves() {
+        use dspp_telemetry::AlertState;
+        let telemetry = Recorder::enabled();
+        let spec = ScenarioSpec::new("outage-slo", demand())
+            .with_faults(FaultPlan::new().solver_outage(2, 2))
+            .with_slos(SloSpec::default_set());
+        let outcome = run_scenario(mpc(), &spec, &telemetry).unwrap();
+        assert_eq!(outcome.fallback_periods, 2);
+        let states: Vec<(u64, AlertState)> = outcome
+            .slo_transitions
+            .iter()
+            .filter(|t| t.slo == "fallback_budget")
+            .map(|t| (t.period, t.to))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                (2, AlertState::Pending),
+                (3, AlertState::Firing),
+                (6, AlertState::Resolved),
+            ],
+            "all: {:?}",
+            outcome.slo_transitions
+        );
+        assert!(telemetry.snapshot().unwrap().counter("slo.firing") >= 1);
+    }
+
+    #[test]
+    fn plain_scenario_with_slos_stays_quiet() {
+        let spec = ScenarioSpec::new("quiet", demand()).with_slos(SloSpec::default_set());
+        let outcome = run_scenario(mpc(), &spec, &Recorder::disabled()).unwrap();
+        let noisy: Vec<_> = outcome
+            .slo_transitions
+            .iter()
+            // The latency SLO depends on wall clock; everything else must
+            // stay silent on a healthy run.
+            .filter(|t| t.slo != "step_latency_p99")
+            .collect();
+        assert!(noisy.is_empty(), "healthy run paged: {noisy:?}");
     }
 
     #[test]

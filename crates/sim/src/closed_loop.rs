@@ -1,6 +1,6 @@
 use crate::{evaluate_sla, Monitor, SimCheckpoint, SlaReport};
 use dspp_core::{CoreError, CostLedger, PlacementController};
-use dspp_telemetry::Recorder;
+use dspp_telemetry::{Recorder, SloEngine, SloSample, SloTransition};
 use std::time::Instant;
 
 /// One period of a closed-loop run.
@@ -109,6 +109,9 @@ pub struct ClosedLoopSim {
     /// when telemetry is on — the controller's own predictor guard runs
     /// its own monitor regardless.
     monitor: Option<Monitor>,
+    /// SLO/burn-rate engine fed one sample per executed period; absent in
+    /// plain figure runs so deterministic outputs stay byte-identical.
+    slos: Option<SloEngine>,
 }
 
 impl ClosedLoopSim {
@@ -147,6 +150,7 @@ impl ClosedLoopSim {
             periods: Vec::with_capacity(periods - 1),
             ledger: CostLedger::new(),
             monitor: None,
+            slos: None,
         })
     }
 
@@ -159,6 +163,29 @@ impl ClosedLoopSim {
             .then(|| Monitor::new(self.demand.len(), 0.3, 4.0));
         self.telemetry = telemetry;
         self
+    }
+
+    /// Attaches an SLO/burn-rate engine: every executed period feeds it
+    /// one [`SloSample`] (step latency, SLA-shortfall mass, fallback and
+    /// recovery flags), and alert transitions surface via
+    /// [`slo_transitions`](ClosedLoopSim::slo_transitions). A checkpoint
+    /// restore on the same sim keeps the engine's windows intact — no
+    /// period is replayed.
+    pub fn with_slos(mut self, engine: SloEngine) -> Self {
+        self.slos = Some(engine);
+        self
+    }
+
+    /// The attached SLO engine, when [`with_slos`](ClosedLoopSim::with_slos)
+    /// was used.
+    pub fn slo_engine(&self) -> Option<&SloEngine> {
+        self.slos.as_ref()
+    }
+
+    /// Alert transitions the SLO engine has emitted so far (empty without
+    /// an attached engine).
+    pub fn slo_transitions(&self) -> &[SloTransition] {
+        self.slos.as_ref().map_or(&[], SloEngine::transitions)
     }
 
     /// Charges the run against *realized* prices (`[dc][period]`) instead
@@ -235,7 +262,7 @@ impl ClosedLoopSim {
         period_span.attr("period", k);
         let observed: Vec<f64> = self.demand.iter().map(|d| d[k]).collect();
         let realized: Vec<f64> = self.demand.iter().map(|d| d[k + 1]).collect();
-        let t_step = telemetry.is_enabled().then(Instant::now);
+        let t_step = (telemetry.is_enabled() || self.slos.is_some()).then(Instant::now);
         let outcome = self.controller.step(&observed)?;
         let problem = self.controller.problem();
         let sla = evaluate_sla(problem, &outcome.allocation, &outcome.routing, &realized);
@@ -262,7 +289,16 @@ impl ClosedLoopSim {
             .recovery
             .as_ref()
             .map_or(0.0, |r| r.resource_shortfall);
-        if let Some(t) = t_step {
+        if let Some(engine) = self.slos.as_mut() {
+            engine.observe(&SloSample {
+                period: k as u64,
+                step_latency_seconds: t_step.map_or(0.0, |t| t.elapsed().as_secs_f64()),
+                sla_shortfall,
+                fallback: outcome.fallback,
+                recovery: sla_shortfall > 0.0,
+            });
+        }
+        if let Some(t) = t_step.filter(|_| telemetry.is_enabled()) {
             telemetry.incr("sim.periods", 1);
             telemetry.observe_duration("sim.step_seconds", t.elapsed());
             telemetry.observe("sim.reconfig_l1", reconfig_magnitude);
@@ -611,6 +647,51 @@ mod tests {
         assert!((shortfall.sum - report.total_sla_shortfall()).abs() < 1e-9);
         // Recovered periods count as SLA-violation mass.
         assert!(snap.counter("sim.sla_violation_periods") >= report.recovery_periods() as u64);
+    }
+
+    #[test]
+    fn slo_engine_fires_and_resolves_on_sustained_shortfall() {
+        // Four consecutive infeasible periods breach the sla_shortfall
+        // SLO's burn windows; the calm tail must be long enough for the
+        // short window (4 periods) to fully drain before the alert can
+        // log `resolve_periods` consecutive clear evaluations.
+        let demand = vec![vec![
+            40.0, 55.0, 95.0, 95.0, 95.0, 95.0, 55.0, 40.0, 40.0, 40.0, 40.0, 40.0,
+        ]];
+        let telemetry = dspp_telemetry::Recorder::enabled();
+        let c = MpcController::new(
+            capped_problem(1.0),
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let mut sim = ClosedLoopSim::new(Box::new(c), demand)
+            .unwrap()
+            .with_telemetry(telemetry.clone())
+            .with_slos(dspp_telemetry::SloEngine::with_defaults(telemetry.clone()));
+        while sim.step().unwrap() {}
+        let engine = sim.slo_engine().unwrap();
+        assert_eq!(engine.evaluations() as usize, sim.periods().len());
+        let fired: Vec<_> = sim
+            .slo_transitions()
+            .iter()
+            .filter(|t| t.slo == "sla_shortfall")
+            .map(|t| t.to)
+            .collect();
+        assert!(
+            fired.contains(&dspp_telemetry::AlertState::Firing),
+            "sustained shortfall must page: {:?}",
+            sim.slo_transitions()
+        );
+        assert!(fired.contains(&dspp_telemetry::AlertState::Resolved));
+        let snap = telemetry.snapshot().unwrap();
+        assert!(snap.counter("slo.firing") >= 1);
+        assert!(snap.counter("slo.resolved") >= 1);
+        assert_eq!(snap.counter("slo.evaluations"), engine.evaluations());
     }
 
     #[test]

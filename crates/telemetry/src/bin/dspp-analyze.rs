@@ -1,0 +1,97 @@
+//! Post-mortem trace analyzer CLI.
+//!
+//! Ingests the JSONL event export written with `--events-out` and prints
+//! the deterministic report of [`dspp_telemetry::analyze`]:
+//!
+//! ```text
+//! dspp-analyze --events traces/events.jsonl [--top 5] [--out report.txt]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dspp_telemetry::analyze::{analyze_jsonl, AnalyzeOptions};
+
+const USAGE: &str = "usage: dspp-analyze --events <events.jsonl> [--top <k>] [--out <report.txt>]
+
+Ingests a JSONL trace export (spans + events) and prints a deterministic
+post-mortem report: per-period critical-path latency attribution, the
+top-k slowest periods with warm-start/recovery/fallback context, and the
+alert timeline correlated against injected faults.";
+
+struct Args {
+    events: PathBuf,
+    top_k: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let mut events = None;
+    let mut top_k = 5usize;
+    let mut out = None;
+    while let Some(arg) = argv.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| argv.next())
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
+            "--top" => top_k = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        events: events.ok_or("--events is required")?,
+        top_k,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match std::fs::read_to_string(&args.events) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.events.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match analyze_jsonl(&input, &AnalyzeOptions { top_k: args.top_k }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.events.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {}", path.display());
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

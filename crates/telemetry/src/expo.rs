@@ -1,0 +1,223 @@
+//! Prometheus text exposition of a [`Snapshot`].
+//!
+//! [`prometheus_text`] renders every counter, gauge, and histogram of a
+//! snapshot in the Prometheus text exposition format (version 0.0.4):
+//! dotted metric names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*`
+//! charset (`solver.lq.solves` → `solver_lq_solves_total`), counters gain
+//! the conventional `_total` suffix, and histograms emit cumulative
+//! `_bucket{le="…"}` lines terminated by `le="+Inf"` plus the `_sum` and
+//! `_count` series. The `/metrics` endpoint of
+//! [`MetricsServer`](crate::MetricsServer) serves exactly this text.
+//!
+//! The escaping helpers ([`escape_label_value`], [`unescape_label_value`])
+//! implement the spec's label-value escaping (`\\`, `\"`, `\n`) and are
+//! public so property tests can verify the round-trip.
+
+use std::fmt::Write as _;
+
+use crate::histogram::bucket_upper;
+use crate::snapshot::{HistogramSummary, Snapshot};
+
+/// Maps an internal dotted metric name onto the Prometheus name charset:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit is guarded with an extra `_` (names must not start with a
+/// digit). Empty input becomes `"_"`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit();
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition spec: backslash, double
+/// quote, and line feed become `\\`, `\"`, and `\n`. All other bytes
+/// pass through untouched.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_label_value`]. Returns `None` when the input is not
+/// a valid escaped label value (a dangling trailing backslash or an
+/// escape other than `\\`, `\"`, `\n`).
+pub fn unescape_label_value(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Formats a sample value the way Prometheus expects: `NaN`, `+Inf`,
+/// `-Inf` for non-finite values, shortest-round-trip decimal otherwise.
+fn sample_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &HistogramSummary) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Cumulative buckets over the log-spaced bins: one line per occupied
+    // bucket boundary (cumulative counts stay correct when empty
+    // boundaries are elided), terminated by the mandatory +Inf bucket.
+    let mut cum = 0u64;
+    for (i, &n) in h.bins.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cum}",
+            sample_value(bucket_upper(i))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", sample_value(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders `snapshot` as Prometheus text exposition (format 0.0.4).
+///
+/// Ordering is deterministic: counters, then gauges, then histograms,
+/// each section in the snapshot's lexicographic metric order.
+///
+/// ```
+/// use dspp_telemetry::{expo, Recorder};
+/// let r = Recorder::enabled();
+/// r.incr("solver.lq.solves", 3);
+/// let text = expo::prometheus_text(&r.snapshot().unwrap());
+/// assert!(text.contains("solver_lq_solves_total 3"));
+/// ```
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let name = format!("{}_total", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", sample_value(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        push_histogram(&mut out, &sanitize_metric_name(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("solver.lq.solves"), "solver_lq_solves");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        for raw in ["", "x", "\\", "\"", "\n", "mix\\\"\nend"] {
+            assert_eq!(
+                unescape_label_value(&escape_label_value(raw)).as_deref(),
+                Some(raw)
+            );
+        }
+        assert_eq!(unescape_label_value("dangling\\"), None);
+        assert_eq!(unescape_label_value("bad\\t"), None);
+    }
+
+    #[test]
+    fn exposition_covers_all_metric_kinds() {
+        let r = Recorder::enabled();
+        r.incr("solver.lq.solves", 7);
+        r.gauge("game.capacity_dual", -0.25);
+        r.observe("sim.step_seconds", 0.004);
+        r.observe("sim.step_seconds", 0.008);
+        let text = prometheus_text(&r.snapshot().unwrap());
+        assert!(text.contains("# TYPE solver_lq_solves_total counter\n"));
+        assert!(text.contains("solver_lq_solves_total 7\n"));
+        assert!(text.contains("# TYPE game_capacity_dual gauge\n"));
+        assert!(text.contains("game_capacity_dual -0.25\n"));
+        assert!(text.contains("# TYPE sim_step_seconds histogram\n"));
+        assert!(text.contains("sim_step_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("sim_step_seconds_count 2\n"));
+        assert!(text.contains("sim_step_seconds_sum 0.012"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_terminated() {
+        let r = Recorder::enabled();
+        for v in [1e-6, 1e-6, 1.0, 2.0, 300.0] {
+            r.observe("h", v);
+        }
+        let snap = r.snapshot().unwrap();
+        let text = prometheus_text(&snap);
+        let mut last = 0u64;
+        let mut bucket_lines = 0usize;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket{")) {
+            bucket_lines += 1;
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "buckets must be cumulative: {line}");
+            last = count;
+        }
+        assert!(bucket_lines >= 2);
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 5\n"));
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn non_finite_samples_use_prometheus_spelling() {
+        let r = Recorder::enabled();
+        r.gauge("g.nan", f64::NAN);
+        r.gauge("g.inf", f64::INFINITY);
+        r.gauge("g.ninf", f64::NEG_INFINITY);
+        let text = prometheus_text(&r.snapshot().unwrap());
+        assert!(text.contains("g_nan NaN\n"));
+        assert!(text.contains("g_inf +Inf\n"));
+        assert!(text.contains("g_ninf -Inf\n"));
+    }
+}

@@ -31,6 +31,12 @@ pub(crate) fn bucket_mid(index: usize) -> f64 {
     LOWEST * 2f64.powi(index as i32) * std::f64::consts::SQRT_2
 }
 
+/// Exclusive upper bound of a bucket — the `le` boundary a Prometheus
+/// exposition line advertises for it.
+pub(crate) fn bucket_upper(index: usize) -> f64 {
+    LOWEST * 2f64.powi(index as i32 + 1)
+}
+
 /// A streaming histogram: exact count/sum/min/max plus log-spaced buckets.
 #[derive(Debug, Clone)]
 pub struct Histogram {

@@ -1,0 +1,255 @@
+//! Dependency-free metrics endpoint: a minimal HTTP/1.1 server over
+//! `std::net` serving the live [`Snapshot`](crate::Snapshot) of a
+//! [`Recorder`].
+//!
+//! [`MetricsServer::bind`] spawns one background thread running a
+//! blocking accept loop; each request is answered from a fresh snapshot,
+//! so scraping never blocks the instrumented run beyond the registry's
+//! ordinary read locks. Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition
+//!   ([`expo::prometheus_text`](crate::expo::prometheus_text))
+//! * `GET /health` — liveness JSON (`{"status":"ok",…}`)
+//! * `GET /snapshot.json` — the full snapshot as schema-versioned JSON
+//!   ([`Snapshot::to_json`](crate::Snapshot::to_json))
+//!
+//! Shutdown is graceful: [`MetricsServer::shutdown`] (also run on drop)
+//! raises a flag, unblocks the accept loop with a loopback connection,
+//! and joins the thread.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{expo, Recorder};
+
+/// A running metrics endpoint; dropping it shuts the server down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port —
+    /// read it back via [`MetricsServer::addr`]) and starts serving
+    /// `recorder`'s snapshots on a background thread.
+    ///
+    /// Every served request also increments the recorder's
+    /// `telemetry.http.requests` counter, so scrape traffic is itself
+    /// observable on the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`io::Error`] of the failed bind.
+    pub fn bind(addr: impl ToSocketAddrs, recorder: Recorder) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dspp-metrics".into())
+            .spawn(move || accept_loop(&listener, &recorder, &stop_thread))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins the serving
+    /// thread. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop only re-checks the flag between connections;
+        // poke it with a throwaway connection so it wakes immediately.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, recorder: &Recorder, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stalled or misbehaving scraper must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = serve_one(stream, recorder);
+    }
+}
+
+fn serve_one(stream: TcpStream, recorder: &Recorder) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block; this tiny server ignores all headers.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    recorder.incr("telemetry.http.requests", 1);
+    let snapshot = recorder.snapshot().unwrap_or_default();
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &expo::prometheus_text(&snapshot),
+        ),
+        "/health" => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"counters\":{},\"gauges\":{},\"histograms\":{}}}\n",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len()
+            );
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/snapshot.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &snapshot.to_json(),
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Issues one HTTP GET against `addr` and returns (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_snapshot() {
+        let recorder = Recorder::enabled();
+        recorder.incr("controller.steps", 5);
+        recorder.observe("sim.step_seconds", 0.002);
+        let server = MetricsServer::bind("127.0.0.1:0", recorder.clone()).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("controller_steps_total 5"));
+        assert!(body.contains("sim_step_seconds_bucket{le=\"+Inf\"} 1"));
+
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (status, body) = get(addr, "/snapshot.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let parsed = crate::Snapshot::from_json(&body).unwrap();
+        assert_eq!(parsed.counter("controller.steps"), 5);
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        // Scrape traffic shows up in the next snapshot.
+        assert!(
+            recorder
+                .snapshot()
+                .unwrap()
+                .counter("telemetry.http.requests")
+                >= 4
+        );
+    }
+
+    #[test]
+    fn scrapes_see_live_updates() {
+        let recorder = Recorder::enabled();
+        let server = MetricsServer::bind("127.0.0.1:0", recorder.clone()).unwrap();
+        recorder.incr("live.counter", 1);
+        let (_, first) = get(server.addr(), "/metrics");
+        assert!(first.contains("live_counter_total 1"));
+        recorder.incr("live.counter", 41);
+        let (_, second) = get(server.addr(), "/metrics");
+        assert!(second.contains("live_counter_total 42"));
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let mut server = MetricsServer::bind("127.0.0.1:0", Recorder::enabled()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown(); // idempotent
+        drop(server);
+        // The port is released: a fresh bind on the same address works.
+        let listener = TcpListener::bind(addr);
+        assert!(listener.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let server = MetricsServer::bind("127.0.0.1:0", Recorder::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"));
+    }
+}

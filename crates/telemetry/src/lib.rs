@@ -36,8 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod expo;
 mod histogram;
+mod http;
 pub mod json;
+mod slo;
 mod snapshot;
 mod trace;
 
@@ -49,6 +53,8 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 pub use histogram::Histogram;
+pub use http::MetricsServer;
+pub use slo::{AlertState, SloEngine, SloSample, SloSignal, SloSpec, SloTransition};
 pub use snapshot::{HistogramSummary, Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use trace::{
     chrome_trace, jsonl, AttrValue, Attrs, EventRecord, FlightRecorder, ManualClock,
@@ -152,6 +158,16 @@ impl Registry {
     /// Records `value` into histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         self.histogram_cell(name).lock().record(value);
+    }
+
+    /// Reads counter `name` without creating it: `None` when the counter
+    /// has never been touched. Allocation-free — safe on hot paths (the
+    /// SLO engine polls `game.max_rounds_hit` every control period).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .read()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
     }
 
     /// Freezes the current state of every metric.
@@ -337,6 +353,15 @@ impl Recorder {
         let out = f();
         self.observe_duration(name, t0.elapsed());
         out
+    }
+
+    /// Reads counter `name` from a registry-backed recorder without
+    /// creating it; `None` when disabled, sink-backed, or never touched.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match &self.inner {
+            Some(RecorderInner::Registry(r)) => r.counter_value(name),
+            _ => None,
+        }
     }
 
     /// Freezes current metric values. `None` for disabled and sink-backed

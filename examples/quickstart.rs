@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --example quickstart
 //! cargo run --example quickstart -- --trace-out trace.json
+//! cargo run --example quickstart -- --metrics-addr 127.0.0.1:9184 --serve-for 30
 //! ```
 //!
 //! With `--trace-out <path>` the run is traced: every simulated period,
@@ -11,20 +12,34 @@
 //! Format file (open it at <https://ui.perfetto.dev>). `--events-out
 //! <path>` writes the same flight recorder as a JSONL event log
 //! (docs/OBSERVABILITY.md documents both schemas).
+//!
+//! With `--metrics-addr <host:port>` the run serves its live telemetry
+//! over HTTP (`/metrics` in Prometheus text format, `/health`,
+//! `/snapshot.json`) and attaches the default SLO set, so `slo.*`
+//! burn-rate series appear alongside the solver/controller/sim metrics.
+//! The day solves in milliseconds; `--serve-for <secs>` keeps the
+//! endpoint up after the run so a scraper (or `curl`) can catch it.
 
 use std::path::PathBuf;
 
 use dspp::core::{DsppBuilder, MpcController, MpcSettings};
 use dspp::predict::OraclePredictor;
 use dspp::sim::ClosedLoopSim;
-use dspp::telemetry::{Recorder, Tracer, DEFAULT_CAPACITY};
+use dspp::telemetry::{MetricsServer, Recorder, SloEngine, Tracer, DEFAULT_CAPACITY};
 use dspp::workload::{DemandModel, DiurnalProfile};
 
-/// Minimal flag parsing: `--trace-out <path>` / `--events-out <path>`
-/// (also accepted as `--flag=path`).
-fn parse_args() -> Result<(Option<PathBuf>, Option<PathBuf>), String> {
-    let mut trace_out = None;
-    let mut events_out = None;
+/// Parsed quickstart flags.
+#[derive(Default)]
+struct Args {
+    trace_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    serve_for_secs: u64,
+}
+
+/// Minimal flag parsing (each flag also accepted as `--flag=value`).
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -35,23 +50,30 @@ fn parse_args() -> Result<(Option<PathBuf>, Option<PathBuf>), String> {
             inline
                 .clone()
                 .or_else(|| iter.next())
-                .ok_or_else(|| format!("{name} needs a path argument"))
+                .ok_or_else(|| format!("{name} needs a value argument"))
         };
         match flag.as_str() {
-            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
-            "--events-out" => events_out = Some(PathBuf::from(value("--events-out")?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--events-out" => args.events_out = Some(PathBuf::from(value("--events-out")?)),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--serve-for" => {
+                args.serve_for_secs = value("--serve-for")?
+                    .parse()
+                    .map_err(|_| "--serve-for needs a whole number of seconds".to_string())?;
+            }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?}; usage: [--trace-out <path>] [--events-out <path>]"
+                    "unknown argument {other:?}; usage: [--trace-out <path>] \
+                     [--events-out <path>] [--metrics-addr <host:port>] [--serve-for <secs>]"
                 ))
             }
         }
     }
-    Ok((trace_out, events_out))
+    Ok(args)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (trace_out, events_out) = parse_args().map_err(|e| format!("quickstart: {e}"))?;
+    let args = parse_args().map_err(|e| format!("quickstart: {e}"))?;
 
     // A day of diurnal demand: 4 000 req/s at night, 22 000 at midday.
     let demand = DemandModel::new(DiurnalProfile::working_hours(22_000.0, 4_000.0))
@@ -74,12 +96,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (docs/OBSERVABILITY.md catalogues the names). When a trace export
     // was requested the recorder also carries a span tracer whose flight
     // recorder we dump at the end.
-    let tracer = if trace_out.is_some() || events_out.is_some() {
+    let tracer = if args.trace_out.is_some() || args.events_out.is_some() {
         Tracer::enabled(DEFAULT_CAPACITY)
     } else {
         Tracer::disabled()
     };
     let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+
+    // Live endpoint: serve this run's snapshots while it executes (and,
+    // with --serve-for, for a scrape window afterwards).
+    let mut server = match &args.metrics_addr {
+        Some(addr) => {
+            let server = MetricsServer::bind(addr.as_str(), telemetry.clone())
+                .map_err(|e| format!("quickstart: --metrics-addr {addr}: {e}"))?;
+            println!("serving metrics on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
 
     let controller = MpcController::new(
         problem,
@@ -91,9 +125,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    let report = ClosedLoopSim::new(Box::new(controller), demand)?
+    // The default SLO set watches every period (step latency p99,
+    // SLA-shortfall mass, fallback budget, recovery rate, game rounds);
+    // its burn-rate gauges and transition counters land in the same
+    // recorder the endpoint serves.
+    let mut sim = ClosedLoopSim::new(Box::new(controller), demand)?
         .with_telemetry(telemetry.clone())
-        .run()?;
+        .with_slos(SloEngine::with_defaults(telemetry.clone()));
+    while sim.step()? {}
+    let report = sim.report();
 
     println!("hour  demand(req/s)  servers  Δservers  cost($)");
     for p in &report.periods {
@@ -123,11 +163,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n{snapshot}");
     }
 
-    if let Some(path) = &trace_out {
+    if let Some(path) = &args.trace_out {
         std::fs::write(path, tracer.to_chrome_trace())?;
         println!("wrote {}", path.display());
     }
-    if let Some(path) = &events_out {
+    if let Some(path) = &args.events_out {
         std::fs::write(path, tracer.to_jsonl())?;
         println!("wrote {}", path.display());
     }
@@ -137,6 +177,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tracer.dropped(),
             DEFAULT_CAPACITY
         );
+    }
+    if let Some(server) = &mut server {
+        if args.serve_for_secs > 0 {
+            println!(
+                "holding http://{}/metrics open for {}s (ctrl-c to stop early)",
+                server.addr(),
+                args.serve_for_secs
+            );
+            std::thread::sleep(std::time::Duration::from_secs(args.serve_for_secs));
+        }
+        server.shutdown();
     }
     Ok(())
 }

@@ -1,0 +1,173 @@
+//! Golden-file test for the post-mortem analyzer: the committed fixture
+//! trace under `tests/fixtures/analyze/` must produce the committed
+//! report **byte-for-byte**. The report derives every number from the
+//! trace's own (manual) clock — no wall-clock ever enters it — so this
+//! comparison is exact on any machine.
+//!
+//! To regenerate the fixtures after an intentional report-format change:
+//!
+//! ```text
+//! DSPP_REGEN_GOLDEN=1 cargo test --test analyze_golden -- --ignored regen
+//! ```
+
+use std::sync::Arc;
+
+use dspp::telemetry::analyze::{analyze_jsonl, AnalyzeOptions};
+use dspp::telemetry::{AttrValue, ManualClock, Tracer};
+
+const EVENTS_PATH: &str = "tests/fixtures/analyze/events.jsonl";
+const REPORT_PATH: &str = "tests/fixtures/analyze/report.txt";
+
+/// Builds the fixture trace: a five-period closed-loop run on a manual
+/// clock where period 2 suffers a solver outage (slow, fallback, paged)
+/// and period 3 recovers via the soft-constraint solve.
+fn fixture_trace() -> String {
+    let clock = ManualClock::new();
+    let tracer = Tracer::with_clock(4096, Box::new(Arc::clone(&clock)));
+    for k in 0u64..5 {
+        let mut period = tracer.span("sim.period");
+        period.attr("period", k);
+        clock.advance(40_000);
+        {
+            let mut step = tracer.span("controller.step");
+            step.attr("period", k);
+            step.attr("warm_start", k > 0);
+            step.attr(
+                "solver_iterations",
+                match k {
+                    2 => 0u64,
+                    3 => 21,
+                    _ => 9 + k,
+                },
+            );
+            if k == 3 {
+                step.attr("recovered", true);
+                step.attr("sla_shortfall", 0.1875);
+            }
+            {
+                let _solve = tracer.span("solver.lq.solve");
+                clock.advance(match k {
+                    2 => 1_400_000,
+                    3 => 700_000,
+                    _ => 250_000,
+                });
+            }
+            clock.advance(80_000);
+        }
+        if k == 2 {
+            tracer.event_with(
+                "runtime.fault_injected",
+                [
+                    ("severity", AttrValue::Str("warning".into())),
+                    ("kind", AttrValue::Str("solver_outage".into())),
+                    ("period", AttrValue::UInt(k)),
+                ],
+            );
+            tracer.event_with(
+                "runtime.fallback",
+                [
+                    ("severity", AttrValue::Str("warning".into())),
+                    ("period", AttrValue::UInt(k)),
+                    ("attempts", AttrValue::UInt(2)),
+                ],
+            );
+            tracer.event_with(
+                "slo.pending",
+                [
+                    ("severity", AttrValue::Str("info".into())),
+                    ("slo", AttrValue::Str("fallback_budget".into())),
+                    ("period", AttrValue::UInt(k)),
+                ],
+            );
+        }
+        if k == 3 {
+            tracer.event_with(
+                "slo.firing",
+                [
+                    ("severity", AttrValue::Str("error".into())),
+                    ("slo", AttrValue::Str("fallback_budget".into())),
+                    ("period", AttrValue::UInt(k)),
+                    ("burn_short", AttrValue::Float(4.0)),
+                    ("burn_long", AttrValue::Float(2.5)),
+                ],
+            );
+        }
+        if k == 4 {
+            tracer.event_with(
+                "slo.resolved",
+                [
+                    ("severity", AttrValue::Str("info".into())),
+                    ("slo", AttrValue::Str("fallback_budget".into())),
+                    ("period", AttrValue::UInt(k)),
+                ],
+            );
+        }
+        clock.advance(30_000);
+        drop(period);
+    }
+    tracer.to_jsonl()
+}
+
+#[test]
+fn committed_fixture_reproduces_committed_report_byte_for_byte() {
+    let events = std::fs::read_to_string(EVENTS_PATH)
+        .unwrap_or_else(|e| panic!("missing fixture {EVENTS_PATH}: {e}"));
+    let report = analyze_jsonl(&events, &AnalyzeOptions { top_k: 3 })
+        .expect("fixture trace must analyze cleanly");
+    let golden = std::fs::read_to_string(REPORT_PATH)
+        .unwrap_or_else(|e| panic!("missing fixture {REPORT_PATH}: {e}"));
+    assert_eq!(
+        report, golden,
+        "analyzer output drifted from the golden report; if the change is \
+         intentional, regenerate with DSPP_REGEN_GOLDEN=1 \
+         `cargo test --test analyze_golden -- --ignored regen`"
+    );
+}
+
+#[test]
+fn fixture_generator_matches_committed_events() {
+    // The committed JSONL is exactly what the in-repo generator
+    // produces, so the events fixture can always be rebuilt from code.
+    let committed = std::fs::read_to_string(EVENTS_PATH)
+        .unwrap_or_else(|e| panic!("missing fixture {EVENTS_PATH}: {e}"));
+    assert_eq!(
+        fixture_trace(),
+        committed,
+        "fixture generator drifted from the committed events.jsonl"
+    );
+}
+
+#[test]
+fn report_contains_no_wall_clock_artifacts() {
+    let report = analyze_jsonl(&fixture_trace(), &AnalyzeOptions { top_k: 3 }).unwrap();
+    // Manual-clock timestamps start at 0 and stay in the single-digit
+    // millisecond range; any wall-clock leakage would show up as huge
+    // timestamps or a run-dependent diff (covered by the golden test).
+    assert!(report.contains("timeline: "));
+    for line in report
+        .lines()
+        .filter(|l| l.contains("runtime.fault_injected"))
+    {
+        let ts: f64 = line.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(ts < 100.0, "timestamp out of manual-clock range: {line}");
+    }
+    let again = analyze_jsonl(&fixture_trace(), &AnalyzeOptions { top_k: 3 }).unwrap();
+    assert_eq!(report, again);
+}
+
+/// Regenerates both fixtures. Ignored by default; run explicitly after
+/// an intentional format change (see module docs).
+#[test]
+#[ignore = "fixture regeneration; run with --ignored and DSPP_REGEN_GOLDEN=1"]
+fn regen() {
+    if std::env::var("DSPP_REGEN_GOLDEN").is_err() {
+        eprintln!("set DSPP_REGEN_GOLDEN=1 to actually rewrite fixtures");
+        return;
+    }
+    std::fs::create_dir_all("tests/fixtures/analyze").unwrap();
+    let events = fixture_trace();
+    std::fs::write(EVENTS_PATH, &events).unwrap();
+    let report = analyze_jsonl(&events, &AnalyzeOptions { top_k: 3 }).unwrap();
+    std::fs::write(REPORT_PATH, report).unwrap();
+    eprintln!("rewrote {EVENTS_PATH} and {REPORT_PATH}");
+}

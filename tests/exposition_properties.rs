@@ -1,0 +1,122 @@
+//! Property-based tests on the Prometheus text exposition layer:
+//! metric-name sanitization always lands in the legal charset, label
+//! escaping round-trips arbitrary values (quotes, backslashes, newlines
+//! included), and histogram bucket lines are cumulative and
+//! `+Inf`-terminated for any sample set.
+
+use dspp::telemetry::expo::{
+    escape_label_value, prometheus_text, sanitize_metric_name, unescape_label_value,
+};
+use dspp::telemetry::Recorder;
+use proptest::prelude::*;
+
+/// Characters a label value can contain, weighted toward the ones the
+/// escaper must handle (`\`, `"`, newline) plus ordinary text and a
+/// multi-byte codepoint.
+const LABEL_ALPHABET: &[char] = &[
+    '\\', '"', '\n', 'a', 'Z', '0', ' ', '_', '{', '}', '=', 'µ', '\t',
+];
+
+/// Characters a raw (internal, dotted) metric name might contain.
+const NAME_ALPHABET: &[char] = &['.', '-', ' ', 'a', 'q', 'Z', '0', '9', '_', ':', '/', 'é'];
+
+fn from_alphabet(alphabet: &[char], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| alphabet[i % alphabet.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Escaping then unescaping any label value is the identity, and the
+    /// escaped form never contains a raw newline (the exposition format
+    /// is line-oriented) or an unescaped double quote.
+    #[test]
+    fn prop_label_value_escape_round_trips(
+        picks in prop::collection::vec(0usize..LABEL_ALPHABET.len(), 0..24),
+    ) {
+        let raw = from_alphabet(LABEL_ALPHABET, &picks);
+        let escaped = escape_label_value(&raw);
+        prop_assert_eq!(unescape_label_value(&escaped).as_deref(), Some(raw.as_str()));
+        prop_assert!(!escaped.contains('\n'), "raw newline in {escaped:?}");
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(
+                    matches!(next, Some('\\' | '"' | 'n')),
+                    "invalid escape \\{next:?} in {escaped:?}"
+                );
+            } else {
+                prop_assert!(c != '"', "unescaped quote in {escaped:?}");
+            }
+        }
+    }
+
+    /// Sanitized metric names always match `[a-zA-Z_:][a-zA-Z0-9_:]*`
+    /// and sanitization is idempotent.
+    #[test]
+    fn prop_sanitized_names_are_legal(
+        picks in prop::collection::vec(0usize..NAME_ALPHABET.len(), 0..24),
+    ) {
+        let raw = from_alphabet(NAME_ALPHABET, &picks);
+        let name = sanitize_metric_name(&raw);
+        prop_assert!(!name.is_empty());
+        let mut chars = name.chars();
+        let first = chars.next().unwrap();
+        prop_assert!(
+            first.is_ascii_alphabetic() || first == '_' || first == ':',
+            "bad leading char in {name:?}"
+        );
+        for c in chars {
+            prop_assert!(
+                c.is_ascii_alphanumeric() || c == '_' || c == ':',
+                "bad char {c:?} in {name:?}"
+            );
+        }
+        prop_assert_eq!(&sanitize_metric_name(&name), &name, "not idempotent");
+    }
+
+    /// For any sample set, the exposed histogram has non-decreasing
+    /// bucket counts whose `le` bounds strictly increase, ends in the
+    /// mandatory `le="+Inf"` bucket equal to the total count, and the
+    /// `_count` series agrees with it.
+    #[test]
+    fn prop_histogram_buckets_cumulative_and_inf_terminated(
+        samples in prop::collection::vec(1e-8f64..1e4, 1..40),
+    ) {
+        let recorder = Recorder::enabled();
+        for &s in &samples {
+            recorder.observe("prop.hist", s);
+        }
+        let text = prometheus_text(&recorder.snapshot().unwrap());
+        let mut last_count = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("prop_hist_bucket{")) {
+            prop_assert!(!saw_inf, "+Inf bucket must come last: {text}");
+            let le_raw = line
+                .split("le=\"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())
+                .unwrap();
+            let le = if le_raw == "+Inf" {
+                saw_inf = true;
+                f64::INFINITY
+            } else {
+                le_raw.parse::<f64>().unwrap()
+            };
+            prop_assert!(le > last_le, "le bounds must increase: {line}");
+            last_le = le;
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(count >= last_count, "buckets must be cumulative: {line}");
+            last_count = count;
+        }
+        prop_assert!(saw_inf, "missing le=\"+Inf\" bucket:\n{text}");
+        prop_assert_eq!(last_count, samples.len() as u64);
+        let count_line = format!("prop_hist_count {}", samples.len());
+        prop_assert!(text.contains(&count_line), "missing/incorrect _count:\n{text}");
+    }
+}
