@@ -1,14 +1,16 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times eleven representative workloads — one Riccati IPM solve,
+//! `record` times thirteen representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, one simulation
 //! checkpoint JSON round-trip, a 4-provider game sweep run sequentially
 //! and on a parallel pool, a warm-vs-cold solve pair, a reduced
 //! policy tournament (every placement policy on a one-day diurnal
-//! trace), and a steady-state SLO evaluation pass — and writes
+//! trace), a steady-state SLO evaluation pass, and the streaming-ingest
+//! hot paths (snapshot routing + lock-free aggregation, and the
+//! period-close admit/seal barrier) — and writes
 //! their throughput plus latency quantiles as JSON (the committed
 //! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
 //! fails with a readable delta report when throughput regresses beyond a
@@ -22,9 +24,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dspp_core::{MpcController, MpcSettings, PlacementController};
+use dspp_core::{Allocation, MpcController, MpcSettings, PlacementController, RoutingPolicy};
 use dspp_experiments::tournament;
 use dspp_game::{GameConfig, ResourceGame, SpSampler};
+use dspp_ingest::{
+    admit, generate_city_period, stream_seed, BackpressureBudget, PeriodBucket, RouterSnapshot,
+};
 use dspp_predict::LastValue;
 use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
 use dspp_sim::{ClosedLoopSim, SimCheckpoint};
@@ -32,7 +37,9 @@ use dspp_solver::{solve_lq, solve_lq_warm, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
 use dspp_telemetry::{Recorder, SloEngine, SloSample};
 
-use crate::{alloc_count, lq_fixture, single_dc_problem, starved_single_dc_problem};
+use crate::{
+    alloc_count, lq_fixture, multi_dc_problem, single_dc_problem, starved_single_dc_problem,
+};
 
 /// Schema version of the baseline file.
 ///
@@ -409,6 +416,83 @@ pub fn record(iters: usize) -> Baseline {
         ),
     ]);
 
+    // 12. The ingest hot path: route a pre-generated request batch off a
+    // compiled placement snapshot and aggregate it into a lock-free
+    // period bucket — the per-request work the streaming front end does
+    // millions of times per control period. `allocs` pins the steady
+    // route+aggregate pass at exactly zero heap traffic; the event and
+    // per-arc counters pin the routing outcome bit-for-bit (multiply
+    // `events` by the reported throughput for req/s).
+    let ingest_problem = multi_dc_problem(2, 8);
+    let covering =
+        Allocation::from_arc_values(&ingest_problem, vec![1.0; ingest_problem.num_arcs()]);
+    let route_table = RouterSnapshot::compile(
+        &ingest_problem,
+        &RoutingPolicy::from_allocation(&ingest_problem, &covering),
+        1,
+    );
+    let mut route_events = Vec::new();
+    let mut per_city = Vec::new();
+    for city in 0..2 {
+        let mut buf = Vec::new();
+        generate_city_period(9, city, 0, 2_048.0, 1.0, &mut buf);
+        route_events.extend_from_slice(&buf);
+        per_city.push(buf);
+    }
+    // Route draws come from the same deterministic stream mixer the
+    // pipeline uses, one u64 per request.
+    let draws: Vec<u64> = (0..route_events.len())
+        .map(|i| stream_seed(0xD1CE, i, 1))
+        .collect();
+    let route_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+    let route_pass = || {
+        for (ev, draw) in route_events.iter().zip(&draws) {
+            let arc = route_table.route(ev.city as usize, *draw);
+            route_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
+        }
+    };
+    let (_, route_allocs) = alloc_count::count(route_pass);
+    let route_metric = measure("ingest.route_agg", warmup, iters, route_pass);
+    let outcome_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+    for (ev, draw) in route_events.iter().zip(&draws) {
+        let arc = route_table.route(ev.city as usize, *draw);
+        outcome_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
+    }
+    let outcome = outcome_bucket.seal();
+    let route_metric = route_metric.with_counters(vec![
+        ("allocs".to_string(), route_allocs as f64),
+        ("arc0_events".to_string(), outcome.arc_counts[0] as f64),
+        ("events".to_string(), route_events.len() as f64),
+        ("unroutable".to_string(), outcome.unroutable as f64),
+    ]);
+
+    // 13. The period-close barrier: admit the same batch under a budget
+    // tight enough to defer and drop deterministically, aggregate the
+    // admitted slice, and seal the bucket into its plain-data matrix row.
+    let seal_budget = BackpressureBudget::new(1_500, 400);
+    let mut seal_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+    let mut seal_pass = || {
+        seal_bucket.reset(0);
+        for (city, events) in per_city.iter().enumerate() {
+            let admission = admit(seal_budget, 0, events.len() as u64);
+            for ev in &events[..admission.admitted_fresh as usize] {
+                seal_bucket.record(city, Some(0), ev.class.index(), ev.size_kib);
+            }
+            seal_bucket.record_backpressure(0, admission.carry_out, admission.dropped);
+        }
+        seal_bucket.seal()
+    };
+    let sealed_outcome = seal_pass();
+    let seal_metric = measure("ingest.seal_period", warmup, iters, || {
+        seal_pass();
+    });
+    let seal_metric = seal_metric.with_counters(vec![
+        ("admitted".to_string(), sealed_outcome.total_events() as f64),
+        ("deferred".to_string(), sealed_outcome.deferred as f64),
+        ("dropped".to_string(), sealed_outcome.dropped as f64),
+        ("generated".to_string(), route_events.len() as f64),
+    ]);
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         metrics: vec![
@@ -423,6 +507,8 @@ pub fn record(iters: usize) -> Baseline {
             warm_metric,
             tournament_metric,
             slo_metric,
+            route_metric,
+            seal_metric,
         ],
     }
 }
@@ -870,6 +956,8 @@ mod tests {
                 "solver.warm_vs_cold",
                 "policy.tournament_small",
                 "telemetry.slo_eval",
+                "ingest.route_agg",
+                "ingest.seal_period",
             ]
         );
         for m in &b.metrics {
@@ -926,6 +1014,18 @@ mod tests {
         assert_eq!(counter(slo, "allocs"), 0.0, "SLO hot path allocated");
         assert_eq!(counter(slo, "slo_evaluations"), 16.0);
         assert!(counter(slo, "alert_transitions") >= 3.0);
+        // The ingest route+aggregate pass is lock- and allocation-free,
+        // every generated request routes (the fixture placement covers
+        // both cities), and the seal workload's admission arithmetic
+        // deterministically defers and drops under its tight budget.
+        let route = by_name("ingest.route_agg");
+        assert_eq!(counter(route, "allocs"), 0.0, "ingest hot path allocated");
+        assert!(counter(route, "events") > 0.0);
+        assert_eq!(counter(route, "unroutable"), 0.0);
+        let seal = by_name("ingest.seal_period");
+        assert!(counter(seal, "deferred") > 0.0);
+        assert!(counter(seal, "dropped") > 0.0);
+        assert_eq!(counter(seal, "admitted"), 3000.0);
     }
 
     #[test]

@@ -92,6 +92,19 @@ impl RoutingPolicy {
             .filter(|&v| !self.weights[v].is_empty())
             .collect()
     }
+
+    /// The raw `(arc index, fraction)` split list for location `v`
+    /// (empty when the location is uncovered or out of range). Fractions
+    /// sum to 1 for covered locations. Request-level routers
+    /// (`dspp-ingest`) build their cumulative sampling tables from this.
+    pub fn location_weights(&self, v: usize) -> &[(usize, f64)] {
+        self.weights.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of locations the policy was built over.
+    pub fn num_locations(&self) -> usize {
+        self.weights.len()
+    }
 }
 
 impl RoutingPolicy {

@@ -26,6 +26,16 @@
 //! last-known-good fallback) resolved every infeasible period with a
 //! shortfall matching the preflight capacity deficit.
 //!
+//! With `--fault-drill --soak` a 30-simulated-day streaming soak runs
+//! instead: the `dspp-ingest` front end under flash crowds and price
+//! shocks, with a mid-stream checkpoint/restore that must resume
+//! bit-exactly and an `ingest_backpressure` SLO that must fire and
+//! resolve (see [`soak_drill`]).
+//!
+//! The default figure run additionally executes the streaming-ingest
+//! experiment and writes `results/ingest_sealed.csv`, the exact integer
+//! sealed-period ledger the determinism CI job diffs across `--jobs`.
+//!
 //! Both drills also attach the default SLO set
 //! ([`SloSpec::default_set`]) to every scenario and assert the
 //! burn-rate alerts behaved: sustained adversities must page (a
@@ -39,9 +49,11 @@
 use dspp_core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp_experiments::cli::TraceArgs;
 use dspp_experiments::{emit, ExpResult, Figure};
+use dspp_ingest::{BackpressureBudget, IngestConfig};
 use dspp_predict::LastValue;
 use dspp_runtime::{
-    run_scenarios, FaultPlan, RetryPolicy, ScenarioOutcome, ScenarioPool, ScenarioSpec,
+    run_scenarios, run_soak, FaultPlan, RetryPolicy, ScenarioOutcome, ScenarioPool, ScenarioSpec,
+    SoakSpec,
 };
 use dspp_telemetry::{AlertState, Recorder, SloSpec, Snapshot, Tracer, DEFAULT_CAPACITY};
 use dspp_workload::FlashCrowd;
@@ -444,6 +456,136 @@ fn infeasible_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     ok
 }
 
+/// The `--fault-drill --soak` mode: a 30-simulated-day streaming soak.
+///
+/// The full ingest front end runs for 720 control periods (each scaled
+/// to one minute of event time so CI finishes quickly) under two flash
+/// crowds that outrun the admission budget and a 2-day spot-price shock
+/// on the expensive data center. Mid-stream the drill freezes an ingest
+/// checkpoint, round-trips it through JSON, restores it into a fresh
+/// loop and runs both to the end — the drill fails (exit 1) unless the
+/// resumed run is bit-exact, the `ingest_backpressure` burn-rate alert
+/// both fired and resolved, and backpressure actually engaged.
+/// `--slo-out <path>` writes the alert timeline CSV CI uploads.
+fn soak_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
+    const DAYS: usize = 30;
+    const PERIODS_PER_DAY: usize = 24;
+    let periods = DAYS * PERIODS_PER_DAY;
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let _server = match args.serve_metrics(&telemetry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("all: {e}");
+            return false;
+        }
+    };
+    // Diurnal offered load per city (req/s), before fault injection.
+    let base = [40.0, 25.0, 15.0];
+    let rates: Vec<Vec<f64>> = base
+        .iter()
+        .enumerate()
+        .map(|(v, b)| {
+            (0..periods)
+                .map(|k| {
+                    let hour = (k % PERIODS_PER_DAY) as f64;
+                    b * (1.0
+                        + 0.3 * (std::f64::consts::TAU * (hour - 14.0 + v as f64) / 24.0).cos())
+                })
+                .collect()
+        })
+        .collect();
+    // Two flash crowds (day 5 on city 0, day 20 everywhere) swamp the
+    // admission budget; a price shock triples DC 1 during days 12–14.
+    let faults = FaultPlan::new()
+        .demand_spike(FlashCrowd::new(5.0 * 24.0, 6.0, 9.0).at_location(0))
+        .demand_spike(FlashCrowd::new(20.0 * 24.0, 8.0, 7.0))
+        .price_shock(1, 12 * PERIODS_PER_DAY, 2 * PERIODS_PER_DAY, 3.0);
+    let spec = SoakSpec {
+        rates,
+        faults: faults.clone(),
+        config: IngestConfig::new(2012)
+            .with_period_seconds(60)
+            .with_jobs(args.jobs.unwrap_or(2))
+            .with_budget(BackpressureBudget::new(4500, 1500)),
+        checkpoint_after: periods / 2,
+        slos: vec![SloSpec::ingest_backpressure()],
+    };
+    let make_controller = move || {
+        let mut prices = vec![vec![1.0; periods + 8], vec![1.4; periods + 8]];
+        faults.apply_to_prices(&mut prices);
+        let problem = DsppBuilder::new(2, 3)
+            .service_rate(100.0)
+            .sla_latency(0.100)
+            .latency_rows(vec![vec![0.010, 0.020, 0.035], vec![0.030, 0.015, 0.012]])
+            .price_trace(0, prices[0].clone())
+            .price_trace(1, prices[1].clone())
+            .build()?;
+        Ok(Box::new(MpcController::new(
+            problem,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                ..MpcSettings::default()
+            },
+        )?) as Box<dyn PlacementController>)
+    };
+    let report = match run_soak(&spec, make_controller, &telemetry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("soak drill failed: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    let t = &report.totals;
+    println!(
+        "soak drill: {} periods ({DAYS} simulated days), {} generated, {} admitted, \
+         {} deferred, {} dropped, {:.0} req/s routed",
+        report.periods,
+        t.generated,
+        t.admitted,
+        t.deferred,
+        t.dropped,
+        t.req_per_sec()
+    );
+    println!(
+        "soak.resume={} (checkpoint {} bytes at period {})",
+        if report.resume_bit_exact {
+            "bit-exact"
+        } else {
+            "MISMATCH"
+        },
+        report.checkpoint_bytes,
+        spec.checkpoint_after
+    );
+    if !report.resume_bit_exact {
+        eprintln!("soak drill: restored run diverged from the primary run");
+        ok = false;
+    }
+    if t.deferred + t.dropped == 0 {
+        eprintln!("soak drill: flash crowds never engaged backpressure — budget too loose");
+        ok = false;
+    }
+    println!(
+        "slo.firing={} slo.resolved={}",
+        report.slo_firing, report.slo_resolved
+    );
+    if report.slo_firing == 0 || report.slo_resolved == 0 {
+        eprintln!("soak drill: ingest_backpressure must fire under the crowds and resolve after");
+        ok = false;
+    }
+    if let Some(path) = &args.slo_out {
+        match std::fs::write(path, &report.timeline_csv) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
 /// The default mode: every figure job on the pool.
 fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
     type JobFn = Box<dyn Fn(&Recorder) -> ExpResult<Figure> + Send>;
@@ -466,6 +608,10 @@ fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
         ("fig9", Box::new(dspp_experiments::fig9::run_with)),
         ("fig10", Box::new(dspp_experiments::fig10::run_with)),
         ("extras", Box::new(dspp_experiments::extras::run_with)),
+        (
+            "ingest",
+            Box::new(move |t: &Recorder| dspp_experiments::streaming::run_with_jobs(t, sweep_jobs)),
+        ),
         (
             "policy_tournament",
             Box::new(move |t: &Recorder| {
@@ -541,7 +687,9 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    let mut ok = if args.fault_drill && args.infeasible {
+    let mut ok = if args.fault_drill && args.soak {
+        soak_drill(&args, &tracer)
+    } else if args.fault_drill && args.infeasible {
         infeasible_drill(&args, &tracer)
     } else if args.fault_drill {
         fault_drill(&args, &tracer)

@@ -43,6 +43,11 @@ pub struct TraceArgs {
     /// recovery (soft-constraint) solve, not the last-known-good
     /// fallback (`--infeasible`).
     pub infeasible: bool,
+    /// With `--fault-drill`, run the streaming soak drill instead: a
+    /// 30-simulated-day ingest run under flash crowds and price shocks
+    /// with a mid-stream checkpoint/restore that must resume bit-exactly
+    /// (`--soak`; honored by `all`, ignored by figure binaries).
+    pub soak: bool,
     /// Serve the run's live metrics over HTTP on this address while the
     /// experiment executes (`--metrics-addr <host:port>`; port 0 picks a
     /// free port and prints it).
@@ -95,13 +100,14 @@ impl TraceArgs {
                 }
                 "--fault-drill" => out.fault_drill = true,
                 "--infeasible" => out.infeasible = true,
+                "--soak" => out.soak = true,
                 "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")?),
                 "--slo-out" => out.slo_out = Some(PathBuf::from(value("--slo-out")?)),
                 other => {
                     return Err(format!(
                         "unknown argument {other:?}; usage: [--trace-out <path>] \
                          [--events-out <path>] [--jobs <N>] [--fault-drill] [--infeasible] \
-                         [--metrics-addr <host:port>] [--slo-out <path>]"
+                         [--soak] [--metrics-addr <host:port>] [--slo-out <path>]"
                     ))
                 }
             }
@@ -236,6 +242,8 @@ mod tests {
         assert_eq!(b.jobs, Some(2));
         let c = TraceArgs::parse_from(strings(&["--fault-drill", "--infeasible"])).unwrap();
         assert!(c.fault_drill && c.infeasible);
+        let d = TraceArgs::parse_from(strings(&["--fault-drill", "--soak"])).unwrap();
+        assert!(d.fault_drill && d.soak && !d.infeasible);
     }
 
     #[test]

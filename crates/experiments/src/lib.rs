@@ -27,6 +27,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scenario;
+pub mod streaming;
 pub mod tournament;
 
 use std::error::Error;

@@ -1,0 +1,130 @@
+//! Bounded admission with explicit, conserved backpressure accounting.
+//!
+//! Each city gets a per-period admission budget. Surplus requests are
+//! not silently lost: up to `max_carry_per_city` of them defer into the
+//! next period (carried-over mass is admitted first, FIFO), and only
+//! overflow beyond the carry bound is dropped — and counted. The
+//! admission decision is computed per city by the one shard that owns
+//! the city, so it is sequential, exact, and independent of the shard
+//! layout; the counters it produces back the `ingest_backpressure` SLO.
+
+/// Per-city, per-period admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackpressureBudget {
+    /// Requests admitted per city per period at most.
+    pub max_admitted_per_city: u64,
+    /// Deferred-request backlog bound per city; surplus beyond it drops.
+    pub max_carry_per_city: u64,
+}
+
+impl BackpressureBudget {
+    /// A budget that never defers or drops.
+    pub fn unlimited() -> Self {
+        BackpressureBudget {
+            max_admitted_per_city: u64::MAX,
+            max_carry_per_city: 0,
+        }
+    }
+
+    /// A bounded budget.
+    pub fn new(max_admitted_per_city: u64, max_carry_per_city: u64) -> Self {
+        BackpressureBudget {
+            max_admitted_per_city,
+            max_carry_per_city,
+        }
+    }
+}
+
+impl Default for BackpressureBudget {
+    fn default() -> Self {
+        BackpressureBudget::unlimited()
+    }
+}
+
+/// What one city's admission pass decided for one period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Admission {
+    /// Carried-over requests admitted (served before fresh traffic).
+    pub admitted_carried: u64,
+    /// Fresh requests admitted, in arrival order.
+    pub admitted_fresh: u64,
+    /// Requests deferred into the next period (the new carry).
+    pub carry_out: u64,
+    /// Requests dropped because the carry bound was full.
+    pub dropped: u64,
+}
+
+impl Admission {
+    /// Total requests admitted this period.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_carried + self.admitted_fresh
+    }
+}
+
+/// Decides one city's period: `carry_in` deferred requests plus `fresh`
+/// newly generated ones against `budget`. Conservation is exact:
+/// `carry_in + fresh == admitted_carried + admitted_fresh + carry_out +
+/// dropped`.
+pub fn admit(budget: BackpressureBudget, carry_in: u64, fresh: u64) -> Admission {
+    let capacity = budget.max_admitted_per_city;
+    let admitted_carried = carry_in.min(capacity);
+    let admitted_fresh = fresh.min(capacity - admitted_carried);
+    let leftover = (carry_in - admitted_carried) + (fresh - admitted_fresh);
+    let carry_out = leftover.min(budget.max_carry_per_city);
+    Admission {
+        admitted_carried,
+        admitted_fresh,
+        carry_out,
+        dropped: leftover - carry_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_admits_everything() {
+        let a = admit(BackpressureBudget::unlimited(), 0, 1_000_000);
+        assert_eq!(a.admitted_fresh, 1_000_000);
+        assert_eq!(a.carry_out + a.dropped, 0);
+    }
+
+    #[test]
+    fn carried_mass_is_served_before_fresh_traffic() {
+        let a = admit(BackpressureBudget::new(100, 50), 80, 70);
+        assert_eq!(a.admitted_carried, 80);
+        assert_eq!(a.admitted_fresh, 20);
+        assert_eq!(a.carry_out, 50);
+        assert_eq!(a.dropped, 0);
+    }
+
+    #[test]
+    fn overflow_beyond_the_carry_bound_drops() {
+        let a = admit(BackpressureBudget::new(10, 5), 0, 100);
+        assert_eq!(a.admitted_fresh, 10);
+        assert_eq!(a.carry_out, 5);
+        assert_eq!(a.dropped, 85);
+    }
+
+    #[test]
+    fn conservation_holds_exhaustively_on_a_grid() {
+        for budget in [0u64, 1, 7, 100] {
+            for carry_bound in [0u64, 3, 50] {
+                let b = BackpressureBudget::new(budget, carry_bound);
+                for carry_in in [0u64, 1, 5, 120] {
+                    for fresh in [0u64, 1, 9, 250] {
+                        let a = admit(b, carry_in, fresh);
+                        assert_eq!(
+                            carry_in + fresh,
+                            a.admitted() + a.carry_out + a.dropped,
+                            "mass lost for {b:?} carry_in={carry_in} fresh={fresh}"
+                        );
+                        assert!(a.admitted() <= budget);
+                        assert!(a.carry_out <= carry_bound);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Lock-free per-period demand buckets and their sealed form.
+//!
+//! All shard threads of one control period write into a shared
+//! [`PeriodBucket`] through relaxed `fetch_add`s on plain `AtomicU64`
+//! counters — no locks, no CAS loops on the hot path. Because every
+//! event contributes integer increments and integer addition is
+//! commutative, the sealed totals are exactly the same for any thread
+//! interleaving and any shard count; converting counts to rates happens
+//! once, at seal time, with the identical floating-point expression on
+//! every path. That is the whole determinism argument for the
+//! `--jobs 1` vs `--jobs 4` byte-identical matrix requirement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The in-flight demand accumulator for one control period.
+#[derive(Debug)]
+pub struct PeriodBucket {
+    period: usize,
+    /// Admitted requests per city (demand mass, routable or not).
+    city_counts: Vec<AtomicU64>,
+    /// Routed requests per problem arc.
+    arc_counts: Vec<AtomicU64>,
+    /// Payload KiB per request class.
+    class_kib: [AtomicU64; 3],
+    /// Admitted requests whose city had no routable weight.
+    unroutable: AtomicU64,
+    /// Carried-over requests admitted into this period.
+    carried_in: AtomicU64,
+    /// Requests pushed to the next period's carry at this period's close.
+    deferred: AtomicU64,
+    /// Requests dropped after the carry bound filled.
+    dropped: AtomicU64,
+}
+
+impl PeriodBucket {
+    /// An empty bucket for `period` over `cities` × `arcs`.
+    pub fn new(period: usize, cities: usize, arcs: usize) -> Self {
+        PeriodBucket {
+            period,
+            city_counts: (0..cities).map(|_| AtomicU64::new(0)).collect(),
+            arc_counts: (0..arcs).map(|_| AtomicU64::new(0)).collect(),
+            class_kib: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            unroutable: AtomicU64::new(0),
+            carried_in: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one admitted request from `city`, routed to `arc` (or
+    /// unroutable when `None`). The only per-event shared-memory work.
+    #[inline]
+    pub fn record(&self, city: usize, arc: Option<usize>, class_index: usize, size_kib: u32) {
+        self.city_counts[city].fetch_add(1, Ordering::Relaxed);
+        self.class_kib[class_index].fetch_add(size_kib as u64, Ordering::Relaxed);
+        match arc {
+            Some(e) => {
+                self.arc_counts[e].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Folds one shard's per-period backpressure accounting in (called
+    /// once per city per period, not per event).
+    pub fn record_backpressure(&self, carried_in: u64, deferred: u64, dropped: u64) {
+        self.carried_in.fetch_add(carried_in, Ordering::Relaxed);
+        self.deferred.fetch_add(deferred, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Freezes the bucket into plain data. Callers must have joined all
+    /// writer threads first (the period-close barrier).
+    pub fn seal(&self) -> SealedPeriod {
+        SealedPeriod {
+            period: self.period,
+            city_counts: self
+                .city_counts
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect(),
+            arc_counts: self
+                .arc_counts
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect(),
+            class_kib: [
+                self.class_kib[0].load(Ordering::Acquire),
+                self.class_kib[1].load(Ordering::Acquire),
+                self.class_kib[2].load(Ordering::Acquire),
+            ],
+            unroutable: self.unroutable.load(Ordering::Acquire),
+            carried_in: self.carried_in.load(Ordering::Acquire),
+            deferred: self.deferred.load(Ordering::Acquire),
+            dropped: self.dropped.load(Ordering::Acquire),
+        }
+    }
+
+    /// Zeroes every counter and retargets the bucket at `period`, so
+    /// steady-state loops (and benches) reuse the allocation.
+    pub fn reset(&mut self, period: usize) {
+        self.period = period;
+        for c in &self.city_counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.arc_counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.class_kib {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.unroutable.store(0, Ordering::Relaxed);
+        self.carried_in.store(0, Ordering::Relaxed);
+        self.deferred.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// The period this bucket accumulates.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+/// One period's demand, frozen at the period-close barrier. This is the
+/// event-stream analogue of one column of the demand matrix the MPC
+/// consumes; [`SealedPeriod::rates`] converts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedPeriod {
+    /// Period index.
+    pub period: usize,
+    /// Admitted requests per city.
+    pub city_counts: Vec<u64>,
+    /// Routed requests per arc.
+    pub arc_counts: Vec<u64>,
+    /// Payload KiB per request class (interactive/standard/batch).
+    pub class_kib: [u64; 3],
+    /// Admitted requests with no routable arc.
+    pub unroutable: u64,
+    /// Requests carried in from the previous period's deferral.
+    pub carried_in: u64,
+    /// Requests deferred into the next period at close.
+    pub deferred: u64,
+    /// Requests dropped at close (carry bound exceeded).
+    pub dropped: u64,
+}
+
+impl SealedPeriod {
+    /// Total admitted requests this period.
+    pub fn total_events(&self) -> u64 {
+        self.city_counts.iter().sum()
+    }
+
+    /// The per-city demand vector in requests/second — exactly the shape
+    /// [`dspp_core::MpcController`] observes for one period.
+    pub fn rates(&self, period_seconds: f64) -> Vec<f64> {
+        self.city_counts
+            .iter()
+            .map(|&c| c as f64 / period_seconds)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let bucket = Arc::new(PeriodBucket::new(3, 4, 8));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let bucket = Arc::clone(&bucket);
+                s.spawn(move || {
+                    for i in 0..10_000usize {
+                        bucket.record(t, Some((t + i) % 8), i % 3, 2);
+                    }
+                    bucket.record_backpressure(5, 7, 1);
+                });
+            }
+        });
+        let sealed = bucket.seal();
+        assert_eq!(sealed.period, 3);
+        assert_eq!(sealed.total_events(), 40_000);
+        assert_eq!(sealed.city_counts, vec![10_000; 4]);
+        assert_eq!(sealed.arc_counts.iter().sum::<u64>(), 40_000);
+        assert_eq!(sealed.class_kib.iter().sum::<u64>(), 80_000);
+        assert_eq!(sealed.carried_in, 20);
+        assert_eq!(sealed.deferred, 28);
+        assert_eq!(sealed.dropped, 4);
+    }
+
+    #[test]
+    fn rates_divide_by_period_length_and_reset_clears() {
+        let mut bucket = PeriodBucket::new(0, 2, 2);
+        for _ in 0..7200 {
+            bucket.record(0, Some(0), 1, 1);
+        }
+        bucket.record(1, None, 0, 1);
+        let sealed = bucket.seal();
+        assert_eq!(sealed.rates(3600.0), vec![2.0, 1.0 / 3600.0]);
+        assert_eq!(sealed.unroutable, 1);
+        bucket.reset(9);
+        let empty = bucket.seal();
+        assert_eq!(empty.period, 9);
+        assert_eq!(empty.total_events(), 0);
+        assert_eq!(empty.unroutable, 0);
+    }
+}

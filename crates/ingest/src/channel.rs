@@ -1,0 +1,195 @@
+//! A bounded MPMC channel with explicit fullness accounting.
+//!
+//! std-only (mutex + condvars), because the workspace builds offline.
+//! Shard threads push their per-period summaries through one of these to
+//! the sealing side; a full channel makes the producer *wait* — bounded
+//! memory, never unbounded queueing — and every blocked send is counted
+//! so the `ingest.channel_blocked` counter makes queuing pressure
+//! visible instead of silent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`Bounded::try_send`] did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The channel was at capacity.
+    Full,
+    /// The channel was closed.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// The channel. Cheap to share by reference across scoped threads.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    sent: AtomicU64,
+    received: AtomicU64,
+    blocked_sends: AtomicU64,
+}
+
+impl<T> Bounded<T> {
+    /// A channel holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            blocked_sends: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues without blocking; fails on a full or closed channel.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] or [`SendError::Closed`], returning `item`.
+    pub fn try_send(&self, item: T) -> Result<(), (SendError, T)> {
+        let mut state = self.state.lock().expect("channel poisoned");
+        if state.closed {
+            return Err((SendError::Closed, item));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err((SendError::Full, item));
+        }
+        state.queue.push_back(item);
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, waiting while the channel is full (each wait counts one
+    /// blocked send). Returns `false` when the channel closed instead.
+    pub fn send(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("channel poisoned");
+        while !state.closed && state.queue.len() >= self.capacity {
+            self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+            state = self.not_full.wait(state).expect("channel poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(item);
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues, waiting while the channel is empty. `None` once the
+    /// channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Closes the channel; senders fail, receivers drain what remains.
+    pub fn close(&self) {
+        self.state.lock().expect("channel poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// `(sent, received, blocked_sends)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.received.load(Ordering::Relaxed),
+            self.blocked_sends.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_send_reports_fullness_without_losing_the_item() {
+        let ch = Bounded::new(2);
+        assert!(ch.try_send(1).is_ok());
+        assert!(ch.try_send(2).is_ok());
+        let (err, item) = ch.try_send(3).unwrap_err();
+        assert_eq!(err, SendError::Full);
+        assert_eq!(item, 3);
+        assert_eq!(ch.recv(), Some(1));
+        assert!(ch.try_send(3).is_ok());
+        ch.close();
+        assert_eq!(ch.try_send(4).unwrap_err().0, SendError::Closed);
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), Some(3));
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn producers_block_on_a_full_channel_and_the_blocks_are_counted() {
+        let ch = Bounded::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    assert!(ch.send(i));
+                }
+                ch.close();
+            });
+            let mut got = Vec::new();
+            while let Some(v) = ch.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+        let (sent, received, _) = ch.stats();
+        assert_eq!(sent, 100);
+        assert_eq!(received, 100);
+    }
+
+    #[test]
+    fn many_producers_one_consumer_conserves_items() {
+        let ch = Bounded::new(4);
+        let total = std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ch = &ch;
+                s.spawn(move || {
+                    for i in 0..250 {
+                        assert!(ch.send(t * 1000 + i));
+                    }
+                });
+            }
+            let ch = &ch;
+            let counter = s.spawn(move || {
+                let mut n = 0u64;
+                for _ in 0..1000 {
+                    assert!(ch.recv().is_some());
+                    n += 1;
+                }
+                n
+            });
+            counter.join().unwrap()
+        });
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,497 @@
+//! Checkpoint/restore for [`IngestLoop`], JSON like the sim checkpoints.
+//!
+//! A checkpoint freezes the loop between two control periods: the
+//! deferred-request carry backlog (the in-flight bucket state — sealed
+//! buckets are history, the carry is the only live mass), the sealed
+//! period ledger, run totals, and the controller's internal state.
+//! Because event streams are seeded per `(city, period)`, a restored
+//! loop replays the remaining periods bit-exactly — the soak drill
+//! asserts the sealed matrices of an interrupted-and-resumed run equal
+//! the uninterrupted ones byte for byte.
+
+use std::fmt::Write as _;
+
+use dspp_core::{ControllerCheckpoint, RoutingPolicy};
+use dspp_telemetry::json::{self, JsonValue};
+
+use crate::bucket::SealedPeriod;
+use crate::pipeline::{IngestError, IngestLoop, IngestTotals};
+use crate::snapshot::RouterSnapshot;
+
+/// Schema version of the ingest checkpoint document.
+pub const INGEST_CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// A frozen mid-stream ingest run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestCheckpoint {
+    /// Schema version ([`INGEST_CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Name of the controller driving the loop (checked on restore).
+    pub controller: String,
+    /// Root seed (checked on restore — a different seed is a different
+    /// stream, not a resume).
+    pub seed: u64,
+    /// Next period index to execute.
+    pub cursor: usize,
+    /// Deferred-request backlog per city.
+    pub carry: Vec<u64>,
+    /// Run totals at the freeze point.
+    pub totals: IngestTotals,
+    /// Sealed periods executed before the freeze.
+    pub sealed: Vec<SealedPeriod>,
+    /// The controller's internal state.
+    pub controller_state: ControllerCheckpoint,
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn push_f64_matrix(out: &mut String, rows: &[Vec<f64>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64_array(out, row);
+    }
+    out.push(']');
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn get<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn get_f64(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    parse_f64(get(obj, key)?).map_err(|e| format!("field {key:?}: {e}"))
+}
+
+fn parse_f64(v: &JsonValue) -> Result<f64, String> {
+    match v {
+        JsonValue::Number(n) => Ok(*n),
+        JsonValue::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("expected a number, got string {other:?}")),
+        },
+        other => Err(format!("expected a number, got {other:?}")),
+    }
+}
+
+fn parse_u64_array(v: &JsonValue) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or("expected an array of integers")?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| "expected an integer".to_string()))
+        .collect()
+}
+
+fn parse_f64_array(v: &JsonValue) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or("expected an array of numbers")?
+        .iter()
+        .map(parse_f64)
+        .collect()
+}
+
+fn parse_f64_matrix(v: &JsonValue) -> Result<Vec<Vec<f64>>, String> {
+    v.as_array()
+        .ok_or("expected an array of arrays")?
+        .iter()
+        .map(parse_f64_array)
+        .collect()
+}
+
+impl IngestCheckpoint {
+    /// Serializes the checkpoint as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},\"controller\":{},\"seed\":{},\"cursor\":{},\"carry\":",
+            self.schema_version,
+            json_string(&self.controller),
+            self.seed,
+            self.cursor
+        );
+        push_u64_array(&mut out, &self.carry);
+        let t = &self.totals;
+        let _ = write!(
+            out,
+            ",\"totals\":{{\"generated\":{},\"admitted\":{},\"unroutable\":{},\"deferred\":{},\
+             \"dropped\":{},\"fallback_periods\":{},\"recovery_periods\":{},\"step_cost\":",
+            t.generated,
+            t.admitted,
+            t.unroutable,
+            t.deferred,
+            t.dropped,
+            t.fallback_periods,
+            t.recovery_periods
+        );
+        push_f64(&mut out, t.step_cost);
+        out.push_str(",\"route_wall_seconds\":");
+        push_f64(&mut out, t.route_wall_seconds);
+        out.push_str("},\"sealed\":[");
+        for (i, s) in self.sealed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"period\":{},\"city_counts\":", s.period);
+            push_u64_array(&mut out, &s.city_counts);
+            out.push_str(",\"arc_counts\":");
+            push_u64_array(&mut out, &s.arc_counts);
+            out.push_str(",\"class_kib\":");
+            push_u64_array(&mut out, &s.class_kib);
+            let _ = write!(
+                out,
+                ",\"unroutable\":{},\"carried_in\":{},\"deferred\":{},\"dropped\":{}}}",
+                s.unroutable, s.carried_in, s.deferred, s.dropped
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"controller_state\":{{\"period\":{},\"allocation\":",
+            self.controller_state.period
+        );
+        push_f64_array(&mut out, &self.controller_state.allocation);
+        out.push_str(",\"history\":");
+        push_f64_matrix(&mut out, &self.controller_state.history);
+        out.push_str(",\"warm_us\":");
+        match &self.controller_state.warm_us {
+            None => out.push_str("null"),
+            Some(us) => push_f64_matrix(&mut out, us),
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a checkpoint written by [`IngestCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong schema version, or a
+    /// missing/mistyped field.
+    pub fn from_json(input: &str) -> Result<IngestCheckpoint, String> {
+        let root = json::parse(input).map_err(|e| format!("ingest checkpoint JSON: {e}"))?;
+        let version = get_u64(&root, "schema_version")?;
+        if version != INGEST_CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported ingest checkpoint schema_version {version} \
+                 (expected {INGEST_CHECKPOINT_SCHEMA_VERSION})"
+            ));
+        }
+        let controller = get(&root, "controller")?
+            .as_str()
+            .ok_or("controller must be a string")?
+            .to_string();
+        let totals_v = get(&root, "totals")?;
+        let totals = IngestTotals {
+            generated: get_u64(totals_v, "generated")?,
+            admitted: get_u64(totals_v, "admitted")?,
+            unroutable: get_u64(totals_v, "unroutable")?,
+            deferred: get_u64(totals_v, "deferred")?,
+            dropped: get_u64(totals_v, "dropped")?,
+            fallback_periods: get_u64(totals_v, "fallback_periods")?,
+            recovery_periods: get_u64(totals_v, "recovery_periods")?,
+            step_cost: get_f64(totals_v, "step_cost")?,
+            route_wall_seconds: get_f64(totals_v, "route_wall_seconds")?,
+        };
+        let mut sealed = Vec::new();
+        for (i, s) in get(&root, "sealed")?
+            .as_array()
+            .ok_or("sealed must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let period = (|| -> Result<SealedPeriod, String> {
+                let class = parse_u64_array(get(s, "class_kib")?)?;
+                if class.len() != 3 {
+                    return Err("class_kib must have 3 entries".into());
+                }
+                Ok(SealedPeriod {
+                    period: get_u64(s, "period")? as usize,
+                    city_counts: parse_u64_array(get(s, "city_counts")?)?,
+                    arc_counts: parse_u64_array(get(s, "arc_counts")?)?,
+                    class_kib: [class[0], class[1], class[2]],
+                    unroutable: get_u64(s, "unroutable")?,
+                    carried_in: get_u64(s, "carried_in")?,
+                    deferred: get_u64(s, "deferred")?,
+                    dropped: get_u64(s, "dropped")?,
+                })
+            })()
+            .map_err(|e| format!("sealed[{i}]: {e}"))?;
+            sealed.push(period);
+        }
+        let cs = get(&root, "controller_state")?;
+        let warm = get(cs, "warm_us")?;
+        let controller_state = ControllerCheckpoint {
+            period: get_u64(cs, "period")? as usize,
+            allocation: parse_f64_array(get(cs, "allocation")?)
+                .map_err(|e| format!("controller_state.allocation: {e}"))?,
+            history: parse_f64_matrix(get(cs, "history")?)
+                .map_err(|e| format!("controller_state.history: {e}"))?,
+            warm_us: match warm {
+                JsonValue::Null => None,
+                other => Some(
+                    parse_f64_matrix(other)
+                        .map_err(|e| format!("controller_state.warm_us: {e}"))?,
+                ),
+            },
+        };
+        Ok(IngestCheckpoint {
+            schema_version: version,
+            controller,
+            seed: get_u64(&root, "seed")?,
+            cursor: get_u64(&root, "cursor")? as usize,
+            carry: parse_u64_array(get(&root, "carry")?).map_err(|e| format!("carry: {e}"))?,
+            totals,
+            sealed,
+            controller_state,
+        })
+    }
+}
+
+impl IngestLoop {
+    /// Freezes the loop between two periods.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Invalid`] when the controller does not support
+    /// checkpointing.
+    pub fn checkpoint(&self) -> Result<IngestCheckpoint, IngestError> {
+        let controller_state = self.controller().checkpoint().ok_or_else(|| {
+            IngestError::Invalid(format!(
+                "controller {:?} does not support checkpointing",
+                self.controller().name()
+            ))
+        })?;
+        Ok(IngestCheckpoint {
+            schema_version: INGEST_CHECKPOINT_SCHEMA_VERSION,
+            controller: self.controller().name().to_string(),
+            seed: self.config().seed,
+            cursor: self.cursor(),
+            carry: self.carry_backlog().to_vec(),
+            totals: *self.totals(),
+            sealed: self.sealed().to_vec(),
+            controller_state,
+        })
+    }
+
+    /// Restores a checkpoint into this freshly built loop (same
+    /// construction parameters), republishing the placement snapshot the
+    /// interrupted run had live so routing resumes identically.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Invalid`] on controller-name/seed/shape mismatches,
+    /// [`IngestError::Core`] when the controller rejects the state.
+    pub fn restore(&mut self, checkpoint: &IngestCheckpoint) -> Result<(), IngestError> {
+        if checkpoint.schema_version != INGEST_CHECKPOINT_SCHEMA_VERSION {
+            return Err(IngestError::Invalid(format!(
+                "unsupported schema_version {}",
+                checkpoint.schema_version
+            )));
+        }
+        if checkpoint.controller != self.controller().name() {
+            return Err(IngestError::Invalid(format!(
+                "checkpoint is for controller {:?}, this loop runs {:?}",
+                checkpoint.controller,
+                self.controller().name()
+            )));
+        }
+        if checkpoint.seed != self.config().seed {
+            return Err(IngestError::Invalid(format!(
+                "checkpoint seed {} does not match loop seed {}",
+                checkpoint.seed,
+                self.config().seed
+            )));
+        }
+        let cities = self.controller().problem().num_locations();
+        if checkpoint.carry.len() != cities {
+            return Err(IngestError::Invalid(format!(
+                "checkpoint carries {} cities, problem has {cities}",
+                checkpoint.carry.len()
+            )));
+        }
+        if checkpoint.cursor > self.periods() || checkpoint.sealed.len() != checkpoint.cursor {
+            return Err(IngestError::Invalid(format!(
+                "inconsistent cursor {} for {} sealed periods over a {}-period plan",
+                checkpoint.cursor,
+                checkpoint.sealed.len(),
+                self.periods()
+            )));
+        }
+        self.controller_mut()
+            .restore(&checkpoint.controller_state)?;
+        self.set_state(
+            checkpoint.cursor,
+            checkpoint.carry.clone(),
+            checkpoint.sealed.clone(),
+            checkpoint.totals,
+        );
+        if checkpoint.cursor > 0 {
+            // Re-derive the live placement snapshot from the restored
+            // allocation — identical to what the interrupted run had
+            // published after its last step.
+            let policy = RoutingPolicy::from_allocation(
+                self.controller().problem(),
+                self.controller().allocation(),
+            );
+            let snapshot = RouterSnapshot::compile(
+                self.controller().problem(),
+                &policy,
+                (checkpoint.cursor + 1) as u64,
+            );
+            self.publish_snapshot(snapshot);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backpressure::BackpressureBudget;
+    use crate::pipeline::IngestConfig;
+    use dspp_core::{DsppBuilder, MpcController, MpcSettings};
+    use dspp_predict::LastValue;
+
+    fn build_loop(seed: u64) -> IngestLoop {
+        let periods = 8usize;
+        let p = DsppBuilder::new(2, 2)
+            .service_rate(100.0)
+            .sla_latency(0.100)
+            .latency_rows(vec![vec![0.010, 0.015], vec![0.020, 0.012]])
+            .price_rows(vec![vec![1.0; periods + 3], vec![1.2; periods + 3]])
+            .build()
+            .unwrap();
+        let c = MpcController::new(
+            p,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 3,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        let rates = vec![vec![300.0; periods], vec![150.0; periods]];
+        IngestLoop::new(
+            Box::new(c),
+            rates,
+            IngestConfig::new(seed)
+                .with_period_seconds(30)
+                .with_jobs(2)
+                .with_budget(BackpressureBudget::new(8_000, 2_000)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut l = build_loop(21);
+        for _ in 0..3 {
+            l.step().unwrap();
+        }
+        let ck = l.checkpoint().unwrap();
+        let back = IngestCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        let mut full = build_loop(5);
+        let mut interrupted = build_loop(5);
+        for _ in 0..4 {
+            interrupted.step().unwrap();
+        }
+        let ck = IngestCheckpoint::from_json(&interrupted.checkpoint().unwrap().to_json()).unwrap();
+        drop(interrupted);
+
+        let mut resumed = build_loop(5);
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.cursor(), 4);
+        full.run_to_end().unwrap();
+        resumed.run_to_end().unwrap();
+        assert_eq!(full.sealed(), resumed.sealed(), "sealed ledgers diverged");
+        assert_eq!(full.sealed_matrix_csv(), resumed.sealed_matrix_csv());
+        let (a, b) = (full.totals(), resumed.totals());
+        assert_eq!(
+            (a.generated, a.admitted, a.deferred, a.dropped),
+            (b.generated, b.admitted, b.deferred, b.dropped)
+        );
+        assert_eq!(a.step_cost.to_bits(), b.step_cost.to_bits());
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let mut l = build_loop(1);
+        l.step().unwrap();
+        let mut ck = l.checkpoint().unwrap();
+        ck.seed = 2;
+        let mut fresh = build_loop(1);
+        assert!(matches!(fresh.restore(&ck), Err(IngestError::Invalid(_))));
+        let mut ck2 = l.checkpoint().unwrap();
+        ck2.carry.push(0);
+        assert!(matches!(fresh.restore(&ck2), Err(IngestError::Invalid(_))));
+        let mut ck3 = l.checkpoint().unwrap();
+        ck3.controller = "somebody-else".into();
+        assert!(matches!(fresh.restore(&ck3), Err(IngestError::Invalid(_))));
+    }
+}

@@ -1,0 +1,99 @@
+//! Request events and their deterministic attribute model.
+
+/// Coarse request classes, mirroring the three traffic tiers the
+/// evaluation workloads mix (interactive page views, standard API calls,
+/// batch uploads). The class drives the payload-size draw and is carried
+/// on every event so downstream aggregation can split byte totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Latency-sensitive, small payload.
+    Interactive,
+    /// Ordinary API traffic.
+    Standard,
+    /// Bulk transfer, large payload.
+    Batch,
+}
+
+impl RequestClass {
+    /// All classes, in stable draw order.
+    pub const ALL: [RequestClass; 3] = [
+        RequestClass::Interactive,
+        RequestClass::Standard,
+        RequestClass::Batch,
+    ];
+
+    /// Maps a raw 2-bit draw onto a class (3 maps back to `Standard` so
+    /// the distribution is 1/4 interactive, 1/2 standard, 1/4 batch).
+    #[inline]
+    pub fn from_draw(bits: u64) -> RequestClass {
+        match bits & 0b11 {
+            0 => RequestClass::Interactive,
+            3 => RequestClass::Batch,
+            _ => RequestClass::Standard,
+        }
+    }
+
+    /// Payload size in KiB for this class given a raw 8-bit draw:
+    /// interactive 1–16, standard 4–64, batch 64–1024.
+    #[inline]
+    pub fn size_kib(self, bits: u64) -> u32 {
+        let b = (bits & 0xff) as u32;
+        match self {
+            RequestClass::Interactive => 1 + b % 16,
+            RequestClass::Standard => 4 + b % 61,
+            RequestClass::Batch => 64 + (b % 241) * 4,
+        }
+    }
+
+    /// Stable index (0/1/2) for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RequestClass::Interactive => 0,
+            RequestClass::Standard => 1,
+            RequestClass::Batch => 2,
+        }
+    }
+}
+
+/// One timestamped request: the unit the ingest front end routes and
+/// aggregates at millions per control period. 16 bytes, `Copy`, so event
+/// batches stay cache-dense on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Arrival offset within its control period, in microseconds.
+    pub time_us: u64,
+    /// Client location (city) index.
+    pub city: u32,
+    /// Traffic class.
+    pub class: RequestClass,
+    /// Payload size in KiB.
+    pub size_kib: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_draws_cover_all_variants_and_sizes_stay_in_band() {
+        let mut seen = [false; 3];
+        for bits in 0..4u64 {
+            seen[RequestClass::from_draw(bits).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for bits in 0..256u64 {
+            let i = RequestClass::Interactive.size_kib(bits);
+            let s = RequestClass::Standard.size_kib(bits);
+            let b = RequestClass::Batch.size_kib(bits);
+            assert!((1..=16).contains(&i));
+            assert!((4..=64).contains(&s));
+            assert!((64..=1024).contains(&b));
+        }
+    }
+
+    #[test]
+    fn event_is_compact() {
+        assert!(std::mem::size_of::<Event>() <= 24);
+    }
+}

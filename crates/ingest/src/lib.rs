@@ -1,0 +1,50 @@
+//! Request-level streaming front end for the DSPP control loop.
+//!
+//! The paper's controller consumes precomputed per-period demand
+//! matrices; a production placement system sees individual requests.
+//! This crate closes that gap:
+//!
+//! * [`generator`] — deterministic per-`(city, period)` request streams
+//!   built on the DES arrival machinery ([`dspp_sim::ArrivalProcess`]),
+//!   millions of timestamped `(city, class, size)` events per control
+//!   period;
+//! * [`snapshot`] — the read-mostly placement snapshot swap: the
+//!   controller publishes each placement as an immutable compiled eq. 13
+//!   routing table, per-request reads are wait-free;
+//! * [`bucket`] — sharded aggregation into lock-free per-period demand
+//!   buckets (relaxed atomic counters, no locks on the hot path) sealed
+//!   at a period-close barrier into exactly the demand-matrix shape
+//!   `ClosedLoopSim`/`MpcController` consume;
+//! * [`backpressure`] + [`channel`] — bounded admission with conserved
+//!   deferred/dropped accounting (backing the `ingest_backpressure`
+//!   SLO) and a bounded std-only MPMC channel for shard summaries;
+//! * [`pipeline`] — [`IngestLoop`], the end-to-end closed loop
+//!   (events → buckets → sealed matrix → MPC step → new snapshot), with
+//!   schema-versioned JSON [`checkpoint`]s and bit-exact resume.
+//!
+//! Determinism is by construction: event streams are pure functions of
+//! `(seed, city, period)`, aggregation is commutative integer atomics,
+//! and count→rate conversion happens once at seal time — so sealed
+//! matrices are byte-identical at any shard count (`--jobs 1` vs
+//! `--jobs 4` is diffed in CI) and a checkpoint resumes bit-exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backpressure;
+pub mod bucket;
+pub mod channel;
+pub mod checkpoint;
+pub mod event;
+pub mod generator;
+pub mod pipeline;
+pub mod snapshot;
+
+pub use backpressure::{admit, Admission, BackpressureBudget};
+pub use bucket::{PeriodBucket, SealedPeriod};
+pub use channel::{Bounded, SendError};
+pub use checkpoint::{IngestCheckpoint, INGEST_CHECKPOINT_SCHEMA_VERSION};
+pub use event::{Event, RequestClass};
+pub use generator::{generate_city_period, stream_seed};
+pub use pipeline::{IngestConfig, IngestError, IngestLoop, IngestTotals};
+pub use snapshot::{RouterSnapshot, SnapshotReader, SnapshotSwap};

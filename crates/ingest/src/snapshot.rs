@@ -1,0 +1,260 @@
+//! Read-mostly placement snapshots with wait-free per-request reads.
+//!
+//! The controller publishes each new placement as an immutable
+//! [`RouterSnapshot`] (the eq. 13 split of [`dspp_core::RoutingPolicy`]
+//! compiled into flat cumulative sampling tables). Publication happens
+//! once per control period through [`SnapshotSwap::publish`]; request
+//! routing happens millions of times per period through a per-shard
+//! [`SnapshotReader`], whose hot path is one relaxed atomic load — the
+//! reader only touches the (mutexed) publication slot when the version
+//! counter says a newer snapshot exists, i.e. once per period per shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dspp_core::{Dspp, RoutingPolicy};
+
+/// An immutable, shareable compilation of one routing policy: per city, a
+/// cumulative-fraction table over its arcs, flattened into two arrays for
+/// cache-dense linear scans (cities have at most `num_dcs` arcs).
+#[derive(Debug)]
+pub struct RouterSnapshot {
+    version: u64,
+    /// `offsets[v]..offsets[v + 1]` indexes this city's entries.
+    offsets: Vec<u32>,
+    /// `(cumulative fraction, arc index)`; the last entry of every
+    /// covered city is forced to 1.0 so a draw can never fall off the end.
+    entries: Vec<(f64, u32)>,
+}
+
+impl RouterSnapshot {
+    /// Compiles `policy` (over `problem`) into snapshot `version`.
+    pub fn compile(problem: &Dspp, policy: &RoutingPolicy, version: u64) -> Self {
+        let cities = problem.num_locations();
+        let mut offsets = Vec::with_capacity(cities + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        for v in 0..cities {
+            let weights = policy.location_weights(v);
+            let mut cum = 0.0f64;
+            for (i, &(arc, w)) in weights.iter().enumerate() {
+                cum += w;
+                let threshold = if i + 1 == weights.len() { 1.0 } else { cum };
+                entries.push((threshold, arc as u32));
+            }
+            offsets.push(entries.len() as u32);
+        }
+        RouterSnapshot {
+            version,
+            offsets,
+            entries,
+        }
+    }
+
+    /// An empty snapshot covering `cities` locations with no arcs
+    /// (version 0) — the state before the first placement is published.
+    pub fn uncovered(cities: usize) -> Self {
+        RouterSnapshot {
+            version: 0,
+            offsets: vec![0; cities + 1],
+            entries: Vec::new(),
+        }
+    }
+
+    /// Routes one request from `city` given a uniform 64-bit draw.
+    /// Returns the chosen arc index, or `None` when the city has no
+    /// routable weight under this placement.
+    #[inline]
+    pub fn route(&self, city: usize, draw: u64) -> Option<usize> {
+        let lo = self.offsets[city] as usize;
+        let hi = self.offsets[city + 1] as usize;
+        if lo == hi {
+            return None;
+        }
+        // 2^-64 · draw ∈ [0, 1).
+        let u = draw as f64 * 5.421_010_862_427_522e-20;
+        for &(threshold, arc) in &self.entries[lo..hi] {
+            if u < threshold {
+                return Some(arc as usize);
+            }
+        }
+        Some(self.entries[hi - 1].1 as usize)
+    }
+
+    /// The publication version (0 for [`RouterSnapshot::uncovered`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of cities the snapshot covers.
+    pub fn num_cities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// The single-writer / many-reader swap cell. The writer (the control
+/// loop) publishes a fresh `Arc<RouterSnapshot>`; readers poll a version
+/// counter and re-fetch the `Arc` only when it moved.
+#[derive(Debug)]
+pub struct SnapshotSwap {
+    version: AtomicU64,
+    slot: Mutex<Arc<RouterSnapshot>>,
+}
+
+impl SnapshotSwap {
+    /// A swap cell holding `initial`.
+    pub fn new(initial: RouterSnapshot) -> Self {
+        SnapshotSwap {
+            version: AtomicU64::new(initial.version),
+            slot: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// Publishes a new snapshot. Its version must be strictly newer than
+    /// the current one so reader caches converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the version does not advance.
+    pub fn publish(&self, snapshot: RouterSnapshot) {
+        let mut slot = self.slot.lock().expect("snapshot slot poisoned");
+        assert!(
+            snapshot.version > slot.version,
+            "snapshot version must advance ({} -> {})",
+            slot.version,
+            snapshot.version
+        );
+        *slot = Arc::new(snapshot);
+        // Release pairs with the readers' acquire load: a reader that
+        // sees the new version will also see the new slot contents.
+        self.version.store(slot.version, Ordering::Release);
+    }
+
+    /// The currently published snapshot.
+    pub fn load(&self) -> Arc<RouterSnapshot> {
+        self.slot.lock().expect("snapshot slot poisoned").clone()
+    }
+
+    /// The currently published version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+/// A per-shard handle caching the latest snapshot locally. `current` is
+/// the per-request read: one atomic version load on the fast path, no
+/// locks, no reference-count traffic.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    swap: &'a SnapshotSwap,
+    cached: Arc<RouterSnapshot>,
+    cached_version: u64,
+    refreshes: u64,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// A reader over `swap`, pre-warmed with the current snapshot.
+    pub fn new(swap: &'a SnapshotSwap) -> Self {
+        let cached = swap.load();
+        let cached_version = cached.version;
+        SnapshotReader {
+            swap,
+            cached,
+            cached_version,
+            refreshes: 0,
+        }
+    }
+
+    /// The freshest snapshot, refreshing the local cache only when the
+    /// publication version moved.
+    #[inline]
+    pub fn current(&mut self) -> &RouterSnapshot {
+        let v = self.swap.version.load(Ordering::Acquire);
+        if v != self.cached_version {
+            self.cached = self.swap.load();
+            self.cached_version = self.cached.version;
+            self.refreshes += 1;
+        }
+        &self.cached
+    }
+
+    /// How many times this reader had to leave the fast path and re-fetch
+    /// the `Arc` (at most one per publication).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspp_core::{Allocation, DsppBuilder};
+
+    fn snapshot_3to1() -> (Dspp, RouterSnapshot) {
+        let p = DsppBuilder::new(2, 1)
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .unwrap();
+        let mut x = Allocation::zeros(&p);
+        x.set(&p, 0, 0, 3.0);
+        x.set(&p, 1, 0, 1.0);
+        let policy = RoutingPolicy::from_allocation(&p, &x);
+        let snap = RouterSnapshot::compile(&p, &policy, 1);
+        (p, snap)
+    }
+
+    #[test]
+    fn compiled_split_matches_eq13_fractions() {
+        let (p, snap) = snapshot_3to1();
+        let mut hits = [0u64; 2];
+        let n = 100_000u64;
+        // A coarse uniform sweep of the draw space (not an RNG, so the
+        // empirical split is exact up to grid resolution).
+        for i in 0..n {
+            let draw = i.wrapping_mul(u64::MAX / n);
+            let arc = snap.route(0, draw).unwrap();
+            hits[p.arcs()[arc].0] += 1;
+        }
+        let f0 = hits[0] as f64 / n as f64;
+        assert!((f0 - 0.75).abs() < 0.01, "dc0 fraction {f0}");
+    }
+
+    #[test]
+    fn uncovered_city_routes_nowhere_and_extreme_draws_stay_in_table() {
+        let (_, snap) = snapshot_3to1();
+        assert!(RouterSnapshot::uncovered(3).route(2, 42).is_none());
+        assert!(snap.route(0, 0).is_some());
+        assert!(snap.route(0, u64::MAX).is_some());
+    }
+
+    #[test]
+    fn readers_see_publications_exactly_once_per_version() {
+        let (p, snap) = snapshot_3to1();
+        let swap = SnapshotSwap::new(RouterSnapshot::uncovered(1));
+        let mut reader = SnapshotReader::new(&swap);
+        assert_eq!(reader.current().version(), 0);
+        assert!(reader.current().route(0, 7).is_none());
+        swap.publish(snap);
+        for _ in 0..1000 {
+            assert_eq!(reader.current().version(), 1);
+        }
+        assert_eq!(reader.refreshes(), 1, "one refresh per publication");
+        let p2 = RoutingPolicy::from_allocation(&p, &{
+            let mut x = Allocation::zeros(&p);
+            x.set(&p, 0, 0, 1.0);
+            x
+        });
+        swap.publish(RouterSnapshot::compile(&p, &p2, 2));
+        assert_eq!(reader.current().version(), 2);
+        assert_eq!(reader.refreshes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "version must advance")]
+    fn stale_publication_is_rejected() {
+        let (_, snap) = snapshot_3to1();
+        let swap = SnapshotSwap::new(snap);
+        swap.publish(RouterSnapshot::uncovered(1));
+    }
+}

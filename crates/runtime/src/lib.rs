@@ -74,11 +74,13 @@ mod degrade;
 mod fault;
 mod pool;
 mod scenario;
+mod soak;
 
 pub use degrade::{DegradeStats, ResilientController, RetryPolicy};
 pub use fault::{Fault, FaultPlan, FaultStats, FaultingController};
 pub use pool::ScenarioPool;
 pub use scenario::{run_scenario, run_scenarios, ScenarioOutcome, ScenarioSpec};
+pub use soak::{run_soak, SoakReport, SoakSpec};
 
 /// Errors surfaced by the runtime engine.
 #[derive(Debug)]
@@ -93,6 +95,8 @@ pub enum RuntimeError {
     /// A scenario failed with a core error (malformed spec, or a failure
     /// beyond what the retry policy and fallback budget absorb).
     Core(dspp_core::CoreError),
+    /// A streaming soak drill failed inside the ingest front end.
+    Ingest(dspp_ingest::IngestError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -102,6 +106,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "job {label:?} panicked: {message}")
             }
             RuntimeError::Core(e) => write!(f, "scenario failed: {e}"),
+            RuntimeError::Ingest(e) => write!(f, "soak drill failed: {e}"),
         }
     }
 }
@@ -110,6 +115,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Core(e) => Some(e),
+            RuntimeError::Ingest(e) => Some(e),
             RuntimeError::JobPanicked { .. } => None,
         }
     }
@@ -118,5 +124,11 @@ impl std::error::Error for RuntimeError {
 impl From<dspp_core::CoreError> for RuntimeError {
     fn from(e: dspp_core::CoreError) -> Self {
         RuntimeError::Core(e)
+    }
+}
+
+impl From<dspp_ingest::IngestError> for RuntimeError {
+    fn from(e: dspp_ingest::IngestError) -> Self {
+        RuntimeError::Ingest(e)
     }
 }

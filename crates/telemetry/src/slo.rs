@@ -47,6 +47,11 @@ pub enum SloSignal {
     /// converging. Read directly from the recorder as the per-period
     /// delta of the `game.max_rounds_hit` counter.
     GameNonConvergence,
+    /// Ingest requests deferred or dropped by bounded admission. Read
+    /// directly from the recorder as the per-period delta of the
+    /// `ingest.backpressure_events` counter the streaming front end
+    /// maintains.
+    IngestBackpressure,
 }
 
 /// One control period's worth of SLO inputs, built by the layer driving
@@ -159,6 +164,26 @@ impl SloSpec {
             },
         ]
     }
+
+    /// The backpressure SLO of the streaming ingest front end: any
+    /// period that defers or drops requests burns budget; sustained
+    /// overload (a flash crowd outrunning the admission budget for
+    /// several periods) fires, and the alert resolves once admission
+    /// keeps up again. Not part of [`SloSpec::default_set`] — attach it
+    /// to loops that actually ingest (`IngestLoop::with_slos`).
+    pub fn ingest_backpressure() -> SloSpec {
+        SloSpec {
+            name: "ingest_backpressure",
+            signal: SloSignal::IngestBackpressure,
+            objective: 0.0,
+            error_budget: 0.125,
+            short_window: 4,
+            long_window: 16,
+            burn_threshold: 2.0,
+            pending_periods: 1,
+            resolve_periods: 3,
+        }
+    }
 }
 
 /// Alert lifecycle states. `Resolved` is transient: it appears in the
@@ -266,6 +291,9 @@ struct SloState {
     /// Last seen total of the recorder counter backing
     /// [`SloSignal::GameNonConvergence`].
     last_game_total: u64,
+    /// Last seen total of the recorder counter backing
+    /// [`SloSignal::IngestBackpressure`].
+    last_ingest_total: u64,
 }
 
 /// Evaluates a set of [`SloSpec`]s one control period at a time. See the
@@ -296,10 +324,12 @@ impl SloEngine {
             let state_gauge = format!("slo.{}.state", spec.name);
             telemetry.gauge(&burn_gauge, 0.0);
             telemetry.gauge(&state_gauge, 0.0);
-            if spec.signal == SloSignal::GameNonConvergence {
-                // Materialize the backing counter so reads (and the
-                // /metrics exposition) see it even before any game runs.
-                telemetry.incr("game.max_rounds_hit", 0);
+            // Materialize counter-backed signals so reads (and the
+            // /metrics exposition) see them even before any activity.
+            match spec.signal {
+                SloSignal::GameNonConvergence => telemetry.incr("game.max_rounds_hit", 0),
+                SloSignal::IngestBackpressure => telemetry.incr("ingest.backpressure_events", 0),
+                _ => {}
             }
             slos.push(SloState {
                 window: BadWindow::new(spec.long_window),
@@ -309,6 +339,7 @@ impl SloEngine {
                 burn_gauge,
                 state_gauge,
                 last_game_total: 0,
+                last_ingest_total: 0,
                 spec,
             });
         }
@@ -345,6 +376,10 @@ impl SloEngine {
             .telemetry
             .counter_value("game.max_rounds_hit")
             .unwrap_or_default();
+        let ingest_total = self
+            .telemetry
+            .counter_value("ingest.backpressure_events")
+            .unwrap_or_default();
         let mut max_burn = 0.0f64;
         for slo in &mut self.slos {
             let value = match slo.spec.signal {
@@ -355,6 +390,11 @@ impl SloEngine {
                 SloSignal::GameNonConvergence => {
                     let delta = game_total.saturating_sub(slo.last_game_total);
                     slo.last_game_total = game_total;
+                    delta as f64
+                }
+                SloSignal::IngestBackpressure => {
+                    let delta = ingest_total.saturating_sub(slo.last_ingest_total);
+                    slo.last_ingest_total = ingest_total;
                     delta as f64
                 }
             };
@@ -660,6 +700,41 @@ mod tests {
         engine.observe(&sample(2, false));
         let tos: Vec<AlertState> = engine.transitions().iter().map(|t| t.to).collect();
         assert_eq!(tos, vec![AlertState::Pending, AlertState::Firing]);
+    }
+
+    #[test]
+    fn ingest_backpressure_fires_on_sustained_overload_and_resolves() {
+        let telemetry = Recorder::enabled();
+        let mut engine = SloEngine::new(vec![SloSpec::ingest_backpressure()], telemetry.clone());
+        // Quiet warm-up, a 6-period overload, then recovery.
+        for k in 0..20u64 {
+            if (4..10).contains(&k) {
+                telemetry.incr("ingest.backpressure_events", 500);
+            }
+            engine.observe(&sample(k, false));
+        }
+        let tos: Vec<(AlertState, u64)> = engine
+            .transitions()
+            .iter()
+            .map(|t| (t.to, t.period))
+            .collect();
+        // Overload spans periods 4..10. The long window first breaches
+        // at period 5 (2 bad of 6 seen → burn 2.67 ≥ 2.0), so the alert
+        // goes pending at 5 and fires at 6. The short window stays hot
+        // through period 12 (1 bad of 4 → burn 2.0), breach clears at
+        // 13, and three clean evaluations resolve the alert at 15.
+        assert_eq!(
+            tos,
+            vec![
+                (AlertState::Pending, 5),
+                (AlertState::Firing, 6),
+                (AlertState::Resolved, 15),
+            ]
+        );
+        assert_eq!(
+            engine.state("ingest_backpressure"),
+            Some(AlertState::Inactive)
+        );
     }
 
     #[test]

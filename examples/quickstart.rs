@@ -19,22 +19,53 @@
 //! burn-rate series appear alongside the solver/controller/sim metrics.
 //! The day solves in milliseconds; `--serve-for <secs>` keeps the
 //! endpoint up after the run so a scraper (or `curl`) can catch it.
+//!
+//! With `--ingest` the day is driven from *raw requests* instead of a
+//! precomputed demand matrix: the `dspp-ingest` front end generates a
+//! deterministic per-period event stream (`--events-per-period <N>`,
+//! `--ingest-seed <seed>`, `--jobs <N>` shards), routes each request off
+//! the live placement snapshot, and seals per-period demand matrices for
+//! the same MPC controller. The `ingest_*` metric families then appear
+//! on the `/metrics` endpoint alongside everything else:
+//!
+//! ```text
+//! cargo run --example quickstart -- --ingest --events-per-period 100000 --jobs 4
+//! ```
 
 use std::path::PathBuf;
 
 use dspp::core::{DsppBuilder, MpcController, MpcSettings};
+use dspp::ingest::{IngestConfig, IngestLoop};
 use dspp::predict::OraclePredictor;
 use dspp::sim::ClosedLoopSim;
-use dspp::telemetry::{MetricsServer, Recorder, SloEngine, Tracer, DEFAULT_CAPACITY};
+use dspp::telemetry::{MetricsServer, Recorder, SloEngine, SloSpec, Tracer, DEFAULT_CAPACITY};
 use dspp::workload::{DemandModel, DiurnalProfile};
 
 /// Parsed quickstart flags.
-#[derive(Default)]
 struct Args {
     trace_out: Option<PathBuf>,
     events_out: Option<PathBuf>,
     metrics_addr: Option<String>,
     serve_for_secs: u64,
+    ingest: bool,
+    events_per_period: u64,
+    ingest_seed: u64,
+    jobs: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            trace_out: None,
+            events_out: None,
+            metrics_addr: None,
+            serve_for_secs: 0,
+            ingest: false,
+            events_per_period: 50_000,
+            ingest_seed: 1,
+            jobs: 1,
+        }
+    }
 }
 
 /// Minimal flag parsing (each flag also accepted as `--flag=value`).
@@ -61,10 +92,31 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--serve-for needs a whole number of seconds".to_string())?;
             }
+            "--ingest" => args.ingest = true,
+            "--events-per-period" => {
+                args.events_per_period = value("--events-per-period")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--events-per-period needs a positive integer".to_string())?;
+            }
+            "--ingest-seed" => {
+                args.ingest_seed = value("--ingest-seed")?
+                    .parse()
+                    .map_err(|_| "--ingest-seed needs an unsigned integer".to_string())?;
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs needs a positive integer".to_string())?;
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}; usage: [--trace-out <path>] \
-                     [--events-out <path>] [--metrics-addr <host:port>] [--serve-for <secs>]"
+                     [--events-out <path>] [--metrics-addr <host:port>] [--serve-for <secs>] \
+                     [--ingest] [--events-per-period <N>] [--ingest-seed <seed>] [--jobs <N>]"
                 ))
             }
         }
@@ -115,46 +167,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => None,
     };
 
-    let controller = MpcController::new(
-        problem,
-        Box::new(OraclePredictor::new(demand.clone())),
-        MpcSettings {
-            horizon: 5,
-            telemetry: telemetry.clone(),
-            ..MpcSettings::default()
-        },
-    )?;
-
-    // The default SLO set watches every period (step latency p99,
-    // SLA-shortfall mass, fallback budget, recovery rate, game rounds);
-    // its burn-rate gauges and transition counters land in the same
-    // recorder the endpoint serves.
-    let mut sim = ClosedLoopSim::new(Box::new(controller), demand)?
+    if args.ingest {
+        // Streaming mode: the same day, but driven request by request
+        // through the dspp-ingest front end. Each control period covers
+        // 60 s of event time; the offered load follows the diurnal shape
+        // scaled so the mean period carries --events-per-period events.
+        let mean = demand[0].iter().sum::<f64>() / demand[0].len() as f64;
+        let scale = args.events_per_period as f64 / (60.0 * mean);
+        let rates = vec![demand[0].iter().map(|d| d * scale).collect::<Vec<f64>>()];
+        let controller = MpcController::new(
+            problem,
+            Box::new(OraclePredictor::new(rates.clone())),
+            MpcSettings {
+                horizon: 5,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )?;
+        let mut slos = SloSpec::default_set();
+        slos.push(SloSpec::ingest_backpressure());
+        let mut ingest = IngestLoop::new(
+            Box::new(controller),
+            rates,
+            IngestConfig::new(args.ingest_seed)
+                .with_period_seconds(60)
+                .with_jobs(args.jobs),
+        )?
         .with_telemetry(telemetry.clone())
-        .with_slos(SloEngine::with_defaults(telemetry.clone()));
-    while sim.step()? {}
-    let report = sim.report();
+        .with_slos(SloEngine::new(slos, telemetry.clone()));
+        let totals = ingest.run_to_end()?;
 
-    println!("hour  demand(req/s)  servers  Δservers  cost($)");
-    for p in &report.periods {
+        println!("hour  events  routed  unroutable  deferred  dropped");
+        for s in ingest.sealed() {
+            println!(
+                "{:>4}  {:>6}  {:>6}  {:>10}  {:>8}  {:>7}",
+                s.period + 1,
+                s.total_events(),
+                s.total_events() - s.unroutable,
+                s.unroutable,
+                s.deferred,
+                s.dropped
+            );
+        }
         println!(
-            "{:>4}  {:>13.0}  {:>7.1}  {:>8.1}  {:>7.4}",
-            p.period + 1,
-            p.realized_demand[0],
-            p.total_servers,
-            p.reconfig_magnitude,
-            p.cost.total()
+            "\n{} requests generated on {} shard(s), {} admitted, {} dropped; \
+             routed + aggregated at {:.0} req/s; placement cost ${:.3}",
+            totals.generated,
+            args.jobs,
+            totals.admitted,
+            totals.dropped,
+            totals.req_per_sec(),
+            totals.step_cost
+        );
+    } else {
+        let controller = MpcController::new(
+            problem,
+            Box::new(OraclePredictor::new(demand.clone())),
+            MpcSettings {
+                horizon: 5,
+                telemetry: telemetry.clone(),
+                ..MpcSettings::default()
+            },
+        )?;
+
+        // The default SLO set watches every period (step latency p99,
+        // SLA-shortfall mass, fallback budget, recovery rate, game rounds);
+        // its burn-rate gauges and transition counters land in the same
+        // recorder the endpoint serves.
+        let mut sim = ClosedLoopSim::new(Box::new(controller), demand)?
+            .with_telemetry(telemetry.clone())
+            .with_slos(SloEngine::with_defaults(telemetry.clone()));
+        while sim.step()? {}
+        let report = sim.report();
+
+        println!("hour  demand(req/s)  servers  Δservers  cost($)");
+        for p in &report.periods {
+            println!(
+                "{:>4}  {:>13.0}  {:>7.1}  {:>8.1}  {:>7.4}",
+                p.period + 1,
+                p.realized_demand[0],
+                p.total_servers,
+                p.reconfig_magnitude,
+                p.cost.total()
+            );
+        }
+        println!(
+            "\ntotal cost ${:.3} (hosting ${:.3} + reconfiguration ${:.3}), \
+             SLA violations in {} of {} periods",
+            report.ledger.total(),
+            report.ledger.total_hosting(),
+            report.ledger.total_reconfiguration(),
+            report.violation_periods(),
+            report.periods.len()
         );
     }
-    println!(
-        "\ntotal cost ${:.3} (hosting ${:.3} + reconfiguration ${:.3}), \
-         SLA violations in {} of {} periods",
-        report.ledger.total(),
-        report.ledger.total_hosting(),
-        report.ledger.total_reconfiguration(),
-        report.violation_periods(),
-        report.periods.len()
-    );
 
     // What the run looked like from the inside: solver iterations, solve
     // latency quantiles, warm-start hits. The same snapshot serializes to

@@ -21,6 +21,7 @@
 //! | [`core`] | `dspp-core` | DSPP model, MPC controller, request router |
 //! | [`game`] | `dspp-game` | best-response Algorithm 2, SWP, PoA/PoS |
 //! | [`sim`] | `dspp-sim` | fluid closed loop + discrete-event M/M/1 pools |
+//! | [`ingest`] | `dspp-ingest` | streaming front end: event generators, snapshot routing, lock-free demand buckets |
 //! | [`telemetry`] | `dspp-telemetry` | counters/gauges/histograms, snapshots (`docs/OBSERVABILITY.md`) |
 //!
 //! # Quickstart
@@ -53,6 +54,7 @@
 
 pub use dspp_core as core;
 pub use dspp_game as game;
+pub use dspp_ingest as ingest;
 pub use dspp_linalg as linalg;
 pub use dspp_predict as predict;
 pub use dspp_pricing as pricing;
