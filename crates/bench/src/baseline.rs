@@ -1,16 +1,17 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times thirteen representative workloads — one Riccati IPM solve,
+//! `record` times fourteen representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, one simulation
 //! checkpoint JSON round-trip, a 4-provider game sweep run sequentially
 //! and on a parallel pool, a warm-vs-cold solve pair, a reduced
 //! policy tournament (every placement policy on a one-day diurnal
-//! trace), a steady-state SLO evaluation pass, and the streaming-ingest
+//! trace), a steady-state SLO evaluation pass, the streaming-ingest
 //! hot paths (snapshot routing + lock-free aggregation, and the
-//! period-close admit/seal barrier) — and writes
+//! period-close admit/seal barrier), and a two-DC infrastructure fault
+//! drill (a scheduled DC outage absorbed by the recovery rung) — and writes
 //! their throughput plus latency quantiles as JSON (the committed
 //! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
 //! fails with a readable delta report when throughput regresses beyond a
@@ -24,18 +25,20 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dspp_core::{Allocation, MpcController, MpcSettings, PlacementController, RoutingPolicy};
+use dspp_core::{
+    Allocation, DsppBuilder, MpcController, MpcSettings, PlacementController, RoutingPolicy,
+};
 use dspp_experiments::tournament;
 use dspp_game::{GameConfig, ResourceGame, SpSampler};
 use dspp_ingest::{
     admit, generate_city_period, stream_seed, BackpressureBudget, PeriodBucket, RouterSnapshot,
 };
 use dspp_predict::LastValue;
-use dspp_runtime::{run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
+use dspp_runtime::{run_scenario, run_scenarios, FaultPlan, ScenarioPool, ScenarioSpec};
 use dspp_sim::{ClosedLoopSim, SimCheckpoint};
 use dspp_solver::{solve_lq, solve_lq_warm, IpmSettings};
 use dspp_telemetry::json::{self, JsonValue};
-use dspp_telemetry::{Recorder, SloEngine, SloSample};
+use dspp_telemetry::{Recorder, SloEngine, SloSample, SloSpec};
 
 use crate::{
     alloc_count, lq_fixture, multi_dc_problem, single_dc_problem, starved_single_dc_problem,
@@ -493,6 +496,78 @@ pub fn record(iters: usize) -> Baseline {
         ("generated".to_string(), route_events.len() as f64),
     ]);
 
+    // 14. The infrastructure fault drill: a two-DC closed loop that loses
+    // DC 1 for two mid-run periods (the chaos-drill fixture). Times the
+    // whole fault plane — the per-stage capacity schedule, preflight
+    // shedding, the recovery solves, and the dc_outage burn-rate SLO.
+    // Flat demand 240 at a = 1/80 needs exactly 3 servers, so the outage
+    // leaves a 1-server deficit per dark period: the counters pin the
+    // fault bookkeeping and that analytic shortfall (2.0) exactly.
+    let outage_spec = || {
+        ScenarioSpec::new("dc-outage", vec![vec![240.0; 8]])
+            .with_faults(FaultPlan::new().dc_outage(1, 2, 2))
+            .with_slos(vec![SloSpec::dc_outage()])
+    };
+    let make_outage_controller = || -> Box<dyn PlacementController> {
+        let problem = DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .reconfiguration_weights(vec![0.02, 0.02])
+            .capacity(0, 2.0)
+            .capacity(1, 2.0)
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .expect("outage fixture problem");
+        Box::new(
+            MpcController::new(
+                problem,
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon: 3,
+                    ..MpcSettings::default()
+                },
+            )
+            .expect("outage fixture controller"),
+        )
+    };
+    let outage_metric = measure("runtime.dc_outage_drill", warmup, iters, || {
+        run_scenario(
+            make_outage_controller(),
+            &outage_spec(),
+            &Recorder::disabled(),
+        )
+        .expect("outage drill runs");
+    });
+    let outage_telemetry = Recorder::enabled();
+    let outage_outcome = run_scenario(make_outage_controller(), &outage_spec(), &outage_telemetry)
+        .expect("outage drill runs");
+    let outage_snap = outage_telemetry.snapshot().expect("enabled recorder");
+    let outage_metric = outage_metric.with_counters(vec![
+        (
+            "dc_outage_onsets".to_string(),
+            outage_snap.counter("faults.dc_outage_onsets") as f64,
+        ),
+        (
+            "dc_down_periods".to_string(),
+            outage_snap.counter("faults.dc_down_periods") as f64,
+        ),
+        (
+            "recovery_periods".to_string(),
+            outage_outcome.recovery_periods as f64,
+        ),
+        ("sla_shortfall".to_string(), outage_outcome.sla_shortfall),
+        (
+            "alert_transitions".to_string(),
+            outage_outcome.slo_transitions.len() as f64,
+        ),
+        (
+            "fallback_periods".to_string(),
+            outage_outcome.fallback_periods as f64,
+        ),
+    ]);
+
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         metrics: vec![
@@ -509,6 +584,7 @@ pub fn record(iters: usize) -> Baseline {
             slo_metric,
             route_metric,
             seal_metric,
+            outage_metric,
         ],
     }
 }
@@ -958,6 +1034,7 @@ mod tests {
                 "telemetry.slo_eval",
                 "ingest.route_agg",
                 "ingest.seal_period",
+                "runtime.dc_outage_drill",
             ]
         );
         for m in &b.metrics {
@@ -1026,6 +1103,16 @@ mod tests {
         assert!(counter(seal, "deferred") > 0.0);
         assert!(counter(seal, "dropped") > 0.0);
         assert_eq!(counter(seal, "admitted"), 3000.0);
+        // The dc-outage drill sheds exactly the analytic two-period ×
+        // one-server deficit through recovery solves — never fallback —
+        // and both fault-window edges page the dc_outage SLO.
+        let outage = by_name("runtime.dc_outage_drill");
+        assert_eq!(counter(outage, "dc_outage_onsets"), 1.0);
+        assert_eq!(counter(outage, "dc_down_periods"), 2.0);
+        assert!((counter(outage, "sla_shortfall") - 2.0).abs() <= 1e-6);
+        assert_eq!(counter(outage, "fallback_periods"), 0.0);
+        assert!(counter(outage, "recovery_periods") >= 2.0);
+        assert!(counter(outage, "alert_transitions") >= 2.0);
     }
 
     #[test]

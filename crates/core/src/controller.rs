@@ -129,6 +129,10 @@ pub struct MpcController {
     /// Previous horizon solution's inputs, shifted one stage — the warm
     /// start for the next solve.
     warm_us: Option<Vec<dspp_linalg::Vector>>,
+    /// Time-varying capacity schedule `[period][dc]` installed by the
+    /// infrastructure fault plane; `None` keeps the problem's nominal
+    /// capacities (the fast path).
+    capacity_schedule: Option<Vec<Vec<f64>>>,
 }
 
 impl std::fmt::Debug for MpcController {
@@ -168,7 +172,19 @@ impl MpcController {
             history,
             period: 0,
             warm_us: None,
+            capacity_schedule: None,
         })
+    }
+
+    /// Installs a time-varying capacity schedule `[period][dc]`: the
+    /// horizon stage deciding the allocation for period `k + t` is
+    /// constrained by `schedule[k + t]` (periods past the schedule's end
+    /// fall back to nominal capacity). This is how the fault plane's
+    /// datacenter outages and degradations reach the solver — the
+    /// preflight → recovery ladder then sheds exactly the deficit the
+    /// lost capacity creates.
+    pub fn set_capacity_schedule(&mut self, schedule: Vec<Vec<f64>>) {
+        self.capacity_schedule = Some(schedule);
     }
 
     /// Forecasts future prices with the given predictor instead of reading
@@ -361,12 +377,23 @@ impl MpcController {
             }
         };
 
+        // Stage t decides the allocation for period k + t: constrain it
+        // with that period's scheduled capacity when a fault-plane
+        // schedule is installed.
+        let stage_caps: Option<Vec<Vec<f64>>> = self.capacity_schedule.as_ref().map(|schedule| {
+            (0..w)
+                .map(|t| match schedule.get(self.period + t) {
+                    Some(row) => row.clone(),
+                    None => self.problem.capacities().to_vec(),
+                })
+                .collect()
+        });
         let horizon = HorizonProblem::build_full(
             &self.problem,
             &self.state,
             &forecast,
             &prices,
-            None,
+            stage_caps.as_deref(),
             self.settings.max_reconfiguration,
         )?;
         telemetry.incr(
@@ -516,6 +543,10 @@ impl PlacementPolicy for MpcController {
         }
         self.period += 1;
         self.warm_us = None;
+    }
+
+    fn set_capacity_schedule(&mut self, schedule: Vec<Vec<f64>>) {
+        MpcController::set_capacity_schedule(self, schedule);
     }
 }
 
@@ -1018,6 +1049,62 @@ mod tests {
         assert!(ck.warm_us.is_none(), "fallback must drop the warm start");
         // The controller keeps working after the fallback.
         assert!(c.step(&[0.5 / a]).is_ok());
+    }
+
+    #[test]
+    fn capacity_schedule_constrains_and_releases_the_solve() {
+        // Capacity 4 servers, demand needing 2: feasible nominally. An
+        // outage window (scheduled capacity 0.5) for periods 1..3 forces
+        // recovery with a 1.5-server deficit; the window closing restores
+        // strict feasibility.
+        let p = DsppBuilder::new(1, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010]])
+            .capacity(0, 4.0)
+            .price_trace(0, vec![1.0])
+            .build()
+            .unwrap();
+        let a = p.arc_coeff(0);
+        let demand = 2.0 / a;
+        let mut c = MpcController::new(
+            p,
+            Box::new(LastValue),
+            MpcSettings {
+                horizon: 2,
+                ..MpcSettings::default()
+            },
+        )
+        .unwrap();
+        MpcController::set_capacity_schedule(
+            &mut c,
+            vec![vec![4.0], vec![0.5], vec![0.5], vec![4.0]],
+        );
+        // Period 0 executes at nominal capacity, though the lookahead
+        // already sees the window at stage 1: the executed-period
+        // shortfall must be zero either way.
+        let out = c.step(&[demand]).unwrap();
+        if let Some(info) = &out.recovery {
+            assert!(info.resource_shortfall < 1e-5, "period 0 executes nominal");
+        }
+        for k in 1..3 {
+            let out = c.step(&[demand]).unwrap();
+            let info = out
+                .recovery
+                .unwrap_or_else(|| panic!("period {k} must recover"));
+            assert!(
+                (info.resource_shortfall - 1.5).abs() < 1e-5,
+                "period {k}: shortfall {} servers, expected 1.5",
+                info.resource_shortfall
+            );
+            assert!(out.allocation.total() <= 0.5 + 1e-6);
+        }
+        // Window closed (and periods past the schedule fall back to
+        // nominal): strict solves resume.
+        for _ in 3..6 {
+            let out = c.step(&[demand]).unwrap();
+            assert!(out.recovery.is_none());
+        }
     }
 
     #[test]

@@ -162,6 +162,17 @@ pub trait PlacementPolicy {
     fn note_fallback(&mut self, observed_demand: &[f64]) {
         let _ = observed_demand;
     }
+
+    /// Installs a time-varying capacity schedule `[absolute period][dc]`
+    /// — the infrastructure fault plane's view of datacenter outages and
+    /// degradations. Periods beyond the schedule fall back to the
+    /// problem's nominal capacities. Solver-backed policies thread the
+    /// schedule into the horizon build so the preflight → recovery
+    /// ladder sheds exactly the analytic deficit; the default ignores it
+    /// (closed-form baselines assume nominal capacity).
+    fn set_capacity_schedule(&mut self, schedule: Vec<Vec<f64>>) {
+        let _ = schedule;
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,15 @@
 //! bit-exactly and an `ingest_backpressure` SLO that must fire and
 //! resolve (see [`soak_drill`]).
 //!
+//! With `--fault-drill --chaos` the infrastructure-fault drill runs
+//! instead: a scheduled DC outage through the streaming front end (no
+//! request may route to the dead DC; the sealed-ledger FNV hash proves
+//! `--jobs` invariance), exact-deficit shedding and the `dc_outage`
+//! burn-rate SLO in the closed loop, a deliberately corrupted checkpoint
+//! generation that must be detected and rolled back, and the
+//! `dspp-analyze` MTTR report derived from the drill's own trace (see
+//! [`chaos_drill`]; `--mttr-out <path>` writes the full report).
+//!
 //! The default figure run additionally executes the streaming-ingest
 //! experiment and writes `results/ingest_sealed.csv`, the exact integer
 //! sealed-period ledger the determinism CI job diffs across `--jobs`.
@@ -49,12 +58,13 @@
 use dspp_core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp_experiments::cli::TraceArgs;
 use dspp_experiments::{emit, ExpResult, Figure};
-use dspp_ingest::{BackpressureBudget, IngestConfig};
+use dspp_ingest::{BackpressureBudget, IngestConfig, IngestLoop};
 use dspp_predict::LastValue;
 use dspp_runtime::{
-    run_scenarios, run_soak, FaultPlan, RetryPolicy, ScenarioOutcome, ScenarioPool, ScenarioSpec,
-    SoakSpec,
+    run_scenario, run_scenarios, run_soak, CheckpointStore, FaultPlan, RetryPolicy,
+    ScenarioOutcome, ScenarioPool, ScenarioSpec, SoakSpec,
 };
+use dspp_telemetry::analyze::{analyze_jsonl, AnalyzeOptions};
 use dspp_telemetry::{AlertState, Recorder, SloSpec, Snapshot, Tracer, DEFAULT_CAPACITY};
 use dspp_workload::FlashCrowd;
 
@@ -586,6 +596,280 @@ fn soak_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
     ok
 }
 
+/// FNV-1a of the sealed-ledger CSV — one greppable token that must match
+/// across `--jobs` settings (the cheap CI determinism diff).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `--fault-drill --chaos` mode: the infrastructure-fault drill.
+///
+/// Five properties, each fatal (exit 1) when violated:
+///
+/// 1. **Rerouting** — an [`IngestLoop`] under a scheduled DC outage must
+///    republish its routing snapshot without the dead DC before any
+///    event of the outage periods fans out: zero events may land on
+///    dead-DC arcs, and the integer conservation identity
+///    `generated == admitted + dropped + backlog` must hold across the
+///    republishes. The sealed-ledger FNV hash is printed so CI can diff
+///    `--jobs 1` against `--jobs 4` byte-for-byte.
+/// 2. **Exact shedding** — a closed-loop DC-outage scenario's recovery
+///    shortfall must equal the preflight capacity deficit
+///    `max(0, a·D − C_surviving)` to 1e-6, while a partial capacity
+///    degradation that leaves enough headroom rebalances onto the
+///    survivors with *zero* shortfall and zero fallbacks.
+/// 3. **Alerting** — the `dc_outage` burn-rate SLO must fire during the
+///    outage and resolve after it; the degradation run must stay quiet.
+/// 4. **Durability** — a deliberately bit-flipped checkpoint generation
+///    must be detected by frame verification and rolled back to the
+///    previous good generation ([`CheckpointStore::load_latest`]).
+/// 5. **MTTR** — `dspp-analyze` over the drill's own trace must report
+///    the injected fault's mean-time-to-recovery; `--mttr-out <path>`
+///    writes the full post-mortem report (the CI artifact).
+fn chaos_drill(args: &TraceArgs, tracer: &Tracer) -> bool {
+    match chaos_drill_inner(args, tracer) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("chaos drill failed: {e}");
+            false
+        }
+    }
+}
+
+fn chaos_drill_inner(args: &TraceArgs, tracer: &Tracer) -> Result<bool, String> {
+    let telemetry = Recorder::enabled().with_tracer(tracer.clone());
+    let _server = args.serve_metrics(&telemetry)?;
+    let mut ok = true;
+
+    // ---- 1. rerouting: streaming ingest under a scheduled outage -----
+    // Two DCs x two cities, every arc SLA-feasible; DC 1 goes dark for
+    // periods 3..5. The masked republish must carry every request that
+    // still has live weight to DC 0 and defer the rest — never route to
+    // the dead DC.
+    let periods = 8usize;
+    let outage = 3usize..5;
+    let ingest_telemetry = Recorder::enabled();
+    let schedule: Vec<Vec<f64>> = (0..periods)
+        .map(|k| vec![1_000.0, if outage.contains(&k) { 0.0 } else { 1_000.0 }])
+        .collect();
+    let problem = DsppBuilder::new(2, 2)
+        .service_rate(100.0)
+        .sla_latency(0.100)
+        .latency_rows(vec![vec![0.010, 0.030], vec![0.030, 0.012]])
+        .price_trace(0, vec![1.0; periods + 8])
+        .price_trace(1, vec![1.2; periods + 8])
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mpc = MpcController::new(
+        problem,
+        Box::new(LastValue),
+        MpcSettings {
+            horizon: 3,
+            ..MpcSettings::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let config = IngestConfig::new(2012)
+        .with_period_seconds(60)
+        .with_jobs(args.jobs.unwrap_or(2))
+        .with_budget(BackpressureBudget::new(100_000, 50_000));
+    let rates = vec![vec![35.0; periods], vec![20.0; periods]];
+    let mut ingest = IngestLoop::new(Box::new(mpc), rates, config)
+        .map_err(|e| e.to_string())?
+        .with_capacity_schedule(schedule)
+        .map_err(|e| e.to_string())?
+        .with_telemetry(ingest_telemetry.clone());
+    ingest.run_to_end().map_err(|e| e.to_string())?;
+
+    let arcs = ingest.controller().problem().arcs().to_vec();
+    let dead_events: u64 = ingest
+        .sealed()
+        .iter()
+        .filter(|s| outage.contains(&s.period))
+        .flat_map(|s| {
+            s.arc_counts
+                .iter()
+                .enumerate()
+                .filter(|&(a, _)| arcs[a].0 == 1)
+                .map(|(_, &n)| n)
+        })
+        .sum();
+    let outage_flow: u64 = ingest
+        .sealed()
+        .iter()
+        .filter(|s| outage.contains(&s.period))
+        .map(|s| s.total_events() + s.deferred)
+        .sum();
+    let republishes = ingest_telemetry
+        .snapshot()
+        .map_or(0, |s| s.counter("ingest.snapshot_republishes"));
+    let t = *ingest.totals();
+    let backlog: u64 = ingest.carry_backlog().iter().sum();
+    let conserved = t.generated == t.admitted + t.dropped + backlog;
+    let reroute_ok = dead_events == 0 && republishes == 2 && conserved && outage_flow > 0;
+    println!(
+        "chaos.reroute={} republishes={republishes} dead_dc_events={dead_events} \
+         outage_flow={outage_flow}",
+        if reroute_ok { "engaged" } else { "FAILED" }
+    );
+    println!(
+        "chaos.conservation={} generated={} admitted={} deferred={} dropped={} backlog={backlog}",
+        if conserved { "ok" } else { "VIOLATED" },
+        t.generated,
+        t.admitted,
+        t.deferred,
+        t.dropped
+    );
+    println!(
+        "chaos.ledger_fnv={:016x}",
+        fnv1a64(ingest.sealed_matrix_csv().as_bytes())
+    );
+    ok &= reroute_ok;
+
+    // ---- 2 + 3. exact shedding and the dc_outage SLO -----------------
+    // Two 2-server DCs, one city, a = 1/80: flat demand 240 needs
+    // exactly 3 servers. Losing DC 1 for periods 2..4 leaves a 1-server
+    // deficit per period the recovery rung must shed exactly; degrading
+    // DC 0 to 75% (caps 1.5 + 2.0 >= 3) must rebalance with no shedding.
+    let mk = || -> Result<Box<dyn PlacementController>, String> {
+        let problem = DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.060)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .reconfiguration_weights(vec![0.02, 0.02])
+            .capacity(0, 2.0)
+            .capacity(1, 2.0)
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .map_err(|e| e.to_string())?;
+        Ok(Box::new(
+            MpcController::new(
+                problem,
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon: 3,
+                    ..MpcSettings::default()
+                },
+            )
+            .map_err(|e| e.to_string())?,
+        ) as Box<dyn PlacementController>)
+    };
+    // The dc-outage scenario records into its own tracer: its spans and
+    // fault events are the input of the MTTR analysis below.
+    let mttr_tracer = Tracer::enabled(DEFAULT_CAPACITY);
+    let scen_telemetry = Recorder::enabled().with_tracer(mttr_tracer.clone());
+    let outage_spec = ScenarioSpec::new("dc-outage", vec![vec![240.0; 8]])
+        .with_faults(FaultPlan::new().dc_outage(1, 2, 2))
+        .with_slos(vec![SloSpec::dc_outage()]);
+    let outage_outcome =
+        run_scenario(mk()?, &outage_spec, &scen_telemetry).map_err(|e| e.to_string())?;
+    let degrade_spec = ScenarioSpec::new("capacity-degrade", vec![vec![240.0; 8]])
+        .with_faults(FaultPlan::new().capacity_degrade(0, 0.75, 2, 2))
+        .with_slos(vec![SloSpec::dc_outage()]);
+    let degrade_outcome =
+        run_scenario(mk()?, &degrade_spec, &Recorder::enabled()).map_err(|e| e.to_string())?;
+
+    // Two outage periods x (240/80 required − 2 surviving) servers.
+    let deficit = 2.0 * (240.0 / 80.0 - 2.0);
+    let shed_err = (outage_outcome.sla_shortfall - deficit).abs();
+    let shed_ok = shed_err <= 1e-6 && outage_outcome.fallback_periods == 0;
+    println!(
+        "chaos.shortfall={} observed={:.6} expected={deficit:.6} fallbacks={}",
+        if shed_ok { "ok" } else { "MISMATCH" },
+        outage_outcome.sla_shortfall,
+        outage_outcome.fallback_periods
+    );
+    ok &= shed_ok;
+    let rebalance_ok =
+        degrade_outcome.sla_shortfall.abs() <= 1e-6 && degrade_outcome.fallback_periods == 0;
+    println!(
+        "chaos.rebalance={} shortfall={:.6} fallbacks={}",
+        if rebalance_ok { "ok" } else { "FAILED" },
+        degrade_outcome.sla_shortfall,
+        degrade_outcome.fallback_periods
+    );
+    ok &= rebalance_ok;
+    ok &= check_slo(&outage_outcome, SloExpect::FiredAndResolved("dc_outage"));
+    ok &= check_slo(&degrade_outcome, SloExpect::Quiet);
+    let outcomes = [&outage_outcome, &degrade_outcome];
+    print_slo_totals(&outcomes);
+    if let Some(path) = &args.slo_out {
+        ok &= write_slo_timeline(path, &outcomes);
+    }
+
+    // ---- 4. durability: corrupt a generation, roll back --------------
+    let dir = std::env::temp_dir().join(format!("dspp-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_telemetry = Recorder::enabled();
+    let store = CheckpointStore::open(&dir, "chaos", 3)
+        .map_err(|e| e.to_string())?
+        .with_telemetry(store_telemetry.clone());
+    let good = ingest.checkpoint().map_err(|e| e.to_string())?.to_json();
+    let g1 = store.write(&good).map_err(|e| e.to_string())?;
+    let g2 = store.write(&good).map_err(|e| e.to_string())?;
+    // Flip one payload byte of the newest generation on disk: the frame
+    // checksum must catch it and load_latest must fall back to g1.
+    let newest = dir.join(format!("chaos.gen{g2:08}.ckpt"));
+    let mut bytes = std::fs::read(&newest).map_err(|e| e.to_string())?;
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&newest, bytes).map_err(|e| e.to_string())?;
+    let loaded = store.load_latest().map_err(|e| e.to_string())?;
+    let counters = store_telemetry.snapshot();
+    let detected = counters
+        .as_ref()
+        .map_or(0, |s| s.counter("faults.checkpoint_corrupt_detected"));
+    let rollbacks = counters
+        .as_ref()
+        .map_or(0, |s| s.counter("faults.checkpoint_rollbacks"));
+    let rollback_ok = loaded.generation == g1
+        && loaded.payload == good
+        && loaded.rolled_back.len() == 1
+        && detected >= 1
+        && rollbacks >= 1;
+    println!(
+        "chaos.rollback={} generation={g2}->{} corrupt_detected={detected} rollbacks={rollbacks}",
+        if rollback_ok { "ok" } else { "FAILED" },
+        loaded.generation
+    );
+    ok &= rollback_ok;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- 5. MTTR report from the drill's own trace -------------------
+    let report = analyze_jsonl(&mttr_tracer.to_jsonl(), &AnalyzeOptions::default())
+        .map_err(|e| format!("mttr analysis: {e}"))?;
+    // Only the MTTR section reaches stdout — it derives from period
+    // indices and step costs, so it is byte-identical across --jobs;
+    // the full report (with wall-clock timings) goes to --mttr-out.
+    let section = report
+        .find("fault recovery (MTTR)")
+        .map_or("", |i| &report[i..]);
+    print!("{section}");
+    let mttr_line = section
+        .lines()
+        .find(|l| l.starts_with("mttr:"))
+        .unwrap_or("");
+    let mttr_ok = mttr_line.contains("faults recovered") && !mttr_line.starts_with("mttr: 0/");
+    println!("mttr.reported={}", if mttr_ok { "yes" } else { "NO" });
+    ok &= mttr_ok;
+    if let Some(path) = &args.mttr_out {
+        match std::fs::write(path, &report) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    Ok(ok)
+}
+
 /// The default mode: every figure job on the pool.
 fn regenerate_figures(args: &TraceArgs, tracer: &Tracer) -> bool {
     type JobFn = Box<dyn Fn(&Recorder) -> ExpResult<Figure> + Send>;
@@ -687,7 +971,9 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    let mut ok = if args.fault_drill && args.soak {
+    let mut ok = if args.fault_drill && args.chaos {
+        chaos_drill(&args, &tracer)
+    } else if args.fault_drill && args.soak {
         soak_drill(&args, &tracer)
     } else if args.fault_drill && args.infeasible {
         infeasible_drill(&args, &tracer)

@@ -48,6 +48,16 @@ pub struct TraceArgs {
     /// with a mid-stream checkpoint/restore that must resume bit-exactly
     /// (`--soak`; honored by `all`, ignored by figure binaries).
     pub soak: bool,
+    /// With `--fault-drill`, run the infrastructure-chaos drill instead:
+    /// DC outages and capacity degradations end to end — masked snapshot
+    /// rerouting, exact deficit shedding, the `dc_outage` SLO, checkpoint
+    /// corruption rollback, and the MTTR report (`--chaos`; honored by
+    /// `all`, ignored by figure binaries).
+    pub chaos: bool,
+    /// Destination for the full `dspp-analyze` post-mortem report the
+    /// chaos drill derives from its own trace (`--mttr-out <path>`;
+    /// ignored outside `--fault-drill --chaos`).
+    pub mttr_out: Option<PathBuf>,
     /// Serve the run's live metrics over HTTP on this address while the
     /// experiment executes (`--metrics-addr <host:port>`; port 0 picks a
     /// free port and prints it).
@@ -101,13 +111,16 @@ impl TraceArgs {
                 "--fault-drill" => out.fault_drill = true,
                 "--infeasible" => out.infeasible = true,
                 "--soak" => out.soak = true,
+                "--chaos" => out.chaos = true,
                 "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")?),
                 "--slo-out" => out.slo_out = Some(PathBuf::from(value("--slo-out")?)),
+                "--mttr-out" => out.mttr_out = Some(PathBuf::from(value("--mttr-out")?)),
                 other => {
                     return Err(format!(
                         "unknown argument {other:?}; usage: [--trace-out <path>] \
                          [--events-out <path>] [--jobs <N>] [--fault-drill] [--infeasible] \
-                         [--soak] [--metrics-addr <host:port>] [--slo-out <path>]"
+                         [--soak] [--chaos] [--metrics-addr <host:port>] [--slo-out <path>] \
+                         [--mttr-out <path>]"
                     ))
                 }
             }
@@ -244,6 +257,11 @@ mod tests {
         assert!(c.fault_drill && c.infeasible);
         let d = TraceArgs::parse_from(strings(&["--fault-drill", "--soak"])).unwrap();
         assert!(d.fault_drill && d.soak && !d.infeasible);
+        let e = TraceArgs::parse_from(strings(&["--fault-drill", "--chaos", "--mttr-out=m.txt"]))
+            .unwrap();
+        assert!(e.fault_drill && e.chaos && !e.soak);
+        assert_eq!(e.mttr_out, Some(PathBuf::from("m.txt")));
+        assert!(TraceArgs::parse_from(strings(&["--mttr-out"])).is_err());
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub struct Bounded<T> {
 }
 
 impl<T> Bounded<T> {
+    /// Locks the channel state, recovering from lock poisoning: the
+    /// queue is plain data (no invariant spans a panic), so a shard that
+    /// died mid-send must not cascade the panic into the drain loop —
+    /// the pipeline surfaces the missing summary as a typed
+    /// `IngestError::Worker` instead.
+    fn state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A channel holding at most `capacity` items (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
         Bounded {
@@ -61,7 +72,7 @@ impl<T> Bounded<T> {
     ///
     /// [`SendError::Full`] or [`SendError::Closed`], returning `item`.
     pub fn try_send(&self, item: T) -> Result<(), (SendError, T)> {
-        let mut state = self.state.lock().expect("channel poisoned");
+        let mut state = self.state();
         if state.closed {
             return Err((SendError::Closed, item));
         }
@@ -77,10 +88,13 @@ impl<T> Bounded<T> {
     /// Enqueues, waiting while the channel is full (each wait counts one
     /// blocked send). Returns `false` when the channel closed instead.
     pub fn send(&self, item: T) -> bool {
-        let mut state = self.state.lock().expect("channel poisoned");
+        let mut state = self.state();
         while !state.closed && state.queue.len() >= self.capacity {
             self.blocked_sends.fetch_add(1, Ordering::Relaxed);
-            state = self.not_full.wait(state).expect("channel poisoned");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         if state.closed {
             return false;
@@ -94,7 +108,7 @@ impl<T> Bounded<T> {
     /// Dequeues, waiting while the channel is empty. `None` once the
     /// channel is closed *and* drained.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("channel poisoned");
+        let mut state = self.state();
         loop {
             if let Some(item) = state.queue.pop_front() {
                 self.received.fetch_add(1, Ordering::Relaxed);
@@ -104,13 +118,16 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("channel poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes the channel; senders fail, receivers drain what remains.
     pub fn close(&self) {
-        self.state.lock().expect("channel poisoned").closed = true;
+        self.state().closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }

@@ -11,15 +11,19 @@
 
 use std::fmt::Write as _;
 
-use dspp_core::{ControllerCheckpoint, RoutingPolicy};
+use dspp_core::ControllerCheckpoint;
 use dspp_telemetry::json::{self, JsonValue};
 
 use crate::bucket::SealedPeriod;
 use crate::pipeline::{IngestError, IngestLoop, IngestTotals};
-use crate::snapshot::RouterSnapshot;
 
-/// Schema version of the ingest checkpoint document.
-pub const INGEST_CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+/// Schema version of the ingest checkpoint document. Version 2 added
+/// the capacity time-series (`capacity_schedule`); version-1 documents
+/// are still readable and parse as schedule-free runs.
+pub const INGEST_CHECKPOINT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest ingest-checkpoint schema still readable.
+pub const INGEST_CHECKPOINT_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A frozen mid-stream ingest run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +45,9 @@ pub struct IngestCheckpoint {
     pub sealed: Vec<SealedPeriod>,
     /// The controller's internal state.
     pub controller_state: ControllerCheckpoint,
+    /// The per-period capacity schedule the loop ran under (`None` for
+    /// fault-unaware runs, and for all version-1 documents).
+    pub capacity_schedule: Option<Vec<Vec<f64>>>,
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -218,7 +225,12 @@ impl IngestCheckpoint {
             None => out.push_str("null"),
             Some(us) => push_f64_matrix(&mut out, us),
         }
-        out.push_str("}}");
+        out.push_str("},\"capacity_schedule\":");
+        match &self.capacity_schedule {
+            None => out.push_str("null"),
+            Some(rows) => push_f64_matrix(&mut out, rows),
+        }
+        out.push('}');
         out
     }
 
@@ -231,10 +243,12 @@ impl IngestCheckpoint {
     pub fn from_json(input: &str) -> Result<IngestCheckpoint, String> {
         let root = json::parse(input).map_err(|e| format!("ingest checkpoint JSON: {e}"))?;
         let version = get_u64(&root, "schema_version")?;
-        if version != INGEST_CHECKPOINT_SCHEMA_VERSION {
+        if !(INGEST_CHECKPOINT_MIN_SCHEMA_VERSION..=INGEST_CHECKPOINT_SCHEMA_VERSION)
+            .contains(&version)
+        {
             return Err(format!(
-                "unsupported ingest checkpoint schema_version {version} \
-                 (expected {INGEST_CHECKPOINT_SCHEMA_VERSION})"
+                "unsupported ingest checkpoint schema_version {version} (expected \
+                 {INGEST_CHECKPOINT_MIN_SCHEMA_VERSION}..={INGEST_CHECKPOINT_SCHEMA_VERSION})"
             ));
         }
         let controller = get(&root, "controller")?
@@ -295,6 +309,16 @@ impl IngestCheckpoint {
                 ),
             },
         };
+        let capacity_schedule = if version >= 2 {
+            match get(&root, "capacity_schedule")? {
+                JsonValue::Null => None,
+                other => {
+                    Some(parse_f64_matrix(other).map_err(|e| format!("capacity_schedule: {e}"))?)
+                }
+            }
+        } else {
+            None
+        };
         Ok(IngestCheckpoint {
             schema_version: version,
             controller,
@@ -304,6 +328,7 @@ impl IngestCheckpoint {
             totals,
             sealed,
             controller_state,
+            capacity_schedule,
         })
     }
 }
@@ -331,6 +356,7 @@ impl IngestLoop {
             totals: *self.totals(),
             sealed: self.sealed().to_vec(),
             controller_state,
+            capacity_schedule: self.capacity_schedule().map(<[Vec<f64>]>::to_vec),
         })
     }
 
@@ -343,11 +369,20 @@ impl IngestLoop {
     /// [`IngestError::Invalid`] on controller-name/seed/shape mismatches,
     /// [`IngestError::Core`] when the controller rejects the state.
     pub fn restore(&mut self, checkpoint: &IngestCheckpoint) -> Result<(), IngestError> {
-        if checkpoint.schema_version != INGEST_CHECKPOINT_SCHEMA_VERSION {
+        if !(INGEST_CHECKPOINT_MIN_SCHEMA_VERSION..=INGEST_CHECKPOINT_SCHEMA_VERSION)
+            .contains(&checkpoint.schema_version)
+        {
             return Err(IngestError::Invalid(format!(
                 "unsupported schema_version {}",
                 checkpoint.schema_version
             )));
+        }
+        if checkpoint.capacity_schedule.as_deref() != self.capacity_schedule() {
+            return Err(IngestError::Invalid(
+                "checkpoint capacity schedule does not match this loop's \
+                 (resume must run under the same fault plan)"
+                    .into(),
+            ));
         }
         if checkpoint.controller != self.controller().name() {
             return Err(IngestError::Invalid(format!(
@@ -386,21 +421,7 @@ impl IngestLoop {
             checkpoint.sealed.clone(),
             checkpoint.totals,
         );
-        if checkpoint.cursor > 0 {
-            // Re-derive the live placement snapshot from the restored
-            // allocation — identical to what the interrupted run had
-            // published after its last step.
-            let policy = RoutingPolicy::from_allocation(
-                self.controller().problem(),
-                self.controller().allocation(),
-            );
-            let snapshot = RouterSnapshot::compile(
-                self.controller().problem(),
-                &policy,
-                (checkpoint.cursor + 1) as u64,
-            );
-            self.publish_snapshot(snapshot);
-        }
+        self.republish_restored();
         Ok(())
     }
 }
@@ -477,6 +498,63 @@ mod tests {
             (b.generated, b.admitted, b.deferred, b.dropped)
         );
         assert_eq!(a.step_cost.to_bits(), b.step_cost.to_bits());
+    }
+
+    #[test]
+    fn resume_under_a_capacity_schedule_is_bit_exact() {
+        // DC 0 dead for periods 3..5; freeze inside the outage window.
+        let schedule: Vec<Vec<f64>> = (0..8)
+            .map(|k| {
+                if (3..5).contains(&k) {
+                    vec![0.0, 500.0]
+                } else {
+                    vec![500.0, 500.0]
+                }
+            })
+            .collect();
+        let mut full = build_loop(5)
+            .with_capacity_schedule(schedule.clone())
+            .unwrap();
+        let mut interrupted = build_loop(5)
+            .with_capacity_schedule(schedule.clone())
+            .unwrap();
+        for _ in 0..4 {
+            interrupted.step().unwrap();
+        }
+        let ck = IngestCheckpoint::from_json(&interrupted.checkpoint().unwrap().to_json()).unwrap();
+        assert_eq!(ck.schema_version, INGEST_CHECKPOINT_SCHEMA_VERSION);
+        assert_eq!(ck.capacity_schedule.as_deref(), Some(&schedule[..]));
+        drop(interrupted);
+
+        let mut resumed = build_loop(5).with_capacity_schedule(schedule).unwrap();
+        resumed.restore(&ck).unwrap();
+        full.run_to_end().unwrap();
+        resumed.run_to_end().unwrap();
+        assert_eq!(full.sealed(), resumed.sealed(), "sealed ledgers diverged");
+        assert_eq!(full.sealed_matrix_csv(), resumed.sealed_matrix_csv());
+
+        // A schedule-free loop must refuse the fault-plan checkpoint.
+        let mut plain = build_loop(5);
+        assert!(matches!(plain.restore(&ck), Err(IngestError::Invalid(_))));
+    }
+
+    #[test]
+    fn version_1_documents_still_parse() {
+        let mut l = build_loop(21);
+        l.step().unwrap();
+        let mut json = l.checkpoint().unwrap().to_json();
+        // Rewrite as a v1 document: old version stamp, no capacity
+        // series (it is the final field of the v2 layout).
+        json = json.replace("\"schema_version\":2", "\"schema_version\":1");
+        let idx = json.find(",\"capacity_schedule\":").unwrap();
+        json.truncate(idx);
+        json.push('}');
+        let v1 = IngestCheckpoint::from_json(&json).unwrap();
+        assert_eq!(v1.schema_version, 1);
+        assert_eq!(v1.capacity_schedule, None);
+        let mut fresh = build_loop(21);
+        fresh.restore(&v1).unwrap();
+        assert_eq!(fresh.cursor(), 1);
     }
 
     #[test]

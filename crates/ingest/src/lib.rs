@@ -43,7 +43,9 @@ pub mod snapshot;
 pub use backpressure::{admit, Admission, BackpressureBudget};
 pub use bucket::{PeriodBucket, SealedPeriod};
 pub use channel::{Bounded, SendError};
-pub use checkpoint::{IngestCheckpoint, INGEST_CHECKPOINT_SCHEMA_VERSION};
+pub use checkpoint::{
+    IngestCheckpoint, INGEST_CHECKPOINT_MIN_SCHEMA_VERSION, INGEST_CHECKPOINT_SCHEMA_VERSION,
+};
 pub use event::{Event, RequestClass};
 pub use generator::{generate_city_period, stream_seed};
 pub use pipeline::{IngestConfig, IngestError, IngestLoop, IngestTotals};

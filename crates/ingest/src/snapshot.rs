@@ -51,6 +51,58 @@ impl RouterSnapshot {
         }
     }
 
+    /// Compiles `policy` restricted to the arcs whose data center is
+    /// marked `alive`, renormalizing each city's split over its
+    /// surviving arcs (the eq. 13 fractions conditioned on the live
+    /// set). A city whose entire routable weight sat on dead DCs
+    /// compiles to an empty table, so [`RouterSnapshot::route`] returns
+    /// `None` and the caller can defer the request instead of sending
+    /// it to a DC with zero capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alive` does not cover every data center.
+    pub fn compile_masked(
+        problem: &Dspp,
+        policy: &RoutingPolicy,
+        alive: &[bool],
+        version: u64,
+    ) -> Self {
+        assert_eq!(
+            alive.len(),
+            problem.num_dcs(),
+            "alive mask must cover every data center"
+        );
+        let arcs = problem.arcs();
+        let cities = problem.num_locations();
+        let mut offsets = Vec::with_capacity(cities + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        for v in 0..cities {
+            let live: Vec<(usize, f64)> = policy
+                .location_weights(v)
+                .iter()
+                .filter(|&&(arc, _)| alive[arcs[arc].0])
+                .copied()
+                .collect();
+            let total: f64 = live.iter().map(|&(_, w)| w).sum();
+            if total > 0.0 {
+                let mut cum = 0.0f64;
+                for (i, &(arc, w)) in live.iter().enumerate() {
+                    cum += w / total;
+                    let threshold = if i + 1 == live.len() { 1.0 } else { cum };
+                    entries.push((threshold, arc as u32));
+                }
+            }
+            offsets.push(entries.len() as u32);
+        }
+        RouterSnapshot {
+            version,
+            offsets,
+            entries,
+        }
+    }
+
     /// An empty snapshot covering `cities` locations with no arcs
     /// (version 0) — the state before the first placement is published.
     pub fn uncovered(cities: usize) -> Self {
@@ -218,6 +270,37 @@ mod tests {
         }
         let f0 = hits[0] as f64 / n as f64;
         assert!((f0 - 0.75).abs() < 0.01, "dc0 fraction {f0}");
+    }
+
+    #[test]
+    fn masked_compile_renormalizes_over_surviving_dcs() {
+        let p = DsppBuilder::new(2, 1)
+            .price_trace(0, vec![1.0])
+            .price_trace(1, vec![1.0])
+            .build()
+            .unwrap();
+        let mut x = Allocation::zeros(&p);
+        x.set(&p, 0, 0, 3.0);
+        x.set(&p, 1, 0, 1.0);
+        let policy = RoutingPolicy::from_allocation(&p, &x);
+        // DC 0 dead: the 3:1 split collapses entirely onto DC 1.
+        let snap = RouterSnapshot::compile_masked(&p, &policy, &[false, true], 2);
+        let n = 10_000u64;
+        for i in 0..n {
+            let draw = i.wrapping_mul(u64::MAX / n);
+            let arc = snap.route(0, draw).unwrap();
+            assert_eq!(p.arcs()[arc].0, 1, "request routed to a dead DC");
+        }
+        // Both DCs dead: the city has no live weight and defers.
+        let dark = RouterSnapshot::compile_masked(&p, &policy, &[false, false], 3);
+        assert!(dark.route(0, 42).is_none());
+        // All alive: masked compile equals the plain compile split.
+        let full = RouterSnapshot::compile_masked(&p, &policy, &[true, true], 4);
+        let plain = RouterSnapshot::compile(&p, &policy, 4);
+        for i in 0..n {
+            let draw = i.wrapping_mul(u64::MAX / n);
+            assert_eq!(full.route(0, draw), plain.route(0, draw));
+        }
     }
 
     #[test]

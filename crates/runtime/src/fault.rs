@@ -44,6 +44,31 @@ pub enum Fault {
         /// Price multiplier (e.g. `3.0` for a 3× spot-price spike).
         factor: f64,
     },
+    /// A full datacenter outage: capacity at `dc` drops to zero during
+    /// periods `start .. start + duration`.
+    DcOutage {
+        /// Data center that goes dark.
+        dc: usize,
+        /// First affected period.
+        start: usize,
+        /// Number of consecutive affected periods.
+        duration: usize,
+    },
+    /// Partial capacity loss: capacity at `dc` is multiplied by
+    /// `factor` (clamped to `[0, 1]`) during
+    /// `start .. start + duration`. Overlapping degradations compose
+    /// multiplicatively; an overlapping [`Fault::DcOutage`] wins (the
+    /// composed factor is zero).
+    CapacityDegrade {
+        /// Data center losing capacity.
+        dc: usize,
+        /// Remaining-capacity fraction (e.g. `0.4` keeps 40%).
+        factor: f64,
+        /// First affected period.
+        start: usize,
+        /// Number of consecutive affected periods.
+        duration: usize,
+    },
 }
 
 /// A declarative set of faults to inject into a scenario.
@@ -77,6 +102,36 @@ impl FaultPlan {
             from,
             periods,
             factor,
+        });
+        self
+    }
+
+    /// Adds a full outage of data center `dc` covering
+    /// `start .. start + duration`.
+    pub fn dc_outage(mut self, dc: usize, start: usize, duration: usize) -> Self {
+        self.faults.push(Fault::DcOutage {
+            dc,
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// Adds a capacity degradation on data center `dc`: the remaining
+    /// fraction `factor` of its capacity survives during
+    /// `start .. start + duration`.
+    pub fn capacity_degrade(
+        mut self,
+        dc: usize,
+        factor: f64,
+        start: usize,
+        duration: usize,
+    ) -> Self {
+        self.faults.push(Fault::CapacityDegrade {
+            dc,
+            factor,
+            start,
+            duration,
         });
         self
     }
@@ -139,6 +194,92 @@ impl FaultPlan {
             }
         }
     }
+
+    /// True when the plan removes capacity (any [`Fault::DcOutage`] or
+    /// [`Fault::CapacityDegrade`]).
+    pub fn has_capacity_faults(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DcOutage { .. } | Fault::CapacityDegrade { .. }))
+    }
+
+    /// Fraction of data center `dc`'s nominal capacity that survives at
+    /// period `k`. Overlapping degradations compose multiplicatively; an
+    /// active outage forces zero.
+    pub fn capacity_factor(&self, dc: usize, k: usize) -> f64 {
+        let mut factor = 1.0f64;
+        for fault in &self.faults {
+            match fault {
+                Fault::DcOutage {
+                    dc: l,
+                    start,
+                    duration,
+                } if *l == dc && (*start..start + duration).contains(&k) => {
+                    return 0.0;
+                }
+                Fault::CapacityDegrade {
+                    dc: l,
+                    factor: f,
+                    start,
+                    duration,
+                } if *l == dc && (*start..start + duration).contains(&k) => {
+                    factor *= f.clamp(0.0, 1.0);
+                }
+                _ => {}
+            }
+        }
+        factor
+    }
+
+    /// Materializes the plan's capacity faults as a per-period capacity
+    /// schedule `[period][dc]` over `periods` periods, scaling the
+    /// problem's nominal capacities. Returns `None` when the plan has no
+    /// capacity faults, so fault-free runs keep the static-capacity
+    /// fast path.
+    pub fn capacity_schedule(&self, problem: &Dspp, periods: usize) -> Option<Vec<Vec<f64>>> {
+        if !self.has_capacity_faults() {
+            return None;
+        }
+        let nl = problem.num_dcs();
+        Some(
+            (0..periods)
+                .map(|k| {
+                    (0..nl)
+                        .map(|l| problem.capacity(l) * self.capacity_factor(l, k))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Which data centers still have non-zero capacity at period `k`.
+    pub fn alive_mask(&self, num_dcs: usize, k: usize) -> Vec<bool> {
+        (0..num_dcs)
+            .map(|l| self.capacity_factor(l, k) > 0.0)
+            .collect()
+    }
+
+    /// Number of data centers with zero surviving capacity at period `k`.
+    pub fn dcs_down(&self, num_dcs: usize, k: usize) -> usize {
+        (0..num_dcs)
+            .filter(|&l| self.capacity_factor(l, k) == 0.0)
+            .count()
+    }
+
+    /// Capacity faults whose window opens exactly at period `k`, as
+    /// `(kind, dc)` pairs for telemetry onset events.
+    pub fn capacity_onsets(&self, k: usize) -> Vec<(&'static str, usize)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DcOutage { dc, start, .. } if *start == k => Some(("dc_outage", *dc)),
+                Fault::CapacityDegrade { dc, start, .. } if *start == k => {
+                    Some(("capacity_degrade", *dc))
+                }
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Shared view of how many faults a [`FaultingController`] has injected.
@@ -165,6 +306,9 @@ pub struct FaultingController {
     inner: Box<dyn PlacementController>,
     plan: FaultPlan,
     period: usize,
+    /// Next period whose capacity-fault state still needs telemetry
+    /// (retried attempts within one period must not double-count).
+    capacity_cursor: usize,
     stats: FaultStats,
     telemetry: Recorder,
 }
@@ -176,9 +320,46 @@ impl FaultingController {
             inner,
             plan,
             period: 0,
+            capacity_cursor: 0,
             stats: FaultStats::default(),
             telemetry: Recorder::disabled(),
         }
+    }
+
+    /// Once per period, records the plan's capacity-fault state: onset
+    /// events for windows opening this period, the `faults.dc_down_periods`
+    /// counter backing the `dc_outage` SLO, and the lost-capacity gauge.
+    fn note_capacity_state(&mut self) {
+        if !self.plan.has_capacity_faults() || self.period < self.capacity_cursor {
+            return;
+        }
+        self.capacity_cursor = self.period + 1;
+        for (kind, dc) in self.plan.capacity_onsets(self.period) {
+            let counter = match kind {
+                "dc_outage" => "faults.dc_outage_onsets",
+                _ => "faults.capacity_degrade_onsets",
+            };
+            self.telemetry.incr(counter, 1);
+            self.telemetry.tracer().event_with(
+                "runtime.fault_injected",
+                [
+                    ("severity", AttrValue::Str("warning".into())),
+                    ("kind", AttrValue::Str(kind.into())),
+                    ("dc", AttrValue::UInt(dc as u64)),
+                    ("period", AttrValue::UInt(self.period as u64)),
+                ],
+            );
+        }
+        let nl = self.inner.problem().num_dcs();
+        if self.plan.dcs_down(nl, self.period) > 0 {
+            self.telemetry.incr("faults.dc_down_periods", 1);
+        }
+        let lost: f64 = (0..nl)
+            .map(|l| {
+                self.inner.problem().capacity(l) * (1.0 - self.plan.capacity_factor(l, self.period))
+            })
+            .sum();
+        self.telemetry.gauge("faults.capacity_lost", lost);
     }
 
     /// Emits `runtime.injected_faults` and fault events to `telemetry`.
@@ -195,6 +376,7 @@ impl FaultingController {
 
 impl PlacementController for FaultingController {
     fn step(&mut self, observed_demand: &[f64]) -> Result<StepOutcome, CoreError> {
+        self.note_capacity_state();
         if self.plan.outage_at(self.period) {
             self.stats.injected.fetch_add(1, Ordering::Relaxed);
             self.telemetry.incr("runtime.injected_faults", 1);
@@ -239,12 +421,17 @@ impl PlacementController for FaultingController {
     fn restore(&mut self, checkpoint: &ControllerCheckpoint) -> Result<(), CoreError> {
         self.inner.restore(checkpoint)?;
         self.period = checkpoint.period;
+        self.capacity_cursor = checkpoint.period;
         Ok(())
     }
 
     fn note_fallback(&mut self, observed_demand: &[f64]) {
         self.inner.note_fallback(observed_demand);
         self.period += 1;
+    }
+
+    fn set_capacity_schedule(&mut self, schedule: Vec<Vec<f64>>) {
+        self.inner.set_capacity_schedule(schedule);
     }
 }
 
@@ -283,5 +470,64 @@ mod tests {
         // Out-of-range dc or window tail is ignored, not a panic.
         let plan = FaultPlan::new().price_shock(5, 0, 99, 2.0);
         plan.apply_to_prices(&mut prices);
+    }
+
+    #[test]
+    fn capacity_factor_composes_degrade_and_outage() {
+        let plan = FaultPlan::new()
+            .dc_outage(0, 2, 2)
+            .capacity_degrade(0, 0.5, 1, 4)
+            .capacity_degrade(1, 0.4, 3, 1);
+        assert!(plan.has_capacity_faults());
+        assert_eq!(plan.capacity_factor(0, 0), 1.0);
+        assert_eq!(plan.capacity_factor(0, 1), 0.5);
+        // Outage wins over the degradation in the overlap.
+        assert_eq!(plan.capacity_factor(0, 2), 0.0);
+        assert_eq!(plan.capacity_factor(0, 3), 0.0);
+        assert_eq!(plan.capacity_factor(0, 4), 0.5);
+        assert_eq!(plan.capacity_factor(0, 5), 1.0);
+        assert_eq!(plan.capacity_factor(1, 3), 0.4);
+        assert_eq!(plan.alive_mask(2, 2), vec![false, true]);
+        assert_eq!(plan.dcs_down(2, 2), 1);
+        assert_eq!(plan.dcs_down(2, 0), 0);
+        assert!(!FaultPlan::new().solver_outage(0, 1).has_capacity_faults());
+    }
+
+    #[test]
+    fn capacity_schedule_scales_nominal_capacities() {
+        let problem = dspp_core::DsppBuilder::new(2, 1)
+            .service_rate(100.0)
+            .sla_latency(0.100)
+            .latency_rows(vec![vec![0.010], vec![0.010]])
+            .capacity(0, 40.0)
+            .capacity(1, 20.0)
+            .price_trace(0, vec![1.0; 8])
+            .price_trace(1, vec![1.0; 8])
+            .build()
+            .unwrap();
+        assert!(FaultPlan::new().capacity_schedule(&problem, 4).is_none());
+        let plan = FaultPlan::new()
+            .dc_outage(1, 1, 2)
+            .capacity_degrade(0, 0.5, 2, 1);
+        let schedule = plan.capacity_schedule(&problem, 4).unwrap();
+        assert_eq!(schedule.len(), 4);
+        assert_eq!(schedule[0], vec![40.0, 20.0]);
+        assert_eq!(schedule[1], vec![40.0, 0.0]);
+        assert_eq!(schedule[2], vec![20.0, 0.0]);
+        assert_eq!(schedule[3], vec![40.0, 20.0]);
+    }
+
+    #[test]
+    fn capacity_onsets_report_opening_windows_only() {
+        let plan = FaultPlan::new()
+            .dc_outage(0, 3, 2)
+            .capacity_degrade(1, 0.6, 3, 1)
+            .dc_outage(1, 5, 1);
+        assert_eq!(
+            plan.capacity_onsets(3),
+            vec![("dc_outage", 0), ("capacity_degrade", 1)]
+        );
+        assert_eq!(plan.capacity_onsets(4), vec![]);
+        assert_eq!(plan.capacity_onsets(5), vec![("dc_outage", 1)]);
     }
 }

@@ -75,12 +75,14 @@ mod fault;
 mod pool;
 mod scenario;
 mod soak;
+mod store;
 
-pub use degrade::{DegradeStats, ResilientController, RetryPolicy};
+pub use degrade::{BackoffSchedule, DegradeStats, ResilientController, RetryPolicy};
 pub use fault::{Fault, FaultPlan, FaultStats, FaultingController};
 pub use pool::ScenarioPool;
 pub use scenario::{run_scenario, run_scenarios, ScenarioOutcome, ScenarioSpec};
 pub use soak::{run_soak, SoakReport, SoakSpec};
+pub use store::{CheckpointStore, LoadedCheckpoint, StoreError};
 
 /// Errors surfaced by the runtime engine.
 #[derive(Debug)]

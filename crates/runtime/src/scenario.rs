@@ -127,6 +127,15 @@ pub fn run_scenario(
     let mut demand = spec.demand.clone();
     spec.faults.apply_to_demand(&mut demand);
 
+    let mut controller = controller;
+    let periods = demand.first().map(Vec::len).unwrap_or(0);
+    if let Some(schedule) = spec.faults.capacity_schedule(controller.problem(), periods) {
+        controller.set_capacity_schedule(schedule);
+    }
+    // Wire the controller itself into the run's recorder: its
+    // `controller.step` spans (period, step_cost, recovered, ...) are
+    // what `dspp-analyze` attributes critical paths and MTTR from.
+    controller.attach_telemetry(telemetry.clone());
     let faulting =
         FaultingController::new(controller, spec.faults.clone()).with_telemetry(telemetry.clone());
     let fault_stats = faulting.stats();
@@ -364,6 +373,72 @@ mod tests {
             (outcome.sla_shortfall - deficit * outcome.recovery_periods as f64).abs() < 1e-6,
             "{outcome:?}"
         );
+    }
+
+    #[test]
+    fn dc_outage_sheds_the_analytic_deficit_and_pages_the_outage_slo() {
+        use dspp_telemetry::AlertState;
+        // Two 2-server DCs, one city, equal latencies: demand 240 needs
+        // exactly 3 servers (a = 1/80). Losing DC 1 for two periods
+        // leaves a 1-server deficit per period, which the recovery rung
+        // must shed exactly — no fallbacks, books balanced.
+        let mk = || -> Box<dyn PlacementController> {
+            let problem = DsppBuilder::new(2, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010], vec![0.010]])
+                .capacity(0, 2.0)
+                .capacity(1, 2.0)
+                .price_trace(0, vec![1.0])
+                .price_trace(1, vec![1.0])
+                .build()
+                .unwrap();
+            Box::new(
+                MpcController::new(
+                    problem,
+                    Box::new(LastValue),
+                    MpcSettings {
+                        horizon: 3,
+                        ..MpcSettings::default()
+                    },
+                )
+                .unwrap(),
+            )
+        };
+        let telemetry = Recorder::enabled();
+        let trace = vec![vec![240.0; 8]];
+        let spec = ScenarioSpec::new("dc-outage", trace)
+            .with_faults(FaultPlan::new().dc_outage(1, 2, 2))
+            .with_slos(vec![SloSpec::dc_outage()]);
+        let outcome = run_scenario(mk(), &spec, &telemetry).unwrap();
+        assert_eq!(outcome.report.periods.len(), 7, "run must complete");
+        assert_eq!(outcome.fallback_periods, 0, "recovery must absorb it");
+        assert!(outcome.recovery_periods >= 2);
+        // Two outage periods × (3 required − 2 surviving) servers.
+        assert!(
+            (outcome.sla_shortfall - 2.0).abs() < 1e-5,
+            "shortfall {} servers, expected 2",
+            outcome.sla_shortfall
+        );
+        let states: Vec<(u64, AlertState)> = outcome
+            .slo_transitions
+            .iter()
+            .filter(|t| t.slo == "dc_outage")
+            .map(|t| (t.period, t.to))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                (2, AlertState::Pending),
+                (3, AlertState::Firing),
+                (6, AlertState::Resolved),
+            ],
+            "all: {:?}",
+            outcome.slo_transitions
+        );
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("faults.dc_down_periods"), 2);
+        assert_eq!(snap.counter("faults.dc_outage_onsets"), 1);
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Crash-safe checkpoint persistence with generational rollback.
+//!
+//! A [`CheckpointStore`] owns a directory of retained checkpoint
+//! *generations* for one named stream (e.g. an ingest loop's periodic
+//! [`dspp_ingest::IngestCheckpoint`] JSON). Every write is crash-safe:
+//! the document is framed with an embedded length + FNV-1a checksum
+//! header, written to a temporary file in the same directory, flushed,
+//! and atomically renamed into place — a torn write can never replace a
+//! good generation. Every read verifies the frame; a torn or corrupted
+//! file is *detected* (never panics — all I/O errors are typed
+//! [`StoreError`]s) and [`CheckpointStore::load_latest`] automatically
+//! rolls back to the newest older generation that still verifies.
+//!
+//! Telemetry: `faults.checkpoint_writes`, `faults.checkpoint_corrupt_detected`
+//! and `faults.checkpoint_rollbacks` counters, so the chaos drill and the
+//! `/metrics` endpoint can prove the rollback path ran.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dspp_telemetry::Recorder;
+
+/// Magic + frame version of the on-disk checkpoint envelope.
+const MAGIC: &str = "dsppckpt1";
+
+/// Typed failures of the durable checkpoint store. No path in this
+/// module unwraps on I/O: a torn file surfaces here, not as a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An OS-level I/O failure (permissions, missing directory, ...).
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A generation file exists but fails frame verification (truncated,
+    /// bit-flipped, or not a checkpoint envelope at all).
+    Corrupt {
+        /// The corrupt file.
+        path: PathBuf,
+        /// What the verifier objected to.
+        reason: String,
+    },
+    /// Every retained generation failed verification (or none exists).
+    NoUsableGeneration {
+        /// The store directory.
+        dir: PathBuf,
+        /// How many candidate files were tried.
+        tried: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "checkpoint I/O failed at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {}: {reason}", path.display())
+            }
+            StoreError::NoUsableGeneration { dir, tried } => write!(
+                f,
+                "no usable checkpoint generation in {} ({tried} tried)",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What [`CheckpointStore::load_latest`] recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedCheckpoint {
+    /// Generation sequence number of the document that verified.
+    pub generation: u64,
+    /// The checkpoint document itself.
+    pub payload: String,
+    /// Newer generations that failed verification and were skipped — a
+    /// non-empty list means an automatic rollback happened.
+    pub rolled_back: Vec<PathBuf>,
+}
+
+/// A directory of crash-safe, checksummed checkpoint generations. See
+/// the module docs.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    name: String,
+    retain: usize,
+    telemetry: Recorder,
+}
+
+/// The 64-bit FNV-1a hash embedded in every checkpoint frame.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store at `dir` for the stream
+    /// `name`, retaining the newest `retain` generations (min 1).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: &Path, name: &str, retain: usize) -> Result<Self, StoreError> {
+        fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            name: name.to_string(),
+            retain: retain.max(1),
+            telemetry: Recorder::disabled(),
+        })
+    }
+
+    /// Emits `faults.checkpoint_*` counters to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(&self, generation: u64) -> String {
+        format!("{}.gen{generation:08}.ckpt", self.name)
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(self.file_name(generation))
+    }
+
+    /// Retained generation sequence numbers, oldest first. Files that do
+    /// not match this store's naming scheme are ignored.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        let entries = fs::read_dir(&self.dir).map_err(|source| StoreError::Io {
+            path: self.dir.clone(),
+            source,
+        })?;
+        let prefix = format!("{}.gen", self.name);
+        let mut gens = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|source| StoreError::Io {
+                path: self.dir.clone(),
+                source,
+            })?;
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            let Some(rest) = file.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(digits) = rest.strip_suffix(".ckpt") else {
+                continue;
+            };
+            if let Ok(g) = digits.parse::<u64>() {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Appends a new generation containing `payload`, pruning old
+    /// generations beyond the retention budget. The write is atomic:
+    /// frame to a temp file in the same directory, flush, rename.
+    ///
+    /// Returns the new generation's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn write(&self, payload: &str) -> Result<u64, StoreError> {
+        let generation = self.generations()?.last().copied().unwrap_or(0) + 1;
+        let frame = format!(
+            "{MAGIC} {} {:016x}\n{payload}",
+            payload.len(),
+            fnv1a64(payload.as_bytes())
+        );
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp", self.file_name(generation)));
+        let write_tmp = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(frame.as_bytes())?;
+            f.sync_all()
+        };
+        write_tmp(&tmp).map_err(|source| StoreError::Io {
+            path: tmp.clone(),
+            source,
+        })?;
+        let path = self.path_for(generation);
+        fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        self.telemetry.incr("faults.checkpoint_writes", 1);
+        self.prune()?;
+        Ok(generation)
+    }
+
+    /// Drops the oldest generations beyond the retention budget.
+    fn prune(&self) -> Result<(), StoreError> {
+        let gens = self.generations()?;
+        if gens.len() <= self.retain {
+            return Ok(());
+        }
+        for &g in &gens[..gens.len() - self.retain] {
+            let path = self.path_for(g);
+            fs::remove_file(&path).map_err(|source| StoreError::Io { path, source })?;
+        }
+        Ok(())
+    }
+
+    /// Verifies one generation file's frame and returns its payload.
+    fn verify(&self, generation: u64) -> Result<String, StoreError> {
+        let path = self.path_for(generation);
+        let bytes = fs::read(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let text = String::from_utf8(bytes).map_err(|_| StoreError::Corrupt {
+            path: path.clone(),
+            reason: "not valid UTF-8".into(),
+        })?;
+        let Some((header, payload)) = text.split_once('\n') else {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: "missing frame header".into(),
+            });
+        };
+        let fields: Vec<&str> = header.split(' ').collect();
+        if fields.len() != 3 || fields[0] != MAGIC {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: format!("bad header {header:?}"),
+            });
+        }
+        let declared_len: usize = fields[1].parse().map_err(|_| StoreError::Corrupt {
+            path: path.clone(),
+            reason: format!("bad length field {:?}", fields[1]),
+        })?;
+        if payload.len() != declared_len {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: format!("torn file: {} of {declared_len} bytes", payload.len()),
+            });
+        }
+        let declared_sum = u64::from_str_radix(fields[2], 16).map_err(|_| StoreError::Corrupt {
+            path: path.clone(),
+            reason: format!("bad checksum field {:?}", fields[2]),
+        })?;
+        let actual = fnv1a64(payload.as_bytes());
+        if actual != declared_sum {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: format!("checksum mismatch: {actual:016x} != {declared_sum:016x}"),
+            });
+        }
+        Ok(payload.to_string())
+    }
+
+    /// Loads the newest generation that verifies, rolling back across
+    /// corrupt or torn newer generations. Detected corruption is counted
+    /// (`faults.checkpoint_corrupt_detected`) and each skip-over is a
+    /// `faults.checkpoint_rollbacks` increment.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoUsableGeneration`] when nothing verifies;
+    /// [`StoreError::Io`] when the directory itself cannot be read.
+    pub fn load_latest(&self) -> Result<LoadedCheckpoint, StoreError> {
+        let gens = self.generations()?;
+        let mut rolled_back = Vec::new();
+        for &g in gens.iter().rev() {
+            match self.verify(g) {
+                Ok(payload) => {
+                    if !rolled_back.is_empty() {
+                        self.telemetry
+                            .incr("faults.checkpoint_rollbacks", rolled_back.len() as u64);
+                    }
+                    return Ok(LoadedCheckpoint {
+                        generation: g,
+                        payload,
+                        rolled_back,
+                    });
+                }
+                Err(StoreError::Corrupt { path, .. }) => {
+                    self.telemetry.incr("faults.checkpoint_corrupt_detected", 1);
+                    rolled_back.push(path);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StoreError::NoUsableGeneration {
+            dir: self.dir.clone(),
+            tried: gens.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dspp-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_retains_generations() {
+        let dir = tmp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir, "ingest", 3).unwrap();
+        for k in 0..5 {
+            store.write(&format!("{{\"cursor\":{k}}}")).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![3, 4, 5]);
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.generation, 5);
+        assert_eq!(loaded.payload, "{\"cursor\":4}");
+        assert!(loaded.rolled_back.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_corruption_and_rolls_back() {
+        let dir = tmp_dir("rollback");
+        let telemetry = Recorder::enabled();
+        let store = CheckpointStore::open(&dir, "sim", 4)
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        store.write("generation one").unwrap();
+        store.write("generation two").unwrap();
+        let g3 = store.write("generation three").unwrap();
+        // Flip bits in the newest generation's payload.
+        let victim = dir.join(format!("sim.gen{g3:08}.ckpt"));
+        let mut bytes = fs::read(&victim).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.payload, "generation two");
+        assert_eq!(loaded.rolled_back, vec![victim]);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("faults.checkpoint_corrupt_detected"), 1);
+        assert_eq!(snap.counter("faults.checkpoint_rollbacks"), 1);
+        assert_eq!(snap.counter("faults.checkpoint_writes"), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_torn_truncated_files() {
+        let dir = tmp_dir("torn");
+        let store = CheckpointStore::open(&dir, "s", 2).unwrap();
+        let g1 = store.write("a full checkpoint document").unwrap();
+        store.write("the next checkpoint document").unwrap();
+        // Truncate the newest file mid-payload, as a crash would.
+        let gens = store.generations().unwrap();
+        let newest = dir.join(format!("s.gen{:08}.ckpt", gens[1]));
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() - 5]).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.generation, g1);
+        assert_eq!(loaded.payload, "a full checkpoint document");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_hopeless_stores_return_typed_errors() {
+        let dir = tmp_dir("empty");
+        let store = CheckpointStore::open(&dir, "x", 2).unwrap();
+        match store.load_latest() {
+            Err(StoreError::NoUsableGeneration { tried, .. }) => assert_eq!(tried, 0),
+            other => panic!("expected NoUsableGeneration, got {other:?}"),
+        }
+        // Every generation corrupt: still a typed error, never a panic.
+        store.write("only generation").unwrap();
+        let g = store.generations().unwrap()[0];
+        fs::write(dir.join(format!("x.gen{g:08}.ckpt")), b"garbage").unwrap();
+        match store.load_latest() {
+            Err(StoreError::NoUsableGeneration { tried, .. }) => assert_eq!(tried, 1),
+            other => panic!("expected NoUsableGeneration, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_are_atomic_no_tmp_residue() {
+        let dir = tmp_dir("atomic");
+        let store = CheckpointStore::open(&dir, "a", 2).unwrap();
+        store.write("payload").unwrap();
+        let residue: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(residue.is_empty(), "temp files left behind: {residue:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -248,9 +248,14 @@ fn solve_lq_warm_inner(
     let mut z_max = 0.0f64;
     // Regularization is adaptive: a failed Riccati factorization (the
     // barrier Hessian went ill-conditioned near the boundary) boosts it for
-    // the rest of the solve instead of aborting.
+    // the rest of the solve instead of aborting. The ceiling is deliberately
+    // enormous (inertia-correction style): with barrier weights of 1e16 the
+    // backward recursion's subtraction can leave an indefinite P whose
+    // negative pivots are far beyond any "small" shift, and a heavily damped
+    // step that keeps the iteration alive beats aborting a solve whose
+    // primal iterate is already feasible.
     let mut reg = settings.regularization;
-    let max_reg = settings.regularization.max(1e-12) * 1e8;
+    let max_reg = settings.regularization.max(1e-12) * 1e20;
 
     // ------- preallocated workspace, reused every iteration -------
     // Everything the loop body writes lives here (or in the iterates above),
@@ -451,9 +456,23 @@ fn solve_lq_warm_inner(
                 }
                 Err(e) => {
                     // Even the fully boosted regularization cannot factor
-                    // the barrier Hessian. When the multipliers driving it
-                    // diverged against a never-satisfied constraint row,
-                    // that is the infeasibility exit, not a numerical one.
+                    // the barrier Hessian. On a degenerate optimal face
+                    // (e.g. a capacity row pinned against non-negativity)
+                    // the primal iterate converges while the non-unique
+                    // multipliers diverge until the barrier weights
+                    // overflow — accept the converged primal rather than
+                    // fail. Otherwise, multipliers diverging against a
+                    // never-satisfied constraint row are the
+                    // infeasibility exit, not a numerical one.
+                    if let Some(sol) =
+                        accept_degraded(problem, settings, scale, &xs, &us, &ss, &zs, iter)
+                    {
+                        telemetry
+                            .observe("solver.lq.kkt_residual", problem.max_violation(&xs, &us));
+                        span.attr("status", "almost_optimal");
+                        span.attr("iterations", iter);
+                        return Ok(sol);
+                    }
                     if let Some(err) = classify_infeasibility(best_violation, settings, true) {
                         span.attr("status", "infeasible");
                         return Err(err);
@@ -572,6 +591,15 @@ fn solve_lq_warm_inner(
             ));
         }
         if m_total > 0 && alpha_p < 1e-13 && alpha_d < 1e-13 {
+            // A collapsed step on an already-converged primal iterate is
+            // the same degenerate-multiplier breakdown as a failed
+            // factorization: take the loose acceptance.
+            if let Some(sol) = accept_degraded(problem, settings, scale, &xs, &us, &ss, &zs, iter) {
+                telemetry.observe("solver.lq.kkt_residual", problem.max_violation(&xs, &us));
+                span.attr("status", "almost_optimal");
+                span.attr("iterations", iter);
+                return Ok(sol);
+            }
             // A collapsed step with a constraint row still violated is the
             // classic primal-infeasibility exit; classify it as such
             // instead of reporting an opaque numerical failure.
@@ -630,6 +658,60 @@ fn solve_lq_warm_inner(
         limit: settings.max_iterations,
         gap: best_gap,
     })
+}
+
+/// Loose-tolerance acceptance shared by the breakdown exits (failed
+/// barrier factorization, collapsed step length): when the *primal*
+/// iterate already satisfies the same `1e4×`-loosened feasibility and
+/// gap tests the iteration-exhaustion path applies, the solve is done —
+/// only the multipliers, non-unique on a degenerate active set (e.g. a
+/// zero-capacity row pinned against non-negativity under an outage
+/// schedule), kept iterating. Returns the iterate as
+/// [`SolveStatus::AlmostOptimal`], or `None` when the iterate genuinely
+/// has not converged.
+#[allow(clippy::too_many_arguments)]
+fn accept_degraded(
+    problem: &LqProblem,
+    settings: &IpmSettings,
+    scale: f64,
+    xs: &[Vector],
+    us: &[Vector],
+    ss: &[Vector],
+    zs: &[Vector],
+    iterations: usize,
+) -> Option<LqSolution> {
+    let objective = problem.objective(xs, us);
+    let mut gap = 0.0;
+    let mut m_total = 0usize;
+    for (s, z) in ss.iter().zip(zs) {
+        gap += s.dot(z);
+        m_total += s.len();
+    }
+    let mu = if m_total > 0 {
+        gap / m_total as f64
+    } else {
+        0.0
+    };
+    let loose = 1e4;
+    let violation = problem.max_violation(xs, us);
+    // The gap test is relative to the problem's scale as well as the
+    // objective: breakdowns near a tiny optimal value (a relaxation whose
+    // slacks are almost free) would otherwise fail an objective-relative
+    // test they pass by any absolute measure.
+    if violation <= loose * settings.tol_feasibility * scale
+        && mu <= loose * settings.tol_gap * (1.0 + objective.abs()).max(scale)
+    {
+        Some(LqSolution {
+            xs: xs.to_vec(),
+            us: us.to_vec(),
+            stage_duals: zs.to_vec(),
+            objective,
+            iterations,
+            status: SolveStatus::AlmostOptimal,
+        })
+    } else {
+        None
+    }
 }
 
 /// Farkas-style exit classification shared by the divergence,

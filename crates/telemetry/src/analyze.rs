@@ -3,7 +3,7 @@
 //! [`analyze_jsonl`] ingests the line-delimited event log written by
 //! [`Tracer::to_jsonl`](crate::Tracer::to_jsonl) (`--events-out` on the
 //! quickstart and every experiments binary) and renders a deterministic
-//! plain-text report with three sections:
+//! plain-text report with four sections:
 //!
 //! 1. **Critical-path attribution** — per-period latency split across
 //!    the `sim.period → controller.step → solver.*` span nesting: how
@@ -14,6 +14,10 @@
 //! 3. **Alert and fault timeline** — every `slo.*` alert transition and
 //!    `runtime.*` fault/fallback event in timestamp order, so injected
 //!    faults line up against the SLO engine's reaction.
+//! 4. **Fault recovery (MTTR)** — per injected fault, the number of
+//!    control periods from fault onset until the per-period step cost
+//!    (the `step_cost` attribute on `controller.step` spans) returns
+//!    within tolerance of its pre-fault baseline.
 //!
 //! The report derives every number from the trace's own clock (the
 //! tracer's injectable [`TraceClock`](crate::TraceClock)); it never reads
@@ -392,6 +396,107 @@ pub fn analyze_jsonl(input: &str, options: &AnalyzeOptions) -> Result<String, St
         count("runtime.fault_injected"),
         count("runtime.fallback"),
     );
+    out.push('\n');
+
+    // ---- Section 4: fault recovery (MTTR) ----------------------------
+    // Per-period cost series from the controller's own step accounting.
+    let mut cost_by_period: BTreeMap<u64, f64> = BTreeMap::new();
+    for span in spans.iter().filter(|s| s.name == "controller.step") {
+        if let (Some(p), Some(c)) = (
+            span.attrs.get("period").and_then(JsonValue::as_u64),
+            span.attrs.get("step_cost").and_then(JsonValue::as_f64),
+        ) {
+            cost_by_period.insert(p, c);
+        }
+    }
+    // Unique fault onsets: solver outages emit one event per retried
+    // attempt inside a period, so collapse to (kind, dc, period).
+    let mut onsets: Vec<(String, Option<u64>, u64)> = Vec::new();
+    for e in events.iter().filter(|e| e.name == "runtime.fault_injected") {
+        let kind = e
+            .attrs
+            .get("kind")
+            .map(attr_string)
+            .unwrap_or_else(|| "unknown".to_string());
+        let dc = e.attrs.get("dc").and_then(JsonValue::as_u64);
+        let Some(period) = e.attrs.get("period").and_then(JsonValue::as_u64) else {
+            continue;
+        };
+        let key = (kind, dc, period);
+        if !onsets.contains(&key) {
+            onsets.push(key);
+        }
+    }
+    onsets.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+
+    let _ = writeln!(out, "fault recovery (MTTR)");
+    let _ = writeln!(out, "---------------------");
+    if onsets.is_empty() {
+        let _ = writeln!(out, "no injected faults in this trace");
+    } else if cost_by_period.is_empty() {
+        let _ = writeln!(
+            out,
+            "faults present but no step_cost attributes to measure recovery"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "fault                dc  onset  baseline_cost  recovered_at  mttr_periods"
+        );
+        let mut recovered = 0usize;
+        let mut mttr_sum = 0u64;
+        for (kind, dc, onset) in &onsets {
+            let dc_str = dc.map_or_else(|| "-".to_string(), |d| d.to_string());
+            // Baseline: mean step cost over every pre-fault period. The
+            // tolerance band is 5% of the baseline (floored at 1e-9 so a
+            // zero-cost baseline still admits exact recovery).
+            let pre: Vec<f64> = cost_by_period.range(..onset).map(|(_, &c)| c).collect();
+            if pre.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{kind:<18}  {dc_str:>2}  {onset:>5}  no pre-fault baseline"
+                );
+                continue;
+            }
+            let baseline = pre.iter().sum::<f64>() / pre.len() as f64;
+            let tol = (0.05 * baseline.abs()).max(1e-9);
+            match cost_by_period
+                .range(onset..)
+                .find(|&(_, &c)| (c - baseline).abs() <= tol)
+            {
+                Some((&q, _)) => {
+                    let mttr = q - onset;
+                    recovered += 1;
+                    mttr_sum += mttr;
+                    let _ = writeln!(
+                        out,
+                        "{kind:<18}  {dc_str:>2}  {onset:>5}  {baseline:>13.4}  {q:>12}  {mttr:>12}"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{kind:<18}  {dc_str:>2}  {onset:>5}  {baseline:>13.4}  {:>12}  {:>12}",
+                        "-", "never"
+                    );
+                }
+            }
+        }
+        if recovered > 0 {
+            let _ = writeln!(
+                out,
+                "mttr: {recovered}/{} faults recovered, mean {:.1} periods",
+                onsets.len(),
+                mttr_sum as f64 / recovered as f64
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "mttr: 0/{} faults recovered within this trace",
+                onsets.len()
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -416,6 +521,9 @@ mod tests {
                 step.attr("period", k);
                 step.attr("warm_start", k > 0);
                 step.attr("solver_iterations", 9 + k);
+                // Period 1's fault triples the cost; period 2 lands back
+                // inside the 5% baseline band, so MTTR is one period.
+                step.attr("step_cost", [10.0, 30.0, 10.2][k as usize]);
                 {
                     let _solve = tracer.span("solver.lq.solve");
                     clock.advance(if k == 1 { 900_000 } else { 300_000 });
@@ -479,6 +587,44 @@ mod tests {
         let firing_pos = report.find("slo.firing").unwrap();
         assert!(fault_pos < firing_pos, "fault must precede the alert");
         assert!(report.contains("summary: pending=0 firing=1 resolved=0 faults=1 fallbacks=1"));
+    }
+
+    #[test]
+    fn mttr_measures_periods_until_cost_rebaselines() {
+        let report = analyze_jsonl(&fixture_jsonl(), &AnalyzeOptions::default()).unwrap();
+        assert!(report.contains("fault recovery (MTTR)"), "{report}");
+        // Onset at period 1 (cost 30 vs baseline 10), back in band at 2.
+        let row = report
+            .lines()
+            .find(|l| l.starts_with("solver_outage"))
+            .expect("mttr row for the injected fault");
+        assert!(row.contains("10.0000"), "baseline from period 0: {row}");
+        assert!(
+            row.trim_end().ends_with('1'),
+            "one period to recover: {row}"
+        );
+        assert!(report.contains("mttr: 1/1 faults recovered, mean 1.0 periods"));
+    }
+
+    #[test]
+    fn mttr_section_degrades_without_cost_attributes() {
+        // An event-only trace (no controller.step spans): the section
+        // must say why it cannot measure instead of omitting the fault.
+        let clock = ManualClock::new();
+        let tracer = Tracer::with_clock(64, Box::new(Arc::clone(&clock)));
+        tracer.event_with(
+            "runtime.fault_injected",
+            [
+                ("kind", AttrValue::Str("dc_outage".into())),
+                ("dc", AttrValue::UInt(0)),
+                ("period", AttrValue::UInt(3)),
+            ],
+        );
+        let report = analyze_jsonl(&tracer.to_jsonl(), &AnalyzeOptions::default()).unwrap();
+        assert!(report.contains("faults present but no step_cost attributes"));
+        // And a clean trace reports the empty case.
+        let clean = analyze_jsonl("", &AnalyzeOptions::default()).unwrap();
+        assert!(clean.contains("no injected faults in this trace"));
     }
 
     #[test]

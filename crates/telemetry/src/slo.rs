@@ -52,6 +52,11 @@ pub enum SloSignal {
     /// `ingest.backpressure_events` counter the streaming front end
     /// maintains.
     IngestBackpressure,
+    /// Periods in which at least one datacenter had zero surviving
+    /// capacity. Read directly from the recorder as the per-period delta
+    /// of the `faults.dc_down_periods` counter the fault plane's
+    /// injector maintains.
+    DcOutage,
 }
 
 /// One control period's worth of SLO inputs, built by the layer driving
@@ -184,6 +189,25 @@ impl SloSpec {
             resolve_periods: 3,
         }
     }
+
+    /// The infrastructure fault plane's availability SLO: any period with
+    /// a fully downed datacenter burns budget, a multi-period outage
+    /// fires, and the alert resolves once every datacenter has capacity
+    /// again. Not part of [`SloSpec::default_set`] — attach it to runs
+    /// whose fault plans remove capacity (the chaos drill does).
+    pub fn dc_outage() -> SloSpec {
+        SloSpec {
+            name: "dc_outage",
+            signal: SloSignal::DcOutage,
+            objective: 0.0,
+            error_budget: 0.125,
+            short_window: 2,
+            long_window: 8,
+            burn_threshold: 2.0,
+            pending_periods: 1,
+            resolve_periods: 2,
+        }
+    }
 }
 
 /// Alert lifecycle states. `Resolved` is transient: it appears in the
@@ -294,6 +318,9 @@ struct SloState {
     /// Last seen total of the recorder counter backing
     /// [`SloSignal::IngestBackpressure`].
     last_ingest_total: u64,
+    /// Last seen total of the recorder counter backing
+    /// [`SloSignal::DcOutage`].
+    last_dc_down_total: u64,
 }
 
 /// Evaluates a set of [`SloSpec`]s one control period at a time. See the
@@ -329,6 +356,7 @@ impl SloEngine {
             match spec.signal {
                 SloSignal::GameNonConvergence => telemetry.incr("game.max_rounds_hit", 0),
                 SloSignal::IngestBackpressure => telemetry.incr("ingest.backpressure_events", 0),
+                SloSignal::DcOutage => telemetry.incr("faults.dc_down_periods", 0),
                 _ => {}
             }
             slos.push(SloState {
@@ -340,6 +368,7 @@ impl SloEngine {
                 state_gauge,
                 last_game_total: 0,
                 last_ingest_total: 0,
+                last_dc_down_total: 0,
                 spec,
             });
         }
@@ -380,6 +409,10 @@ impl SloEngine {
             .telemetry
             .counter_value("ingest.backpressure_events")
             .unwrap_or_default();
+        let dc_down_total = self
+            .telemetry
+            .counter_value("faults.dc_down_periods")
+            .unwrap_or_default();
         let mut max_burn = 0.0f64;
         for slo in &mut self.slos {
             let value = match slo.spec.signal {
@@ -395,6 +428,11 @@ impl SloEngine {
                 SloSignal::IngestBackpressure => {
                     let delta = ingest_total.saturating_sub(slo.last_ingest_total);
                     slo.last_ingest_total = ingest_total;
+                    delta as f64
+                }
+                SloSignal::DcOutage => {
+                    let delta = dc_down_total.saturating_sub(slo.last_dc_down_total);
+                    slo.last_dc_down_total = dc_down_total;
                     delta as f64
                 }
             };
@@ -735,6 +773,33 @@ mod tests {
             engine.state("ingest_backpressure"),
             Some(AlertState::Inactive)
         );
+    }
+
+    #[test]
+    fn dc_outage_fires_during_the_window_and_resolves_after() {
+        let telemetry = Recorder::enabled();
+        let mut engine = SloEngine::new(vec![SloSpec::dc_outage()], telemetry.clone());
+        // A 4-period outage (periods 4..8) in a 16-period trace.
+        for k in 0..16u64 {
+            if (4..8).contains(&k) {
+                telemetry.incr("faults.dc_down_periods", 1);
+            }
+            engine.observe(&sample(k, false));
+        }
+        let tos: Vec<(AlertState, u64)> = engine
+            .transitions()
+            .iter()
+            .map(|t| (t.to, t.period))
+            .collect();
+        assert_eq!(
+            tos,
+            vec![
+                (AlertState::Pending, 5),
+                (AlertState::Firing, 6),
+                (AlertState::Resolved, 10),
+            ]
+        );
+        assert_eq!(engine.state("dc_outage"), Some(AlertState::Inactive));
     }
 
     #[test]

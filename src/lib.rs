@@ -58,6 +58,7 @@ pub use dspp_ingest as ingest;
 pub use dspp_linalg as linalg;
 pub use dspp_predict as predict;
 pub use dspp_pricing as pricing;
+pub use dspp_runtime as runtime;
 pub use dspp_sim as sim;
 pub use dspp_solver as solver;
 pub use dspp_telemetry as telemetry;

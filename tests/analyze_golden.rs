@@ -44,6 +44,10 @@ fn fixture_trace() -> String {
                 step.attr("recovered", true);
                 step.attr("sla_shortfall", 0.1875);
             }
+            // Cost spikes through the outage (2) and the recovery solve
+            // (3), then lands back inside the 5% baseline band at 4 —
+            // the MTTR section must report a two-period recovery.
+            step.attr("step_cost", [3.0, 3.02, 3.9, 3.6, 3.05][k as usize]);
             {
                 let _solve = tracer.span("solver.lq.solve");
                 clock.advance(match k {

@@ -14,6 +14,13 @@
 //!   lock-free snapshot swap matches single-threaded routing totals.
 //! * **Checkpoint round-trip** — interrupt, JSON round-trip, restore
 //!   into a fresh loop: bit-exact resume for any checkpoint position.
+//! * **Capacity-schedule round-trip** — the fault plane's capacity
+//!   time-series survives the version-2 checkpoint schema bit-for-bit,
+//!   and a restored mid-outage loop resumes exactly.
+//! * **Outage conservation** — for any outage placement the
+//!   outage-triggered masked republish routes nothing to the dead DC
+//!   and the integer conservation identity still holds, independent of
+//!   the shard layout.
 
 use dspp::core::{DsppBuilder, MpcController, MpcSettings, PlacementController};
 use dspp::ingest::{
@@ -169,5 +176,122 @@ proptest! {
         );
         prop_assert_eq!(full.totals().generated, resumed.totals().generated);
         prop_assert_eq!(full.carry_backlog(), resumed.carry_backlog());
+    }
+
+    /// The capacity time-series round-trips through the version-2
+    /// checkpoint schema bit-for-bit (the `n/7` factors have repeating
+    /// binary fractions, so this pins the shortest-round-trip float
+    /// formatting), and a loop restored mid-outage finishes exactly
+    /// like the uninterrupted run.
+    #[test]
+    fn prop_capacity_schedule_roundtrips_bit_exact(
+        seed in 0u64..1_000_000,
+        raw in proptest::collection::vec(0u32..7_000, 5),
+        cut in 1usize..5,
+    ) {
+        let rates = [20.0, 12.0, 8.0];
+        let periods = 5;
+        // DC 0 stays well provisioned; DC 1 wanders through arbitrary
+        // degradation levels, including full outage at raw == 0.
+        let schedule: Vec<Vec<f64>> = raw
+            .iter()
+            .map(|&n| vec![500.0 + f64::from(n) / 7.0, f64::from(n) / 7.0])
+            .collect();
+        let budget = BackpressureBudget::unlimited();
+        let mut full = build_loop(&rates, periods, seed, 2, budget)
+            .with_capacity_schedule(schedule.clone())
+            .expect("valid schedule");
+        full.run_to_end().expect("runs");
+
+        let mut first = build_loop(&rates, periods, seed, 2, budget)
+            .with_capacity_schedule(schedule.clone())
+            .expect("valid schedule");
+        while first.cursor() < cut {
+            first.step().expect("steps");
+        }
+        let json = first.checkpoint().expect("checkpointable").to_json();
+        let parsed = IngestCheckpoint::from_json(&json).expect("parses");
+        let round = parsed.capacity_schedule.as_ref().expect("schedule present");
+        prop_assert_eq!(round.len(), schedule.len());
+        for (ra, rb) in schedule.iter().zip(round) {
+            for (a, b) in ra.iter().zip(rb) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let mut resumed = build_loop(&rates, periods, seed, 2, budget)
+            .with_capacity_schedule(schedule.clone())
+            .expect("valid schedule");
+        resumed.restore(&parsed).expect("restores");
+        resumed.run_to_end().expect("runs");
+        prop_assert_eq!(full.sealed(), resumed.sealed());
+        prop_assert_eq!(full.sealed_matrix_csv(), resumed.sealed_matrix_csv());
+        prop_assert_eq!(
+            full.totals().step_cost.to_bits(),
+            resumed.totals().step_cost.to_bits()
+        );
+    }
+
+    /// For any DC-outage placement the masked republish keeps every
+    /// event off the dead DC's arcs, the integer conservation identity
+    /// `generated == admitted + dropped + backlog` survives the swap,
+    /// and the sealed ledger stays independent of the shard layout.
+    #[test]
+    fn prop_outage_republish_conserves_demand(
+        seed in 0u64..1_000_000,
+        r0 in 5.0f64..40.0,
+        r1 in 5.0f64..40.0,
+        r2 in 5.0f64..40.0,
+        dc in 0usize..2,
+        start in 0usize..5,
+        dur in 1usize..3,
+    ) {
+        let rates = [r0, r1, r2];
+        let periods = 5;
+        let dark = start..(start + dur).min(periods);
+        let schedule: Vec<Vec<f64>> = (0..periods)
+            .map(|k| {
+                let mut row = vec![1_000.0, 1_000.0];
+                if dark.contains(&k) {
+                    row[dc] = 0.0;
+                }
+                row
+            })
+            .collect();
+        let telemetry = dspp::telemetry::Recorder::enabled();
+        let budget = BackpressureBudget::unlimited();
+        let mut l = build_loop(&rates, periods, seed, 2, budget)
+            .with_capacity_schedule(schedule.clone())
+            .expect("valid schedule")
+            .with_telemetry(telemetry.clone());
+        let totals = l.run_to_end().expect("runs");
+
+        let arcs = l.controller().problem().arcs().to_vec();
+        let dead_events: u64 = l
+            .sealed()
+            .iter()
+            .filter(|s| dark.contains(&s.period))
+            .flat_map(|s| {
+                s.arc_counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(a, _)| arcs[a].0 == dc)
+                    .map(|(_, &n)| n)
+            })
+            .sum();
+        prop_assert_eq!(dead_events, 0);
+        let backlog: u64 = l.carry_backlog().iter().sum();
+        prop_assert_eq!(totals.generated, totals.admitted + totals.dropped + backlog);
+        let republishes = telemetry
+            .snapshot()
+            .map_or(0, |s| s.counter("ingest.snapshot_republishes"));
+        prop_assert!(republishes >= 1, "outage must force a masked republish");
+
+        // Shard layout cannot leak through the republish path either.
+        let mut wide = build_loop(&rates, periods, seed, 4, budget)
+            .with_capacity_schedule(schedule)
+            .expect("valid schedule");
+        wide.run_to_end().expect("runs");
+        prop_assert_eq!(l.sealed(), wide.sealed());
+        prop_assert_eq!(l.sealed_matrix_csv(), wide.sealed_matrix_csv());
     }
 }
