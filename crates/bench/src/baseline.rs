@@ -1,7 +1,7 @@
 //! Perf-baseline recording and regression comparison (the `dspp-bench`
 //! binary).
 //!
-//! `record` times fourteen representative workloads — one Riccati IPM solve,
+//! `record` times fifteen representative workloads — one Riccati IPM solve,
 //! one MPC controller step, one capacity-starved MPC step resolved by the
 //! recovery (soft-constraint) solve, one full best-response game run, one
 //! `dspp-runtime` scenario sweep on a worker pool, one simulation
@@ -10,8 +10,10 @@
 //! policy tournament (every placement policy on a one-day diurnal
 //! trace), a steady-state SLO evaluation pass, the streaming-ingest
 //! hot paths (snapshot routing + lock-free aggregation, and the
-//! period-close admit/seal barrier), and a two-DC infrastructure fault
-//! drill (a scheduled DC outage absorbed by the recovery rung) — and writes
+//! period-close admit/seal barrier), a two-DC infrastructure fault
+//! drill (a scheduled DC outage absorbed by the recovery rung), and a
+//! 100 DC × 1000 location horizon solve on the structure-exploiting
+//! Schur-complement KKT path (the CI scaling gate) — and writes
 //! their throughput plus latency quantiles as JSON (the committed
 //! `BENCH_BASELINE.json`). `compare` re-measures the same workloads and
 //! fails with a readable delta report when throughput regresses beyond a
@@ -27,6 +29,7 @@ use std::time::Instant;
 
 use dspp_core::{
     Allocation, DsppBuilder, MpcController, MpcSettings, PlacementController, RoutingPolicy,
+    StructuredHorizon,
 };
 use dspp_experiments::tournament;
 use dspp_game::{GameConfig, ResourceGame, SpSampler};
@@ -41,7 +44,8 @@ use dspp_telemetry::json::{self, JsonValue};
 use dspp_telemetry::{Recorder, SloEngine, SloSample, SloSpec};
 
 use crate::{
-    alloc_count, lq_fixture, multi_dc_problem, single_dc_problem, starved_single_dc_problem,
+    alloc_count, huge_problem, lq_fixture, multi_dc_problem, single_dc_problem,
+    starved_single_dc_problem,
 };
 
 /// Schema version of the baseline file.
@@ -131,96 +135,146 @@ impl Metric {
     }
 }
 
-/// Runs the three baseline workloads with `iters` timed iterations each.
+/// Every baseline workload, in canonical recording order. `record_selected`
+/// validates its `only` filter against this list, and the committed
+/// `BENCH_BASELINE.json` carries the workloads in exactly this order.
+pub const WORKLOADS: [&str; 15] = [
+    "solver.lq_solve",
+    "controller.step",
+    "controller.recovery_step",
+    "game.best_response_run",
+    "runtime.scenario_sweep",
+    "runtime.checkpoint_roundtrip",
+    "game.round_4sp.seq",
+    "game.round_4sp.par",
+    "solver.warm_vs_cold",
+    "policy.tournament_small",
+    "telemetry.slo_eval",
+    "ingest.route_agg",
+    "ingest.seal_period",
+    "runtime.dc_outage_drill",
+    "solver.lq_solve.large",
+];
+
+/// Runs every baseline workload with `iters` timed iterations each.
 pub fn record(iters: usize) -> Baseline {
+    record_selected(iters, &[])
+}
+
+/// Like [`record`], but restricted to the workloads named in `only` (all
+/// of them when `only` is empty). A skipped workload pays nothing — neither
+/// its fixtures nor its measurement loop runs — which is what lets the CI
+/// scaling job time `solver.lq_solve.large` in isolation.
+///
+/// # Panics
+///
+/// Panics when `only` names a workload not in [`WORKLOADS`].
+pub fn record_selected(iters: usize, only: &[String]) -> Baseline {
+    for name in only {
+        assert!(
+            WORKLOADS.contains(&name.as_str()),
+            "unknown workload {name:?} (see baseline::WORKLOADS)"
+        );
+    }
+    let pick = |name: &str| only.is_empty() || only.iter().any(|n| n == name);
     let warmup = (iters / 5).max(2);
 
     // 1. One Riccati-structured IPM solve on the DSPP-shaped LQ fixture.
     // Deterministic counters: IPM iterations and allocations of one solve
     // (the workspace-reuse optimizations gate on the allocation count).
+    // The cold solve is shared with workload 9's warm/cold split.
     let lq = lq_fixture(4, 12, 20.0);
     let ipm = IpmSettings::fast();
-    let (cold_sol, cold_allocs) =
-        alloc_count::count(|| solve_lq(&lq, &ipm).expect("solver fixture solves"));
-    let solver = measure("solver.lq_solve", warmup, iters, || {
-        solve_lq(&lq, &ipm).expect("solver fixture solves");
-    })
-    .with_counters(vec![
-        ("ipm_iterations".to_string(), cold_sol.iterations as f64),
-        ("allocs".to_string(), cold_allocs as f64),
-    ]);
+    let cold = (pick("solver.lq_solve") || pick("solver.warm_vs_cold"))
+        .then(|| alloc_count::count(|| solve_lq(&lq, &ipm).expect("solver fixture solves")));
+    let solver = pick("solver.lq_solve").then(|| {
+        let (cold_sol, cold_allocs) = cold.as_ref().expect("cold solve recorded");
+        measure("solver.lq_solve", warmup, iters, || {
+            solve_lq(&lq, &ipm).expect("solver fixture solves");
+        })
+        .with_counters(vec![
+            ("ipm_iterations".to_string(), cold_sol.iterations as f64),
+            ("allocs".to_string(), *cold_allocs as f64),
+        ])
+    });
 
     // 2. One MPC controller step (horizon 6, single DC). A step advances
     // the controller's internal period, so give it a long price trace and
     // rebuild once the trace is exhausted.
     let horizon = 6usize;
     let periods = 512usize;
-    let make = || {
-        MpcController::new(
-            single_dc_problem(periods),
-            Box::new(LastValue),
-            MpcSettings {
-                horizon,
-                ipm: IpmSettings::fast(),
-                ..MpcSettings::default()
-            },
-        )
-        .expect("controller fixture")
-    };
-    let mut controller = make();
-    let mut used = 0usize;
-    let controller_metric = measure("controller.step", warmup, iters, || {
-        if used + horizon + 1 >= periods {
-            controller = make();
-            used = 0;
-        }
-        controller.step(&[12_000.0]).expect("step");
-        used += 1;
+    let controller_metric = pick("controller.step").then(|| {
+        let make = || {
+            MpcController::new(
+                single_dc_problem(periods),
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon,
+                    ipm: IpmSettings::fast(),
+                    ..MpcSettings::default()
+                },
+            )
+            .expect("controller fixture")
+        };
+        let mut controller = make();
+        let mut used = 0usize;
+        measure("controller.step", warmup, iters, || {
+            if used + horizon + 1 >= periods {
+                controller = make();
+                used = 0;
+            }
+            controller.step(&[12_000.0]).expect("step");
+            used += 1;
+        })
     });
 
     // 3. One capacity-starved MPC step: the strict horizon QP is
     // infeasible every period, so each step runs the preflight check plus
     // the slack-relaxed recovery solve — the feasibility guardian's hot
     // path under sustained overload.
-    let make_starved = || {
-        MpcController::new(
-            starved_single_dc_problem(periods),
-            Box::new(LastValue),
-            MpcSettings {
-                horizon,
-                ipm: IpmSettings::fast(),
-                ..MpcSettings::default()
-            },
-        )
-        .expect("starved controller fixture")
-    };
-    let mut starved = make_starved();
-    let mut starved_used = 0usize;
-    let recovery_metric = measure("controller.recovery_step", warmup, iters, || {
-        if starved_used + horizon + 1 >= periods {
-            starved = make_starved();
-            starved_used = 0;
-        }
-        let outcome = starved.step(&[12_000.0]).expect("recovery step");
-        assert!(
-            outcome.recovery.is_some(),
-            "workload must exercise recovery"
-        );
-        starved_used += 1;
+    let recovery_metric = pick("controller.recovery_step").then(|| {
+        let make_starved = || {
+            MpcController::new(
+                starved_single_dc_problem(periods),
+                Box::new(LastValue),
+                MpcSettings {
+                    horizon,
+                    ipm: IpmSettings::fast(),
+                    ..MpcSettings::default()
+                },
+            )
+            .expect("starved controller fixture")
+        };
+        let mut starved = make_starved();
+        let mut starved_used = 0usize;
+        measure("controller.recovery_step", warmup, iters, || {
+            if starved_used + horizon + 1 >= periods {
+                starved = make_starved();
+                starved_used = 0;
+            }
+            let outcome = starved.step(&[12_000.0]).expect("recovery step");
+            assert!(
+                outcome.recovery.is_some(),
+                "workload must exercise recovery"
+            );
+            starved_used += 1;
+        })
     });
 
     // 4. One full best-response game run (Algorithm 2), 3 providers.
-    let providers = SpSampler::new(2, 2, 3)
-        .with_seed(1)
-        .sample(3)
-        .expect("sample");
-    let game = ResourceGame::new(providers, vec![120.0, 120.0]).expect("game");
-    let config = GameConfig {
-        ipm: IpmSettings::fast(),
-        ..GameConfig::default()
-    };
-    let game_metric = measure("game.best_response_run", warmup, iters, || {
-        game.run(&config).expect("game run");
+    let game_metric = pick("game.best_response_run").then(|| {
+        let providers = SpSampler::new(2, 2, 3)
+            .with_seed(1)
+            .sample(3)
+            .expect("sample");
+        let game = ResourceGame::new(providers, vec![120.0, 120.0]).expect("game");
+        let config = GameConfig {
+            ipm: IpmSettings::fast(),
+            ..GameConfig::default()
+        };
+        measure("game.best_response_run", warmup, iters, || {
+            game.run(&config).expect("game run");
+        })
     });
 
     // 5. A dspp-runtime scenario sweep: three closed-loop scenarios (one
@@ -242,40 +296,44 @@ pub fn record(iters: usize) -> Baseline {
         )?;
         Ok(Box::new(mpc))
     };
-    let pool = ScenarioPool::new(2);
-    let runtime_metric = measure("runtime.scenario_sweep", warmup, iters, || {
-        let specs = vec![
-            ScenarioSpec::new("plain", sweep_demand.clone()),
-            ScenarioSpec::new("outage", sweep_demand.clone())
-                .with_faults(FaultPlan::new().solver_outage(2, 1)),
-            ScenarioSpec::new("drill", sweep_demand.clone()).with_checkpoint_at(2),
-        ];
-        let results = run_scenarios(
-            &pool,
-            specs,
-            move |_| make_controller(),
-            &Recorder::disabled(),
-        );
-        assert!(results.iter().all(Result::is_ok), "scenario sweep runs");
+    let runtime_metric = pick("runtime.scenario_sweep").then(|| {
+        let pool = ScenarioPool::new(2);
+        measure("runtime.scenario_sweep", warmup, iters, || {
+            let specs = vec![
+                ScenarioSpec::new("plain", sweep_demand.clone()),
+                ScenarioSpec::new("outage", sweep_demand.clone())
+                    .with_faults(FaultPlan::new().solver_outage(2, 1)),
+                ScenarioSpec::new("drill", sweep_demand.clone()).with_checkpoint_at(2),
+            ];
+            let results = run_scenarios(
+                &pool,
+                specs,
+                move |_| make_controller(),
+                &Recorder::disabled(),
+            );
+            assert!(results.iter().all(Result::is_ok), "scenario sweep runs");
+        })
     });
 
     // 6. A checkpoint JSON round-trip on a mid-run simulation: freeze,
     // serialize, parse, restore. Times the persistence path alone. The
     // run is long (48 executed periods) so the document is big enough
     // for the measurement to be dominated by serialization, not noise.
-    let long_demand: Vec<f64> = (0..64)
-        .map(|k| 10_000.0 + 3_000.0 * (k as f64 * 0.4).sin())
-        .collect();
-    let mut sim = ClosedLoopSim::new(
-        make_controller().expect("controller fixture"),
-        vec![long_demand],
-    )
-    .expect("sim fixture");
-    sim.run_until(48).expect("sim runs to the checkpoint");
-    let checkpoint_metric = measure("runtime.checkpoint_roundtrip", warmup, iters, || {
-        let ck = sim.checkpoint().expect("checkpointable");
-        let parsed = SimCheckpoint::from_json(&ck.to_json()).expect("round-trip");
-        sim.restore(&parsed).expect("restore");
+    let checkpoint_metric = pick("runtime.checkpoint_roundtrip").then(|| {
+        let long_demand: Vec<f64> = (0..64)
+            .map(|k| 10_000.0 + 3_000.0 * (k as f64 * 0.4).sin())
+            .collect();
+        let mut sim = ClosedLoopSim::new(
+            make_controller().expect("controller fixture"),
+            vec![long_demand],
+        )
+        .expect("sim fixture");
+        sim.run_until(48).expect("sim runs to the checkpoint");
+        measure("runtime.checkpoint_roundtrip", warmup, iters, || {
+            let ck = sim.checkpoint().expect("checkpointable");
+            let parsed = SimCheckpoint::from_json(&ck.to_json()).expect("round-trip");
+            sim.restore(&parsed).expect("restore");
+        })
     });
 
     // 7–8. One best-response game round sweep at 4 providers, sequential
@@ -284,12 +342,15 @@ pub fn record(iters: usize) -> Baseline {
     // *identical* between the two: the Jacobi sweep merges in provider
     // order, so only wall-clock may differ. `compare-metrics` enforces
     // both the counters and, implicitly, that equality.
-    let sweep_providers = SpSampler::new(2, 2, 3)
-        .with_seed(3)
-        .sample(4)
-        .expect("sample");
-    let sweep_game = ResourceGame::new(sweep_providers, vec![60.0, 80.0]).expect("game");
+    let sweep_game = (pick("game.round_4sp.seq") || pick("game.round_4sp.par")).then(|| {
+        let sweep_providers = SpSampler::new(2, 2, 3)
+            .with_seed(3)
+            .sample(4)
+            .expect("sample");
+        ResourceGame::new(sweep_providers, vec![60.0, 80.0]).expect("game")
+    });
     let sweep_counters = |jobs: usize| -> Vec<(String, f64)> {
+        let sweep_game = sweep_game.as_ref().expect("sweep fixture built");
         let telemetry = Recorder::enabled();
         let config = GameConfig {
             ipm: IpmSettings::fast(),
@@ -317,37 +378,41 @@ pub fn record(iters: usize) -> Baseline {
         ]
     };
     let sweep_timed = |name: &str, jobs: usize| -> Metric {
+        let game = sweep_game.as_ref().expect("sweep fixture built");
         let config = GameConfig {
             ipm: IpmSettings::fast(),
             jobs,
             ..GameConfig::default()
         };
         measure(name, warmup, iters, || {
-            sweep_game.run(&config).expect("game run");
+            game.run(&config).expect("game run");
         })
         .with_counters(sweep_counters(jobs))
     };
-    let sweep_seq = sweep_timed("game.round_4sp.seq", 1);
-    let sweep_par = sweep_timed("game.round_4sp.par", 4);
+    let sweep_seq = pick("game.round_4sp.seq").then(|| sweep_timed("game.round_4sp.seq", 1));
+    let sweep_par = pick("game.round_4sp.par").then(|| sweep_timed("game.round_4sp.par", 4));
 
     // 9. A warm solve seeded with the optimum of a neighbouring problem
     // (the game/MPC hot path after the first round). Times the warm solve;
     // the counters pin the cold/warm iteration split the warm-start path
     // is supposed to deliver.
-    let lq_next = lq_fixture(4, 12, 21.0);
-    let near_sol = solve_lq(&lq_next, &ipm).expect("neighbour fixture solves");
-    let warm_sol = solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
-    let warm_metric = measure("solver.warm_vs_cold", warmup, iters, || {
-        solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
-    })
-    .with_counters(vec![
-        ("cold_iterations".to_string(), cold_sol.iterations as f64),
-        ("warm_iterations".to_string(), warm_sol.iterations as f64),
-        (
-            "iterations_saved".to_string(),
-            cold_sol.iterations.saturating_sub(warm_sol.iterations) as f64,
-        ),
-    ]);
+    let warm_metric = pick("solver.warm_vs_cold").then(|| {
+        let (cold_sol, _) = cold.as_ref().expect("cold solve recorded");
+        let lq_next = lq_fixture(4, 12, 21.0);
+        let near_sol = solve_lq(&lq_next, &ipm).expect("neighbour fixture solves");
+        let warm_sol = solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
+        measure("solver.warm_vs_cold", warmup, iters, || {
+            solve_lq_warm(&lq, &ipm, Some(&near_sol.us)).expect("warm fixture solves");
+        })
+        .with_counters(vec![
+            ("cold_iterations".to_string(), cold_sol.iterations as f64),
+            ("warm_iterations".to_string(), warm_sol.iterations as f64),
+            (
+                "iterations_saved".to_string(),
+                cold_sol.iterations.saturating_sub(warm_sol.iterations) as f64,
+            ),
+        ])
+    });
 
     // 10. The policy tournament, reduced: all five placement policies on
     // a one-day diurnal trace, fanned out on a two-worker pool. Times the
@@ -355,26 +420,28 @@ pub fn record(iters: usize) -> Baseline {
     // the W-MPC reference); the counters pin the sweep's deterministic
     // outcome — total cost, shortfall, recovery count, and that W-MPC
     // stays the cheapest entrant.
-    let tournament_pool = ScenarioPool::new(2);
-    let tournament_metric = measure("policy.tournament_small", warmup, iters, || {
-        tournament::small_sweep(&tournament_pool, &Recorder::disabled())
+    let tournament_metric = pick("policy.tournament_small").then(|| {
+        let tournament_pool = ScenarioPool::new(2);
+        let metric = measure("policy.tournament_small", warmup, iters, || {
+            tournament::small_sweep(&tournament_pool, &Recorder::disabled())
+                .expect("tournament sweep runs");
+        });
+        let sweep = tournament::small_sweep(&tournament_pool, &Recorder::disabled())
             .expect("tournament sweep runs");
+        metric.with_counters(vec![
+            ("scenarios".to_string(), sweep.scenarios as f64),
+            ("total_cost".to_string(), sweep.total_cost),
+            ("sla_shortfall".to_string(), sweep.sla_shortfall),
+            (
+                "recovery_periods".to_string(),
+                sweep.recovery_periods as f64,
+            ),
+            (
+                "wmpc_is_cheapest".to_string(),
+                f64::from(u8::from(sweep.wmpc_is_cheapest)),
+            ),
+        ])
     });
-    let sweep = tournament::small_sweep(&tournament_pool, &Recorder::disabled())
-        .expect("tournament sweep runs");
-    let tournament_metric = tournament_metric.with_counters(vec![
-        ("scenarios".to_string(), sweep.scenarios as f64),
-        ("total_cost".to_string(), sweep.total_cost),
-        ("sla_shortfall".to_string(), sweep.sla_shortfall),
-        (
-            "recovery_periods".to_string(),
-            sweep.recovery_periods as f64,
-        ),
-        (
-            "wmpc_is_cheapest".to_string(),
-            f64::from(u8::from(sweep.wmpc_is_cheapest)),
-        ),
-    ]);
 
     // 11. One per-period SLO evaluation on the default burn-rate set.
     // Registration happens at engine construction; the steady-state
@@ -382,42 +449,44 @@ pub fn record(iters: usize) -> Baseline {
     // bumps — must be allocation-free (`allocs` pins that at exactly 0).
     // Transition counts come from a scripted four-period outage replayed
     // on a fresh engine: both are fully deterministic.
-    let slo_telemetry = Recorder::enabled();
-    let mut slo_engine = SloEngine::with_defaults(slo_telemetry.clone());
-    let healthy = SloSample {
-        period: 0,
-        step_latency_seconds: 0.002,
-        sla_shortfall: 0.0,
-        fallback: false,
-        recovery: false,
-    };
-    // Fill every window so the measured pass is true steady state.
-    for period in 0..32 {
-        slo_engine.observe(&SloSample { period, ..healthy });
-    }
-    let (_, slo_allocs) = alloc_count::count(|| slo_engine.observe(&healthy));
-    let slo_metric = measure("telemetry.slo_eval", warmup, iters, || {
-        slo_engine.observe(&healthy);
-    });
-    let mut scripted = SloEngine::with_defaults(Recorder::enabled());
-    for period in 0..16u64 {
-        let bad = (2..=5).contains(&period);
-        scripted.observe(&SloSample {
-            period,
+    let slo_metric = pick("telemetry.slo_eval").then(|| {
+        let slo_telemetry = Recorder::enabled();
+        let mut slo_engine = SloEngine::with_defaults(slo_telemetry.clone());
+        let healthy = SloSample {
+            period: 0,
             step_latency_seconds: 0.002,
-            sla_shortfall: if bad { 0.2 } else { 0.0 },
-            fallback: bad,
-            recovery: bad,
+            sla_shortfall: 0.0,
+            fallback: false,
+            recovery: false,
+        };
+        // Fill every window so the measured pass is true steady state.
+        for period in 0..32 {
+            slo_engine.observe(&SloSample { period, ..healthy });
+        }
+        let (_, slo_allocs) = alloc_count::count(|| slo_engine.observe(&healthy));
+        let metric = measure("telemetry.slo_eval", warmup, iters, || {
+            slo_engine.observe(&healthy);
         });
-    }
-    let slo_metric = slo_metric.with_counters(vec![
-        ("allocs".to_string(), slo_allocs as f64),
-        ("slo_evaluations".to_string(), scripted.evaluations() as f64),
-        (
-            "alert_transitions".to_string(),
-            scripted.transitions().len() as f64,
-        ),
-    ]);
+        let mut scripted = SloEngine::with_defaults(Recorder::enabled());
+        for period in 0..16u64 {
+            let bad = (2..=5).contains(&period);
+            scripted.observe(&SloSample {
+                period,
+                step_latency_seconds: 0.002,
+                sla_shortfall: if bad { 0.2 } else { 0.0 },
+                fallback: bad,
+                recovery: bad,
+            });
+        }
+        metric.with_counters(vec![
+            ("allocs".to_string(), slo_allocs as f64),
+            ("slo_evaluations".to_string(), scripted.evaluations() as f64),
+            (
+                "alert_transitions".to_string(),
+                scripted.transitions().len() as f64,
+            ),
+        ])
+    });
 
     // 12. The ingest hot path: route a pre-generated request batch off a
     // compiled placement snapshot and aggregate it into a lock-free
@@ -426,75 +495,86 @@ pub fn record(iters: usize) -> Baseline {
     // route+aggregate pass at exactly zero heap traffic; the event and
     // per-arc counters pin the routing outcome bit-for-bit (multiply
     // `events` by the reported throughput for req/s).
-    let ingest_problem = multi_dc_problem(2, 8);
-    let covering =
-        Allocation::from_arc_values(&ingest_problem, vec![1.0; ingest_problem.num_arcs()]);
-    let route_table = RouterSnapshot::compile(
-        &ingest_problem,
-        &RoutingPolicy::from_allocation(&ingest_problem, &covering),
-        1,
-    );
-    let mut route_events = Vec::new();
-    let mut per_city = Vec::new();
-    for city in 0..2 {
-        let mut buf = Vec::new();
-        generate_city_period(9, city, 0, 2_048.0, 1.0, &mut buf);
-        route_events.extend_from_slice(&buf);
-        per_city.push(buf);
-    }
-    // Route draws come from the same deterministic stream mixer the
-    // pipeline uses, one u64 per request.
-    let draws: Vec<u64> = (0..route_events.len())
-        .map(|i| stream_seed(0xD1CE, i, 1))
-        .collect();
-    let route_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
-    let route_pass = || {
-        for (ev, draw) in route_events.iter().zip(&draws) {
-            let arc = route_table.route(ev.city as usize, *draw);
-            route_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
+    let ingest_fixture = (pick("ingest.route_agg") || pick("ingest.seal_period")).then(|| {
+        let ingest_problem = multi_dc_problem(2, 8);
+        let covering =
+            Allocation::from_arc_values(&ingest_problem, vec![1.0; ingest_problem.num_arcs()]);
+        let route_table = RouterSnapshot::compile(
+            &ingest_problem,
+            &RoutingPolicy::from_allocation(&ingest_problem, &covering),
+            1,
+        );
+        let mut route_events = Vec::new();
+        let mut per_city = Vec::new();
+        for city in 0..2 {
+            let mut buf = Vec::new();
+            generate_city_period(9, city, 0, 2_048.0, 1.0, &mut buf);
+            route_events.extend_from_slice(&buf);
+            per_city.push(buf);
         }
-    };
-    let (_, route_allocs) = alloc_count::count(route_pass);
-    let route_metric = measure("ingest.route_agg", warmup, iters, route_pass);
-    let outcome_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
-    for (ev, draw) in route_events.iter().zip(&draws) {
-        let arc = route_table.route(ev.city as usize, *draw);
-        outcome_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
-    }
-    let outcome = outcome_bucket.seal();
-    let route_metric = route_metric.with_counters(vec![
-        ("allocs".to_string(), route_allocs as f64),
-        ("arc0_events".to_string(), outcome.arc_counts[0] as f64),
-        ("events".to_string(), route_events.len() as f64),
-        ("unroutable".to_string(), outcome.unroutable as f64),
-    ]);
+        // Route draws come from the same deterministic stream mixer the
+        // pipeline uses, one u64 per request.
+        let draws: Vec<u64> = (0..route_events.len())
+            .map(|i| stream_seed(0xD1CE, i, 1))
+            .collect();
+        (ingest_problem, route_table, route_events, per_city, draws)
+    });
+    let route_metric = pick("ingest.route_agg").then(|| {
+        let (ingest_problem, route_table, route_events, _, draws) =
+            ingest_fixture.as_ref().expect("ingest fixture built");
+        let route_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+        let route_pass = || {
+            for (ev, draw) in route_events.iter().zip(draws) {
+                let arc = route_table.route(ev.city as usize, *draw);
+                route_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
+            }
+        };
+        let (_, route_allocs) = alloc_count::count(route_pass);
+        let metric = measure("ingest.route_agg", warmup, iters, route_pass);
+        let outcome_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+        for (ev, draw) in route_events.iter().zip(draws) {
+            let arc = route_table.route(ev.city as usize, *draw);
+            outcome_bucket.record(ev.city as usize, arc, ev.class.index(), ev.size_kib);
+        }
+        let outcome = outcome_bucket.seal();
+        metric.with_counters(vec![
+            ("allocs".to_string(), route_allocs as f64),
+            ("arc0_events".to_string(), outcome.arc_counts[0] as f64),
+            ("events".to_string(), route_events.len() as f64),
+            ("unroutable".to_string(), outcome.unroutable as f64),
+        ])
+    });
 
     // 13. The period-close barrier: admit the same batch under a budget
     // tight enough to defer and drop deterministically, aggregate the
     // admitted slice, and seal the bucket into its plain-data matrix row.
-    let seal_budget = BackpressureBudget::new(1_500, 400);
-    let mut seal_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
-    let mut seal_pass = || {
-        seal_bucket.reset(0);
-        for (city, events) in per_city.iter().enumerate() {
-            let admission = admit(seal_budget, 0, events.len() as u64);
-            for ev in &events[..admission.admitted_fresh as usize] {
-                seal_bucket.record(city, Some(0), ev.class.index(), ev.size_kib);
+    let seal_metric = pick("ingest.seal_period").then(|| {
+        let (ingest_problem, _, route_events, per_city, _) =
+            ingest_fixture.as_ref().expect("ingest fixture built");
+        let seal_budget = BackpressureBudget::new(1_500, 400);
+        let mut seal_bucket = PeriodBucket::new(0, 2, ingest_problem.num_arcs());
+        let mut seal_pass = || {
+            seal_bucket.reset(0);
+            for (city, events) in per_city.iter().enumerate() {
+                let admission = admit(seal_budget, 0, events.len() as u64);
+                for ev in &events[..admission.admitted_fresh as usize] {
+                    seal_bucket.record(city, Some(0), ev.class.index(), ev.size_kib);
+                }
+                seal_bucket.record_backpressure(0, admission.carry_out, admission.dropped);
             }
-            seal_bucket.record_backpressure(0, admission.carry_out, admission.dropped);
-        }
-        seal_bucket.seal()
-    };
-    let sealed_outcome = seal_pass();
-    let seal_metric = measure("ingest.seal_period", warmup, iters, || {
-        seal_pass();
+            seal_bucket.seal()
+        };
+        let sealed_outcome = seal_pass();
+        let metric = measure("ingest.seal_period", warmup, iters, || {
+            seal_pass();
+        });
+        metric.with_counters(vec![
+            ("admitted".to_string(), sealed_outcome.total_events() as f64),
+            ("deferred".to_string(), sealed_outcome.deferred as f64),
+            ("dropped".to_string(), sealed_outcome.dropped as f64),
+            ("generated".to_string(), route_events.len() as f64),
+        ])
     });
-    let seal_metric = seal_metric.with_counters(vec![
-        ("admitted".to_string(), sealed_outcome.total_events() as f64),
-        ("deferred".to_string(), sealed_outcome.deferred as f64),
-        ("dropped".to_string(), sealed_outcome.dropped as f64),
-        ("generated".to_string(), route_events.len() as f64),
-    ]);
 
     // 14. The infrastructure fault drill: a two-DC closed loop that loses
     // DC 1 for two mid-run periods (the chaos-drill fixture). Times the
@@ -503,74 +583,119 @@ pub fn record(iters: usize) -> Baseline {
     // Flat demand 240 at a = 1/80 needs exactly 3 servers, so the outage
     // leaves a 1-server deficit per dark period: the counters pin the
     // fault bookkeeping and that analytic shortfall (2.0) exactly.
-    let outage_spec = || {
-        ScenarioSpec::new("dc-outage", vec![vec![240.0; 8]])
-            .with_faults(FaultPlan::new().dc_outage(1, 2, 2))
-            .with_slos(vec![SloSpec::dc_outage()])
-    };
-    let make_outage_controller = || -> Box<dyn PlacementController> {
-        let problem = DsppBuilder::new(2, 1)
-            .service_rate(100.0)
-            .sla_latency(0.060)
-            .latency_rows(vec![vec![0.010], vec![0.010]])
-            .reconfiguration_weights(vec![0.02, 0.02])
-            .capacity(0, 2.0)
-            .capacity(1, 2.0)
-            .price_trace(0, vec![1.0])
-            .price_trace(1, vec![1.0])
-            .build()
-            .expect("outage fixture problem");
-        Box::new(
-            MpcController::new(
-                problem,
-                Box::new(LastValue),
-                MpcSettings {
-                    horizon: 3,
-                    ..MpcSettings::default()
-                },
+    let outage_metric = pick("runtime.dc_outage_drill").then(|| {
+        let outage_spec = || {
+            ScenarioSpec::new("dc-outage", vec![vec![240.0; 8]])
+                .with_faults(FaultPlan::new().dc_outage(1, 2, 2))
+                .with_slos(vec![SloSpec::dc_outage()])
+        };
+        let make_outage_controller = || -> Box<dyn PlacementController> {
+            let problem = DsppBuilder::new(2, 1)
+                .service_rate(100.0)
+                .sla_latency(0.060)
+                .latency_rows(vec![vec![0.010], vec![0.010]])
+                .reconfiguration_weights(vec![0.02, 0.02])
+                .capacity(0, 2.0)
+                .capacity(1, 2.0)
+                .price_trace(0, vec![1.0])
+                .price_trace(1, vec![1.0])
+                .build()
+                .expect("outage fixture problem");
+            Box::new(
+                MpcController::new(
+                    problem,
+                    Box::new(LastValue),
+                    MpcSettings {
+                        horizon: 3,
+                        ..MpcSettings::default()
+                    },
+                )
+                .expect("outage fixture controller"),
             )
-            .expect("outage fixture controller"),
-        )
-    };
-    let outage_metric = measure("runtime.dc_outage_drill", warmup, iters, || {
-        run_scenario(
-            make_outage_controller(),
-            &outage_spec(),
-            &Recorder::disabled(),
-        )
-        .expect("outage drill runs");
+        };
+        let metric = measure("runtime.dc_outage_drill", warmup, iters, || {
+            run_scenario(
+                make_outage_controller(),
+                &outage_spec(),
+                &Recorder::disabled(),
+            )
+            .expect("outage drill runs");
+        });
+        let outage_telemetry = Recorder::enabled();
+        let outage_outcome =
+            run_scenario(make_outage_controller(), &outage_spec(), &outage_telemetry)
+                .expect("outage drill runs");
+        let outage_snap = outage_telemetry.snapshot().expect("enabled recorder");
+        metric.with_counters(vec![
+            (
+                "dc_outage_onsets".to_string(),
+                outage_snap.counter("faults.dc_outage_onsets") as f64,
+            ),
+            (
+                "dc_down_periods".to_string(),
+                outage_snap.counter("faults.dc_down_periods") as f64,
+            ),
+            (
+                "recovery_periods".to_string(),
+                outage_outcome.recovery_periods as f64,
+            ),
+            ("sla_shortfall".to_string(), outage_outcome.sla_shortfall),
+            (
+                "alert_transitions".to_string(),
+                outage_outcome.slo_transitions.len() as f64,
+            ),
+            (
+                "fallback_periods".to_string(),
+                outage_outcome.fallback_periods as f64,
+            ),
+        ])
     });
-    let outage_telemetry = Recorder::enabled();
-    let outage_outcome = run_scenario(make_outage_controller(), &outage_spec(), &outage_telemetry)
-        .expect("outage drill runs");
-    let outage_snap = outage_telemetry.snapshot().expect("enabled recorder");
-    let outage_metric = outage_metric.with_counters(vec![
-        (
-            "dc_outage_onsets".to_string(),
-            outage_snap.counter("faults.dc_outage_onsets") as f64,
-        ),
-        (
-            "dc_down_periods".to_string(),
-            outage_snap.counter("faults.dc_down_periods") as f64,
-        ),
-        (
-            "recovery_periods".to_string(),
-            outage_outcome.recovery_periods as f64,
-        ),
-        ("sla_shortfall".to_string(), outage_outcome.sla_shortfall),
-        (
-            "alert_transitions".to_string(),
-            outage_outcome.slo_transitions.len() as f64,
-        ),
-        (
-            "fallback_periods".to_string(),
-            outage_outcome.fallback_periods as f64,
-        ),
-    ]);
+
+    // 15. The 100×-scale structured solve: 100 DCs × 1000 locations ×
+    // horizon 4 — 3000 SLA-feasible arcs, a 12000-variable QP per Newton
+    // system. The dense Riccati path would cube the 3000-dimensional
+    // state; the structured KKT path factors 3000 independent per-arc
+    // chains plus a dense capacity-coupling Schur complement, which is
+    // what makes the workload tractable at all. Counters pin the IPM
+    // iteration count, the per-solve allocation count, and the number of
+    // Schur factorizations (proof the structured backend actually ran).
+    // Timed iterations are capped: one solve is long enough that a
+    // handful of samples gives a stable median.
+    let large_metric = pick("solver.lq_solve.large").then(|| {
+        let problem = huge_problem(100, 1_000);
+        let x0 = Allocation::zeros(&problem);
+        let horizon = 4usize;
+        let demand: Vec<Vec<f64>> = (0..problem.num_locations())
+            .map(|v| vec![1_600.0 + 40.0 * ((v % 11) as f64); horizon])
+            .collect();
+        let prices: Vec<Vec<f64>> = (0..problem.num_dcs())
+            .map(|l| vec![problem.price(l, 0); horizon])
+            .collect();
+        let sh = StructuredHorizon::build(&problem, &x0, &demand, &prices)
+            .expect("large fixture builds");
+        let ipm_large = IpmSettings::fast();
+        let telemetry = Recorder::enabled();
+        let (sol, large_allocs) = alloc_count::count(|| {
+            sh.solve_warm_traced(&ipm_large, None, &telemetry)
+                .expect("large fixture solves")
+        });
+        let snap = telemetry.snapshot().expect("enabled recorder");
+        measure("solver.lq_solve.large", 1, iters.min(5), || {
+            sh.solve(&ipm_large).expect("large fixture solves");
+        })
+        .with_counters(vec![
+            ("ipm_iterations".to_string(), sol.iterations as f64),
+            ("allocs".to_string(), large_allocs as f64),
+            (
+                "schur_factor".to_string(),
+                snap.counter("solver.lq.schur_factor") as f64,
+            ),
+        ])
+    });
 
     Baseline {
         schema_version: BASELINE_SCHEMA_VERSION,
-        metrics: vec![
+        metrics: [
             solver,
             controller_metric,
             recovery_metric,
@@ -585,7 +710,11 @@ pub fn record(iters: usize) -> Baseline {
             route_metric,
             seal_metric,
             outage_metric,
-        ],
+            large_metric,
+        ]
+        .into_iter()
+        .flatten()
+        .collect(),
     }
 }
 
@@ -1016,27 +1145,17 @@ mod tests {
     #[test]
     fn record_smoke_produces_all_workloads() {
         // Tiny iteration count: correctness of the plumbing, not timing.
-        let b = record(2);
+        // The large structured workload is exercised (and its counters
+        // pinned) by `record_selected_runs_the_large_structured_solve`;
+        // skipping it here keeps the smoke test fast.
+        let only: Vec<String> = WORKLOADS
+            .iter()
+            .filter(|n| **n != "solver.lq_solve.large")
+            .map(|n| (*n).to_string())
+            .collect();
+        let b = record_selected(2, &only);
         let names: Vec<&str> = b.metrics.iter().map(|m| m.name.as_str()).collect();
-        assert_eq!(
-            names,
-            [
-                "solver.lq_solve",
-                "controller.step",
-                "controller.recovery_step",
-                "game.best_response_run",
-                "runtime.scenario_sweep",
-                "runtime.checkpoint_roundtrip",
-                "game.round_4sp.seq",
-                "game.round_4sp.par",
-                "solver.warm_vs_cold",
-                "policy.tournament_small",
-                "telemetry.slo_eval",
-                "ingest.route_agg",
-                "ingest.seal_period",
-                "runtime.dc_outage_drill",
-            ]
-        );
+        assert_eq!(names, &WORKLOADS[..WORKLOADS.len() - 1]);
         for m in &b.metrics {
             assert!(m.throughput > 0.0, "{}: non-positive throughput", m.name);
             assert!(m.p50_us <= m.p90_us && m.p90_us <= m.p99_us, "{}", m.name);
@@ -1046,8 +1165,54 @@ mod tests {
     }
 
     #[test]
+    fn record_selected_filters_and_keeps_canonical_order() {
+        // Ask out of order; the recording must come back in canonical
+        // order, with nothing else.
+        let only = vec![
+            "ingest.seal_period".to_string(),
+            "telemetry.slo_eval".to_string(),
+        ];
+        let b = record_selected(1, &only);
+        let names: Vec<&str> = b.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["telemetry.slo_eval", "ingest.seal_period"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn record_selected_rejects_unknown_names() {
+        record_selected(1, &["solver.no_such_workload".to_string()]);
+    }
+
+    #[test]
+    fn record_selected_runs_the_large_structured_solve() {
+        let b = record_selected(1, &["solver.lq_solve.large".to_string()]);
+        assert_eq!(b.metrics.len(), 1);
+        let m = &b.metrics[0];
+        assert_eq!(m.name, "solver.lq_solve.large");
+        let counter = |key: &str| -> f64 {
+            m.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("missing counter {key}"))
+                .1
+        };
+        assert!(counter("ipm_iterations") > 0.0);
+        assert!(counter("allocs") > 0.0);
+        // Every IPM iteration must have gone through the structured
+        // Schur factorization — the dense fallback never fires here.
+        assert!(counter("schur_factor") >= counter("ipm_iterations"));
+    }
+
+    #[test]
     fn recorded_counters_are_deterministic_and_warm_starts_save_work() {
-        let b = record(1);
+        // All workloads except the 100×-scale solve, which has its own
+        // dedicated test above.
+        let only: Vec<String> = WORKLOADS
+            .iter()
+            .filter(|n| **n != "solver.lq_solve.large")
+            .map(|n| (*n).to_string())
+            .collect();
+        let b = record_selected(1, &only);
         let by_name =
             |name: &str| -> &Metric { b.metrics.iter().find(|m| m.name == name).expect(name) };
         let counter = |m: &Metric, key: &str| -> f64 {

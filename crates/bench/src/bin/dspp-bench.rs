@@ -1,9 +1,9 @@
 //! Perf-baseline recorder and regression gate.
 //!
 //! ```text
-//! dspp-bench record  [--out BENCH_BASELINE.json] [--iters 30]
-//! dspp-bench compare [--baseline BENCH_BASELINE.json] [--tolerance 0.30] [--iters 30]
-//! dspp-bench compare-metrics [--baseline BENCH_BASELINE.json] [--tolerance 0] [--iters 2]
+//! dspp-bench record  [--out BENCH_BASELINE.json] [--iters 30] [--only a,b]
+//! dspp-bench compare [--baseline BENCH_BASELINE.json] [--tolerance 0.30] [--iters 30] [--only a,b]
+//! dspp-bench compare-metrics [--baseline BENCH_BASELINE.json] [--tolerance 0] [--iters 2] [--only a,b]
 //! ```
 //!
 //! `record` measures the solver/controller/game workloads and writes the
@@ -15,11 +15,16 @@
 //! iteration totals, warm-start hits and savings, allocation counts —
 //! which are exactly reproducible for a fixed build, so its default
 //! tolerance is zero and CI runs it as an enforcing gate.
+//!
+//! `--only` takes a comma-separated subset of workload names and
+//! restricts the run to exactly those: skipped workloads are neither
+//! measured nor (for the compare modes) required to be present — the CI
+//! scaling job uses it to gate `solver.lq_solve.large` in isolation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dspp_bench::baseline::{compare, compare_metrics, record, Baseline};
+use dspp_bench::baseline::{compare, compare_metrics, record_selected, Baseline, WORKLOADS};
 
 const DEFAULT_PATH: &str = "BENCH_BASELINE.json";
 const DEFAULT_ITERS: usize = 30;
@@ -32,13 +37,14 @@ struct Options {
     path: PathBuf,
     iters: usize,
     tolerance: f64,
+    only: Vec<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: dspp-bench record  [--out <path>] [--iters <n>]\n\
-         \x20      dspp-bench compare [--baseline <path>] [--tolerance <frac>] [--iters <n>]\n\
-         \x20      dspp-bench compare-metrics [--baseline <path>] [--tolerance <frac>] [--iters <n>]\n\
+        "usage: dspp-bench record  [--out <path>] [--iters <n>] [--only <a,b,…>]\n\
+         \x20      dspp-bench compare [--baseline <path>] [--tolerance <frac>] [--iters <n>] [--only <a,b,…>]\n\
+         \x20      dspp-bench compare-metrics [--baseline <path>] [--tolerance <frac>] [--iters <n>] [--only <a,b,…>]\n\
          defaults: path {DEFAULT_PATH}, iters {DEFAULT_ITERS} (compare-metrics: \
          {DEFAULT_METRICS_ITERS}), tolerance {DEFAULT_TOLERANCE} (compare-metrics: \
          {DEFAULT_METRICS_TOLERANCE})"
@@ -63,6 +69,7 @@ fn parse_options() -> Result<Options, String> {
         path: PathBuf::from(DEFAULT_PATH),
         iters,
         tolerance,
+        only: Vec::new(),
     };
     while let Some(arg) = args.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -93,6 +100,24 @@ fn parse_options() -> Result<Options, String> {
                     return Err("--tolerance must be in [0, 1)".to_string());
                 }
             }
+            "--only" => {
+                for name in value("--only")?.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    if !WORKLOADS.contains(&name) {
+                        return Err(format!(
+                            "--only: unknown workload {name:?} (known: {})",
+                            WORKLOADS.join(", ")
+                        ));
+                    }
+                    out.only.push(name.to_string());
+                }
+                if out.only.is_empty() {
+                    return Err("--only needs at least one workload name".to_string());
+                }
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -105,7 +130,7 @@ fn run(opts: &Options) -> Result<bool, String> {
             "recording baseline ({} iterations per workload)…",
             opts.iters
         );
-        let baseline = record(opts.iters);
+        let baseline = record_selected(opts.iters, &opts.only);
         std::fs::write(&opts.path, baseline.to_json())
             .map_err(|e| format!("write {}: {e}", opts.path.display()))?;
         for m in &baseline.metrics {
@@ -119,14 +144,25 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
     let text = std::fs::read_to_string(&opts.path)
         .map_err(|e| format!("read {}: {e}", opts.path.display()))?;
-    let baseline = Baseline::from_json(&text)?;
+    let mut baseline = Baseline::from_json(&text)?;
+    if !opts.only.is_empty() {
+        // Compare only the selected workloads; the rest of the recorded
+        // baseline is out of scope for this run, not missing.
+        baseline.metrics.retain(|m| opts.only.contains(&m.name));
+        if baseline.metrics.is_empty() {
+            return Err(format!(
+                "none of the --only workloads are recorded in {}",
+                opts.path.display()
+            ));
+        }
+    }
     if opts.mode == "compare-metrics" {
         eprintln!(
             "checking deterministic counters against {} (tolerance {:.0}%)…",
             opts.path.display(),
             opts.tolerance * 100.0
         );
-        let current = record(opts.iters);
+        let current = record_selected(opts.iters, &opts.only);
         let comparison = compare_metrics(&baseline, &current, opts.tolerance);
         print!("{}", comparison.report());
         return if comparison.regressed() {
@@ -143,7 +179,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         opts.iters,
         opts.tolerance * 100.0
     );
-    let current = record(opts.iters);
+    let current = record_selected(opts.iters, &opts.only);
     let comparison = compare(&baseline, &current, opts.tolerance);
     print!("{}", comparison.report(opts.tolerance));
     if comparison.regressed() {

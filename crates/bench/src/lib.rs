@@ -154,6 +154,43 @@ pub fn multi_dc_problem(v: usize, periods: usize) -> Dspp {
     builder.build().expect("valid problem")
 }
 
+/// A 100×-scale placement instance: `dcs` data centers × `locs` front-end
+/// locations, with each location reaching exactly three nearby DCs under
+/// the SLA (the rest of the latency matrix is far beyond the deadline, so
+/// the builder prunes those arcs). The sparse arc set is what the
+/// structured KKT path exploits; the dense Riccati path would see a
+/// `3·locs`-dimensional state and cube it.
+///
+/// Prices cycle over seven tariff levels so the optimizer has real
+/// choices, and capacities are tight enough that the cheap DCs bind.
+pub fn huge_problem(dcs: usize, locs: usize) -> Dspp {
+    let latency: Vec<Vec<f64>> = (0..dcs)
+        .map(|l| {
+            (0..locs)
+                .map(|v| {
+                    let near = l == v % dcs || l == (v + 31) % dcs || l == (v + 57) % dcs;
+                    if near {
+                        0.010
+                    } else {
+                        0.200
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut builder = DsppBuilder::new(dcs, locs)
+        .service_rate(250.0)
+        .sla_latency(0.060)
+        .latency_rows(latency);
+    for l in 0..dcs {
+        builder = builder
+            .price_trace(l, vec![0.004 + 0.002 * ((l % 7) as f64); 8])
+            .reconfiguration_weight(l, 0.001)
+            .capacity(l, 150.0);
+    }
+    builder.build().expect("valid problem")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +202,14 @@ mod tests {
         assert!(solve_lq(&p, &IpmSettings::default()).is_ok());
         assert_eq!(single_dc_problem(10).num_arcs(), 1);
         assert_eq!(multi_dc_problem(6, 10).num_arcs(), 24);
+    }
+
+    #[test]
+    fn huge_problem_has_three_arcs_per_location() {
+        let p = huge_problem(10, 40);
+        assert_eq!(p.num_arcs(), 3 * 40);
+        for v in 0..40 {
+            assert_eq!(p.arcs_for_location(v).len(), 3);
+        }
     }
 }

@@ -1,8 +1,8 @@
 use crate::{Allocation, CoreError, Dspp};
 use dspp_linalg::{Matrix, Vector};
 use dspp_solver::{
-    preflight_lq, relax_lq_slots, solve_lq_warm, FeasibilityReport, IpmSettings, LqProblem,
-    LqRowLayout, LqSolution, LqStage, LqTerminal, SoftSpec,
+    preflight_lq, relax_lq_slots, solve_lq_warm, CouplingRow, DiagRow, FeasibilityReport,
+    IpmSettings, LqProblem, LqRowLayout, LqSolution, LqStage, LqTerminal, SoftSpec, StructuredLq,
 };
 
 /// How the recovery solve (the always-feasible relaxation of the horizon
@@ -515,6 +515,231 @@ impl HorizonProblem {
     }
 }
 
+/// The horizon-truncated DSPP assembled directly in the solver's compact
+/// [`StructuredLq`] form — no dense constraint matrices are ever built.
+///
+/// [`HorizonProblem::build`] materializes an `(nv+nl+n) × n` constraint
+/// matrix per stage; at the 100×-scale instances (100 DCs × 1000
+/// locations, hundreds of thousands of arcs) that is gigabytes of mostly
+/// structural zeros before the solver even starts. This builder emits the
+/// same rows — demand first, then capacity, then non-negativity, exactly
+/// the layout [`HorizonProblem`] documents — as sparse coupling/diagonal
+/// row descriptions, and [`StructuredHorizon::solve_warm_traced`] feeds them
+/// straight to the structure-exploiting KKT path
+/// ([`dspp_solver::solve_structured`]).
+///
+/// Rate limits and per-stage capacity overrides are intentionally not
+/// offered: those solves belong on the dense path (the structured
+/// backend's detector rejects them for the same reason).
+#[derive(Debug, Clone)]
+pub struct StructuredHorizon {
+    slq: StructuredLq,
+    num_dcs: usize,
+    num_locations: usize,
+    horizon: usize,
+}
+
+impl StructuredHorizon {
+    /// Assembles the compact horizon problem; arguments and validation
+    /// mirror [`HorizonProblem::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] for shape mismatches or a zero horizon;
+    /// [`CoreError::Solver`] if the compact problem fails the solver's
+    /// structural validation (e.g. a non-positive reconfiguration weight).
+    pub fn build(
+        problem: &Dspp,
+        x0: &Allocation,
+        demand_forecast: &[Vec<f64>],
+        price_forecast: &[Vec<f64>],
+    ) -> Result<Self, CoreError> {
+        let n = problem.num_arcs();
+        let nl = problem.num_dcs();
+        let nv = problem.num_locations();
+        if demand_forecast.len() != nv {
+            return Err(CoreError::InvalidSpec(format!(
+                "demand forecast has {} locations, expected {nv}",
+                demand_forecast.len()
+            )));
+        }
+        if price_forecast.len() != nl {
+            return Err(CoreError::InvalidSpec(format!(
+                "price forecast has {} data centers, expected {nl}",
+                price_forecast.len()
+            )));
+        }
+        let horizon = demand_forecast.first().map_or(0, Vec::len);
+        if horizon == 0 {
+            return Err(CoreError::InvalidSpec("horizon must be positive".into()));
+        }
+        if demand_forecast.iter().any(|d| d.len() != horizon)
+            || price_forecast.iter().any(|p| p.len() != horizon)
+        {
+            return Err(CoreError::InvalidSpec(
+                "forecast series have inconsistent horizons".into(),
+            ));
+        }
+        if x0.arc_values().len() != n {
+            return Err(CoreError::InvalidSpec(format!(
+                "initial allocation has {} arcs, expected {n}",
+                x0.arc_values().len()
+            )));
+        }
+
+        // Same per-slot row layout as the dense builder: demand rows
+        // 0..nv, capacity rows nv..nv+nl, non-negativity rows after.
+        let m_rows = nv + nl + n;
+        let mut group_a: Vec<CouplingRow> = (0..nv)
+            .map(|v| CouplingRow {
+                row: v,
+                entries: Vec::new(),
+            })
+            .collect();
+        let mut group_b: Vec<CouplingRow> = (0..nl)
+            .map(|l| CouplingRow {
+                row: nv + l,
+                entries: Vec::new(),
+            })
+            .collect();
+        let mut diag_rows = Vec::with_capacity(n);
+        for (e, &(l, v)) in problem.arcs().iter().enumerate() {
+            group_a[v].entries.push((e, -1.0 / problem.arc_coeff(e)));
+            group_b[l].entries.push((e, problem.server_size()));
+            diag_rows.push(DiagRow {
+                row: nv + nl + e,
+                arc: e,
+                coeff: -1.0,
+            });
+        }
+
+        // Slot k constrains x_k, covering forecast index k−1 (the
+        // terminal slot W reuses the last forecast, as the dense builder
+        // does).
+        let ds: Vec<Vector> = (0..horizon)
+            .map(|t| {
+                let mut d = Vector::zeros(m_rows);
+                for (v, series) in demand_forecast.iter().enumerate() {
+                    d[v] = -series[t];
+                }
+                for l in 0..nl {
+                    d[nv + l] = problem.capacity(l);
+                }
+                d
+            })
+            .collect();
+        let qs: Vec<Vector> = (0..horizon)
+            .map(|t| {
+                problem
+                    .arcs()
+                    .iter()
+                    .map(|&(l, _)| price_forecast[l][t])
+                    .collect()
+            })
+            .collect();
+        // ½uᵀRu = Σ c_e u_e² ⇒ Hessian diagonal 2·c_e, matching
+        // `with_input_penalty` on the dense path.
+        let r_diag: Vector = problem
+            .arcs()
+            .iter()
+            .map(|&(l, _)| 2.0 * problem.reconfig_weight(l))
+            .collect();
+
+        let slq = StructuredLq::new(
+            Vector::from(x0.arc_values()),
+            Vector::zeros(n),
+            qs,
+            vec![r_diag; horizon],
+            vec![Vector::zeros(n); horizon],
+            ds,
+            diag_rows,
+            group_a,
+            group_b,
+            m_rows,
+        )?;
+        Ok(StructuredHorizon {
+            slq,
+            num_dcs: nl,
+            num_locations: nv,
+            horizon,
+        })
+    }
+
+    /// The underlying compact problem.
+    pub fn slq(&self) -> &StructuredLq {
+        &self.slq
+    }
+
+    /// Horizon length `W`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Solves on the structured KKT path; cold start.
+    ///
+    /// # Errors
+    ///
+    /// As [`HorizonProblem::solve`].
+    pub fn solve(&self, settings: &IpmSettings) -> Result<LqSolution, CoreError> {
+        Ok(dspp_solver::solve_structured(&self.slq, settings)?)
+    }
+
+    /// Solves with an optional warm start and solver telemetry, mirroring
+    /// [`HorizonProblem::solve_warm_traced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`HorizonProblem::solve`].
+    pub fn solve_warm_traced(
+        &self,
+        settings: &IpmSettings,
+        warm_us: Option<&[dspp_linalg::Vector]>,
+        telemetry: &dspp_telemetry::Recorder,
+    ) -> Result<LqSolution, CoreError> {
+        Ok(dspp_solver::solve_structured_warm_traced(
+            &self.slq, settings, warm_us, telemetry,
+        )?)
+    }
+
+    /// Per-DC capacity shadow prices, as [`HorizonProblem::capacity_duals`]
+    /// (the row layout is identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sol` does not belong to this problem.
+    pub fn capacity_duals(&self, sol: &LqSolution) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_dcs];
+        for duals in sol.stage_duals.iter().skip(1) {
+            if duals.is_empty() {
+                continue;
+            }
+            assert!(
+                duals.len() >= self.num_locations + self.num_dcs + self.slq.state_dim(),
+                "solution does not match this horizon problem"
+            );
+            for l in 0..self.num_dcs {
+                out[l] += duals[self.num_locations + l];
+            }
+        }
+        out
+    }
+
+    /// Per-location demand shadow prices, as
+    /// [`HorizonProblem::demand_duals`].
+    pub fn demand_duals(&self, sol: &LqSolution) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_locations];
+        for duals in sol.stage_duals.iter().skip(1) {
+            if duals.is_empty() {
+                continue;
+            }
+            for v in 0..self.num_locations {
+                out[v] += duals[v];
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +984,65 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, CoreError::InvalidSpec(_)));
         }
+    }
+
+    #[test]
+    fn structured_horizon_matches_dense_builder() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        let demand = vec![flat(50.0, 4), flat(30.0, 4)];
+        let prices = vec![vec![1.0, 1.2, 0.9, 1.1], vec![2.0, 1.8, 2.1, 1.9]];
+        let h = HorizonProblem::build(&p, &x0, &demand, &prices).unwrap();
+        let sh = StructuredHorizon::build(&p, &x0, &demand, &prices).unwrap();
+        assert_eq!(sh.horizon(), h.horizon());
+        // The compact form and the dense detector agree on the problem.
+        assert!(StructuredLq::from_lq(h.lq()).is_some());
+        // Same optimum, same duals, through either pipeline.
+        let dense = h.solve(&IpmSettings::default()).unwrap();
+        let structured = sh.solve(&IpmSettings::default()).unwrap();
+        assert!(
+            (dense.objective - structured.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+            "objectives diverge: {} vs {}",
+            dense.objective,
+            structured.objective
+        );
+        for (a, b) in dense.xs.iter().zip(&structured.xs) {
+            let mut diff = a.clone();
+            diff.axpy(-1.0, b);
+            assert!(diff.norm_inf() < 1e-5);
+        }
+        let cd = h.capacity_duals(&dense);
+        let cs = sh.capacity_duals(&structured);
+        for (a, b) in cd.iter().zip(&cs) {
+            assert!((a - b).abs() < 1e-4, "capacity duals {cd:?} vs {cs:?}");
+        }
+        let dd = h.demand_duals(&dense);
+        let dsd = sh.demand_duals(&structured);
+        for (a, b) in dd.iter().zip(&dsd) {
+            assert!((a - b).abs() < 1e-4, "demand duals {dd:?} vs {dsd:?}");
+        }
+    }
+
+    #[test]
+    fn structured_horizon_validates_shapes() {
+        let p = problem();
+        let x0 = Allocation::zeros(&p);
+        assert!(
+            StructuredHorizon::build(&p, &x0, &[flat(1.0, 3)], &[flat(1.0, 3), flat(1.0, 3)])
+                .is_err()
+        );
+        assert!(
+            StructuredHorizon::build(&p, &x0, &[flat(1.0, 3), flat(1.0, 3)], &[flat(1.0, 3)])
+                .is_err()
+        );
+        assert!(StructuredHorizon::build(
+            &p,
+            &x0,
+            &[flat(1.0, 3), flat(1.0, 2)],
+            &[flat(1.0, 3), flat(1.0, 3)]
+        )
+        .is_err());
+        assert!(StructuredHorizon::build(&p, &x0, &[vec![], vec![]], &[vec![], vec![]]).is_err());
     }
 
     #[test]

@@ -22,6 +22,10 @@ use crate::{LinalgError, Matrix, Vector};
 pub struct Cholesky {
     /// Lower-triangular factor, stored densely.
     l: Matrix,
+    /// Whether `l` holds a completed factorization. Cleared at the start of
+    /// every [`Cholesky::refactor`] and set only on success, so a factor
+    /// left half-written by a failed refactor can never be solved with.
+    valid: bool,
 }
 
 impl Cholesky {
@@ -47,6 +51,7 @@ impl Cholesky {
     pub fn factor_regularized(a: &Matrix, reg: f64) -> Result<Self, LinalgError> {
         let mut chol = Cholesky {
             l: Matrix::zeros(a.rows(), a.rows()),
+            valid: false,
         };
         chol.refactor(a, reg)?;
         Ok(chol)
@@ -56,8 +61,9 @@ impl Cholesky {
     /// (allocation-free [`Cholesky::factor_regularized`] for solvers that
     /// factor a same-sized matrix every iteration).
     ///
-    /// On error the stored factor is unspecified and must not be used for
-    /// solves until a later `refactor` succeeds.
+    /// On error the stored factor is unspecified; [`Cholesky::is_valid`]
+    /// reports `false` and the solve methods panic until a later `refactor`
+    /// succeeds, so a half-written factor cannot silently poison a solve.
     ///
     /// # Errors
     ///
@@ -74,6 +80,7 @@ impl Cholesky {
                 self.l.rows()
             )));
         }
+        self.valid = false;
         let n = a.rows();
         let l = &mut self.l;
         // Scale-aware tolerance for pivot positivity.
@@ -85,7 +92,11 @@ impl Cholesky {
                 let ljk = l[(j, k)];
                 d -= ljk * ljk;
             }
-            if d <= tol {
+            // Written as a negated comparison so a NaN pivot (e.g. from a
+            // non-finite input entry) is rejected instead of flowing into
+            // `sqrt` and silently poisoning the factor.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(d > tol) {
                 return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let dsqrt = d.sqrt();
@@ -106,12 +117,22 @@ impl Cholesky {
                 l[(i, j)] = 0.0;
             }
         }
+        self.valid = true;
         Ok(())
     }
 
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()
+    }
+
+    /// Whether the stored factor comes from a *successful* factorization.
+    ///
+    /// `false` exactly when the last [`Cholesky::refactor`] failed; retry
+    /// loops that boost regularization must check this (or rely on the
+    /// solve methods' panic) before reusing the factor.
+    pub fn is_valid(&self) -> bool {
+        self.valid
     }
 
     /// Borrows the lower-triangular factor `L`.
@@ -134,8 +155,24 @@ impl Cholesky {
     ///
     /// # Panics
     ///
-    /// Panics if `b.len() != dim()`.
+    /// Panics if `b.len() != dim()` or if the last refactor failed
+    /// ([`Cholesky::is_valid`] is `false`).
     pub fn solve_in_place(&self, b: &mut Vector) {
+        self.solve_slice_in_place(b.as_mut_slice());
+    }
+
+    /// [`Cholesky::solve_in_place`] on a raw slice, so callers holding a
+    /// long concatenated vector (block-diagonal solves) can solve one block
+    /// without copying it out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()` or if the last refactor failed.
+    pub fn solve_slice_in_place(&self, b: &mut [f64]) {
+        assert!(
+            self.valid,
+            "cholesky solve: factor is invalid (last refactor failed); refactor before solving"
+        );
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve: rhs length {}", b.len());
         // Forward: L y = b.
@@ -150,8 +187,8 @@ impl Cholesky {
         // Backward: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut s = b[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * b[k];
+            for (k, &bk) in b.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[(k, i)] * bk;
             }
             b[i] = s / self.l[(i, i)];
         }
@@ -244,6 +281,43 @@ mod tests {
         assert!(f.refactor(&spd(4, 3), 0.0).is_err());
         let indef = Matrix::from_rows(&[&[1.0; 5]; 5].map(|r| &r[..])).unwrap();
         assert!(f.refactor(&indef, 0.0).is_err());
+    }
+
+    #[test]
+    fn nan_input_is_rejected_not_silently_factored() {
+        // Regression: `d <= tol` is false for a NaN pivot, so a non-finite
+        // entry used to flow into sqrt and produce an all-NaN factor while
+        // refactor reported success.
+        let mut a = spd(3, 17);
+        a[(1, 1)] = f64::NAN;
+        let mut f = Cholesky::factor(&spd(3, 5)).unwrap();
+        assert!(matches!(
+            f.refactor(&a, 0.0),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+        assert!(!f.is_valid());
+        // Fresh factorization of NaN data must fail the same way.
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn failed_refactor_invalidates_until_recovery() {
+        let good = spd(4, 23);
+        let mut f = Cholesky::factor(&good).unwrap();
+        assert!(f.is_valid());
+        let indef = Matrix::from_rows(&[&[1.0; 4]; 4].map(|r| &r[..])).unwrap();
+        assert!(f.refactor(&indef, 0.0).is_err());
+        assert!(!f.is_valid());
+        // Solving with the invalidated factor panics instead of returning
+        // garbage from the half-written storage.
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.solve(&Vector::zeros(4))));
+        assert!(res.is_err(), "solve with an invalid factor must panic");
+        // A later successful refactor restores the factor.
+        f.refactor(&good, 0.0).unwrap();
+        assert!(f.is_valid());
+        let fresh = Cholesky::factor(&good).unwrap();
+        assert_eq!(f.l(), fresh.l());
     }
 
     #[test]

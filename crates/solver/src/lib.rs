@@ -63,6 +63,8 @@ mod qp;
 mod relax;
 mod riccati;
 mod settings;
+mod skkt;
+mod structured;
 mod warm;
 
 pub use error::SolverError;
@@ -73,5 +75,7 @@ pub use lq::{LqProblem, LqSolution, LqStage, LqTerminal};
 pub use lq_ipm::{solve_lq, solve_lq_traced, solve_lq_warm, solve_lq_warm_traced};
 pub use qp::{QpProblem, QpSolution, SolveStatus};
 pub use relax::{relax_lq, relax_lq_slots, RelaxedLq, RelaxedSolution, SoftSpec};
-pub use settings::IpmSettings;
+pub use settings::{IpmSettings, KktBackend};
+pub use skkt::{solve_structured, solve_structured_warm, solve_structured_warm_traced};
+pub use structured::{CouplingRow, DiagRow, StructuredLq};
 pub use warm::WarmStartTracker;

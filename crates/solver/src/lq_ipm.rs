@@ -107,15 +107,28 @@ pub fn solve_lq_warm_traced(
     warm_us: Option<&[Vector]>,
     telemetry: &Recorder,
 ) -> Result<LqSolution, SolverError> {
+    trace_lq_solve(telemetry, warm_us.is_some(), || {
+        solve_lq_warm_inner(problem, settings, warm_us, telemetry)
+    })
+}
+
+/// Shared metrics wrapper for both KKT backends: counts the solve (and
+/// warm start), times it, and tallies the outcome status, so the
+/// `solver.lq.*` catalogue reads identically whichever backend ran.
+pub(crate) fn trace_lq_solve(
+    telemetry: &Recorder,
+    warm: bool,
+    solve: impl FnOnce() -> Result<LqSolution, SolverError>,
+) -> Result<LqSolution, SolverError> {
     if !telemetry.is_enabled() {
-        return solve_lq_warm_inner(problem, settings, warm_us, telemetry);
+        return solve();
     }
     telemetry.incr("solver.lq.solves", 1);
-    if warm_us.is_some() {
+    if warm {
         telemetry.incr("solver.lq.warm_starts", 1);
     }
     let t0 = Instant::now();
-    let result = solve_lq_warm_inner(problem, settings, warm_us, telemetry);
+    let result = solve();
     telemetry.observe_duration("solver.lq.solve_seconds", t0.elapsed());
     match &result {
         Ok(sol) => {
@@ -154,10 +167,21 @@ fn solve_lq_warm_inner(
     let nstages = problem.horizon();
     let n = problem.state_dim();
 
+    // Backend dispatch: large DSPP-shaped problems take the
+    // structure-exploiting Schur path; everything else (small instances,
+    // relaxed/recovery problems with slack columns, rate-limited inputs,
+    // general dynamics) keeps the dense Riccati path below.
+    if settings.kkt_backend == crate::KktBackend::Structured && n >= settings.structured_threshold {
+        if let Some(slq) = crate::StructuredLq::from_lq(problem) {
+            return crate::skkt::solve_structured_inner(&slq, settings, warm_us, telemetry);
+        }
+    }
+
     let mut span = telemetry.tracer().span("solver.lq.solve");
     span.attr("horizon", nstages);
     span.attr("state_dim", n);
     span.attr("warm_start", warm_us.is_some());
+    span.attr("backend", "dense");
 
     // Iterates: inputs, states (always exactly dynamics-feasible), costates,
     // and per-stage slack/dual pairs.
@@ -730,7 +754,7 @@ fn accept_degraded(
 /// stationarity residual negligible, so they approximately satisfy
 /// `Cᵀy ⊥ dynamics, y ≥ 0` while pricing the violated row reported in the
 /// error.
-fn classify_infeasibility(
+pub(crate) fn classify_infeasibility(
     best_violation: (usize, usize, f64, f64),
     settings: &IpmSettings,
     diverged: bool,
@@ -862,7 +886,7 @@ fn worst_violation_row(
     worst
 }
 
-fn max_step_multi(vs: &[Vector], dvs: &[Vector]) -> f64 {
+pub(crate) fn max_step_multi(vs: &[Vector], dvs: &[Vector]) -> f64 {
     let mut alpha: f64 = 1.0;
     for (v, dv) in vs.iter().zip(dvs) {
         for i in 0..v.len() {

@@ -1,0 +1,1251 @@
+//! Structure-exploiting interior-point path for DSPP-shaped problems.
+//!
+//! The dense path solves each Newton system by a Riccati recursion —
+//! `O(W·n³)` per interior-point iteration, which at 100 data centers ×
+//! 1000 locations (thousands of arcs) is minutes per solve and gigabytes
+//! of stage matrices. This module exploits what [`StructuredLq`] records:
+//! after eliminating inputs (`Δu_k = Δx_{k+1} − Δx_k`) and costates, the
+//! condensed Newton system `H y = b` over `y = (Δx_1, …, Δx_W)` has
+//!
+//! ```text
+//! H = T + Gᵀ W_c G
+//! ```
+//!
+//! where `T` is block-diagonal over *arcs* — one `W×W` tridiagonal chain
+//! per arc, carrying the input Hessians, regularization, and the barrier
+//! weights of the single-arc rows — and `G` holds only the aggregate
+//! coupling rows (demand and capacity), `W_c` their barrier weights. By
+//! the Woodbury identity,
+//!
+//! ```text
+//! y = T⁻¹b − T⁻¹ Gᵀ S⁻¹ G T⁻¹ b,      S = W_c⁻¹ + G T⁻¹ Gᵀ,
+//! ```
+//!
+//! and `S` itself is a two-block "arrow": demand rows have disjoint arc
+//! supports (one row per location), capacity rows likewise (one per data
+//! center), so `S = [[D_A, F], [Fᵀ, D_B]]` with block-diagonal `D_A`,
+//! `D_B` and sparse cross blocks `F`. Eliminating the (many) demand rows
+//! leaves one dense SPD system of dimension `W · #capacity rows` — a few
+//! hundred even at 100× scale — factored by
+//! [`dspp_linalg::SchurComplement`]. Per-iteration cost is `O(n·W³ +
+//! (W·L)³)` for `L` data centers: near-linear in arcs.
+//!
+//! The outer loop here mirrors `lq_ipm` exactly — same Mehrotra
+//! predictor–corrector, same stopping rules, same regularization-boost
+//! retry, same degraded-acceptance and infeasibility classification — so
+//! the two backends are interchangeable. [`solve_lq`](crate::solve_lq)
+//! dispatches here automatically (see
+//! [`KktBackend`](crate::KktBackend)); the entry points in this module
+//! exist for callers that build a [`StructuredLq`] directly because the
+//! dense expansion would not fit in memory.
+
+use crate::lq_ipm::{classify_infeasibility, max_step_multi, trace_lq_solve};
+use crate::structured::StructuredLq;
+use crate::{IpmSettings, LqSolution, SolveStatus, SolverError};
+use dspp_linalg::{BlockDiag, LinalgError, Matrix, SchurComplement, Vector};
+use dspp_telemetry::{AttrValue, Recorder};
+use std::time::Instant;
+
+fn zero_mat(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        for v in m.row_mut(i) {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Cross block between one group-A (demand) row and one group-B
+/// (capacity) row it shares arcs with: `F = Σ c_A c_B T_e⁻¹` and the
+/// eliminated product `K = D_A⁻¹ F`.
+struct APair {
+    jb: usize,
+    f: Matrix,
+    k: Matrix,
+}
+
+/// Preallocated factorization workspace for the condensed structured KKT
+/// system; rebuilt by [`SchurKkt::refactor`] every interior-point
+/// iteration without allocating.
+struct SchurKkt {
+    n: usize,
+    w: usize,
+    /// Per arc: the single-arc rows touching it (row index, coefficient).
+    diag_by_arc: Vec<Vec<(usize, f64)>>,
+    /// Per-arc `W×W` chain matrices and their block-Cholesky factors.
+    t_mats: Vec<Matrix>,
+    t_blocks: BlockDiag,
+    /// Explicit per-arc chain inverses (needed to assemble `S`).
+    t_invs: Vec<Matrix>,
+    /// Group-A (demand-row) diagonal blocks of `S` and their factors.
+    a_mats: Vec<Matrix>,
+    a_blocks: BlockDiag,
+    /// Per group-A row: cross blocks against overlapping group-B rows.
+    pairs: Vec<Vec<APair>>,
+    /// Final dense system over the group-B rows.
+    s_cap: SchurComplement,
+    // --- scratch ---
+    tmp_mat: Matrix,
+    col: Vector,
+    h_a: Vector,
+    u_b: Vector,
+    corr: Vector,
+    rhs_copy: Vector,
+    resid: Vector,
+}
+
+impl SchurKkt {
+    fn new(slq: &StructuredLq) -> Self {
+        let n = slq.n;
+        let w = slq.w;
+        let mut diag_by_arc: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for dr in &slq.diag_rows {
+            diag_by_arc[dr.arc].push((dr.row, dr.coeff));
+        }
+        let pairs = slq
+            .group_a
+            .iter()
+            .map(|cr| {
+                let mut jbs: Vec<usize> = cr
+                    .entries
+                    .iter()
+                    .filter_map(|&(e, _)| {
+                        let (jb, _) = slq.arc_b[e];
+                        (jb != crate::structured::NO_ROW).then_some(jb)
+                    })
+                    .collect();
+                jbs.sort_unstable();
+                jbs.dedup();
+                jbs.into_iter()
+                    .map(|jb| APair {
+                        jb,
+                        f: Matrix::zeros(w, w),
+                        k: Matrix::zeros(w, w),
+                    })
+                    .collect()
+            })
+            .collect();
+        let na = slq.group_a.len();
+        let nb = slq.group_b.len();
+        SchurKkt {
+            n,
+            w,
+            diag_by_arc,
+            t_mats: vec![Matrix::zeros(w, w); n],
+            t_blocks: BlockDiag::new(n, w),
+            t_invs: vec![Matrix::zeros(w, w); n],
+            a_mats: vec![Matrix::zeros(w, w); na],
+            a_blocks: BlockDiag::new(na, w),
+            pairs,
+            s_cap: SchurComplement::new(nb * w),
+            tmp_mat: Matrix::zeros(w, w),
+            col: Vector::zeros(w),
+            h_a: Vector::zeros(na * w),
+            u_b: Vector::zeros(nb * w),
+            corr: Vector::zeros(n * w),
+            rhs_copy: Vector::zeros(n * w),
+            resid: Vector::zeros(n * w),
+        }
+    }
+
+    /// Dimension of the final dense coupling system.
+    fn dense_dim(&self) -> usize {
+        self.s_cap.dim()
+    }
+
+    /// Rebuilds and refactors the whole condensed system for the current
+    /// barrier weights `ws` (per slot, slot 0 empty) and regularization.
+    fn refactor(&mut self, slq: &StructuredLq, ws: &[Vector], reg: f64) -> Result<(), LinalgError> {
+        let w = self.w;
+        // Per-arc tridiagonal chains: T_e = Σ_k R̃_k (y_{k+1}−y_k)² plus
+        // the diagonal barrier terms of the single-arc rows.
+        for e in 0..self.n {
+            let m = &mut self.t_mats[e];
+            zero_mat(m);
+            #[allow(clippy::needless_range_loop)] // `k` is a stage index into several arrays
+            for k in 1..=w {
+                let i = k - 1;
+                let mut d = slq.r_diags[k - 1][e] + reg;
+                if k < w {
+                    let rt = slq.r_diags[k][e] + reg;
+                    d += rt;
+                    m[(i, i + 1)] = -rt;
+                    m[(i + 1, i)] = -rt;
+                }
+                for &(row, c) in &self.diag_by_arc[e] {
+                    d += ws[k][row] * c * c;
+                }
+                m[(i, i)] = d;
+            }
+        }
+        self.t_blocks.refactor(&self.t_mats, 0.0)?;
+        for e in 0..self.n {
+            self.t_blocks.inverse_block_into(e, &mut self.t_invs[e]);
+        }
+        // Group-A diagonal blocks D_A[j] = W_c⁻¹ + Σ c² T_e⁻¹.
+        for (ja, cr) in slq.group_a.iter().enumerate() {
+            let m = &mut self.a_mats[ja];
+            zero_mat(m);
+            for &(e, c) in &cr.entries {
+                m.add_scaled(c * c, &self.t_invs[e]);
+            }
+            for k in 1..=w {
+                m[(k - 1, k - 1)] += 1.0 / ws[k][cr.row];
+            }
+        }
+        self.a_blocks.refactor(&self.a_mats, 0.0)?;
+        // Cross blocks F (per shared arc) and K = D_A⁻¹ F.
+        for (ja, cr) in slq.group_a.iter().enumerate() {
+            for pair in self.pairs[ja].iter_mut() {
+                zero_mat(&mut pair.f);
+                for &(e, ca) in &cr.entries {
+                    let (jb, cb) = slq.arc_b[e];
+                    if jb == pair.jb {
+                        pair.f.add_scaled(ca * cb, &self.t_invs[e]);
+                    }
+                }
+                for j in 0..w {
+                    pair.f.col_into(j, &mut self.col);
+                    self.a_blocks.solve_block_in_place(ja, &mut self.col);
+                    for i in 0..w {
+                        pair.k[(i, j)] = self.col[i];
+                    }
+                }
+            }
+        }
+        // Dense group-B system S_B = D_B − Fᵀ D_A⁻¹ F.
+        self.s_cap.reset();
+        for (jb, cr) in slq.group_b.iter().enumerate() {
+            zero_mat(&mut self.tmp_mat);
+            for &(e, c) in &cr.entries {
+                self.tmp_mat.add_scaled(c * c, &self.t_invs[e]);
+            }
+            #[allow(clippy::needless_range_loop)] // `k` is a stage index, offset by one
+            for k in 1..=w {
+                self.tmp_mat[(k - 1, k - 1)] += 1.0 / ws[k][cr.row];
+            }
+            self.s_cap.add_block(jb * w, jb * w, 1.0, &self.tmp_mat);
+        }
+        for prs in &self.pairs {
+            for p in prs {
+                for q in prs {
+                    zero_mat(&mut self.tmp_mat);
+                    p.f.matmul_t_acc(1.0, &q.k, &mut self.tmp_mat);
+                    self.s_cap
+                        .add_block(p.jb * w, q.jb * w, -1.0, &self.tmp_mat);
+                }
+            }
+        }
+        self.s_cap.refactor(reg)
+    }
+
+    /// Solves `H y = b` in place (`y` in arc-major layout: arc `e`'s
+    /// chain occupies `[e·W, (e+1)·W)`), using the last successful
+    /// [`SchurKkt::refactor`].
+    fn solve_in_place(&mut self, slq: &StructuredLq, y: &mut Vector) {
+        let w = self.w;
+        // g = T⁻¹ b.
+        self.t_blocks.solve_in_place(y);
+        // h = D_A⁻¹ (G_A g).
+        for (ja, cr) in slq.group_a.iter().enumerate() {
+            for i in 0..w {
+                self.col[i] = 0.0;
+            }
+            for &(e, c) in &cr.entries {
+                for i in 0..w {
+                    self.col[i] += c * y[e * w + i];
+                }
+            }
+            self.a_blocks.solve_block_in_place(ja, &mut self.col);
+            for i in 0..w {
+                self.h_a[ja * w + i] = self.col[i];
+            }
+        }
+        // rhs_B = G_B g − Fᵀ h.
+        for (jb, cr) in slq.group_b.iter().enumerate() {
+            for i in 0..w {
+                let mut acc = 0.0;
+                for &(e, c) in &cr.entries {
+                    acc += c * y[e * w + i];
+                }
+                self.u_b[jb * w + i] = acc;
+            }
+        }
+        for (ja, prs) in self.pairs.iter().enumerate() {
+            for p in prs {
+                for j in 0..w {
+                    let mut acc = 0.0;
+                    for i in 0..w {
+                        acc += p.f[(i, j)] * self.h_a[ja * w + i];
+                    }
+                    self.u_b[p.jb * w + j] -= acc;
+                }
+            }
+        }
+        self.s_cap.solve_in_place(&mut self.u_b);
+        // Back-substitute the demand rows: u_A = h − K u_B.
+        for (ja, prs) in self.pairs.iter().enumerate() {
+            for p in prs {
+                for i in 0..w {
+                    let mut acc = 0.0;
+                    for j in 0..w {
+                        acc += p.k[(i, j)] * self.u_b[p.jb * w + j];
+                    }
+                    self.h_a[ja * w + i] -= acc;
+                }
+            }
+        }
+        // y = g − T⁻¹ Gᵀ u.
+        self.corr.fill(0.0);
+        for (ja, cr) in slq.group_a.iter().enumerate() {
+            for &(e, c) in &cr.entries {
+                for i in 0..w {
+                    self.corr[e * w + i] += c * self.h_a[ja * w + i];
+                }
+            }
+        }
+        for (jb, cr) in slq.group_b.iter().enumerate() {
+            for &(e, c) in &cr.entries {
+                for i in 0..w {
+                    self.corr[e * w + i] += c * self.u_b[jb * w + i];
+                }
+            }
+        }
+        self.t_blocks.solve_in_place(&mut self.corr);
+        y.axpy(-1.0, &self.corr);
+    }
+
+    /// `out = H v` for the condensed matrix `H = T + CᵀWC` (the exact
+    /// matrix [`SchurKkt::refactor`] factored, including regularization).
+    /// The chains `t_mats` already carry the single-arc barrier rows, so
+    /// only the coupling rows are applied explicitly.
+    fn apply_h(&self, slq: &StructuredLq, ws: &[Vector], v: &Vector, out: &mut Vector) {
+        let w = self.w;
+        for e in 0..self.n {
+            let t = &self.t_mats[e];
+            for i in 0..w {
+                let mut acc = 0.0;
+                for j in 0..w {
+                    acc += t[(i, j)] * v[e * w + j];
+                }
+                out[e * w + i] = acc;
+            }
+        }
+        for cr in slq.group_a.iter().chain(slq.group_b.iter()) {
+            for i in 0..w {
+                let mut acc = 0.0;
+                for &(e, c) in &cr.entries {
+                    acc += c * v[e * w + i];
+                }
+                acc *= ws[i + 1][cr.row];
+                for &(e, c) in &cr.entries {
+                    out[e * w + i] += c * acc;
+                }
+            }
+        }
+    }
+
+    /// [`SchurKkt::solve_in_place`] followed by two steps of iterative
+    /// refinement against the true `H`. Late interior-point iterations
+    /// push the barrier weights to ~1e14 and the condensed system's
+    /// condition number with them; the raw two-level solve then loses
+    /// enough digits that the recovered duals diverge. Refinement is two
+    /// extra block solves — negligible next to the refactorization — and
+    /// keeps the step residual at roundoff level throughout.
+    fn solve_refined(&mut self, slq: &StructuredLq, ws: &[Vector], y: &mut Vector) {
+        self.rhs_copy.copy_from(y);
+        self.solve_in_place(slq, y);
+        let mut resid = std::mem::replace(&mut self.resid, Vector::zeros(0));
+        for _ in 0..2 {
+            self.apply_h(slq, ws, y, &mut resid);
+            for i in 0..resid.len() {
+                resid[i] = self.rhs_copy[i] - resid[i];
+            }
+            self.solve_in_place(slq, &mut resid);
+            y.axpy(1.0, &resid);
+        }
+        self.resid = resid;
+    }
+}
+
+/// Solves a [`StructuredLq`] with the structure-exploiting interior-point
+/// method; cold start.
+///
+/// This is the direct entry point for problems built compactly because
+/// their dense expansion would not fit in memory (the 100×-scale
+/// benchmark instances). For problems that already exist as an
+/// [`LqProblem`](crate::LqProblem), prefer [`solve_lq`](crate::solve_lq)
+/// — it dispatches here automatically when the backend, threshold, and
+/// structure detection all agree, and falls back to the dense path
+/// otherwise.
+///
+/// # Errors
+///
+/// As [`solve_lq`](crate::solve_lq): invalid settings, certified
+/// infeasibility, iteration exhaustion, or numerical failure.
+pub fn solve_structured(
+    slq: &StructuredLq,
+    settings: &IpmSettings,
+) -> Result<LqSolution, SolverError> {
+    solve_structured_warm(slq, settings, None)
+}
+
+/// [`solve_structured`] with a primal warm-start guess for the input
+/// sequence (`W` vectors of the arc dimension), as
+/// [`solve_lq_warm`](crate::solve_lq_warm).
+///
+/// # Errors
+///
+/// As [`solve_structured`], plus
+/// [`SolverError::InvalidProblem`] for a wrong-shaped or non-finite guess.
+pub fn solve_structured_warm(
+    slq: &StructuredLq,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+) -> Result<LqSolution, SolverError> {
+    solve_structured_inner(slq, settings, warm_us, &Recorder::disabled())
+}
+
+/// [`solve_structured_warm`] with metrics emitted to `telemetry`.
+///
+/// Emits the same `solver.lq.*` catalogue as
+/// [`solve_lq_warm_traced`](crate::solve_lq_warm_traced), plus the
+/// structured-path extras: the `solver.lq.schur_factor` counter (one per
+/// successful factorization) and the `solver.lq.schur_block_size`,
+/// `solver.lq.schur_dense_dim`, and `solver.lq.schur_fill` observations.
+///
+/// # Errors
+///
+/// As [`solve_structured_warm`].
+pub fn solve_structured_warm_traced(
+    slq: &StructuredLq,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+    telemetry: &Recorder,
+) -> Result<LqSolution, SolverError> {
+    trace_lq_solve(telemetry, warm_us.is_some(), || {
+        solve_structured_inner(slq, settings, warm_us, telemetry)
+    })
+}
+
+/// Loose-tolerance acceptance for the breakdown exits, mirroring the
+/// dense path's `accept_degraded`.
+#[allow(clippy::too_many_arguments)]
+fn accept_degraded(
+    slq: &StructuredLq,
+    settings: &IpmSettings,
+    scale: f64,
+    xs: &[Vector],
+    us: &[Vector],
+    ss: &[Vector],
+    zs: &[Vector],
+    iterations: usize,
+    scratch: &mut Vector,
+) -> Option<LqSolution> {
+    let objective = slq.objective(xs, us);
+    let mut gap = 0.0;
+    let mut m_total = 0usize;
+    for (s, z) in ss.iter().zip(zs) {
+        gap += s.dot(z);
+        m_total += s.len();
+    }
+    let mu = if m_total > 0 {
+        gap / m_total as f64
+    } else {
+        0.0
+    };
+    let loose = 1e4;
+    let violation = slq.max_violation(xs, scratch);
+    if violation <= loose * settings.tol_feasibility * scale
+        && mu <= loose * settings.tol_gap * (1.0 + objective.abs()).max(scale)
+    {
+        Some(LqSolution {
+            xs: xs.to_vec(),
+            us: us.to_vec(),
+            stage_duals: zs.to_vec(),
+            objective,
+            iterations,
+            status: SolveStatus::AlmostOptimal,
+        })
+    } else {
+        None
+    }
+}
+
+/// One condensed Newton solve: builds the modified right-hand side from
+/// the current residuals and complementarity target `r_cs`, solves
+/// `H y = b`, and recovers `Δx/Δu/Δλ/Δs/Δz`. All outputs and scratch are
+/// preallocated by the caller.
+#[allow(clippy::too_many_arguments)]
+fn newton_step(
+    slq: &StructuredLq,
+    kkt: &mut SchurKkt,
+    reg: f64,
+    ws: &[Vector],
+    ss: &[Vector],
+    zs: &[Vector],
+    r_ineqs: &[Vector],
+    r_xs: &[Vector],
+    r_us: &[Vector],
+    r_cs: &[Vector],
+    ts: &mut [Vector],
+    q_hats: &mut [Vector],
+    y: &mut Vector,
+    cons: &mut Vector,
+    dxs: &mut [Vector],
+    dus: &mut [Vector],
+    dlams: &mut [Vector],
+    dss: &mut [Vector],
+    dzs: &mut [Vector],
+    telemetry: &Recorder,
+) {
+    let w = slq.w;
+    let n = slq.n;
+    let m = slq.m_rows;
+    // t_k = S⁻¹(Z r_ineq − r_c) per slot.
+    for k in 1..=w {
+        for i in 0..m {
+            ts[k][i] = (zs[k][i] * r_ineqs[k][i] - r_cs[k][i]) / ss[k][i];
+        }
+    }
+    // q̂_k = r_x,k + Cᵀ t_k  (r̂_k is just r_u,k: no input rows).
+    for k in 1..=w {
+        let qh = &mut q_hats[k];
+        qh.copy_from(&r_xs[k]);
+        slq.row_t_acc(&ts[k], qh);
+    }
+    // Condensed RHS, arc-major: b_k = −q̂_k + r̂_k − r̂_{k−1} (r̂_W ≡ 0).
+    for e in 0..n {
+        for k in 1..=w {
+            let mut b = -q_hats[k][e] - r_us[k - 1][e];
+            if k < w {
+                b += r_us[k][e];
+            }
+            y[e * w + k - 1] = b;
+        }
+    }
+    telemetry.time("solver.lq.schur_solve_seconds", || {
+        kkt.solve_refined(slq, ws, y);
+    });
+    // Recover the trajectory step: Δx_0 = 0, Δu_k = Δx_{k+1} − Δx_k,
+    // Δλ_k = −r̂_k − R̃_k Δu_k.
+    dxs[0].fill(0.0);
+    for k in 1..=w {
+        for e in 0..n {
+            dxs[k][e] = y[e * w + k - 1];
+        }
+    }
+    for k in 0..w {
+        for e in 0..n {
+            let du = dxs[k + 1][e] - dxs[k][e];
+            dus[k][e] = du;
+            dlams[k][e] = -r_us[k][e] - (slq.r_diags[k][e] + reg) * du;
+        }
+    }
+    // Δs = −r_ineq − CΔx, Δz = (−r_c − ZΔs)/S per slot.
+    for k in 1..=w {
+        slq.row_lhs_into(&dxs[k], cons);
+        for i in 0..m {
+            dss[k][i] = -r_ineqs[k][i] - cons[i];
+            dzs[k][i] = (-r_cs[k][i] - zs[k][i] * dss[k][i]) / ss[k][i];
+        }
+    }
+}
+
+pub(crate) fn solve_structured_inner(
+    slq: &StructuredLq,
+    settings: &IpmSettings,
+    warm_us: Option<&[Vector]>,
+    telemetry: &Recorder,
+) -> Result<LqSolution, SolverError> {
+    settings.validate().map_err(SolverError::InvalidProblem)?;
+    let w = slq.w;
+    let n = slq.n;
+    let m = slq.m_rows;
+    let m_total = m * w;
+
+    let mut span = telemetry.tracer().span("solver.lq.solve");
+    span.attr("horizon", w);
+    span.attr("state_dim", n);
+    span.attr("warm_start", warm_us.is_some());
+    span.attr("backend", "structured");
+
+    let mut us: Vec<Vector> = match warm_us {
+        None => vec![Vector::zeros(n); w],
+        Some(guess) => {
+            if guess.len() != w || guess.iter().any(|g| g.len() != n) {
+                return Err(SolverError::InvalidProblem(
+                    "warm-start guess does not match the problem's input dimensions".into(),
+                ));
+            }
+            if guess.iter().any(|g| !g.is_finite()) {
+                return Err(SolverError::InvalidProblem(
+                    "warm-start guess contains non-finite values".into(),
+                ));
+            }
+            guess.to_vec()
+        }
+    };
+    let mut xs = slq.rollout(&us);
+    let mut lams: Vec<Vector> = vec![Vector::zeros(n); w];
+
+    // Slot layout mirrors the dense path: slot 0 (the fixed x_0) carries
+    // no constraints; slots 1..=W carry the shared m rows each.
+    let margin = settings.init_margin;
+    let slot_vecs = || -> Vec<Vector> {
+        (0..=w)
+            .map(|k| Vector::zeros(if k == 0 { 0 } else { m }))
+            .collect()
+    };
+    let mut cons = Vector::zeros(m);
+    let mut ss = slot_vecs();
+    let mut zs = slot_vecs();
+    for k in 1..=w {
+        slq.row_lhs_into(&xs[k], &mut cons);
+        for i in 0..m {
+            ss[k][i] = (slq.ds[k - 1][i] - cons[i]).max(margin);
+        }
+        zs[k].fill(margin);
+    }
+
+    let scale = slq.scale();
+
+    let mut best_gap = f64::INFINITY;
+    let mut best_violation = (0usize, 0usize, f64::INFINITY, f64::INFINITY);
+    let mut z_max = 0.0f64;
+    let mut reg = settings.regularization;
+    let max_reg = settings.regularization.max(1e-12) * 1e20;
+
+    // ------- preallocated workspace, reused every iteration -------
+    let mut r_ineqs = slot_vecs();
+    let mut r_xs: Vec<Vector> = vec![Vector::zeros(n); w + 1];
+    let mut r_us: Vec<Vector> = vec![Vector::zeros(n); w];
+    let mut ws = slot_vecs();
+    let mut ts = slot_vecs();
+    let mut r_cs = slot_vecs();
+    let mut q_hats: Vec<Vector> = vec![Vector::zeros(n); w + 1];
+    let mut y = Vector::zeros(n * w);
+    let state_vecs = || -> Vec<Vector> { vec![Vector::zeros(n); w + 1] };
+    let input_vecs = || -> Vec<Vector> { vec![Vector::zeros(n); w] };
+    let mut dxs_aff = state_vecs();
+    let mut dus_aff = input_vecs();
+    let mut dlams_aff = input_vecs();
+    let mut dss_aff = slot_vecs();
+    let mut dzs_aff = slot_vecs();
+    let mut dxs = state_vecs();
+    let mut dus = input_vecs();
+    let mut dlams = input_vecs();
+    let mut dss = slot_vecs();
+    let mut dzs = slot_vecs();
+    let mut kkt = SchurKkt::new(slq);
+    let mut sizes_reported = false;
+
+    for iter in 0..settings.max_iterations {
+        // ------- residuals -------
+        for k in 1..=w {
+            slq.row_lhs_into(&xs[k], &mut r_ineqs[k]);
+            for i in 0..m {
+                r_ineqs[k][i] += ss[k][i] - slq.ds[k - 1][i];
+            }
+        }
+        // Stationarity in x: q_k + Cᵀz_k + λ_k − λ_{k−1} (A = I, Q = 0);
+        // terminal drops the λ_k term.
+        for k in 1..=w {
+            let r = &mut r_xs[k];
+            r.copy_from(&slq.qs[k - 1]);
+            slq.row_t_acc(&zs[k], r);
+            if k < w {
+                r.axpy(1.0, &lams[k]);
+            }
+            r.axpy(-1.0, &lams[k - 1]);
+        }
+        // Stationarity in u: R_k u_k + r_k + λ_k (B = I, no input rows).
+        for k in 0..w {
+            let r = &mut r_us[k];
+            for e in 0..n {
+                r[e] = slq.r_diags[k][e] * us[k][e] + slq.r_vecs[k][e] + lams[k][e];
+            }
+        }
+
+        let mut gap = 0.0;
+        for k in 1..=w {
+            gap += ss[k].dot(&zs[k]);
+        }
+        let mu = if m_total > 0 {
+            gap / m_total as f64
+        } else {
+            0.0
+        };
+        best_gap = best_gap.min(mu);
+
+        let mut stat_norm: f64 = 0.0;
+        for r in r_xs.iter().skip(1) {
+            stat_norm = stat_norm.max(r.norm_inf());
+        }
+        for r in &r_us {
+            stat_norm = stat_norm.max(r.norm_inf());
+        }
+        let mut ineq_norm: f64 = 0.0;
+        for r in &r_ineqs {
+            ineq_norm = ineq_norm.max(r.norm_inf());
+        }
+        let wr = slq.worst_violation_row(&xs, &mut cons);
+        if wr.3 < best_violation.3 {
+            best_violation = wr;
+        }
+        z_max = z_max.max(zs.iter().map(Vector::norm_inf).fold(0.0f64, f64::max));
+        let objective = slq.objective(&xs, &us);
+        if span.is_enabled() {
+            span.event_with(
+                "solver.lq.iteration",
+                [
+                    ("iter", AttrValue::UInt(iter as u64)),
+                    ("kkt_stat_norm", AttrValue::Float(stat_norm)),
+                    ("kkt_ineq_norm", AttrValue::Float(ineq_norm)),
+                    ("mu", AttrValue::Float(mu)),
+                    ("objective", AttrValue::Float(objective)),
+                ],
+            );
+        }
+        let feas_ok = stat_norm <= settings.tol_feasibility * scale
+            && ineq_norm <= settings.tol_feasibility * scale;
+        let gap_ok = mu <= settings.tol_gap * (1.0 + objective.abs());
+        if feas_ok && gap_ok {
+            telemetry.observe("solver.lq.kkt_residual", stat_norm.max(ineq_norm));
+            span.attr("status", "optimal");
+            span.attr("iterations", iter);
+            span.attr("objective", objective);
+            return Ok(LqSolution {
+                xs,
+                us,
+                stage_duals: zs,
+                objective,
+                iterations: iter,
+                status: SolveStatus::Optimal,
+            });
+        }
+
+        // ------- barrier weights and structured factorization -------
+        for k in 1..=w {
+            for i in 0..m {
+                ws[k][i] = zs[k][i] / ss[k][i];
+            }
+        }
+        let t_factor = telemetry.is_enabled().then(Instant::now);
+        loop {
+            match kkt.refactor(slq, &ws, reg) {
+                Ok(()) => {
+                    telemetry.incr("solver.lq.schur_factor", 1);
+                    if !sizes_reported && telemetry.is_enabled() {
+                        sizes_reported = true;
+                        telemetry.observe("solver.lq.schur_block_size", w as f64);
+                        telemetry.observe("solver.lq.schur_dense_dim", kkt.dense_dim() as f64);
+                        telemetry.observe("solver.lq.schur_fill", kkt.s_cap.fill_ratio());
+                    }
+                    break;
+                }
+                Err(e) if reg < max_reg => {
+                    reg = (reg * 100.0).max(1e-12);
+                    telemetry.incr("solver.lq.reg_boosts", 1);
+                    if span.is_enabled() {
+                        span.event_with(
+                            "solver.lq.reg_boost",
+                            [
+                                ("iter", AttrValue::UInt(iter as u64)),
+                                ("regularization", AttrValue::Float(reg)),
+                                ("cause", AttrValue::from(e.to_string())),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Same breakdown triage as the dense path: accept a
+                    // converged primal, certify infeasibility, or report
+                    // the numerical failure.
+                    if let Some(sol) =
+                        accept_degraded(slq, settings, scale, &xs, &us, &ss, &zs, iter, &mut cons)
+                    {
+                        telemetry
+                            .observe("solver.lq.kkt_residual", slq.max_violation(&xs, &mut cons));
+                        span.attr("status", "almost_optimal");
+                        span.attr("iterations", iter);
+                        return Ok(sol);
+                    }
+                    if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                        span.attr("status", "infeasible");
+                        return Err(err);
+                    }
+                    return Err(SolverError::NumericalFailure(format!(
+                        "structured KKT factorization failed: {e}"
+                    )));
+                }
+            }
+        }
+        if let Some(t) = t_factor {
+            telemetry.observe_duration("solver.lq.schur_factor_seconds", t.elapsed());
+        }
+
+        // ------- predictor -------
+        for k in 1..=w {
+            ss[k].hadamard_into(&zs[k], &mut r_cs[k]);
+        }
+        newton_step(
+            slq,
+            &mut kkt,
+            reg,
+            &ws,
+            &ss,
+            &zs,
+            &r_ineqs,
+            &r_xs,
+            &r_us,
+            &r_cs,
+            &mut ts,
+            &mut q_hats,
+            &mut y,
+            &mut cons,
+            &mut dxs_aff,
+            &mut dus_aff,
+            &mut dlams_aff,
+            &mut dss_aff,
+            &mut dzs_aff,
+            telemetry,
+        );
+        let alpha_p_aff = max_step_multi(&ss, &dss_aff);
+        let alpha_d_aff = max_step_multi(&zs, &dzs_aff);
+        let sigma = if m_total > 0 && mu > 0.0 {
+            let mut mu_aff = 0.0;
+            for k in 1..=w {
+                for i in 0..m {
+                    mu_aff += (ss[k][i] + alpha_p_aff * dss_aff[k][i])
+                        * (zs[k][i] + alpha_d_aff * dzs_aff[k][i]);
+                }
+            }
+            mu_aff /= m_total as f64;
+            ((mu_aff / mu).max(0.0)).powi(3).min(1.0)
+        } else {
+            0.0
+        };
+
+        // ------- corrector -------
+        let use_corrector = m_total > 0;
+        if use_corrector {
+            for k in 1..=w {
+                for i in 0..m {
+                    r_cs[k][i] = ss[k][i] * zs[k][i] + dss_aff[k][i] * dzs_aff[k][i] - sigma * mu;
+                }
+            }
+            newton_step(
+                slq,
+                &mut kkt,
+                reg,
+                &ws,
+                &ss,
+                &zs,
+                &r_ineqs,
+                &r_xs,
+                &r_us,
+                &r_cs,
+                &mut ts,
+                &mut q_hats,
+                &mut y,
+                &mut cons,
+                &mut dxs,
+                &mut dus,
+                &mut dlams,
+                &mut dss,
+                &mut dzs,
+                telemetry,
+            );
+        }
+        let (fdxs, fdus, fdlams, fdss, fdzs) = if use_corrector {
+            (&dxs, &dus, &dlams, &dss, &dzs)
+        } else {
+            (&dxs_aff, &dus_aff, &dlams_aff, &dss_aff, &dzs_aff)
+        };
+
+        let tau = settings.step_fraction;
+        let alpha_p = (tau * max_step_multi(&ss, fdss)).min(1.0);
+        let alpha_d = (tau * max_step_multi(&zs, fdzs)).min(1.0);
+
+        for k in 0..=w {
+            xs[k].axpy(alpha_p, &fdxs[k]);
+            ss[k].axpy(alpha_p, &fdss[k]);
+            zs[k].axpy(alpha_d, &fdzs[k]);
+            if k < w {
+                us[k].axpy(alpha_p, &fdus[k]);
+                lams[k].axpy(alpha_d, &fdlams[k]);
+            }
+        }
+
+        let finite = xs.iter().all(Vector::is_finite)
+            && us.iter().all(Vector::is_finite)
+            && ss.iter().all(Vector::is_finite)
+            && zs.iter().all(Vector::is_finite)
+            && lams.iter().all(Vector::is_finite);
+        if !finite {
+            if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                span.attr("status", "infeasible");
+                return Err(err);
+            }
+            span.attr("status", "numerical_failure");
+            return Err(SolverError::NumericalFailure(
+                "iterates became non-finite".into(),
+            ));
+        }
+        if m_total > 0 && alpha_p < 1e-13 && alpha_d < 1e-13 {
+            if let Some(sol) =
+                accept_degraded(slq, settings, scale, &xs, &us, &ss, &zs, iter, &mut cons)
+            {
+                telemetry.observe("solver.lq.kkt_residual", slq.max_violation(&xs, &mut cons));
+                span.attr("status", "almost_optimal");
+                span.attr("iterations", iter);
+                return Ok(sol);
+            }
+            if let Some(err) = classify_infeasibility(best_violation, settings, true) {
+                span.attr("status", "infeasible");
+                return Err(err);
+            }
+            span.attr("status", "numerical_failure");
+            return Err(SolverError::NumericalFailure(format!(
+                "step length collapsed at iteration {iter} (gap {mu:.3e}); problem is likely infeasible"
+            )));
+        }
+    }
+
+    // Degraded acceptance after iteration exhaustion, then the exit
+    // classifier — both mirroring the dense path.
+    let objective = slq.objective(&xs, &us);
+    let mut gap = 0.0;
+    for k in 1..=w {
+        gap += ss[k].dot(&zs[k]);
+    }
+    let mu = if m_total > 0 {
+        gap / m_total as f64
+    } else {
+        0.0
+    };
+    let loose = 1e4;
+    let violation = slq.max_violation(&xs, &mut cons);
+    if violation <= loose * settings.tol_feasibility * scale
+        && mu <= loose * settings.tol_gap * (1.0 + objective.abs())
+    {
+        telemetry.observe("solver.lq.kkt_residual", violation.max(mu));
+        span.attr("status", "almost_optimal");
+        span.attr("iterations", settings.max_iterations);
+        span.attr("objective", objective);
+        return Ok(LqSolution {
+            xs,
+            us,
+            stage_duals: zs,
+            objective,
+            iterations: settings.max_iterations,
+            status: SolveStatus::AlmostOptimal,
+        });
+    }
+    if let Some(err) = classify_infeasibility(best_violation, settings, z_max > 1e6) {
+        span.attr("status", "infeasible");
+        span.attr("dual_max", z_max);
+        return Err(err);
+    }
+    span.attr("status", "max_iterations");
+    span.attr("best_gap", best_gap);
+    Err(SolverError::MaxIterations {
+        limit: settings.max_iterations,
+        gap: best_gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::{CouplingRow, DiagRow};
+    use crate::{solve_lq_warm, KktBackend};
+    use proptest::prelude::*;
+
+    /// A small DSPP-shaped instance: `dcs × locs` grid with every arc
+    /// usable, demand floors per location, capacity caps per DC,
+    /// non-negativity per arc.
+    fn instance(dcs: usize, locs: usize, w: usize, demand: f64, cap: f64) -> StructuredLq {
+        let n = dcs * locs; // arc (l, v) at index l * locs + v
+        let m_rows = locs + dcs + n;
+        let diag_rows = (0..n)
+            .map(|e| DiagRow {
+                row: locs + dcs + e,
+                arc: e,
+                coeff: -1.0,
+            })
+            .collect();
+        let group_a = (0..locs)
+            .map(|v| CouplingRow {
+                row: v,
+                entries: (0..dcs)
+                    .map(|l| (l * locs + v, -(1.0 + 0.1 * l as f64)))
+                    .collect(),
+            })
+            .collect();
+        let group_b = (0..dcs)
+            .map(|l| CouplingRow {
+                row: locs + l,
+                entries: (0..locs).map(|v| (l * locs + v, 1.0)).collect(),
+            })
+            .collect();
+        let mut d = Vector::zeros(m_rows);
+        for v in 0..locs {
+            d[v] = -demand;
+        }
+        for l in 0..dcs {
+            d[locs + l] = cap;
+        }
+        let qs: Vec<Vector> = (0..w)
+            .map(|k| (0..n).map(|e| 1.0 + 0.3 * ((e + k) % 5) as f64).collect())
+            .collect();
+        StructuredLq::new(
+            Vector::zeros(n),
+            Vector::zeros(n),
+            qs,
+            vec![Vector::filled(n, 0.2); w],
+            vec![Vector::zeros(n); w],
+            vec![d; w],
+            diag_rows,
+            group_a,
+            group_b,
+            m_rows,
+        )
+        .unwrap()
+    }
+
+    fn dense_settings() -> IpmSettings {
+        IpmSettings {
+            kkt_backend: KktBackend::Dense,
+            ..IpmSettings::default()
+        }
+    }
+
+    /// The factorization itself: solve `H y = b` for random barrier
+    /// weights and verify `H y` reconstructs `b` through the explicit
+    /// definition `H = T + CᵀWC` (chain part plus full barrier part).
+    #[test]
+    fn schur_solve_satisfies_the_condensed_system() {
+        let slq = instance(2, 3, 3, 4.0, 30.0);
+        let (n, w, m) = (slq.n, slq.w, slq.m_rows);
+        let reg = 1e-9;
+        // Deterministic pseudo-random positive weights and rhs.
+        let mut state = 42u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 + 0.01
+        };
+        let mut ws: Vec<Vector> = vec![Vector::zeros(0)];
+        for _ in 1..=w {
+            ws.push((0..m).map(|_| next() * 3.0).collect());
+        }
+        let b: Vector = (0..n * w).map(|_| next() - 1.0).collect();
+        let mut kkt = SchurKkt::new(&slq);
+        kkt.refactor(&slq, &ws, reg).unwrap();
+        let mut y = b.clone();
+        kkt.solve_in_place(&slq, &mut y);
+        // Reconstruct H y slot by slot.
+        let mut worst = 0.0f64;
+        let mut scratch = Vector::zeros(m);
+        let mut wk = Vector::zeros(m);
+        for k in 1..=w {
+            let yk: Vector = (0..n).map(|e| y[e * w + k - 1]).collect();
+            // Chain part: R̃ terms only (diag-row barrier goes via CᵀWC).
+            let mut hy = Vector::zeros(n);
+            for e in 0..n {
+                let r_prev = slq.r_diags[k - 1][e] + reg;
+                let mut v = r_prev * yk[e];
+                if k > 1 {
+                    v -= r_prev * y[e * w + k - 2];
+                }
+                if k < w {
+                    let r_next = slq.r_diags[k][e] + reg;
+                    v += r_next * yk[e] - r_next * y[e * w + k];
+                }
+                hy[e] = v;
+            }
+            // Barrier part CᵀW(Cy) over every row of the slot.
+            slq.row_lhs_into(&yk, &mut scratch);
+            for i in 0..m {
+                wk[i] = ws[k][i] * scratch[i];
+            }
+            slq.row_t_acc(&wk, &mut hy);
+            for e in 0..n {
+                worst = worst.max((hy[e] - b[e * w + k - 1]).abs());
+            }
+        }
+        assert!(worst < 1e-8, "H y deviates from b by {worst:.3e}");
+    }
+
+    #[test]
+    fn structured_matches_dense_on_a_dspp_instance() {
+        let slq = instance(3, 4, 4, 5.0, 40.0);
+        let dense = solve_lq_warm(&slq.to_lq(), &dense_settings(), None).unwrap();
+        let structured = solve_structured(&slq, &IpmSettings::default()).unwrap();
+        assert!(
+            (structured.objective - dense.objective).abs() <= 1e-8 * (1.0 + dense.objective.abs()),
+            "objectives diverge: structured {} vs dense {}",
+            structured.objective,
+            dense.objective
+        );
+        for (a, b) in structured.xs.iter().zip(&dense.xs) {
+            assert!((a - b).norm_inf() < 1e-6);
+        }
+        // Duals agree too (they feed the game's capacity prices).
+        for (a, b) in structured.stage_duals.iter().zip(&dense.stage_duals) {
+            assert!((a - b).norm_inf() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_optimum() {
+        let slq = instance(2, 3, 3, 4.0, 30.0);
+        let cold = solve_structured(&slq, &IpmSettings::default()).unwrap();
+        let warm = solve_structured_warm(&slq, &IpmSettings::default(), Some(&cold.us)).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.iterations <= cold.iterations);
+        let bad = vec![Vector::zeros(1); 3];
+        assert!(matches!(
+            solve_structured_warm(&slq, &IpmSettings::default(), Some(&bad)),
+            Err(SolverError::InvalidProblem(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_demand_is_certified() {
+        // Total demand 3 locations × 50 against one DC capping at 10.
+        let slq = instance(1, 3, 3, 50.0, 10.0);
+        let err = solve_structured(&slq, &IpmSettings::default()).unwrap_err();
+        assert!(
+            matches!(err, SolverError::Infeasible { .. }),
+            "expected a certificate, got {err}"
+        );
+    }
+
+    #[test]
+    fn traced_solve_reports_schur_metrics() {
+        let telemetry = Recorder::enabled();
+        let slq = instance(2, 3, 3, 4.0, 30.0);
+        let sol =
+            solve_structured_warm_traced(&slq, &IpmSettings::default(), None, &telemetry).unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("solver.lq.solves"), 1);
+        assert_eq!(snap.counter("solver.lq.status.optimal"), 1);
+        // One factorization per iteration (no reg boosts on this instance).
+        assert_eq!(
+            snap.counter("solver.lq.schur_factor"),
+            sol.iterations as u64
+        );
+        assert_eq!(snap.counter("solver.lq.reg_boosts"), 0);
+        let bs = snap.histogram("solver.lq.schur_block_size").unwrap();
+        assert_eq!(bs.count, 1);
+        let dd = snap.histogram("solver.lq.schur_dense_dim").unwrap();
+        // 2 capacity rows × horizon 3.
+        assert_eq!(dd.count, 1);
+        assert!(snap.histogram("solver.lq.schur_fill").unwrap().count == 1);
+        assert!(
+            snap.histogram("solver.lq.schur_factor_seconds")
+                .unwrap()
+                .count
+                >= 1
+        );
+    }
+
+    #[test]
+    fn dispatch_from_dense_problem_uses_structured_path() {
+        // Threshold 0 forces the structured path through solve_lq; the
+        // schur_factor counter proves which backend ran.
+        let slq = instance(2, 3, 3, 4.0, 30.0);
+        let problem = slq.to_lq();
+        let telemetry = Recorder::enabled();
+        let settings = IpmSettings {
+            structured_threshold: 0,
+            ..IpmSettings::default()
+        };
+        let sol = crate::solve_lq_warm_traced(&problem, &settings, None, &telemetry).unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        assert!(snap.counter("solver.lq.schur_factor") >= sol.iterations as u64);
+        // Same problem, dense backend: no schur factorizations.
+        let telemetry2 = Recorder::enabled();
+        crate::solve_lq_warm_traced(&problem, &dense_settings(), None, &telemetry2).unwrap();
+        assert_eq!(
+            telemetry2
+                .snapshot()
+                .unwrap()
+                .counter("solver.lq.schur_factor"),
+            0
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The two backends must agree to 1e-8 on random DSPP-shaped
+        /// instances across horizons and grid sizes.
+        #[test]
+        fn prop_structured_agrees_with_dense(
+            dcs in 1usize..4,
+            locs in 1usize..5,
+            w in 1usize..5,
+            demand in 1.0f64..8.0,
+            cap_slack in 1.2f64..3.0,
+        ) {
+            // Keep the instance feasible: total capacity comfortably above
+            // total demand (worst-coefficient conversion is ≤ 1 server per
+            // unit of demand here).
+            let cap = demand * locs as f64 * cap_slack / dcs as f64;
+            let slq = instance(dcs, locs, w, demand, cap);
+            let dense = solve_lq_warm(&slq.to_lq(), &dense_settings(), None).unwrap();
+            let structured = solve_structured(&slq, &IpmSettings::default()).unwrap();
+            prop_assert!(
+                (structured.objective - dense.objective).abs()
+                    <= 1e-8 * (1.0 + dense.objective.abs()),
+                "objectives diverge: structured {} vs dense {}",
+                structured.objective,
+                dense.objective
+            );
+            for (a, b) in structured.xs.iter().zip(&dense.xs) {
+                prop_assert!((a - b).norm_inf() < 1e-6);
+            }
+        }
+
+        /// Warm-start bookkeeping is backend-independent: the tracker
+        /// counters must be identical whichever backend solves.
+        #[test]
+        fn prop_warm_hit_counters_match_across_backends(
+            dcs in 1usize..3,
+            locs in 1usize..4,
+            demand in 1.0f64..6.0,
+        ) {
+            use crate::WarmStartTracker;
+            let cap = demand * locs as f64 * 2.0 / dcs as f64;
+            let slq = instance(dcs, locs, 3, demand, cap);
+            let problem = slq.to_lq();
+            let run = |settings: &IpmSettings| {
+                let telemetry = Recorder::enabled();
+                let mut tracker = WarmStartTracker::new();
+                let cold =
+                    crate::solve_lq_warm_traced(&problem, settings, None, &telemetry).unwrap();
+                tracker.record(false, cold.iterations, &telemetry);
+                let warm = crate::solve_lq_warm_traced(
+                    &problem, settings, Some(&cold.us), &telemetry,
+                )
+                .unwrap();
+                tracker.record(true, warm.iterations, &telemetry);
+                let snap = telemetry.snapshot().unwrap();
+                (
+                    snap.counter("solver.lq.solves"),
+                    snap.counter("solver.lq.warm_starts"),
+                    snap.counter("solver.lq.warm_hits"),
+                )
+            };
+            let structured = run(&IpmSettings {
+                structured_threshold: 0,
+                ..IpmSettings::default()
+            });
+            let dense = run(&dense_settings());
+            prop_assert_eq!(structured, dense);
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! Compact representation of DSPP-shaped stage-structured problems.
+//!
+//! The horizon-truncated placement problem is almost entirely structure:
+//! identity dynamics `x⁺ = x + u` over the per-(l,v) arc states, diagonal
+//! quadratic input costs, linear state costs, and per-period constraint
+//! rows that are either *diagonal* (touching one arc: non-negativity,
+//! per-arc caps) or *aggregate coupling* rows (demand rows summing over a
+//! location's arcs, capacity rows summing over a data center's arcs). A
+//! dense [`LqProblem`] stores the identity `A`/`B` and the mostly-zero
+//! constraint matrix explicitly — `O(n²)` per stage — which caps the dense
+//! path at a few hundred arcs. [`StructuredLq`] stores exactly the nonzero
+//! data: `O(n + rows)` per stage, so 100 DCs × 1000 locations fits in a
+//! few megabytes.
+//!
+//! [`StructuredLq::from_lq`] detects the structure in an existing dense
+//! problem (the dispatch path behind
+//! [`solve_lq`](crate::solve_lq) when
+//! [`KktBackend::Structured`](crate::KktBackend::Structured) is selected);
+//! [`StructuredLq::new`] builds one directly for instances too large to
+//! ever materialize densely; [`StructuredLq::to_lq`] expands back for
+//! cross-validation. The interior-point loop that consumes this type lives
+//! in the `skkt` module.
+
+use crate::{LqProblem, LqStage, LqTerminal, SolverError};
+use dspp_linalg::{Matrix, Vector};
+use std::collections::VecDeque;
+
+/// A constraint row touching exactly one arc: `coeff · x_arc ≤ d_row`.
+///
+/// Folded straight into the per-arc tridiagonal KKT blocks — diagonal rows
+/// never enter the Schur system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagRow {
+    /// Index of this row within each constrained slot's row order.
+    pub row: usize,
+    /// The arc (state index) the row constrains.
+    pub arc: usize,
+    /// The row's coefficient (e.g. `-1` for non-negativity).
+    pub coeff: f64,
+}
+
+/// An aggregate coupling row `Σ_e coeff_e · x_e ≤ d_row` over several arcs
+/// (a demand row over one location's arcs, or a capacity row over one data
+/// center's arcs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingRow {
+    /// Index of this row within each constrained slot's row order.
+    pub row: usize,
+    /// `(arc, coefficient)` pairs; arcs are distinct within a row.
+    pub entries: Vec<(usize, f64)>,
+}
+
+/// A DSPP-shaped LQ problem in compact form; see the module docs.
+///
+/// Slots `1..=W` (stages `1..W-1` plus the terminal) each carry the same
+/// `m_rows` constraint rows — the same sparsity *and* coefficients, with
+/// only the right-hand sides varying per slot — split into diagonal rows
+/// and two groups of coupling rows whose supports are disjoint *within*
+/// each group (demand rows partition arcs by location; capacity rows by
+/// data center). That two-group "arrow" structure is what the structured
+/// KKT factorization eliminates in two levels.
+#[derive(Debug, Clone)]
+pub struct StructuredLq {
+    /// Arc count `n` (state and input dimension).
+    pub(crate) n: usize,
+    /// Horizon `W` (stage count; slots `1..=W` are constrained).
+    pub(crate) w: usize,
+    /// Initial state.
+    pub(crate) x0: Vector,
+    /// Stage-0 linear state cost on the *fixed* `x0` (a constant in the
+    /// objective, kept so objectives match the dense problem exactly).
+    pub(crate) q0: Vector,
+    /// Linear state costs per slot `k = 1..=W` (index `k-1`).
+    pub(crate) qs: Vec<Vector>,
+    /// Input cost Hessian diagonals `R_k` per stage `k = 0..W-1`.
+    pub(crate) r_diags: Vec<Vector>,
+    /// Linear input costs per stage.
+    pub(crate) r_vecs: Vec<Vector>,
+    /// Constraint rows per constrained slot.
+    pub(crate) m_rows: usize,
+    /// Right-hand sides per slot `k = 1..=W` (index `k-1`), original row
+    /// order.
+    pub(crate) ds: Vec<Vector>,
+    /// Single-arc rows.
+    pub(crate) diag_rows: Vec<DiagRow>,
+    /// First coupling group (disjoint supports; demand rows in DSPP).
+    pub(crate) group_a: Vec<CouplingRow>,
+    /// Second coupling group (disjoint supports; capacity rows in DSPP).
+    pub(crate) group_b: Vec<CouplingRow>,
+    /// Arc `e` → index into `group_b` of the row containing it (or
+    /// [`NO_ROW`]), plus that row's coefficient on `e`; the structured
+    /// factorization uses it to find the capacity row each arc feeds.
+    pub(crate) arc_b: Vec<(usize, f64)>,
+}
+
+/// Marker for "arc not in any row of this group".
+pub(crate) const NO_ROW: usize = usize::MAX;
+
+fn is_zero_matrix(m: &Matrix) -> bool {
+    (0..m.rows()).all(|i| (0..m.cols()).all(|j| m[(i, j)] == 0.0))
+}
+
+fn is_identity(m: &Matrix) -> bool {
+    m.is_square()
+        && (0..m.rows()).all(|i| (0..m.cols()).all(|j| m[(i, j)] == if i == j { 1.0 } else { 0.0 }))
+}
+
+fn is_diagonal(m: &Matrix) -> bool {
+    m.is_square() && (0..m.rows()).all(|i| (0..m.cols()).all(|j| i == j || m[(i, j)] == 0.0))
+}
+
+impl StructuredLq {
+    /// Builds a structured problem from its compact parts.
+    ///
+    /// Shapes: `x0`, `q0`, every entry of `qs`/`r_diags`/`r_vecs` have
+    /// length `n`; `qs`, `r_vecs` and `ds` have one entry per slot
+    /// `1..=W`, `r_diags` one per stage `0..W-1` (the two counts are both
+    /// `W`); every `ds[k]` has length `m_rows`. Row indices of
+    /// `diag_rows` ∪ `group_a` ∪ `group_b` must partition `0..m_rows`,
+    /// and each group's rows must have pairwise-disjoint arc supports.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidProblem`] describing the first violated
+    /// requirement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        x0: Vector,
+        q0: Vector,
+        qs: Vec<Vector>,
+        r_diags: Vec<Vector>,
+        r_vecs: Vec<Vector>,
+        ds: Vec<Vector>,
+        diag_rows: Vec<DiagRow>,
+        group_a: Vec<CouplingRow>,
+        group_b: Vec<CouplingRow>,
+        m_rows: usize,
+    ) -> Result<Self, SolverError> {
+        let bad = |msg: String| Err(SolverError::InvalidProblem(msg));
+        let n = x0.len();
+        let w = qs.len();
+        if n == 0 {
+            return bad("structured problem needs at least one arc".into());
+        }
+        if w == 0 {
+            return bad("structured problem needs a positive horizon".into());
+        }
+        if r_diags.len() != w || r_vecs.len() != w || ds.len() != w {
+            return bad(format!(
+                "per-slot series disagree: qs {w}, r_diags {}, r_vecs {}, ds {}",
+                r_diags.len(),
+                r_vecs.len(),
+                ds.len()
+            ));
+        }
+        if !x0.is_finite() || !q0.is_finite() || q0.len() != n {
+            return bad("x0/q0 must be finite vectors of the arc dimension".into());
+        }
+        for (k, (q, (r, rv))) in qs.iter().zip(r_diags.iter().zip(&r_vecs)).enumerate() {
+            if q.len() != n || r.len() != n || rv.len() != n {
+                return bad(format!("slot {k}: cost vectors must have length {n}"));
+            }
+            if !q.is_finite() || !rv.is_finite() {
+                return bad(format!("slot {k}: non-finite cost data"));
+            }
+            if r.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+                return bad(format!("stage {k}: input cost diagonal must be positive"));
+            }
+        }
+        for (k, d) in ds.iter().enumerate() {
+            if d.len() != m_rows {
+                return bad(format!(
+                    "slot {}: rhs has {} rows, expected {m_rows}",
+                    k + 1,
+                    d.len()
+                ));
+            }
+            if !d.is_finite() {
+                return bad(format!("slot {}: non-finite rhs", k + 1));
+            }
+        }
+        let mut row_seen = vec![false; m_rows];
+        let mut claim_row = |row: usize| -> Result<(), SolverError> {
+            if row >= m_rows {
+                return Err(SolverError::InvalidProblem(format!(
+                    "row index {row} out of range (m_rows = {m_rows})"
+                )));
+            }
+            if row_seen[row] {
+                return Err(SolverError::InvalidProblem(format!(
+                    "row {row} classified twice"
+                )));
+            }
+            row_seen[row] = true;
+            Ok(())
+        };
+        for dr in &diag_rows {
+            claim_row(dr.row)?;
+            if dr.arc >= n || !dr.coeff.is_finite() || dr.coeff == 0.0 {
+                return bad(format!("diagonal row {} has invalid arc/coeff", dr.row));
+            }
+        }
+        let mut arc_a = vec![(NO_ROW, 0.0); n];
+        let mut arc_b = vec![(NO_ROW, 0.0); n];
+        for (group, map, name) in [(&group_a, &mut arc_a, "A"), (&group_b, &mut arc_b, "B")] {
+            for (gi, c) in group.iter().enumerate() {
+                claim_row(c.row)?;
+                if c.entries.is_empty() {
+                    return bad(format!("coupling row {} has no entries", c.row));
+                }
+                for &(e, coeff) in &c.entries {
+                    if e >= n || !coeff.is_finite() || coeff == 0.0 {
+                        return bad(format!("coupling row {} has invalid entry", c.row));
+                    }
+                    if map[e].0 != NO_ROW {
+                        return bad(format!(
+                            "group {name}: arc {e} appears in two rows — supports must be disjoint"
+                        ));
+                    }
+                    map[e] = (gi, coeff);
+                }
+            }
+        }
+        if let Some(row) = row_seen.iter().position(|&s| !s) {
+            return bad(format!("row {row} is not classified"));
+        }
+        Ok(StructuredLq {
+            n,
+            w,
+            x0,
+            q0,
+            qs,
+            r_diags,
+            r_vecs,
+            m_rows,
+            ds,
+            diag_rows,
+            group_a,
+            group_b,
+            arc_b,
+        })
+    }
+
+    /// Detects DSPP structure in a dense [`LqProblem`], returning `None`
+    /// when the problem does not fit (the caller then stays on the dense
+    /// path).
+    ///
+    /// Requirements: identity `A`/`B` with no affine term, zero state
+    /// Hessians, positive-diagonal input Hessians, an unconstrained stage
+    /// 0, identical state-only constraint matrices on every later slot,
+    /// and coupling rows whose overlap graph is bipartite with
+    /// disjoint supports inside each side (demand/capacity "arrow"
+    /// structure). Relaxation slack columns, rate-limit (input) rows, and
+    /// general dynamics all fail detection — by design those solves keep
+    /// the dense path.
+    pub fn from_lq(problem: &LqProblem) -> Option<StructuredLq> {
+        let w = problem.horizon();
+        let n = problem.state_dim();
+        for st in &problem.stages {
+            if st.input_dim() != n
+                || !is_identity(&st.a)
+                || !is_identity(&st.b)
+                || st.c.norm_inf() != 0.0
+                || !is_zero_matrix(&st.q_mat)
+                || !is_diagonal(&st.r_mat)
+            {
+                return None;
+            }
+            // Negated so a NaN diagonal entry rejects the structured path.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if (0..n).any(|e| !(st.r_mat[(e, e)] > 0.0)) {
+                return None;
+            }
+        }
+        if !is_zero_matrix(&problem.terminal.q_mat) {
+            return None;
+        }
+        if problem.stages[0].num_constraints() != 0 {
+            return None;
+        }
+        let m_rows = problem.terminal.d.len();
+        let cx = &problem.terminal.cx;
+        for st in problem.stages.iter().skip(1) {
+            if st.num_constraints() != m_rows || st.cx != *cx || !is_zero_matrix(&st.cu) {
+                return None;
+            }
+        }
+
+        // Classify rows by support size.
+        let mut diag_rows = Vec::new();
+        let mut coupling: Vec<CouplingRow> = Vec::new();
+        for r in 0..m_rows {
+            let entries: Vec<(usize, f64)> = (0..n)
+                .filter(|&e| cx[(r, e)] != 0.0)
+                .map(|e| (e, cx[(r, e)]))
+                .collect();
+            match entries.len() {
+                0 => return None, // vacuous row; keep the dense path
+                1 => diag_rows.push(DiagRow {
+                    row: r,
+                    arc: entries[0].0,
+                    coeff: entries[0].1,
+                }),
+                _ => coupling.push(CouplingRow { row: r, entries }),
+            }
+        }
+
+        // Bipartition the coupling rows: rows sharing an arc must land in
+        // different groups (2-coloring of the overlap graph); an arc in
+        // three or more coupling rows, or an odd overlap cycle, has no
+        // two-group arrow structure.
+        let mut touch: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, c) in coupling.iter().enumerate() {
+            for &(e, _) in &c.entries {
+                if touch[e].len() >= 2 {
+                    return None;
+                }
+                touch[e].push(ci);
+            }
+        }
+        let mut color = vec![u8::MAX; coupling.len()];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); coupling.len()];
+        for rows in &touch {
+            if let [a, b] = rows[..] {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let mut queue = VecDeque::new();
+        for start in 0..coupling.len() {
+            if color[start] != u8::MAX {
+                continue;
+            }
+            color[start] = 0;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if color[v] == u8::MAX {
+                        color[v] = 1 - color[u];
+                        queue.push_back(v);
+                    } else if color[v] == color[u] {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut group_a = Vec::new();
+        let mut group_b = Vec::new();
+        for (c, col) in coupling.into_iter().zip(&color) {
+            if *col == 0 {
+                group_a.push(c);
+            } else {
+                group_b.push(c);
+            }
+        }
+
+        let diag_of = |m: &Matrix| -> Vector { (0..n).map(|e| m[(e, e)]).collect() };
+        let qs: Vec<Vector> = (1..=w)
+            .map(|k| {
+                if k < w {
+                    problem.stages[k].q_vec.clone()
+                } else {
+                    problem.terminal.q_vec.clone()
+                }
+            })
+            .collect();
+        let ds: Vec<Vector> = (1..=w)
+            .map(|k| {
+                if k < w {
+                    problem.stages[k].d.clone()
+                } else {
+                    problem.terminal.d.clone()
+                }
+            })
+            .collect();
+        StructuredLq::new(
+            problem.x0.clone(),
+            problem.stages[0].q_vec.clone(),
+            qs,
+            problem.stages.iter().map(|st| diag_of(&st.r_mat)).collect(),
+            problem.stages.iter().map(|st| st.r_vec.clone()).collect(),
+            ds,
+            diag_rows,
+            group_a,
+            group_b,
+            m_rows,
+        )
+        .ok()
+    }
+
+    /// Expands back to the equivalent dense [`LqProblem`] — the
+    /// cross-validation bridge for agreement tests and the dense leg of
+    /// the scaling experiment.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic: by construction the expansion always validates.
+    pub fn to_lq(&self) -> LqProblem {
+        let n = self.n;
+        let mut cx = Matrix::zeros(self.m_rows, n);
+        for dr in &self.diag_rows {
+            cx[(dr.row, dr.arc)] = dr.coeff;
+        }
+        for c in self.group_a.iter().chain(&self.group_b) {
+            for &(e, coeff) in &c.entries {
+                cx[(c.row, e)] = coeff;
+            }
+        }
+        let mut stages = Vec::with_capacity(self.w);
+        for k in 0..self.w {
+            let mut st = LqStage::identity_dynamics(n);
+            st.r_mat = Matrix::from_diag(&self.r_diags[k]);
+            st.r_vec = self.r_vecs[k].clone();
+            if k == 0 {
+                st.q_vec = self.q0.clone();
+            } else {
+                st.q_vec = self.qs[k - 1].clone();
+                st = st.with_constraints(
+                    cx.clone(),
+                    Matrix::zeros(self.m_rows, n),
+                    self.ds[k - 1].clone(),
+                );
+            }
+            stages.push(st);
+        }
+        let terminal = LqTerminal::free(n)
+            .with_state_cost(self.qs[self.w - 1].clone())
+            .with_constraints(cx, self.ds[self.w - 1].clone());
+        LqProblem::new(self.x0.clone(), stages, terminal).expect("structured expansion is valid")
+    }
+
+    /// Arc count (state and input dimension).
+    pub fn state_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Horizon `W`.
+    pub fn horizon(&self) -> usize {
+        self.w
+    }
+
+    /// Constraint rows per constrained slot.
+    pub fn num_rows(&self) -> usize {
+        self.m_rows
+    }
+
+    /// Number of coupling rows (both groups) per slot — the rows the
+    /// Schur complement eliminates.
+    pub fn num_coupling_rows(&self) -> usize {
+        self.group_a.len() + self.group_b.len()
+    }
+
+    /// Simulates `x⁺ = x + u` from `x0`.
+    pub(crate) fn rollout(&self, us: &[Vector]) -> Vec<Vector> {
+        let mut xs = Vec::with_capacity(self.w + 1);
+        xs.push(self.x0.clone());
+        for u in us {
+            let mut xn = xs.last().expect("nonempty").clone();
+            xn.axpy(1.0, u);
+            xs.push(xn);
+        }
+        xs
+    }
+
+    /// Constraint left-hand side `C x` for one slot, written into `out`
+    /// (length `m_rows`).
+    pub(crate) fn row_lhs_into(&self, x: &Vector, out: &mut Vector) {
+        out.fill(0.0);
+        for dr in &self.diag_rows {
+            out[dr.row] = dr.coeff * x[dr.arc];
+        }
+        for c in self.group_a.iter().chain(&self.group_b) {
+            let mut acc = 0.0;
+            for &(e, coeff) in &c.entries {
+                acc += coeff * x[e];
+            }
+            out[c.row] = acc;
+        }
+    }
+
+    /// Constraint-transpose accumulation `out += Cᵀ t` for one slot.
+    pub(crate) fn row_t_acc(&self, t: &Vector, out: &mut Vector) {
+        for dr in &self.diag_rows {
+            out[dr.arc] += dr.coeff * t[dr.row];
+        }
+        for c in self.group_a.iter().chain(&self.group_b) {
+            let tr = t[c.row];
+            for &(e, coeff) in &c.entries {
+                out[e] += coeff * tr;
+            }
+        }
+    }
+
+    /// Objective of a trajectory, matching [`LqProblem::objective`] on the
+    /// expanded problem.
+    #[allow(clippy::needless_range_loop)] // `k` is a stage index, offset by one
+    pub(crate) fn objective(&self, xs: &[Vector], us: &[Vector]) -> f64 {
+        let mut j = self.q0.dot(&xs[0]);
+        for k in 1..=self.w {
+            j += self.qs[k - 1].dot(&xs[k]);
+        }
+        for k in 0..self.w {
+            let u = &us[k];
+            let r = &self.r_diags[k];
+            for e in 0..self.n {
+                j += 0.5 * r[e] * u[e] * u[e];
+            }
+            j += self.r_vecs[k].dot(u);
+        }
+        j
+    }
+
+    /// Largest constraint violation along a trajectory.
+    #[allow(clippy::needless_range_loop)] // `k` is a stage index, offset by one
+    pub(crate) fn max_violation(&self, xs: &[Vector], scratch: &mut Vector) -> f64 {
+        let mut v: f64 = 0.0;
+        for k in 1..=self.w {
+            self.row_lhs_into(&xs[k], scratch);
+            for i in 0..self.m_rows {
+                v = v.max(scratch[i] - self.ds[k - 1][i]);
+            }
+        }
+        v.max(0.0)
+    }
+
+    /// Most-violated row `(slot, row, violation, violation/(1+|d|))`,
+    /// mirroring the dense path's classifier input.
+    #[allow(clippy::needless_range_loop)] // `k` is a stage index, offset by one
+    pub(crate) fn worst_violation_row(
+        &self,
+        xs: &[Vector],
+        scratch: &mut Vector,
+    ) -> (usize, usize, f64, f64) {
+        let mut worst = (0usize, 0usize, 0.0f64, 0.0f64);
+        for k in 1..=self.w {
+            self.row_lhs_into(&xs[k], scratch);
+            let d = &self.ds[k - 1];
+            for i in 0..self.m_rows {
+                let viol = scratch[i] - d[i];
+                let rel = viol / (1.0 + d[i].abs());
+                if rel > worst.3 {
+                    worst = (k, i, viol, rel);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Problem scale for the stopping test, matching the dense path.
+    pub(crate) fn scale(&self) -> f64 {
+        let mut scale: f64 = 1.0;
+        scale = scale.max(self.q0.norm_inf());
+        for q in &self.qs {
+            scale = scale.max(q.norm_inf());
+        }
+        for r in &self.r_vecs {
+            scale = scale.max(r.norm_inf());
+        }
+        for d in &self.ds {
+            scale = scale.max(d.norm_inf());
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two DCs × two locations, every arc usable: 4 arcs, 2 demand rows
+    /// (group A), 2 capacity rows (group B), 4 non-negativity diag rows.
+    fn dspp_like(w: usize) -> StructuredLq {
+        let n = 4; // arcs: (dc0,v0) (dc0,v1) (dc1,v0) (dc1,v1)
+        let m_rows = 2 + 2 + n;
+        let diag_rows = (0..n)
+            .map(|e| DiagRow {
+                row: 4 + e,
+                arc: e,
+                coeff: -1.0,
+            })
+            .collect();
+        let group_a = vec![
+            CouplingRow {
+                row: 0,
+                entries: vec![(0, -1.0), (2, -1.2)],
+            },
+            CouplingRow {
+                row: 1,
+                entries: vec![(1, -0.8), (3, -1.0)],
+            },
+        ];
+        let group_b = vec![
+            CouplingRow {
+                row: 2,
+                entries: vec![(0, 1.0), (1, 1.0)],
+            },
+            CouplingRow {
+                row: 3,
+                entries: vec![(2, 1.0), (3, 1.0)],
+            },
+        ];
+        let mut d = Vector::zeros(m_rows);
+        d[0] = -5.0;
+        d[1] = -3.0;
+        d[2] = 40.0;
+        d[3] = 40.0;
+        StructuredLq::new(
+            Vector::zeros(n),
+            Vector::zeros(n),
+            vec![Vector::from(vec![1.0, 2.0, 3.0, 1.5]); w],
+            vec![Vector::filled(n, 0.2); w],
+            vec![Vector::zeros(n); w],
+            vec![d; w],
+            diag_rows,
+            group_a,
+            group_b,
+            m_rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_dense_detection() {
+        let slq = dspp_like(3);
+        let dense = slq.to_lq();
+        let detected = StructuredLq::from_lq(&dense).expect("structure must be detected");
+        assert_eq!(detected.state_dim(), 4);
+        assert_eq!(detected.horizon(), 3);
+        assert_eq!(detected.num_rows(), 8);
+        assert_eq!(detected.num_coupling_rows(), 4);
+        assert_eq!(detected.diag_rows.len(), 4);
+        // The bipartition must separate demand-like from capacity-like
+        // rows (group naming may swap; sizes must be 2 + 2 with disjoint
+        // supports — guaranteed by the constructor).
+        assert_eq!(detected.group_a.len() + detected.group_b.len(), 4);
+        // Expanding the detected problem again reproduces the matrices.
+        let dense2 = detected.to_lq();
+        assert_eq!(dense.stages[1].cx, dense2.stages[1].cx);
+        assert_eq!(dense.terminal.d, dense2.terminal.d);
+    }
+
+    #[test]
+    fn row_products_match_dense_matrices() {
+        let slq = dspp_like(2);
+        let dense = slq.to_lq();
+        let cx = &dense.terminal.cx;
+        let x: Vector = (0..4).map(|e| e as f64 * 0.7 - 1.0).collect();
+        let mut lhs = Vector::zeros(slq.num_rows());
+        slq.row_lhs_into(&x, &mut lhs);
+        let want = cx.matvec(&x);
+        assert!((&lhs - &want).norm_inf() < 1e-15);
+        let t: Vector = (0..slq.num_rows()).map(|i| i as f64 * 0.3 - 1.1).collect();
+        let mut acc = Vector::zeros(4);
+        slq.row_t_acc(&t, &mut acc);
+        let want_t = cx.matvec_t(&t);
+        assert!((&acc - &want_t).norm_inf() < 1e-15);
+    }
+
+    #[test]
+    fn objective_and_violation_match_dense() {
+        let slq = dspp_like(3);
+        let dense = slq.to_lq();
+        let us: Vec<Vector> = (0..3)
+            .map(|k| (0..4).map(|e| (k + e) as f64 * 0.4 - 0.5).collect())
+            .collect();
+        let xs = slq.rollout(&us);
+        let dense_xs = dense.rollout(&us);
+        for (a, b) in xs.iter().zip(&dense_xs) {
+            assert!((a - b).norm_inf() < 1e-15);
+        }
+        assert!((slq.objective(&xs, &us) - dense.objective(&xs, &us)).abs() < 1e-12);
+        let mut scratch = Vector::zeros(slq.num_rows());
+        assert!(
+            (slq.max_violation(&xs, &mut scratch) - dense.max_violation(&xs, &us)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn detection_rejects_unsupported_shapes() {
+        let slq = dspp_like(2);
+        // Non-identity dynamics.
+        let mut p = slq.to_lq();
+        p.stages[0].a[(0, 1)] = 0.5;
+        assert!(StructuredLq::from_lq(&p).is_none());
+        // Input-coupled rows (rate limits).
+        let mut p = slq.to_lq();
+        p.stages[1].cu[(0, 0)] = 1.0;
+        assert!(StructuredLq::from_lq(&p).is_none());
+        // Non-diagonal input Hessian.
+        let mut p = slq.to_lq();
+        p.stages[0].r_mat[(0, 1)] = 0.1;
+        assert!(StructuredLq::from_lq(&p).is_none());
+        // Differing constraint matrices across slots.
+        let mut p = slq.to_lq();
+        p.stages[1].cx[(0, 1)] = -9.0;
+        assert!(StructuredLq::from_lq(&p).is_none());
+        // Constraints on stage 0.
+        let mut p = slq.to_lq();
+        let row = Matrix::from_rows(&[&[-1.0, 0.0, 0.0, 0.0]]).unwrap();
+        p.stages[0] =
+            p.stages[0]
+                .clone()
+                .with_constraints(row, Matrix::zeros(1, 4), Vector::from(vec![0.0]));
+        assert!(StructuredLq::from_lq(&p).is_none());
+    }
+
+    #[test]
+    fn detection_rejects_non_bipartite_coupling() {
+        // Three coupling rows pairwise overlapping on three arcs: an odd
+        // cycle, not an arrow structure.
+        let n = 3;
+        let rows =
+            Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0]]).unwrap();
+        let mut st = LqStage::identity_dynamics(n);
+        st.r_mat = Matrix::from_diag(&Vector::filled(n, 1.0));
+        let constrained =
+            st.clone()
+                .with_constraints(rows.clone(), Matrix::zeros(3, n), Vector::filled(3, 5.0));
+        let problem = LqProblem::new(
+            Vector::zeros(n),
+            vec![st, constrained],
+            LqTerminal::free(n).with_constraints(rows, Vector::filled(3, 5.0)),
+        )
+        .unwrap();
+        assert!(StructuredLq::from_lq(&problem).is_none());
+    }
+
+    #[test]
+    fn constructor_rejects_malformed_input() {
+        let ok = dspp_like(2);
+        // Overlapping supports within one group.
+        let mut group_a = ok.group_a.clone();
+        group_a[1].entries[0].0 = 0; // arc 0 already in row 0's support
+        assert!(StructuredLq::new(
+            ok.x0.clone(),
+            ok.q0.clone(),
+            ok.qs.clone(),
+            ok.r_diags.clone(),
+            ok.r_vecs.clone(),
+            ok.ds.clone(),
+            ok.diag_rows.clone(),
+            group_a,
+            ok.group_b.clone(),
+            ok.m_rows,
+        )
+        .is_err());
+        // Unclassified row.
+        assert!(StructuredLq::new(
+            ok.x0.clone(),
+            ok.q0.clone(),
+            ok.qs.clone(),
+            ok.r_diags.clone(),
+            ok.r_vecs.clone(),
+            ok.ds.clone(),
+            ok.diag_rows[1..].to_vec(),
+            ok.group_a.clone(),
+            ok.group_b.clone(),
+            ok.m_rows,
+        )
+        .is_err());
+        // Non-positive input cost.
+        assert!(StructuredLq::new(
+            ok.x0.clone(),
+            ok.q0.clone(),
+            ok.qs.clone(),
+            vec![Vector::zeros(4); 2],
+            ok.r_vecs.clone(),
+            ok.ds.clone(),
+            ok.diag_rows.clone(),
+            ok.group_a.clone(),
+            ok.group_b.clone(),
+            ok.m_rows,
+        )
+        .is_err());
+    }
+}
